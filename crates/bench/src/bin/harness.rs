@@ -1,0 +1,19 @@
+//! Prints every experiment table of DESIGN.md (E1-E12), streaming each as
+//! it completes.
+//!
+//! Usage: `cargo run -p qr-bench --release --bin harness [e01 e07 ...]`
+//! With no arguments all experiments run in order.
+
+use qr_bench::experiments;
+
+fn main() {
+    let filters: Vec<String> = std::env::args().skip(1).map(|s| s.to_ascii_lowercase()).collect();
+    for (id, build) in experiments::all() {
+        if !filters.is_empty() && !filters.iter().any(|f| f == id) {
+            continue;
+        }
+        let t0 = std::time::Instant::now();
+        let table = build();
+        println!("{table}   [{id} total {:?}]\n", t0.elapsed());
+    }
+}

@@ -1,0 +1,101 @@
+//! Minimal aligned-text tables for the experiment harness.
+
+use std::fmt;
+
+/// A simple column-aligned table with a title and a "shape" note recording
+/// what the paper predicts for the rows.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id and title, e.g. `"E1  Fig. 1 / Thm 5B(i) — ..."`.
+    pub title: String,
+    /// The paper's predicted shape for this table.
+    pub expectation: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title, expectation note and header.
+    pub fn new(
+        title: impl Into<String>,
+        expectation: impl Into<String>,
+        header: &[&str],
+    ) -> Table {
+        Table {
+            title: title.into(),
+            expectation: expectation.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells; must match the header length).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// The number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Cell accessor for tests.
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {}", self.title)?;
+        writeln!(f, "   expected shape: {}", self.expectation)?;
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let render = |cells: &[String], f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "   ")?;
+            for (w, c) in widths.iter().zip(cells) {
+                write!(f, "{c:<width$}  ", width = w)?;
+            }
+            writeln!(f)
+        };
+        render(&self.header, f)?;
+        for row in &self.rows {
+            render(row, f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("E0 demo", "flat", &["n", "value"]);
+        t.row(vec!["1".into(), "10".into()]);
+        t.row(vec!["100".into(), "2".into()]);
+        let s = t.to_string();
+        assert!(s.contains("== E0 demo"));
+        assert!(s.contains("n    value"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.cell(1, 0), "100");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("t", "e", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,221 @@
+//! The termination taxonomy of Section 5: core termination (FES),
+//! all-instances termination, and `Core(T,D)` (Definitions 18–24).
+//!
+//! Core termination of `T` on `D` asks for an `n` and a model `M` of `T`
+//! with `D ⊆ M ⊆ Ch_n(T,D)` (Definition 20). This is undecidable in
+//! general, so [`core_termination`] is a *probe*: it chases to depth
+//! `max_depth + lookahead`, and for each candidate `n` searches for a
+//! homomorphism `Ch_{max_depth+lookahead}(T,D) → Ch_n(T,D)` fixing
+//! `dom(D)`; if the image is verified to be a model, the probe reports
+//! success with a **verified** certificate. A negative answer only means
+//! "not found within budget".
+
+use std::collections::{HashMap, HashSet};
+
+use qr_hom::structure::{apply_term_map, instance_hom, structure_core};
+use qr_syntax::{Instance, TermId, Theory};
+
+use crate::engine::{chase, ChaseBudget};
+use crate::model::is_model;
+
+/// Budget for the core-termination probe.
+#[derive(Clone, Copy, Debug)]
+pub struct CoreTermBudget {
+    /// Largest chase depth `n` considered for `Core(T,D) ⊆ Ch_n(T,D)`.
+    pub max_depth: usize,
+    /// Extra rounds chased beyond `max_depth`; the fold source is the
+    /// deepest prefix, so larger lookahead makes the probe stronger.
+    pub lookahead: usize,
+    /// Fact cap passed to the chase.
+    pub max_facts: usize,
+}
+
+impl Default for CoreTermBudget {
+    fn default() -> Self {
+        CoreTermBudget {
+            max_depth: 6,
+            lookahead: 3,
+            max_facts: 200_000,
+        }
+    }
+}
+
+/// Outcome of the core-termination probe.
+#[derive(Clone, Debug)]
+pub enum CoreTermination {
+    /// A verified model `M` of `T` with `D ⊆ M ⊆ Ch_depth(T,D)` was found.
+    /// `core` is `M` folded to a (relative) core — the paper's
+    /// `Core(T,D)` up to the minimal-cardinality tie-break of Definition 24.
+    CoreTerminates {
+        /// The smallest probe depth at which a certificate was found (an
+        /// upper bound for the paper's `c_{T,D}`).
+        depth: usize,
+        /// The certificate model.
+        core: Instance,
+    },
+    /// No certificate found within budget (the theory may still core
+    /// terminate on this instance).
+    Unknown {
+        /// The deepest `n` examined.
+        checked_depth: usize,
+    },
+}
+
+impl CoreTermination {
+    /// `true` if a certificate was found.
+    pub fn terminates(&self) -> bool {
+        matches!(self, CoreTermination::CoreTerminates { .. })
+    }
+
+    /// The certificate depth, if any.
+    pub fn depth(&self) -> Option<usize> {
+        match self {
+            CoreTermination::CoreTerminates { depth, .. } => Some(*depth),
+            CoreTermination::Unknown { .. } => None,
+        }
+    }
+}
+
+/// Probes core termination of `theory` on `db` (see module docs).
+pub fn core_termination(
+    theory: &Theory,
+    db: &Instance,
+    budget: CoreTermBudget,
+) -> CoreTermination {
+    let total_rounds = budget.max_depth + budget.lookahead;
+    let ch = chase(
+        theory,
+        db,
+        ChaseBudget {
+            max_rounds: total_rounds,
+            max_facts: budget.max_facts,
+        },
+    );
+    let full = &ch.instance;
+    let fixed: HashMap<TermId, TermId> = db.domain().iter().map(|t| (*t, *t)).collect();
+    let frozen: HashSet<TermId> = db.domain().iter().copied().collect();
+    let deepest = ch.rounds.min(budget.max_depth);
+    for n in 0..=deepest {
+        let prefix = ch.prefix(n);
+        if let Some(h) = instance_hom(full, &prefix, &fixed) {
+            let image = apply_term_map(full, &h);
+            // The matcher may return a hom whose image dangles (satisfies
+            // the fact-preservation condition but is not a model). Folding
+            // the image to its core relative to dom(D) repairs this in the
+            // common case: the fold is a homomorphism into an induced
+            // substructure of the image, so the folded facts stay inside
+            // Ch_n(T,D) and dom(D) stays pointwise fixed.
+            let (folded, _) = structure_core(&image, &frozen);
+            for candidate in [folded, image] {
+                if is_model(&candidate, theory) {
+                    debug_assert!(db.subset_of(&candidate));
+                    return CoreTermination::CoreTerminates {
+                        depth: n,
+                        core: candidate,
+                    };
+                }
+            }
+        }
+    }
+    CoreTermination::Unknown {
+        checked_depth: deepest,
+    }
+}
+
+/// `Core(T,D)` per Definition 24 (up to the size tie-break): the certificate
+/// of the smallest depth found by the probe, or `None`.
+pub fn core_of(theory: &Theory, db: &Instance, budget: CoreTermBudget) -> Option<(usize, Instance)> {
+    match core_termination(theory, db, budget) {
+        CoreTermination::CoreTerminates { depth, core } => Some((depth, core)),
+        CoreTermination::Unknown { .. } => None,
+    }
+}
+
+/// Detects all-instances termination on one instance: `Some(n)` iff the
+/// chase reaches a fixpoint after `n` rounds within the budget
+/// (Definition 21 quantifies over all instances; this is the per-instance
+/// witness used by the experiments).
+pub fn all_instances_termination(
+    theory: &Theory,
+    db: &Instance,
+    max_rounds: usize,
+) -> Option<usize> {
+    let ch = chase(theory, db, ChaseBudget::rounds(max_rounds));
+    ch.terminated().then_some(ch.rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr_syntax::{parse_instance, parse_theory};
+
+    #[test]
+    fn exercise_22_t_p_is_not_fes() {
+        // E(x,y) -> ∃z E(y,z): BDD but not core terminating.
+        let t = parse_theory("e(X,Y) -> e(Y,Z).").unwrap();
+        let d = parse_instance("e(a,b).").unwrap();
+        let r = core_termination(&t, &d, CoreTermBudget::default());
+        assert!(!r.terminates());
+    }
+
+    #[test]
+    fn exercise_23_fes_but_not_all_instances_terminating() {
+        let t = parse_theory(
+            "e(X,Y) -> e(Y,Z).\n\
+             e(X,X1), e(X1,X2) -> e(X1,X1).",
+        )
+        .unwrap();
+        let d = parse_instance("e(a,b).").unwrap();
+        let r = core_termination(&t, &d, CoreTermBudget::default());
+        match r {
+            CoreTermination::CoreTerminates { depth, core } => {
+                assert_eq!(depth, 2);
+                assert!(is_model(&core, &t));
+                assert!(d.subset_of(&core));
+                // The core should fold down to {e(a,b), e(b,b)}.
+                assert_eq!(core.len(), 2);
+            }
+            CoreTermination::Unknown { .. } => panic!("expected core termination"),
+        }
+        // ... but the chase itself never stops.
+        assert_eq!(all_instances_termination(&t, &d, 12), None);
+    }
+
+    #[test]
+    fn terminating_datalog_all_instances_terminates() {
+        let t = parse_theory("e(X,Y), e(Y,Z) -> e(X,Z).").unwrap();
+        let d = parse_instance("e(a,b). e(b,c). e(c,d).").unwrap();
+        let n = all_instances_termination(&t, &d, 10).expect("datalog terminates");
+        assert!(n <= 3);
+        // All-instances termination implies core termination at depth ≤ n.
+        let r = core_termination(&t, &d, CoreTermBudget::default());
+        assert!(r.terminates());
+    }
+
+    #[test]
+    fn model_input_is_its_own_core() {
+        // Exercise 25: if D ⊨ T then Core(D) = D (at depth 0).
+        let t = parse_theory("human(X) -> mother(X,Y).\nmother(X,Y) -> human(Y).").unwrap();
+        let d =
+            parse_instance("human(abel). mother(abel, eve). human(eve). mother(eve, eve).")
+                .unwrap();
+        let (depth, core) = core_of(&t, &d, CoreTermBudget::default()).unwrap();
+        assert_eq!(depth, 0);
+        assert_eq!(core, d);
+    }
+
+    #[test]
+    fn core_of_core_is_core() {
+        // Exercise 25, second part.
+        let t = parse_theory(
+            "e(X,Y) -> e(Y,Z).\n\
+             e(X,X1), e(X1,X2) -> e(X1,X1).",
+        )
+        .unwrap();
+        let d = parse_instance("e(a,b).").unwrap();
+        let (_, core) = core_of(&t, &d, CoreTermBudget::default()).unwrap();
+        let (depth2, core2) = core_of(&t, &core, CoreTermBudget::default()).unwrap();
+        assert_eq!(depth2, 0);
+        assert_eq!(core2, core);
+    }
+}

@@ -1,0 +1,568 @@
+//! The chase procedure (Definition 6 of the paper).
+//!
+//! `Ch_0(T,D) = D`; `Ch_{i+1}(T,D)` extends `Ch_i(T,D)` with `appl(ρ,σ)`
+//! for **every** rule `ρ` and every homomorphism `σ` of its body into
+//! `Ch_i(T,D)` — rounds are "parallel": facts produced in round `i+1` never
+//! feed triggers of round `i+1`.
+//!
+//! The default engine is *semi-naive*: a trigger is enumerated in round
+//! `i+1` only if it uses at least one fact (or, for `dom`-scoped variables,
+//! one domain term) that first appeared in round `i`. Triggers using only
+//! older facts already fired in an earlier round, so the produced fact sets
+//! `Ch_i` are exactly those of the textbook definition; [`chase_naive`]
+//! re-enumerates everything each round and is used to cross-check this.
+
+use std::collections::{HashMap, HashSet};
+
+use qr_hom::matcher::for_each_match;
+use qr_syntax::query::{QAtom, QTerm, Var};
+use qr_syntax::{Fact, Instance, TermId, Theory};
+
+use crate::skolem::SkolemizedRule;
+
+/// Resource limits for a chase run.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaseBudget {
+    /// Maximum number of rounds (`Ch_max_rounds` is the deepest prefix built).
+    pub max_rounds: usize,
+    /// Stop after a round if the instance exceeds this many facts.
+    pub max_facts: usize,
+}
+
+impl Default for ChaseBudget {
+    fn default() -> Self {
+        ChaseBudget {
+            max_rounds: 24,
+            max_facts: 200_000,
+        }
+    }
+}
+
+impl ChaseBudget {
+    /// A budget bounded only by the number of rounds (plus a generous fact cap).
+    pub fn rounds(max_rounds: usize) -> ChaseBudget {
+        ChaseBudget {
+            max_rounds,
+            ..ChaseBudget::default()
+        }
+    }
+}
+
+/// Whether the chase reached a fixpoint or ran out of budget.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChaseOutcome {
+    /// A round added no facts: the instance **is** `Ch(T,D)` (the chase
+    /// all-instances-terminated on this input).
+    Fixpoint,
+    /// The budget was exhausted; the instance is the prefix `Ch_rounds(T,D)`.
+    Exhausted,
+}
+
+/// Provenance of one derived fact: which rule fired, on which body image.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Derivation {
+    /// Index of the rule in the theory.
+    pub rule: usize,
+    /// Indices (into the chase instance) of the non-builtin body facts.
+    pub trigger: Vec<usize>,
+    /// The frontier image `σ(fr(ρ))` (Observation 9) in canonical order.
+    pub frontier: Vec<TermId>,
+    /// The round in which the fact was added.
+    pub round: usize,
+}
+
+/// The result of a chase run: the instance `Ch_rounds(T,D)` with per-fact
+/// round and provenance information.
+#[derive(Clone, Debug)]
+pub struct Chase {
+    /// All facts derived (a superset of the input instance).
+    pub instance: Instance,
+    /// For each fact index, the round it first appeared in (0 = input).
+    pub round_of: Vec<usize>,
+    /// Number of completed rounds: `instance = Ch_rounds(T,D)`.
+    pub rounds: usize,
+    /// Fixpoint or budget exhaustion.
+    pub outcome: ChaseOutcome,
+    /// For each fact index, its first derivation (`None` for input facts).
+    pub derivations: Vec<Option<Derivation>>,
+    /// With [`chase_all`], **every** distinct derivation of each fact
+    /// (semi-naive enumeration visits each trigger exactly once, so this is
+    /// the complete set of rule applications producing the fact). Empty in
+    /// normal mode.
+    pub all_derivations: Vec<Vec<Derivation>>,
+}
+
+impl Chase {
+    /// The prefix `Ch_n(T,D)`: facts added in rounds `0..=n`.
+    pub fn prefix(&self, n: usize) -> Instance {
+        if n >= self.rounds {
+            return self.instance.clone();
+        }
+        Instance::from_facts(
+            self.instance
+                .iter()
+                .enumerate()
+                .filter_map(|(i, f)| (self.round_of[i] <= n).then(|| f.clone())),
+        )
+    }
+
+    /// Facts first appearing in round `n`.
+    pub fn delta(&self, n: usize) -> Vec<&Fact> {
+        self.instance
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| (self.round_of[i] == n).then_some(f))
+            .collect()
+    }
+
+    /// `true` iff the chase reached a fixpoint within budget.
+    pub fn terminated(&self) -> bool {
+        self.outcome == ChaseOutcome::Fixpoint
+    }
+
+    /// The round in which each term first entered the active domain
+    /// (0 for input constants) — the clock behind Exercise 17's `n_at`.
+    pub fn first_round_of_terms(&self) -> HashMap<TermId, usize> {
+        let mut out: HashMap<TermId, usize> = HashMap::new();
+        for (i, f) in self.instance.iter().enumerate() {
+            for t in f.terms() {
+                let r = self.round_of[i];
+                out.entry(t)
+                    .and_modify(|cur| *cur = (*cur).min(r))
+                    .or_insert(r);
+            }
+        }
+        out
+    }
+}
+
+struct RulePlan<'a> {
+    rule: &'a qr_syntax::Tgd,
+    skolemized: SkolemizedRule,
+    nvars: usize,
+    regular: Vec<usize>, // indices of non-dom body atoms
+    dom: Vec<usize>,     // indices of dom body atoms
+}
+
+fn plans(theory: &Theory) -> Vec<RulePlan<'_>> {
+    theory
+        .rules()
+        .iter()
+        .map(|rule| {
+            let (regular, dom): (Vec<usize>, Vec<usize>) = (0..rule.body().len())
+                .partition(|&i| !rule.body()[i].pred.is_dom());
+            RulePlan {
+                rule,
+                skolemized: SkolemizedRule::new(rule),
+                nvars: rule.var_names().len(),
+                regular,
+                dom,
+            }
+        })
+        .collect()
+}
+
+/// Attempts to unify body atom `atom` with ground fact `fact`, extending
+/// `out` with variable bindings. Returns `false` on clash.
+fn unify_atom_fact(atom: &QAtom, fact: &Fact, out: &mut Vec<(Var, TermId)>) -> bool {
+    let start = out.len();
+    for (pos, t) in atom.args.iter().enumerate() {
+        let ft = fact.args[pos];
+        match t {
+            QTerm::Const(c) => {
+                if TermId::constant(*c) != ft {
+                    out.truncate(start);
+                    return false;
+                }
+            }
+            QTerm::Var(v) => {
+                match out.iter().find(|(u, _)| u == v) {
+                    Some((_, bound)) if *bound != ft => {
+                        out.truncate(start);
+                        return false;
+                    }
+                    Some(_) => {}
+                    None => out.push((*v, ft)),
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Runs the semi-naive chase.
+pub fn chase(theory: &Theory, db: &Instance, budget: ChaseBudget) -> Chase {
+    run_chase(theory, db, budget, true, false)
+}
+
+/// Runs the naive chase (re-enumerates all triggers each round). Used to
+/// validate the semi-naive engine; produces identical `Ch_i` sets.
+pub fn chase_naive(theory: &Theory, db: &Instance, budget: ChaseBudget) -> Chase {
+    run_chase(theory, db, budget, false, false)
+}
+
+/// Runs the semi-naive chase recording **all** derivations of every fact
+/// (needed to quantify over the paper's ancestor functions, Appendix A —
+/// e.g. the worst-case ancestor sets of Example 66).
+pub fn chase_all(theory: &Theory, db: &Instance, budget: ChaseBudget) -> Chase {
+    run_chase(theory, db, budget, true, true)
+}
+
+fn run_chase(
+    theory: &Theory,
+    db: &Instance,
+    budget: ChaseBudget,
+    semi_naive: bool,
+    record_all: bool,
+) -> Chase {
+    let plans = plans(theory);
+    let mut instance = db.clone();
+    let mut round_of: Vec<usize> = vec![0; instance.len()];
+    let mut derivations: Vec<Option<Derivation>> = vec![None; instance.len()];
+    let mut all_derivations: Vec<Vec<Derivation>> = vec![Vec::new(); instance.len()];
+    let mut domain_round: HashMap<TermId, usize> =
+        instance.domain().iter().map(|t| (*t, 0)).collect();
+    let mut outcome = ChaseOutcome::Exhausted;
+    let mut rounds = 0;
+
+    for round in 1..=budget.max_rounds {
+        let prev = round - 1;
+        // New facts of this round, collected before insertion ("parallel"
+        // round semantics: triggers only see Ch_{round-1}).
+        let mut fresh: Vec<(Fact, Derivation)> = Vec::new();
+        let mut fresh_set: HashSet<Fact> = HashSet::new();
+        let mut fresh_extra: Vec<(Fact, Derivation)> = Vec::new();
+        let mut existing_extra: Vec<(usize, Derivation)> = Vec::new();
+
+        let delta_fact_idxs: Vec<usize> = if semi_naive {
+            (0..instance.len()).filter(|&i| round_of[i] == prev).collect()
+        } else {
+            (0..instance.len()).collect()
+        };
+        let delta_terms: Vec<TermId> = if semi_naive {
+            instance
+                .domain()
+                .iter()
+                .copied()
+                .filter(|t| domain_round.get(t) == Some(&prev))
+                .collect()
+        } else {
+            instance.domain().to_vec()
+        };
+
+        for (ridx, plan) in plans.iter().enumerate() {
+            let body = plan.rule.body();
+            let mut emit = |asg: &[Option<TermId>],
+                            fresh: &mut Vec<(Fact, Derivation)>,
+                            fresh_set: &mut HashSet<Fact>| {
+                let (facts, frontier) = plan
+                    .skolemized
+                    .apply(plan.rule, |v| asg[v.index()].expect("bound body var"));
+                let mut trigger = Vec::with_capacity(plan.regular.len());
+                for &bi in &plan.regular {
+                    let ground = ground_atom(&body[bi], asg);
+                    if let Some(idx) = instance_index_of(&instance, &ground) {
+                        trigger.push(idx);
+                    }
+                }
+                for fact in facts {
+                    let deriv = Derivation {
+                        rule: ridx,
+                        trigger: trigger.clone(),
+                        frontier: frontier.clone(),
+                        round,
+                    };
+                    if instance.contains(&fact) {
+                        if record_all {
+                            if let Some(idx) = instance_index_of(&instance, &fact) {
+                                existing_extra.push((idx, deriv));
+                            }
+                        }
+                    } else if fresh_set.insert(fact.clone()) {
+                        fresh.push((fact, deriv));
+                    } else if record_all {
+                        fresh_extra.push((fact, deriv));
+                    }
+                }
+            };
+
+            if semi_naive {
+                // (a) Force each regular body atom into the fact delta.
+                for (k, &bi) in plan.regular.iter().enumerate() {
+                    let atom = &body[bi];
+                    let rest: Vec<QAtom> = plan
+                        .regular
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != k)
+                        .map(|(_, &b)| body[b].clone())
+                        .chain(plan.dom.iter().map(|&b| body[b].clone()))
+                        .collect();
+                    for &fi in &delta_fact_idxs {
+                        let fact = instance.fact(fi);
+                        if fact.pred != atom.pred {
+                            continue;
+                        }
+                        let mut fixed = Vec::new();
+                        if !unify_atom_fact(atom, fact, &mut fixed) {
+                            continue;
+                        }
+                        for_each_match(&rest, plan.nvars, &instance, &fixed, |asg| {
+                            emit(asg, &mut fresh, &mut fresh_set);
+                            true
+                        });
+                    }
+                }
+                // (b) Force each dom-scoped variable onto the domain delta.
+                for (k, &bi) in plan.dom.iter().enumerate() {
+                    let atom = &body[bi];
+                    let Some(v) = atom.args[0].as_var() else { continue };
+                    let rest: Vec<QAtom> = plan
+                        .regular
+                        .iter()
+                        .map(|&b| body[b].clone())
+                        .chain(
+                            plan.dom
+                                .iter()
+                                .enumerate()
+                                .filter(|(j, _)| *j != k)
+                                .map(|(_, &b)| body[b].clone()),
+                        )
+                        .collect();
+                    for &t in &delta_terms {
+                        let fixed = [(v, t)];
+                        for_each_match(&rest, plan.nvars, &instance, &fixed, |asg| {
+                            emit(asg, &mut fresh, &mut fresh_set);
+                            true
+                        });
+                    }
+                }
+                // (c) Rules with no body at all fire exactly once, in round 1.
+                if body.is_empty() && round == 1 {
+                    for_each_match(&[], plan.nvars, &instance, &[], |asg| {
+                        emit(asg, &mut fresh, &mut fresh_set);
+                        true
+                    });
+                }
+            } else {
+                for_each_match(body, plan.nvars, &instance, &[], |asg| {
+                    emit(asg, &mut fresh, &mut fresh_set);
+                    true
+                });
+            }
+        }
+
+        if fresh.is_empty() {
+            outcome = ChaseOutcome::Fixpoint;
+            break;
+        }
+        for (fact, deriv) in fresh {
+            for t in fact.terms() {
+                domain_round.entry(t).or_insert(round);
+            }
+            if instance.insert(fact) {
+                round_of.push(round);
+                all_derivations.push(vec![deriv.clone()]);
+                derivations.push(Some(deriv));
+            }
+        }
+        if record_all {
+            for (idx, deriv) in existing_extra {
+                if !all_derivations[idx].contains(&deriv) {
+                    all_derivations[idx].push(deriv);
+                }
+            }
+            for (fact, deriv) in fresh_extra {
+                if let Some(idx) = instance_index_of(&instance, &fact) {
+                    if !all_derivations[idx].contains(&deriv) {
+                        all_derivations[idx].push(deriv);
+                    }
+                }
+            }
+        }
+        rounds = round;
+        if instance.len() > budget.max_facts {
+            break;
+        }
+    }
+
+    if !record_all {
+        for d in &mut all_derivations {
+            d.clear();
+        }
+    }
+    Chase {
+        instance,
+        round_of,
+        rounds,
+        outcome,
+        derivations,
+        all_derivations,
+    }
+}
+
+fn ground_atom(atom: &QAtom, asg: &[Option<TermId>]) -> Fact {
+    Fact::new(
+        atom.pred,
+        atom.args
+            .iter()
+            .map(|t| match t {
+                QTerm::Var(v) => asg[v.index()].expect("bound body var"),
+                QTerm::Const(c) => TermId::constant(*c),
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn instance_index_of(inst: &Instance, fact: &Fact) -> Option<usize> {
+    // Use the most selective positional index to find the fact's position.
+    if fact.args.is_empty() {
+        return inst.with_pred(fact.pred).iter().copied().find(|&i| inst.fact(i) == fact);
+    }
+    inst.with_pred_pos_term(fact.pred, 0, fact.args[0])
+        .iter()
+        .copied()
+        .find(|&i| inst.fact(i) == fact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr_syntax::{parse_instance, parse_query, parse_theory, Symbol};
+
+    fn c(name: &str) -> TermId {
+        TermId::constant(Symbol::intern(name))
+    }
+
+    #[test]
+    fn example_1_and_7_mother_chain() {
+        // Examples 1 and 7 of the paper.
+        let t = parse_theory(
+            "human(Y) -> mother(Y, Z).\n\
+             mother(X, Y) -> human(Y).",
+        )
+        .unwrap();
+        let d = parse_instance("human(abel).").unwrap();
+        let ch = chase(&t, &d, ChaseBudget::rounds(6));
+        assert_eq!(ch.outcome, ChaseOutcome::Exhausted); // infinite chase
+        // Ch_1 adds mother(abel, mum(abel)).
+        let ch1 = ch.prefix(1);
+        assert_eq!(ch1.len(), 2);
+        // The paper's query: ∃y,z mother(abel,y), mother(y,z).
+        let q = parse_query("? :- mother(abel, Y), mother(Y, Z).").unwrap();
+        assert!(qr_hom::holds(&q, &ch.prefix(3), &[]));
+        assert!(!qr_hom::holds(&q, &ch.prefix(2), &[]));
+    }
+
+    #[test]
+    fn exercise_12_forward_paths() {
+        // T_p: E(x,y) -> ∃z E(y,z); chase grows one edge per element per round.
+        let t = parse_theory("e(X,Y) -> e(Y,Z).").unwrap();
+        let d = parse_instance("e(a,b).").unwrap();
+        let ch = chase(&t, &d, ChaseBudget::rounds(5));
+        assert_eq!(ch.instance.len(), 6);
+        assert_eq!(ch.rounds, 5);
+    }
+
+    #[test]
+    fn datalog_fixpoint() {
+        let t = parse_theory("e(X,Y), e(Y,Z) -> e(X,Z).").unwrap();
+        let d = parse_instance("e(a,b). e(b,c). e(c,d).").unwrap();
+        let ch = chase(&t, &d, ChaseBudget::default());
+        assert!(ch.terminated());
+        assert_eq!(ch.instance.len(), 6); // transitive closure of a 3-path
+    }
+
+    #[test]
+    fn semi_naive_equals_naive_per_round() {
+        let t = parse_theory(
+            "e(X,Y) -> e(Y,Z).\n\
+             e(X,Y), e(Y,Z) -> f(X,Z).\n\
+             f(X,Y) -> g(Y).",
+        )
+        .unwrap();
+        let d = parse_instance("e(a,b). e(b,c).").unwrap();
+        let fast = chase(&t, &d, ChaseBudget::rounds(4));
+        let slow = chase_naive(&t, &d, ChaseBudget::rounds(4));
+        assert_eq!(fast.rounds, slow.rounds);
+        for n in 0..=fast.rounds {
+            assert_eq!(fast.prefix(n), slow.prefix(n), "round {n} differs");
+        }
+    }
+
+    #[test]
+    fn observation_8_literal_equality() {
+        // D ⊆ F ⊆ Ch(T,D) implies Ch(T,F) = Ch(T,D), literally.
+        let t = parse_theory("human(Y) -> mother(Y, Z).\nmother(X, Y) -> human(Y).").unwrap();
+        let d = parse_instance("human(abel).").unwrap();
+        let ch_d = chase(&t, &d, ChaseBudget::rounds(8));
+        let f = ch_d.prefix(3); // D ⊆ F ⊆ Ch(T,D)
+        let ch_f = chase(&t, &f, ChaseBudget::rounds(8));
+        // Compare on equal depth: Ch_8(D) ⊆ Ch_8(F) ⊆ Ch_11(D); check the
+        // deep prefixes agree where both are defined.
+        assert!(ch_d.instance.subset_of(&ch_f.instance));
+    }
+
+    #[test]
+    fn dom_rules_fire_on_all_terms() {
+        // Pins rule of T_d: every domain element sprouts an r-edge.
+        let t = parse_theory("dom(X) -> r(X, Z).").unwrap();
+        let d = parse_instance("e(a,b).").unwrap();
+        let ch = chase(&t, &d, ChaseBudget::rounds(2));
+        // Round 1: r(a,z_a), r(b,z_b); round 2: pins fire on z_a, z_b.
+        assert_eq!(ch.prefix(1).len(), 1 + 2);
+        assert_eq!(ch.prefix(2).len(), 1 + 2 + 2);
+    }
+
+    #[test]
+    fn empty_body_rule_fires_once() {
+        let t = parse_theory("true -> r(X,X), g(X,X).").unwrap();
+        let d = parse_instance("e(a,b).").unwrap();
+        let ch = chase(&t, &d, ChaseBudget::rounds(4));
+        assert!(ch.terminated());
+        assert_eq!(ch.instance.len(), 3);
+        let loops: Vec<&Fact> = ch.delta(1);
+        assert_eq!(loops.len(), 2);
+        assert_eq!(loops[0].args[0], loops[1].args[0]);
+    }
+
+    #[test]
+    fn provenance_recorded() {
+        let t = parse_theory("e(X,Y), p(Y) -> f(X).").unwrap();
+        let d = parse_instance("e(a,b). p(b).").unwrap();
+        let ch = chase(&t, &d, ChaseBudget::default());
+        assert!(ch.terminated());
+        let fact = Fact::new(qr_syntax::Pred::new("f", 1), vec![c("a")]);
+        let idx = ch
+            .instance
+            .iter()
+            .position(|f| *f == fact)
+            .expect("derived fact present");
+        let deriv = ch.derivations[idx].as_ref().unwrap();
+        assert_eq!(deriv.rule, 0);
+        assert_eq!(deriv.trigger.len(), 2);
+        assert_eq!(deriv.frontier, vec![c("a")]);
+    }
+
+    #[test]
+    fn max_facts_budget_respected() {
+        let t = parse_theory("e(X,Y) -> e(Y,Z).").unwrap();
+        let d = parse_instance("e(a,b).").unwrap();
+        let budget = ChaseBudget {
+            max_rounds: 1000,
+            max_facts: 50,
+        };
+        let ch = chase(&t, &d, budget);
+        assert_eq!(ch.outcome, ChaseOutcome::Exhausted);
+        assert!(ch.instance.len() <= 52);
+    }
+
+    #[test]
+    fn first_entailment_depth_works() {
+        let t = parse_theory("e(X,Y) -> e(Y,Z).").unwrap();
+        let d = parse_instance("e(a,b).").unwrap();
+        let q = parse_query("? :- e(X1,X2), e(X2,X3), e(X3,X4).").unwrap();
+        let depth = crate::first_entailment_depth(&t, &d, &q, &[], ChaseBudget::rounds(8));
+        assert_eq!(depth, Some(2));
+    }
+}

@@ -1,0 +1,125 @@
+//! Cross-cutting chase engine properties on randomized inputs: semi-naive
+//! ≡ naive, determinism (Skolem naming), complete derivation recording,
+//! and prefix monotonicity.
+
+use proptest::prelude::*;
+
+use qr_chase::{chase, chase_all, chase_naive, ChaseBudget, Provenance};
+use qr_syntax::{parse_instance, parse_theory, Instance, Theory};
+
+fn edge_instance() -> impl Strategy<Value = Instance> {
+    proptest::collection::vec((0u8..5, 0u8..5), 1..8).prop_map(|pairs| {
+        let mut src = String::new();
+        for (a, b) in pairs {
+            src.push_str(&format!("e(w{a}, w{b}).\n"));
+        }
+        parse_instance(&src).unwrap()
+    })
+}
+
+fn small_theory() -> impl Strategy<Value = Theory> {
+    prop_oneof![
+        Just(parse_theory("e(X,Y) -> e(Y,Z).").unwrap()),
+        Just(parse_theory("e(X,Y), e(Y,Z) -> e(X,Z).").unwrap()),
+        Just(parse_theory("e(X,Y) -> p(Y).\np(X) -> e(X,W).").unwrap()),
+        Just(parse_theory("e(X,Y), e(Y,X) -> loopy(X).\nloopy(X) -> e(X,Z).").unwrap()),
+        Just(parse_theory("true -> r(X,X).\ndom(X) -> r(X,Z).").unwrap()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn semi_naive_equals_naive(theory in small_theory(), db in edge_instance()) {
+        let budget = ChaseBudget { max_rounds: 4, max_facts: 50_000 };
+        let fast = chase(&theory, &db, budget);
+        let slow = chase_naive(&theory, &db, budget);
+        prop_assert_eq!(fast.rounds, slow.rounds);
+        for i in 0..=fast.rounds {
+            prop_assert_eq!(fast.prefix(i), slow.prefix(i), "round {}", i);
+        }
+    }
+
+    #[test]
+    fn chase_is_deterministic(theory in small_theory(), db in edge_instance()) {
+        let budget = ChaseBudget { max_rounds: 4, max_facts: 50_000 };
+        let a = chase(&theory, &db, budget);
+        let b = chase(&theory, &db, budget);
+        // Literal equality, including fact order (Skolem naming makes the
+        // run a pure function of (T, D, budget)).
+        let fa: Vec<_> = a.instance.iter().collect();
+        let fb: Vec<_> = b.instance.iter().collect();
+        prop_assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn prefixes_are_monotone(theory in small_theory(), db in edge_instance()) {
+        let ch = chase(&theory, &db, ChaseBudget { max_rounds: 4, max_facts: 50_000 });
+        for i in 1..=ch.rounds {
+            prop_assert!(ch.prefix(i - 1).subset_of(&ch.prefix(i)));
+        }
+        prop_assert!(db.subset_of(&ch.prefix(0)));
+    }
+
+    #[test]
+    fn all_derivations_extend_first(theory in small_theory(), db in edge_instance()) {
+        let budget = ChaseBudget { max_rounds: 3, max_facts: 20_000 };
+        let full = chase_all(&theory, &db, budget);
+        prop_assert_eq!(full.all_derivations.len(), full.instance.len());
+        for (i, first) in full.derivations.iter().enumerate() {
+            // Input facts (first = None) may still be *re*-derived by rules
+            // and collect derivations; derived facts must list their first
+            // derivation among all derivations.
+            if let Some(d) = first {
+                prop_assert!(full.all_derivations[i].contains(d));
+            }
+        }
+        // And the instances agree with the plain run.
+        let plain = chase(&theory, &db, budget);
+        prop_assert_eq!(plain.instance, full.instance);
+    }
+}
+
+#[test]
+fn all_derivations_on_example_66() {
+    // E(a0,a1) + P(b1..b3): the chain fact e(a1, f(a1)) has one derivation
+    // per colour choice.
+    let t = parse_theory(
+        "e(X,Y), r(Z,Y) -> e(Y,V).\n\
+         e(X,Y), p(Z) -> r(Z,Y).",
+    )
+    .unwrap();
+    let db = parse_instance("e(a0,a1). p(b1). p(b2). p(b3).").unwrap();
+    let ch = chase_all(&t, &db, ChaseBudget::rounds(3));
+    let chain_fact_idx = ch
+        .instance
+        .iter()
+        .position(|f| {
+            f.pred.name().as_str() == "e" && !f.is_original()
+        })
+        .expect("derived e-fact exists");
+    assert_eq!(ch.all_derivations[chain_fact_idx].len(), 3);
+    // Adversarial ancestors can reach beyond any single recorded choice.
+    let prov = Provenance::new(&ch);
+    let single = prov.ancestors(chain_fact_idx).len();
+    let adversarial = prov.adversarial_ancestors(chain_fact_idx, false).len();
+    assert!(adversarial >= single);
+}
+
+#[test]
+fn dom_theories_chase_deterministically() {
+    let t = parse_theory("true -> r(X,X).\ndom(X) -> r(X,Z).").unwrap();
+    let db = parse_instance("p(a). p(b).").unwrap();
+    let a = chase(&t, &db, ChaseBudget::rounds(3));
+    let b = chase(&t, &db, ChaseBudget::rounds(3));
+    assert_eq!(a.instance, b.instance);
+    // The loop element exists and is disjoint from dom(D)'s component.
+    let loops: Vec<_> = a
+        .instance
+        .iter()
+        .filter(|f| f.args.len() == 2 && f.args[0] == f.args[1])
+        .collect();
+    assert!(!loops.is_empty());
+    assert!(loops.iter().all(|f| !f.args[0].is_const()));
+}

@@ -1,0 +1,223 @@
+//! Empirical probes for the paper's semantic notions.
+//!
+//! *Locality* (Definition 30), *bd-locality* (Definition 40) and
+//! *distancing* (Definition 43) quantify over all instances, so they cannot
+//! be decided; what the paper's examples actually exhibit are concrete
+//! instance families on which the relevant quantity (minimal support size,
+//! chase-vs-instance distance) grows without bound. These probes measure
+//! exactly those quantities on given instances.
+
+use std::collections::HashMap;
+
+use qr_chase::engine::{chase, ChaseBudget};
+use qr_chase::provenance::{minimal_subset, Provenance};
+use qr_syntax::gaifman;
+use qr_syntax::{Fact, Instance, TermId, Theory};
+
+/// Maximum degree of the instance's Gaifman graph (Definition 40 restricts
+/// attention to instances of bounded degree).
+pub fn degree(db: &Instance) -> usize {
+    gaifman::of_instance(db).max_degree()
+}
+
+/// Result of a locality probe on one instance.
+#[derive(Clone, Debug)]
+pub struct LocalityProfile {
+    /// Chase depth used.
+    pub depth: usize,
+    /// The largest (inclusion-)minimal support over all derived facts — an
+    /// empirical lower bound for the locality constant `l_T` on this
+    /// instance.
+    pub max_support: usize,
+    /// A fact attaining `max_support`, with its support.
+    pub witness: Option<(Fact, Instance)>,
+    /// Gaifman degree of the instance (for bd-locality analyses).
+    pub degree: usize,
+}
+
+/// Measures, for every fact of `Ch_depth(T,D)`, an inclusion-minimal subset
+/// `F ⊆ D` with the fact still derivable from `F` at the same depth, and
+/// returns the maximum. A local theory keeps this bounded by `l_T`
+/// (Definition 30); the theories of Examples 39/42 and `T_d` do not.
+pub fn empirical_locality(theory: &Theory, db: &Instance, depth: usize) -> LocalityProfile {
+    let budget = ChaseBudget::rounds(depth);
+    let ch = chase(theory, db, budget);
+    let prov = Provenance::new(&ch);
+    // The recorded ancestor set is *a* support, so its size bounds the
+    // greedy minimal support from above. Process facts in descending
+    // ancestor-size order and stop once no remaining fact can beat the
+    // maximum found — this avoids re-chasing for the (typically many)
+    // shallow facts.
+    let mut candidates: Vec<(usize, Instance)> = ch
+        .instance
+        .iter()
+        .enumerate()
+        .filter(|(idx, _)| ch.round_of[*idx] != 0)
+        .map(|(idx, _)| (idx, prov.ancestor_instance(idx)))
+        .collect();
+    candidates.sort_by_key(|(_, anc)| std::cmp::Reverse(anc.len()));
+    let mut max_support = 0usize;
+    let mut witness: Option<(Fact, Instance)> = None;
+    for (idx, candidate) in candidates {
+        if candidate.len() <= max_support {
+            break;
+        }
+        let fact = ch.instance.fact(idx);
+        let derives = |f: &Instance| chase(theory, f, budget).instance.contains(fact);
+        let support = minimal_subset(&candidate, derives);
+        if support.len() > max_support {
+            max_support = support.len();
+            witness = Some((fact.clone(), support));
+        }
+    }
+    LocalityProfile {
+        depth,
+        max_support,
+        witness,
+        degree: degree(db),
+    }
+}
+
+/// Runs [`empirical_locality`] over an instance family and reports the
+/// per-instance support bounds; a theory is (empirically) non-local when
+/// the sequence grows with the family parameter.
+pub fn locality_profile(
+    theory: &Theory,
+    family: &[Instance],
+    depth: usize,
+) -> Vec<LocalityProfile> {
+    family
+        .iter()
+        .map(|db| empirical_locality(theory, db, depth))
+        .collect()
+}
+
+/// Result of a distancing probe (Definition 43).
+#[derive(Clone, Debug)]
+pub struct DistancingProfile {
+    /// Chase depth used.
+    pub depth: usize,
+    /// The largest `dist_D(c,c') / dist_Ch(c,c')` over pairs of input
+    /// constants that the chase brings closer together; `None` when no pair
+    /// of input constants is connected in the chase.
+    pub max_ratio: Option<f64>,
+    /// The witnessing pair: `(c, c', dist_Ch, dist_D)`, with `dist_D = None`
+    /// when `c` and `c'` are disconnected in `D` itself.
+    pub worst: Option<(TermId, TermId, usize, Option<usize>)>,
+}
+
+/// Measures how much the chase contracts distances between input constants:
+/// a distancing theory keeps `dist_D ≤ d_T · dist_Ch` (Definition 43), so a
+/// growing `max_ratio` over an instance family refutes distancing — this is
+/// the quantity behind the paper's Theorem 5(B).
+pub fn distancing_profile(theory: &Theory, db: &Instance, depth: usize) -> DistancingProfile {
+    let ch = chase(theory, db, ChaseBudget::rounds(depth));
+    let g_ch = gaifman::of_instance(&ch.instance);
+    let g_db = gaifman::of_instance(db);
+    let mut max_ratio: Option<f64> = None;
+    let mut worst = None;
+    let dom = db.domain();
+    for (i, &c) in dom.iter().enumerate() {
+        let from_c_ch: HashMap<TermId, usize> = g_ch.distances_from(c);
+        let from_c_db: HashMap<TermId, usize> = g_db.distances_from(c);
+        for &c2 in dom.iter().skip(i + 1) {
+            let Some(&d_ch) = from_c_ch.get(&c2) else { continue };
+            if d_ch == 0 {
+                continue;
+            }
+            let d_db = from_c_db.get(&c2).copied();
+            let ratio = match d_db {
+                Some(d) => d as f64 / d_ch as f64,
+                None => f64::INFINITY,
+            };
+            if max_ratio.is_none_or(|m| ratio > m) {
+                max_ratio = Some(ratio);
+                worst = Some((c, c2, d_ch, d_db));
+            }
+        }
+    }
+    DistancingProfile {
+        depth,
+        max_ratio,
+        worst,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr_syntax::parse_theory;
+
+    /// Star instance of Example 39: one E-atom and `k` color atoms R(a,cᵢ).
+    fn example_39_star(k: usize) -> Instance {
+        let mut src = String::from("e(a, b1, b2, c1).\n");
+        for i in 1..=k {
+            src.push_str(&format!("r(a, c{i}).\n"));
+        }
+        qr_syntax::parse_instance(&src).unwrap()
+    }
+
+    /// Cycle instance of Example 42: E(a₁,a₂), …, E(aₙ,a₁).
+    fn cycle(n: usize) -> Instance {
+        let mut src = String::new();
+        for i in 1..=n {
+            let j = if i == n { 1 } else { i + 1 };
+            src.push_str(&format!("e(a{i}, a{j}).\n"));
+        }
+        qr_syntax::parse_instance(&src).unwrap()
+    }
+
+    #[test]
+    fn linear_theory_has_unit_supports() {
+        let t = parse_theory("e(X,Y) -> e(Y,Z).").unwrap();
+        let db = qr_syntax::parse_instance("e(a,b). e(b,c). e(c,d).").unwrap();
+        let p = empirical_locality(&t, &db, 4);
+        assert_eq!(p.max_support, 1);
+    }
+
+    #[test]
+    fn example_39_supports_grow_with_colors() {
+        // The sticky theory of Example 39 is BDD but not local: with k
+        // colors, facts of depth k need k+1 input atoms.
+        let t = parse_theory("e(X,Y,Y1,T), r(X,T1) -> e(X,Y1,Y2,T1).").unwrap();
+        let p2 = empirical_locality(&t, &example_39_star(2), 2);
+        let p3 = empirical_locality(&t, &example_39_star(3), 3);
+        assert!(p3.max_support > p2.max_support);
+        assert_eq!(p3.max_support, 4);
+        // High degree is the culprit (vertex a sees all colors).
+        assert!(p3.degree >= 3);
+    }
+
+    #[test]
+    fn example_42_cycles_need_all_edges() {
+        // T_c of Example 42 is BDD but not bd-local: degree-2 cycles D_n
+        // contain atoms requiring all n input edges.
+        let t = parse_theory(
+            "e(X,Y) -> r(X,Y,X1,Y1).\n\
+             r(X,Y,X1,Y1), e(Y,Z) -> r(Y,Z,Y1,Z1).",
+        )
+        .unwrap();
+        let p3 = empirical_locality(&t, &cycle(3), 4);
+        let p5 = empirical_locality(&t, &cycle(5), 6);
+        assert_eq!(p3.degree, 2);
+        assert_eq!(p5.degree, 2);
+        assert_eq!(p3.max_support, 3);
+        assert_eq!(p5.max_support, 5);
+    }
+
+    #[test]
+    fn distancing_of_linear_theory_is_flat() {
+        let t = parse_theory("e(X,Y) -> e(Y,Z).").unwrap();
+        let db = qr_syntax::parse_instance("e(a,b). e(b,c). e(c,d).").unwrap();
+        let p = distancing_profile(&t, &db, 4);
+        // The chase only extends paths outwards; it cannot bring the input
+        // constants closer, so the ratio stays 1.
+        assert_eq!(p.max_ratio, Some(1.0));
+    }
+
+    #[test]
+    fn degree_measure() {
+        assert_eq!(degree(&cycle(5)), 2);
+        assert_eq!(degree(&example_39_star(4)), 6); // a sees b1,b2,c1..c4
+    }
+}

@@ -1,0 +1,146 @@
+//! Empirical probes for the paper's Exercises 13 and 17 and
+//! Observation 29 — the "BDD is local" intuitions.
+//!
+//! * **Exercise 13**: for a connected BDD theory there is `d` such that
+//!   input constants at chase-distance 1 are at distance ≤ `d` already in
+//!   `D`. [`edge_contraction_bound`] measures the largest such `d` on one
+//!   instance; it stays flat for BDD theories and grows for unbounded
+//!   Datalog (e.g. transitive closure).
+//! * **Exercise 17**: facts about existing terms are produced with a
+//!   constant delay `n_at` after their terms appear.
+//!   [`production_delay_bound`] measures the largest observed delay.
+//! * **Observation 29**: `Ch(T,D) ⊨ ψ(ā)` iff some subset `F ⊆ D` with
+//!   `|F| ≤ rs_T(ψ)` already entails it. [`observation29_check`] verifies
+//!   this against a complete rewriting.
+
+use qr_chase::engine::{chase, ChaseBudget};
+use qr_chase::provenance::minimal_support;
+use qr_syntax::gaifman;
+use qr_syntax::{ConjunctiveQuery, Instance, TermId, Theory};
+
+/// Exercise 13's quantity: the largest `dist_D(c, c')` over pairs of input
+/// constants that co-occur in some fact of `Ch_depth(T,D)` (i.e. are at
+/// chase-distance 1). `None` when no derived fact joins two input
+/// constants that are disconnected in `D`; `Some(d)` otherwise.
+pub fn edge_contraction_bound(theory: &Theory, db: &Instance, depth: usize) -> Option<usize> {
+    let ch = chase(theory, db, ChaseBudget::rounds(depth));
+    let g_db = gaifman::of_instance(db);
+    let mut max_d: Option<usize> = None;
+    for f in ch.instance.iter() {
+        let input_terms: Vec<TermId> = f
+            .terms()
+            .filter(|t| db.contains_term(*t))
+            .collect();
+        for i in 0..input_terms.len() {
+            for j in (i + 1)..input_terms.len() {
+                if input_terms[i] == input_terms[j] {
+                    continue;
+                }
+                match g_db.distance(input_terms[i], input_terms[j]) {
+                    Some(d) => {
+                        if max_d.is_none_or(|m| d > m) {
+                            max_d = Some(d);
+                        }
+                    }
+                    None => return None, // chase joined disconnected constants
+                }
+            }
+        }
+    }
+    max_d
+}
+
+/// Exercise 17's quantity: the largest delay `round(α) − appears(terms(α))`
+/// over derived facts, where `appears` is the round in which the last term
+/// of `α` entered the chase domain. A BDD theory keeps this constant
+/// (`n_at`); unbounded Datalog does not.
+pub fn production_delay_bound(theory: &Theory, db: &Instance, depth: usize) -> usize {
+    let ch = chase(theory, db, ChaseBudget::rounds(depth));
+    let first_round = ch.first_round_of_terms();
+    let mut max_delay = 0usize;
+    for (i, f) in ch.instance.iter().enumerate() {
+        if ch.round_of[i] == 0 {
+            continue;
+        }
+        let appear = f.terms().map(|t| first_round[&t]).max().unwrap_or(0);
+        max_delay = max_delay.max(ch.round_of[i].saturating_sub(appear));
+    }
+    max_delay
+}
+
+/// Observation 29, checked on one (theory, query, instance, answer): if
+/// the bounded chase entails `ψ(ā)`, some subset of `D` of size at most
+/// `rs` entails it too (witnessed by the greedy minimal support).
+pub fn observation29_check(
+    theory: &Theory,
+    query: &ConjunctiveQuery,
+    rs: usize,
+    db: &Instance,
+    answer: &[TermId],
+    depth: usize,
+) -> bool {
+    let budget = ChaseBudget::rounds(depth);
+    match minimal_support(theory, db, query, answer, budget) {
+        None => true, // not entailed: nothing to check
+        Some(support) => support.len() <= rs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr_syntax::{parse_instance, parse_query, parse_theory};
+
+    fn path(n: usize) -> Instance {
+        let mut src = String::new();
+        for i in 0..n {
+            src.push_str(&format!("e(n{i}, n{}).\n", i + 1));
+        }
+        parse_instance(&src).unwrap()
+    }
+
+    #[test]
+    fn exercise_13_bdd_theory_is_flat() {
+        // T_p (BDD): derived facts never join two input constants, so the
+        // contraction bound is that of D's own facts (1).
+        let t = parse_theory("e(X,Y) -> e(Y,Z).").unwrap();
+        assert_eq!(edge_contraction_bound(&t, &path(4), 5), Some(1));
+        assert_eq!(edge_contraction_bound(&t, &path(8), 5), Some(1));
+    }
+
+    #[test]
+    fn exercise_13_transitive_closure_grows() {
+        // TC (not BDD): e(n0, nk) joins constants at distance k in D.
+        let t = parse_theory("e(X,Y), e(Y,Z) -> e(X,Z).").unwrap();
+        let b4 = edge_contraction_bound(&t, &path(4), 6).unwrap();
+        let b8 = edge_contraction_bound(&t, &path(8), 6).unwrap();
+        assert_eq!(b4, 4);
+        assert_eq!(b8, 8);
+    }
+
+    #[test]
+    fn exercise_17_bdd_delay_is_constant() {
+        // T_a: every fact about a term appears within 1 round of the term.
+        let t = parse_theory("human(Y) -> mother(Y,Z).\nmother(X,Y) -> human(Y).").unwrap();
+        let db = parse_instance("human(abel).").unwrap();
+        assert!(production_delay_bound(&t, &db, 8) <= 1);
+    }
+
+    #[test]
+    fn exercise_17_datalog_delay_grows() {
+        // TC: all terms exist at round 0, but e(n0, n_k) appears at round
+        // ~log2(k): the delay grows with the instance.
+        let t = parse_theory("e(X,Y), e(Y,Z) -> e(X,Z).").unwrap();
+        let d4 = production_delay_bound(&t, &path(4), 8);
+        let d16 = production_delay_bound(&t, &path(16), 8);
+        assert!(d16 > d4, "{d4} vs {d16}");
+    }
+
+    #[test]
+    fn observation_29_for_t_p() {
+        // rs of any chain query under T_p is 1 (E7): single-fact supports.
+        let t = parse_theory("e(X,Y) -> e(Y,Z).").unwrap();
+        let q = parse_query("? :- e(A,B), e(B,C), e(C,D).").unwrap();
+        assert!(observation29_check(&t, &q, 1, &path(5), &[], 6));
+    }
+}

@@ -1,0 +1,19 @@
+//! Theory classes: syntactic recognizers for the decidable BDD classes the
+//! paper surveys (linear, guarded, sticky, …) and *empirical* testers for
+//! the paper's semantic notions (locality, bounded-degree locality,
+//! distancing), which are undecidable in general and probed on concrete
+//! instances.
+
+pub mod empirical;
+pub mod exercises;
+pub mod syntactic;
+
+pub use exercises::{edge_contraction_bound, observation29_check, production_delay_bound};
+pub use empirical::{
+    degree, distancing_profile, empirical_locality, locality_profile, DistancingProfile,
+    LocalityProfile,
+};
+pub use syntactic::{
+    has_detached_rules, is_binary, is_connected, is_datalog, is_frontier_guarded,
+    is_frontier_one, is_guarded, is_linear, is_sticky, is_weakly_acyclic,
+};

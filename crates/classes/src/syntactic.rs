@@ -1,0 +1,322 @@
+//! Syntactic recognizers for the TGD classes surveyed in the paper's
+//! introduction: linear, guarded (and frontier variants), sticky, Datalog,
+//! binary signatures, connectivity, detached rules, and weak acyclicity
+//! (a sufficient condition for all-instances termination).
+//!
+//! Rules with builtin (`true`/`dom`) bodies fall outside these fragments;
+//! every recognizer returns `false` for theories containing them (except
+//! [`is_binary`] and [`is_connected`], which are purely structural).
+
+use std::collections::{HashMap, HashSet};
+
+use qr_syntax::gaifman;
+use qr_syntax::query::Var;
+use qr_syntax::{Pred, Theory};
+
+fn in_fragment(theory: &Theory) -> bool {
+    !theory.has_builtin_bodies()
+}
+
+/// Linear: at most one body atom per rule.
+pub fn is_linear(theory: &Theory) -> bool {
+    in_fragment(theory) && theory.rules().iter().all(|r| r.body().len() <= 1)
+}
+
+/// Datalog: no existential variables.
+pub fn is_datalog(theory: &Theory) -> bool {
+    in_fragment(theory) && theory.rules().iter().all(|r| r.is_datalog())
+}
+
+/// Guarded: some body atom contains all body variables of the rule.
+pub fn is_guarded(theory: &Theory) -> bool {
+    in_fragment(theory)
+        && theory.rules().iter().all(|r| {
+            let body_vars: HashSet<Var> = r.body_vars().into_iter().collect();
+            r.body()
+                .iter()
+                .any(|a| body_vars.iter().all(|v| a.mentions(*v)))
+        })
+}
+
+/// Frontier-guarded: some body atom contains all frontier variables.
+pub fn is_frontier_guarded(theory: &Theory) -> bool {
+    in_fragment(theory)
+        && theory.rules().iter().all(|r| {
+            let fr = r.frontier();
+            r.body().iter().any(|a| fr.iter().all(|v| a.mentions(*v)))
+        })
+}
+
+/// Frontier-one: at most one frontier variable per rule (the property the
+/// proof of the paper's Theorem 3 actually uses, footnote 37).
+pub fn is_frontier_one(theory: &Theory) -> bool {
+    in_fragment(theory) && theory.rules().iter().all(|r| r.frontier().len() <= 1)
+}
+
+/// Binary signature: every predicate has arity ≤ 2.
+pub fn is_binary(theory: &Theory) -> bool {
+    theory.max_arity() <= 2
+}
+
+/// Connected: every rule body has a connected Gaifman graph (Section 2).
+/// Empty bodies are trivially connected.
+pub fn is_connected(theory: &Theory) -> bool {
+    theory
+        .rules()
+        .iter()
+        .all(|r| gaifman::atoms_connected(r.body()))
+}
+
+/// `true` iff some rule has an empty frontier (Section 13's *detached*
+/// rules).
+pub fn has_detached_rules(theory: &Theory) -> bool {
+    theory.rules().iter().any(|r| r.is_detached())
+}
+
+/// Sticky (Calì–Gottlob–Pieris): the position-marking procedure terminates
+/// with no rule in which a variable occurring at a marked body position
+/// occurs more than once in that body.
+pub fn is_sticky(theory: &Theory) -> bool {
+    if !in_fragment(theory) {
+        return false;
+    }
+    // Marked positions: (predicate, argument index).
+    let mut marked: HashSet<(Pred, usize)> = HashSet::new();
+
+    // Initial step: body positions of variables that do not reach the head.
+    for r in theory.rules() {
+        let head_vars: HashSet<Var> = r.head_vars().into_iter().collect();
+        for a in r.body() {
+            for (i, t) in a.args.iter().enumerate() {
+                if let Some(v) = t.as_var() {
+                    if !head_vars.contains(&v) {
+                        marked.insert((a.pred, i));
+                    }
+                }
+            }
+        }
+    }
+
+    // Propagation: if a frontier variable appears in the head at a marked
+    // position, mark all its body positions.
+    loop {
+        let mut changed = false;
+        for r in theory.rules() {
+            for v in r.frontier() {
+                let head_hits_marked = r.head().iter().any(|a| {
+                    a.args
+                        .iter()
+                        .enumerate()
+                        .any(|(i, t)| t.as_var() == Some(v) && marked.contains(&(a.pred, i)))
+                });
+                if !head_hits_marked {
+                    continue;
+                }
+                for a in r.body() {
+                    for (i, t) in a.args.iter().enumerate() {
+                        if t.as_var() == Some(v) && marked.insert((a.pred, i)) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Sticky condition: a variable at a marked body position occurs at most
+    // once in the body.
+    theory.rules().iter().all(|r| {
+        let mut occurrences: HashMap<Var, usize> = HashMap::new();
+        for a in r.body() {
+            for v in a.vars() {
+                *occurrences.entry(v).or_insert(0) += 1;
+            }
+        }
+        r.body().iter().all(|a| {
+            a.args.iter().enumerate().all(|(i, t)| match t.as_var() {
+                Some(v) if marked.contains(&(a.pred, i)) => occurrences[&v] <= 1,
+                _ => true,
+            })
+        })
+    })
+}
+
+/// Weak acyclicity: no cycle through a "special" edge in the position
+/// dependency graph — a classical sufficient condition for all-instances
+/// termination of the Skolem chase.
+pub fn is_weakly_acyclic(theory: &Theory) -> bool {
+    if !in_fragment(theory) {
+        return false;
+    }
+    // Collect positions and edges.
+    let mut positions: HashSet<(Pred, usize)> = HashSet::new();
+    for r in theory.rules() {
+        for a in r.body().iter().chain(r.head()) {
+            for i in 0..a.args.len() {
+                positions.insert((a.pred, i));
+            }
+        }
+    }
+    let index: HashMap<(Pred, usize), usize> =
+        positions.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+    let n = index.len();
+    // adjacency: edge -> (target, special?)
+    let mut edges: Vec<Vec<(usize, bool)>> = vec![Vec::new(); n];
+    for r in theory.rules() {
+        let existential: HashSet<Var> = r.existential_vars().into_iter().collect();
+        for v in r.frontier() {
+            let mut body_positions: Vec<usize> = Vec::new();
+            for a in r.body() {
+                for (i, t) in a.args.iter().enumerate() {
+                    if t.as_var() == Some(v) {
+                        body_positions.push(index[&(a.pred, i)]);
+                    }
+                }
+            }
+            for a in r.head() {
+                for (i, t) in a.args.iter().enumerate() {
+                    match t.as_var() {
+                        Some(u) if u == v => {
+                            for &bp in &body_positions {
+                                edges[bp].push((index[&(a.pred, i)], false));
+                            }
+                        }
+                        Some(u) if existential.contains(&u) => {
+                            for &bp in &body_positions {
+                                edges[bp].push((index[&(a.pred, i)], true));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    // No cycle through a special edge: for each special edge (u,v), v must
+    // not reach u.
+    let reaches = |from: usize, to: usize| -> bool {
+        let mut seen = vec![false; n];
+        let mut stack = vec![from];
+        while let Some(x) = stack.pop() {
+            if x == to {
+                return true;
+            }
+            if seen[x] {
+                continue;
+            }
+            seen[x] = true;
+            for &(y, _) in &edges[x] {
+                stack.push(y);
+            }
+        }
+        false
+    };
+    for u in 0..n {
+        for &(v, special) in &edges[u] {
+            if special && reaches(v, u) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr_syntax::parse_theory;
+
+    fn t(src: &str) -> Theory {
+        parse_theory(src).unwrap()
+    }
+
+    #[test]
+    fn linear_and_datalog() {
+        assert!(is_linear(&t("e(X,Y) -> e(Y,Z).")));
+        assert!(!is_linear(&t("e(X,Y), e(Y,Z) -> e(X,Z).")));
+        assert!(is_datalog(&t("e(X,Y), e(Y,Z) -> e(X,Z).")));
+        assert!(!is_datalog(&t("e(X,Y) -> e(Y,Z).")));
+    }
+
+    #[test]
+    fn guarded_variants() {
+        let g = t("r(X,Y,Z), p(X) -> q(Y).");
+        assert!(is_guarded(&g));
+        assert!(is_frontier_guarded(&g));
+        let fg = t("e(X,Y), e(Y,Z) -> f(X,Z).");
+        assert!(!is_guarded(&fg)); // no atom holds X,Y,Z
+        assert!(!is_frontier_guarded(&fg)); // no atom holds both X and Z
+        let f1 = t("e(X,Y), e(Y,Z) -> f(Y,W).");
+        assert!(is_frontier_one(&f1));
+        assert!(is_frontier_guarded(&f1));
+    }
+
+    #[test]
+    fn binary_and_connected() {
+        assert!(is_binary(&t("e(X,Y) -> e(Y,Z).")));
+        assert!(!is_binary(&t("e(X,Y,Z) -> e(Y,Z,W).")));
+        assert!(is_connected(&t("e(X,Y), e(Y,Z) -> f(X,Z).")));
+        assert!(!is_connected(&t("e(X,Y), p(U) -> f(X,U).")));
+        // Builtin bodies are structurally connected.
+        assert!(is_connected(&t("true -> r(X,X).")));
+    }
+
+    #[test]
+    fn detached() {
+        assert!(has_detached_rules(&t("p(X) -> q(Y).")));
+        assert!(!has_detached_rules(&t("p(X) -> q(X,Y).")));
+    }
+
+    #[test]
+    fn sticky_example_39_is_sticky() {
+        // Example 39 is presented by the paper as a sticky theory.
+        let s = t("e(X,Y,Y1,T), r(X,T1) -> e(X,Y1,Y2,T1).");
+        assert!(is_sticky(&s));
+    }
+
+    #[test]
+    fn transitivity_is_not_sticky() {
+        // The classical non-sticky example: the join variable Y is marked
+        // and occurs twice.
+        let tr = t("e(X,Y), e(Y,Z) -> e(X,Z).");
+        assert!(!is_sticky(&tr));
+    }
+
+    #[test]
+    fn example_41_not_sticky_join() {
+        // Example 41: E(x,y,z), R(x,z) -> R(y,z). The join variable x does
+        // not reach the head, so its positions are marked and x occurs
+        // twice: not sticky.
+        let e41 = t("e(X,Y,Z), r(X,Z) -> r(Y,Z).");
+        assert!(!is_sticky(&e41));
+    }
+
+    #[test]
+    fn linear_is_sticky() {
+        // Linear theories are trivially sticky (no joins).
+        assert!(is_sticky(&t("e(X,Y) -> e(Y,Z).")));
+        assert!(is_sticky(&t("human(Y) -> mother(Y,Z).\nmother(X,Y) -> human(Y).")));
+    }
+
+    #[test]
+    fn weak_acyclicity() {
+        // Transitive closure: terminating (no existentials at all).
+        assert!(is_weakly_acyclic(&t("e(X,Y), e(Y,Z) -> e(X,Z).")));
+        // E(x,y) -> ∃z E(y,z): special edge into a position reaching back.
+        assert!(!is_weakly_acyclic(&t("e(X,Y) -> e(Y,Z).")));
+        // p -> q chain with existential but no recursion: acyclic.
+        assert!(is_weakly_acyclic(&t("p(X) -> q(X,Y).")));
+    }
+
+    #[test]
+    fn builtin_bodies_excluded() {
+        let td = t("true -> r(X,X).\ndom(X) -> r(X,Z).");
+        assert!(!is_linear(&td));
+        assert!(!is_sticky(&td));
+        assert!(!is_weakly_acyclic(&td));
+        assert!(is_binary(&td));
+    }
+}

@@ -1,0 +1,229 @@
+//! The FUS/FES conjecture, executably (Sections 6 and 8).
+//!
+//! A theory is **UBDD** (Definition 26 / Observation 27) when one chase
+//! depth `c_T` works for every instance and query:
+//! `Core(T,D) ⊆ Ch_{c_T}(T,D)` for all `D`. Theorem 4 proves this for
+//! *local* core-terminating theories by assembling a global fold from the
+//! cores of the ≤`l_T`-element subinstances (`I_D`, `C_D`, the structures
+//! `M_F` of Definition 36).
+//!
+//! This module measures the per-instance constant `c_{T,D}` over instance
+//! families ([`uniform_bound_profile`]) — flat profiles witness UBDD
+//! behaviour, growing ones (e.g. the Example 28 truncations) refute a
+//! uniform bound — and implements the constructive objects of Theorem 4's
+//! proof on bounded chase prefixes ([`c_d`], [`theorem4_certificate`]).
+
+use std::collections::HashSet;
+
+use qr_chase::core_term::{core_termination, CoreTermBudget, CoreTermination};
+use qr_chase::engine::{chase, ChaseBudget};
+use qr_chase::model::is_model;
+use qr_hom::structure::{apply_term_map, instance_hom, structure_core};
+use qr_syntax::{Fact, Instance, TermId, Theory};
+
+/// Per-family measurement of the uniformity constant.
+#[derive(Clone, Debug)]
+pub struct UniformBoundProfile {
+    /// For each instance: its size and the certified `c_{T,D}` (an upper
+    /// bound from the core-termination probe), `None` when no certificate
+    /// was found within budget.
+    pub per_instance: Vec<(usize, Option<usize>)>,
+}
+
+impl UniformBoundProfile {
+    /// `true` if every instance received a certificate.
+    pub fn all_certified(&self) -> bool {
+        self.per_instance.iter().all(|(_, c)| c.is_some())
+    }
+
+    /// The largest certified bound.
+    pub fn max_bound(&self) -> Option<usize> {
+        self.per_instance.iter().filter_map(|(_, c)| *c).max()
+    }
+
+    /// `true` if all certified bounds are equal (the UBDD signature on this
+    /// family).
+    pub fn is_flat(&self) -> bool {
+        let bounds: Vec<usize> = self.per_instance.iter().filter_map(|(_, c)| *c).collect();
+        bounds.windows(2).all(|w| w[0] == w[1])
+    }
+}
+
+/// Measures `c_{T,D}` across an instance family (Observation 27's
+/// quantity). For a UBDD theory the numbers are bounded by `c_T`
+/// independently of the instance; for BDD-but-not-FES theories (`T_p`) no
+/// certificates appear; for the Example 28 truncations the bound grows with
+/// the truncation parameter.
+pub fn uniform_bound_profile(
+    theory: &Theory,
+    family: &[Instance],
+    budget: CoreTermBudget,
+) -> UniformBoundProfile {
+    let per_instance = family
+        .iter()
+        .map(|db| {
+            let c = match core_termination(theory, db, budget) {
+                CoreTermination::CoreTerminates { depth, .. } => Some(depth),
+                CoreTermination::Unknown { .. } => None,
+            };
+            (db.len(), c)
+        })
+        .collect();
+    UniformBoundProfile { per_instance }
+}
+
+/// All subsets of `db` with at most `l` facts — the paper's `I_D`
+/// (Definition 32). Exponential; intended for small instances.
+pub fn small_subsets(db: &Instance, l: usize) -> Vec<Instance> {
+    let facts: Vec<Fact> = db.iter().cloned().collect();
+    assert!(facts.len() <= 24, "I_D enumeration is exponential");
+    let mut out = Vec::new();
+    for mask in 0u64..(1 << facts.len()) {
+        if (mask.count_ones() as usize) > l || mask == 0 {
+            continue;
+        }
+        out.push(Instance::from_facts(
+            facts
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, f)| f.clone()),
+        ));
+    }
+    out
+}
+
+/// The paper's `C_D` (Definition 32): the union of `Core(T,F)` over all
+/// subsets `F ⊆ D` with `|F| ≤ l`, plus the observed `k_T` (Lemma 33).
+pub fn c_d_of(
+    theory: &Theory,
+    db: &Instance,
+    l: usize,
+    budget: CoreTermBudget,
+) -> Option<(Instance, usize)> {
+    let mut union = Instance::new();
+    let mut k = 0usize;
+    for f in small_subsets(db, l) {
+        match core_termination(theory, &f, budget) {
+            CoreTermination::CoreTerminates { depth, core } => {
+                k = k.max(depth);
+                union.extend(core.iter().cloned());
+            }
+            CoreTermination::Unknown { .. } => return None,
+        }
+    }
+    Some((union, k))
+}
+
+/// A Theorem-4-style certificate: a verified model `M ⊨ T` with
+/// `D ⊆ M ⊆ Ch_n(T,D)` and `dom(M) ⊆ dom(C_D)` (the conclusion of
+/// Lemma 34). Returns `(M, n)`.
+pub fn theorem4_certificate(
+    theory: &Theory,
+    db: &Instance,
+    l: usize,
+    budget: CoreTermBudget,
+) -> Option<(Instance, usize)> {
+    let (cd, _k) = c_d_of(theory, db, l, budget)?;
+    let total = budget.max_depth + budget.lookahead;
+    let ch = chase(
+        theory,
+        db,
+        ChaseBudget {
+            max_rounds: total,
+            max_facts: budget.max_facts,
+        },
+    );
+    let cd_terms: HashSet<TermId> = cd.domain().iter().copied().collect();
+    let frozen: HashSet<TermId> = db.domain().iter().copied().collect();
+    for n in 0..=ch.rounds.min(budget.max_depth) {
+        let target = ch.prefix(n).induced(&cd_terms);
+        if !db.subset_of(&target) {
+            continue;
+        }
+        let fixed: std::collections::HashMap<TermId, TermId> =
+            frozen.iter().map(|t| (*t, *t)).collect();
+        if let Some(h) = instance_hom(&ch.instance, &target, &fixed) {
+            let image = apply_term_map(&ch.instance, &h);
+            let (folded, _) = structure_core(&image, &frozen);
+            for candidate in [folded, image] {
+                if is_model(&candidate, theory) {
+                    return Some((candidate, n));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theories::{ex23, ex28, t_p};
+    use qr_syntax::parse_instance;
+
+    fn e_path(n: usize) -> Instance {
+        let mut src = String::new();
+        for i in 0..n {
+            src.push_str(&format!("e(p{i}, p{}).\n", i + 1));
+        }
+        parse_instance(&src).unwrap()
+    }
+
+    #[test]
+    fn ex23_has_flat_profile() {
+        // FES + BDD (and local): the uniformity constant is flat across
+        // growing paths — the Theorem 4 signature.
+        let family: Vec<Instance> = (1..=5).map(e_path).collect();
+        let p = uniform_bound_profile(&ex23(), &family, CoreTermBudget::default());
+        assert!(p.all_certified(), "{:?}", p.per_instance);
+        assert!(p.max_bound().unwrap() <= 2);
+    }
+
+    #[test]
+    fn t_p_is_never_certified() {
+        let family: Vec<Instance> = (1..=3).map(e_path).collect();
+        let p = uniform_bound_profile(&t_p(), &family, CoreTermBudget::default());
+        assert!(p.per_instance.iter().all(|(_, c)| c.is_none()));
+    }
+
+    #[test]
+    fn ex28_bound_grows_with_truncation() {
+        // The Example 28 phenomenon: c_T(K) = K on the single-edge E_K
+        // instance, so no uniform bound exists for the infinite union.
+        for k in 2..=4 {
+            let db = parse_instance(&format!("e{k}(a, b).")).unwrap();
+            let p = uniform_bound_profile(
+                &ex28(k),
+                std::slice::from_ref(&db),
+                CoreTermBudget {
+                    max_depth: 8,
+                    lookahead: 2,
+                    max_facts: 100_000,
+                },
+            );
+            assert_eq!(p.per_instance[0].1, Some(k), "truncation {k}");
+        }
+    }
+
+    #[test]
+    fn small_subsets_counts() {
+        let db = e_path(3);
+        assert_eq!(small_subsets(&db, 1).len(), 3);
+        assert_eq!(small_subsets(&db, 2).len(), 6);
+        assert_eq!(small_subsets(&db, 3).len(), 7);
+    }
+
+    #[test]
+    fn c_d_and_certificate_for_ex23() {
+        let db = e_path(3);
+        let (cd, k) = c_d_of(&ex23(), &db, 2, CoreTermBudget::default()).unwrap();
+        assert!(db.subset_of(&cd));
+        assert!(k <= 2);
+        let (m, n) = theorem4_certificate(&ex23(), &db, 2, CoreTermBudget::default())
+            .expect("certificate exists");
+        assert!(db.subset_of(&m));
+        assert!(is_model(&m, &ex23()));
+        assert!(n <= 2);
+    }
+}

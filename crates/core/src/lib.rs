@@ -1,0 +1,31 @@
+//! The paper's contribution, executable.
+//!
+//! * [`theories`] — every theory the paper names (Examples 1, 12, 23, 28,
+//!   39, 41, 42, 66; Definition 45's `T_d`; Section 12's `T_d^K`) plus the
+//!   instance/query families its arguments use (green paths `G^n`, the
+//!   queries `φ_R^n`, cycles, stars).
+//! * [`marked`] — marked queries (Definitions 47–50) and the five-operation
+//!   rewriting process of Sections 10–11 and Appendix B, implemented for
+//!   any number of colors `K` (Section 12's 3K−1 operations); this is the
+//!   procedure that *computes rewritings for `T_d` and `T_d^K`*, which the
+//!   generic piece-rewriting engine cannot handle.
+//! * [`ranks`] — R-paths, elevation/cost, `erk`/`qrk`/`srk` and the
+//!   multiset ordering (Definitions 59–62), used to certify termination of
+//!   the process (Lemma 53) experimentally.
+//! * [`fusfes`] — the constructive side of Theorem 4: `I_D`, `C_D`, the
+//!   structures `M_F` (Definition 36), and uniform-bound (`UBDD`,
+//!   Observation 27) estimation.
+
+pub mod fusfes;
+pub mod marked;
+pub mod normalize;
+pub mod ranks;
+pub mod theories;
+
+pub use fusfes::{c_d_of, small_subsets, theorem4_certificate, uniform_bound_profile, UniformBoundProfile};
+pub use marked::{
+    marked_process, rewrite_td, rewrite_tdk, ColorMap, MarkedQuery, MarkedRewriting,
+    ProcessError, ProcessStats, StepResult,
+};
+pub use normalize::{ancestor_bounds, corollary76_check, lemma70_check, normalize, NormalizeError, Normalized};
+pub use ranks::{erk, qrk, rank_decreases, srk, srk_lt, MultisetNat, QueryRank};

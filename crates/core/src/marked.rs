@@ -1,0 +1,862 @@
+//! Marked queries and the five-operation rewriting process for `T_d`
+//! (Sections 10–11 and Appendix B), generalized to the `K`-colour theories
+//! `T_d^K` of Section 12 (3K−1 operations).
+//!
+//! A *marked query* (Definition 47) is a CQ over binary colour predicates
+//! together with a set `V` of variables that must map into `dom(D)`
+//! (Definition 48); all answer variables are in `V`. The structure of
+//! `Ch(T_d, D)` forces the conditions of Observation 50 on satisfiable
+//! markings ("properly marked"); for `K > 2` colours one extra condition
+//! appears: an unmarked variable's in-edges must use one colour or two
+//! *adjacent* colours `{i+1, i}` — the only in-edge profiles chase-invented
+//! terms have (pins terms and grid terms; the loop element is unreachable
+//! from any marked variable because its component is disjoint from
+//! `dom(D)`, which is also why Boolean queries are trivially entailed and
+//! excluded here, exactly as in the paper).
+//!
+//! The process (Section 10, "High-level proof of claim (A)") starts from
+//! all proper markings of the input query and applies, to a maximal
+//! unmarked variable of a live query, one of: **cut** (remove the sole
+//! in-edge), **fuse** (merge two same-colour in-neighbours — in-edges of
+//! invented terms are unique per colour), or **reduce** (rewrite through
+//! the grid rule, replacing `I_{i+1}(a,x), I_i(b,x)` by
+//! `I_i(x',x''), I_i(x'',a), I_{i+1}(x',b)`). Soundness is the paper's
+//! Lemmas 80–82; termination is the rank argument of Section 11, which
+//! [`crate::ranks`] checks experimentally.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+
+use qr_syntax::query::{QAtom, QTerm, Var};
+use qr_syntax::{ConjunctiveQuery, Pred, Symbol, Ucq};
+
+/// Maps colour indices `1..=K` to binary predicates.
+#[derive(Clone, Debug)]
+pub struct ColorMap {
+    preds: Vec<Pred>,
+}
+
+impl ColorMap {
+    /// `T_d`'s colours: `I_2 = r` (red), `I_1 = g` (green).
+    pub fn td() -> ColorMap {
+        ColorMap {
+            preds: vec![Pred::new("g", 2), Pred::new("r", 2)],
+        }
+    }
+
+    /// `T_d^K`'s colours `i1 … iK`.
+    pub fn tdk(k: usize) -> ColorMap {
+        ColorMap {
+            preds: (1..=k).map(|i| Pred::new(format!("i{i}").as_str(), 2)).collect(),
+        }
+    }
+
+    /// Number of colours `K`.
+    pub fn k(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// The predicate of colour `c ∈ 1..=K`.
+    pub fn pred(&self, c: u8) -> Pred {
+        self.preds[(c - 1) as usize]
+    }
+
+    /// The colour of a predicate, if it is one of the map's colours.
+    pub fn color_of(&self, p: Pred) -> Option<u8> {
+        self.preds
+            .iter()
+            .position(|q| *q == p)
+            .map(|i| (i + 1) as u8)
+    }
+}
+
+/// A coloured edge `I_c(from, to)`.
+pub type Edge = (u8, u32, u32);
+
+/// A marked query (Definition 47) over `K` colours.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MarkedQuery {
+    k: u8,
+    edges: BTreeSet<Edge>,
+    marked: BTreeSet<u32>,
+    answer: Vec<u32>,
+    next_var: u32,
+}
+
+/// Result of one process step on a live query.
+#[derive(Clone, Debug)]
+pub enum StepResult {
+    /// The query was replaced by these queries (cut/fuse yield one,
+    /// reduce up to three properly marked ones).
+    Replaced(Vec<MarkedQuery>),
+    /// The query is unsatisfiable (unrealizable in-edge profile) and was
+    /// discarded.
+    Dropped,
+    /// The query is not live (totally marked): it is a terminal disjunct.
+    Terminal,
+}
+
+/// Statistics of a process run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProcessStats {
+    /// Number of operations applied.
+    pub steps: usize,
+    /// Largest number of simultaneously pending live queries.
+    pub max_frontier: usize,
+    /// Queries dropped as unsatisfiable.
+    pub dropped: usize,
+}
+
+/// Process failures.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProcessError {
+    /// The step cap was exceeded (the paper proves termination; the cap is
+    /// a defensive budget).
+    StepCap(usize),
+    /// The query uses a predicate outside the colour map, or is Boolean
+    /// (Boolean connected queries are trivially entailed under `T_d`; the
+    /// paper and this implementation exclude them).
+    UnsupportedQuery(String),
+}
+
+impl std::fmt::Display for ProcessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcessError::StepCap(n) => write!(f, "marked process exceeded {n} steps"),
+            ProcessError::UnsupportedQuery(m) => write!(f, "unsupported query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProcessError {}
+
+impl MarkedQuery {
+    /// Builds a marked query; `answer ⊆ marked` is enforced.
+    pub fn new(
+        k: u8,
+        edges: impl IntoIterator<Item = Edge>,
+        marked: impl IntoIterator<Item = u32>,
+        answer: Vec<u32>,
+    ) -> MarkedQuery {
+        let edges: BTreeSet<Edge> = edges.into_iter().collect();
+        let mut marked: BTreeSet<u32> = marked.into_iter().collect();
+        marked.extend(answer.iter().copied());
+        let next_var = edges
+            .iter()
+            .flat_map(|(_, a, b)| [*a, *b])
+            .chain(answer.iter().copied())
+            .max()
+            .map_or(0, |m| m + 1);
+        for (c, _, _) in &edges {
+            assert!((1..=k).contains(c), "colour out of range");
+        }
+        MarkedQuery {
+            k,
+            edges,
+            marked,
+            answer,
+            next_var,
+        }
+    }
+
+    /// The edges.
+    pub fn edges(&self) -> &BTreeSet<Edge> {
+        &self.edges
+    }
+
+    /// The marked variables `V(Q)`.
+    pub fn marked(&self) -> &BTreeSet<u32> {
+        &self.marked
+    }
+
+    /// The answer variables (in order, possibly with repetitions).
+    pub fn answer(&self) -> &[u32] {
+        &self.answer
+    }
+
+    /// All variables occurring in edges or the answer tuple.
+    pub fn vars(&self) -> BTreeSet<u32> {
+        self.edges
+            .iter()
+            .flat_map(|(_, a, b)| [*a, *b])
+            .chain(self.answer.iter().copied())
+            .collect()
+    }
+
+    /// Number of edges of colour `c` (the paper's `|Q_c|`).
+    pub fn count(&self, c: u8) -> usize {
+        self.edges.iter().filter(|(cc, _, _)| *cc == c).count()
+    }
+
+    /// Totally marked: every variable is in `V` (Observation 50's terminal
+    /// form — the query then evaluates directly over `D`).
+    pub fn is_totally_marked(&self) -> bool {
+        self.vars().iter().all(|v| self.marked.contains(v))
+    }
+
+    /// Live: properly marked (assumed) and not totally marked.
+    pub fn is_live(&self) -> bool {
+        !self.is_totally_marked()
+    }
+
+    /// The conditions of Observation 50 (plus the `K`-colour in-edge
+    /// profile condition; see the module docs). Queries failing them are
+    /// unsatisfiable and may be discarded.
+    pub fn is_properly_marked(&self) -> bool {
+        // (i) an edge into a marked variable starts at a marked variable.
+        for (_, a, b) in &self.edges {
+            if self.marked.contains(b) && !self.marked.contains(a) {
+                return false;
+            }
+        }
+        // (ii) every variable on a directed cycle is marked: equivalently,
+        // the subgraph induced on unmarked variables is acyclic (marked
+        // sources cannot re-enter unmarked territory by (i)).
+        if self.unmarked_cycle_exists() {
+            return false;
+        }
+        // (iii) same-colour in-edges: if one source is marked, all are.
+        let mut by_target: BTreeMap<(u8, u32), Vec<u32>> = BTreeMap::new();
+        for (c, a, b) in &self.edges {
+            by_target.entry((*c, *b)).or_default().push(*a);
+        }
+        for ((_, b), sources) in &by_target {
+            if !self.marked.contains(b)
+                && sources.iter().any(|s| self.marked.contains(s))
+                && sources.iter().any(|s| !self.marked.contains(s))
+            {
+                return false;
+            }
+        }
+        // (iv) K-colour profile: an unmarked variable's in-edge colours
+        // form {c} or an adjacent pair {c+1, c}.
+        for v in self.vars() {
+            if self.marked.contains(&v) {
+                continue;
+            }
+            let colors: BTreeSet<u8> = self
+                .edges
+                .iter()
+                .filter(|(_, _, b)| *b == v)
+                .map(|(c, _, _)| *c)
+                .collect();
+            match colors.len() {
+                0 | 1 => {}
+                2 => {
+                    let lo = *colors.iter().next().expect("two elements");
+                    let hi = *colors.iter().next_back().expect("two elements");
+                    if hi != lo + 1 {
+                        return false;
+                    }
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    fn unmarked_cycle_exists(&self) -> bool {
+        // DFS over edges between unmarked variables.
+        let unmarked: BTreeSet<u32> = self
+            .vars()
+            .into_iter()
+            .filter(|v| !self.marked.contains(v))
+            .collect();
+        let mut adj: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for (_, a, b) in &self.edges {
+            if unmarked.contains(a) && unmarked.contains(b) {
+                adj.entry(*a).or_default().push(*b);
+            }
+        }
+        // 0 = unseen, 1 = on stack, 2 = done.
+        let mut state: BTreeMap<u32, u8> = BTreeMap::new();
+        fn dfs(v: u32, adj: &BTreeMap<u32, Vec<u32>>, state: &mut BTreeMap<u32, u8>) -> bool {
+            state.insert(v, 1);
+            for &w in adj.get(&v).into_iter().flatten() {
+                match state.get(&w).copied().unwrap_or(0) {
+                    0 => {
+                        if dfs(w, adj, state) {
+                            return true;
+                        }
+                    }
+                    1 => return true,
+                    _ => {}
+                }
+            }
+            state.insert(v, 2);
+            false
+        }
+        for &v in &unmarked {
+            if state.get(&v).copied().unwrap_or(0) == 0 && dfs(v, &adj, &mut state) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// A maximal variable (Lemma 55's `x`): unmarked with no out-edges.
+    pub fn maximal_var(&self) -> Option<u32> {
+        let with_out: HashSet<u32> = self.edges.iter().map(|(_, a, _)| *a).collect();
+        self.vars()
+            .into_iter()
+            .find(|v| !self.marked.contains(v) && !with_out.contains(v))
+    }
+
+    fn rename(&self, from: u32, to: u32) -> MarkedQuery {
+        let f = |v: u32| if v == from { to } else { v };
+        MarkedQuery {
+            k: self.k,
+            edges: self.edges.iter().map(|(c, a, b)| (*c, f(*a), f(*b))).collect(),
+            marked: self.marked.iter().map(|v| f(*v)).collect(),
+            answer: self.answer.iter().map(|v| f(*v)).collect(),
+            next_var: self.next_var,
+        }
+    }
+
+    /// Applies one operation to a live query (Definitions 56–58). The
+    /// query must be properly marked.
+    pub fn step(&self) -> StepResult {
+        let Some(x) = self.maximal_var() else {
+            return StepResult::Terminal;
+        };
+        let in_edges: Vec<Edge> = self
+            .edges
+            .iter()
+            .copied()
+            .filter(|(_, _, b)| *b == x)
+            .collect();
+
+        // fuse: two same-colour in-neighbours must coincide in the chase.
+        for i in 0..in_edges.len() {
+            for j in (i + 1)..in_edges.len() {
+                let (c1, z1, _) = in_edges[i];
+                let (c2, z2, _) = in_edges[j];
+                if c1 == c2 && z1 != z2 {
+                    return StepResult::Replaced(vec![self.rename(z2, z1)]);
+                }
+            }
+        }
+
+        // Distinct colours now (same-colour pairs were fused; equal edges
+        // are impossible in a set).
+        let colors: BTreeSet<u8> = in_edges.iter().map(|(c, _, _)| *c).collect();
+        match (in_edges.len(), colors.len()) {
+            (0, _) => {
+                // An unmarked isolated variable cannot arise from a
+                // connected non-Boolean query; treat as unsatisfiable.
+                StepResult::Dropped
+            }
+            (1, _) => {
+                // cut.
+                let mut edges = self.edges.clone();
+                edges.remove(&in_edges[0]);
+                StepResult::Replaced(vec![MarkedQuery {
+                    k: self.k,
+                    edges,
+                    marked: self.marked.clone(),
+                    answer: self.answer.clone(),
+                    next_var: self.next_var,
+                }])
+            }
+            (2, 2) => {
+                let lo_c = *colors.iter().next().expect("two colours");
+                let hi_c = *colors.iter().next_back().expect("two colours");
+                if hi_c != lo_c + 1 {
+                    // Unrealizable profile (module docs).
+                    return StepResult::Dropped;
+                }
+                // reduce: I_{hi}(a,x), I_{lo}(b,x) become
+                // I_lo(x',x''), I_lo(x'',a), I_hi(x',b).
+                let a = in_edges
+                    .iter()
+                    .find(|(c, _, _)| *c == hi_c)
+                    .expect("hi edge")
+                    .1;
+                let b = in_edges
+                    .iter()
+                    .find(|(c, _, _)| *c == lo_c)
+                    .expect("lo edge")
+                    .1;
+                let x1 = self.next_var;
+                let x2 = self.next_var + 1;
+                let mut edges = self.edges.clone();
+                for e in &in_edges {
+                    edges.remove(e);
+                }
+                edges.insert((lo_c, x1, x2));
+                edges.insert((lo_c, x2, a));
+                edges.insert((hi_c, x1, b));
+                let mut out = Vec::new();
+                for marking in [vec![], vec![x1], vec![x1, x2]] {
+                    // The fourth marking {x''} is never properly marked
+                    // (footnote 33 of the paper).
+                    let mut marked = self.marked.clone();
+                    marked.extend(marking);
+                    let q = MarkedQuery {
+                        k: self.k,
+                        edges: edges.clone(),
+                        marked,
+                        answer: self.answer.clone(),
+                        next_var: self.next_var + 2,
+                    };
+                    if q.is_properly_marked() {
+                        out.push(q);
+                    }
+                }
+                StepResult::Replaced(out)
+            }
+            _ => StepResult::Dropped,
+        }
+    }
+
+    /// A deterministic canonical key (variables renumbered by first
+    /// occurrence over the sorted edge list, marking statuses inlined);
+    /// equal keys imply isomorphic marked queries.
+    pub fn canonical_key(&self) -> String {
+        // Stabilize with two renumber/sort rounds, like CQ::canonical.
+        let mut label: BTreeMap<u32, usize> = BTreeMap::new();
+        let mut edges: Vec<Edge> = self.edges.iter().copied().collect();
+        for _ in 0..2 {
+            edges.sort_by_key(|(c, a, b)| {
+                (
+                    *c,
+                    label.get(a).copied().unwrap_or(usize::MAX),
+                    label.get(b).copied().unwrap_or(usize::MAX),
+                )
+            });
+            label.clear();
+            for &v in &self.answer {
+                let next = label.len();
+                label.entry(v).or_insert(next);
+            }
+            for (_, a, b) in &edges {
+                for v in [a, b] {
+                    let next = label.len();
+                    label.entry(*v).or_insert(next);
+                }
+            }
+        }
+        let mut out = String::new();
+        for v in &self.answer {
+            out.push_str(&format!("a{};", label[v]));
+        }
+        for (c, a, b) in &edges {
+            let ma = if self.marked.contains(a) { "m" } else { "u" };
+            let mb = if self.marked.contains(b) { "m" } else { "u" };
+            out.push_str(&format!("{c}({}{ma},{}{mb});", label[a], label[b]));
+        }
+        out
+    }
+
+    /// Converts a totally marked query to a plain CQ over the colour
+    /// predicates; `None` when the query has no edges (the always-true
+    /// disjunct "the answer tuple lies in `dom(D)`").
+    pub fn to_cq(&self, colors: &ColorMap) -> Option<ConjunctiveQuery> {
+        self.to_cq_raw(colors).map(|q| q.canonical())
+    }
+
+    /// Like [`Self::to_cq`] but without canonicalization: variable `i` of
+    /// the result is the `i`-th element of `self.vars()` (sorted order) —
+    /// the indexing [`Self::holds_in`] relies on.
+    fn to_cq_raw(&self, colors: &ColorMap) -> Option<ConjunctiveQuery> {
+        if self.edges.is_empty() {
+            return None;
+        }
+        let vars: Vec<u32> = self.vars().into_iter().collect();
+        let index: BTreeMap<u32, Var> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (*v, Var(i as u32)))
+            .collect();
+        let names: Vec<Symbol> = vars.iter().map(|v| Symbol::intern(&format!("V{v}"))).collect();
+        let atoms: Vec<QAtom> = self
+            .edges
+            .iter()
+            .map(|(c, a, b)| {
+                QAtom::new(
+                    colors.pred(*c),
+                    vec![QTerm::Var(index[a]), QTerm::Var(index[b])],
+                )
+            })
+            .collect();
+        let answer: Vec<Var> = self.answer.iter().map(|v| index[v]).collect();
+        Some(ConjunctiveQuery::new(answer, atoms, names))
+    }
+
+    /// Marked satisfaction, Definition 48: `Ch(D) ⊨ Q(ā)` iff some
+    /// homomorphism of `q(Q)` into `chase_instance` maps the answer
+    /// variables to `ā` and maps `v` into `dom(D)` **iff** `v ∈ V(Q)`.
+    ///
+    /// `dom_d` must be the active domain of the original instance `D` (not
+    /// of the chase). Used to validate Lemma 52 exactly.
+    pub fn holds_in(
+        &self,
+        chase_instance: &qr_syntax::Instance,
+        dom_d: &std::collections::HashSet<qr_syntax::TermId>,
+        answer: &[qr_syntax::TermId],
+        colors: &ColorMap,
+    ) -> bool {
+        assert_eq!(answer.len(), self.answer.len(), "answer arity mismatch");
+        let Some(cq) = self.to_cq_raw(colors) else {
+            // Edge-less query: true iff the answer tuple lies in dom(D)
+            // (answer variables are marked by construction).
+            return answer.iter().all(|t| dom_d.contains(t));
+        };
+        // `to_cq` numbers variables in the sorted order of `self.vars()`.
+        let vars: Vec<u32> = self.vars().into_iter().collect();
+        let fixed: Vec<(Var, qr_syntax::TermId)> = self
+            .answer
+            .iter()
+            .zip(answer)
+            .map(|(v, t)| {
+                let idx = vars.iter().position(|u| u == v).expect("answer var present");
+                (Var(idx as u32), *t)
+            })
+            .collect();
+        let mut found = false;
+        qr_hom::matcher::for_each_match(
+            cq.atoms(),
+            cq.var_names().len(),
+            chase_instance,
+            &fixed,
+            |asg| {
+                let respects_marking = vars.iter().enumerate().all(|(i, v)| {
+                    match asg[i] {
+                        Some(t) => dom_d.contains(&t) == self.marked.contains(v),
+                        None => false,
+                    }
+                });
+                if respects_marking {
+                    found = true;
+                    false
+                } else {
+                    true
+                }
+            },
+        );
+        found
+    }
+
+    /// Builds the paper's `S_0`: all properly marked versions of a plain CQ
+    /// over the colour predicates. Errors on Boolean queries or foreign
+    /// predicates.
+    pub fn markings_of(
+        q: &ConjunctiveQuery,
+        colors: &ColorMap,
+    ) -> Result<Vec<MarkedQuery>, ProcessError> {
+        if q.is_boolean() {
+            return Err(ProcessError::UnsupportedQuery(
+                "Boolean connected queries are trivially entailed under T_d (rule (loop)); \
+                 the marked process handles non-Boolean queries"
+                    .into(),
+            ));
+        }
+        let mut edges: BTreeSet<Edge> = BTreeSet::new();
+        for a in q.atoms() {
+            let Some(c) = colors.color_of(a.pred) else {
+                return Err(ProcessError::UnsupportedQuery(format!(
+                    "predicate {:?} is not a colour",
+                    a.pred
+                )));
+            };
+            let mut ends = [0u32; 2];
+            for (i, t) in a.args.iter().enumerate() {
+                match t {
+                    QTerm::Var(v) => ends[i] = v.0,
+                    QTerm::Const(_) => {
+                        return Err(ProcessError::UnsupportedQuery(
+                            "constants are not supported in marked queries".into(),
+                        ))
+                    }
+                }
+            }
+            edges.insert((c, ends[0], ends[1]));
+        }
+        let answer: Vec<u32> = q.answer_vars().iter().map(|v| v.0).collect();
+        let base = MarkedQuery::new(colors.k() as u8, edges.clone(), answer.clone(), answer.clone());
+        let existential: Vec<u32> = base
+            .vars()
+            .into_iter()
+            .filter(|v| !answer.contains(v))
+            .collect();
+        let mut out = Vec::new();
+        for mask in 0u64..(1 << existential.len()) {
+            let extra = existential
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, v)| *v);
+            let q = MarkedQuery::new(
+                colors.k() as u8,
+                edges.clone(),
+                answer.iter().copied().chain(extra),
+                answer.clone(),
+            );
+            if q.is_properly_marked() {
+                out.push(q);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Output of [`marked_process`].
+#[derive(Clone, Debug)]
+pub struct MarkedRewriting {
+    /// The totally marked terminal queries, as plain CQs (deduplicated).
+    pub disjuncts: Vec<ConjunctiveQuery>,
+    /// `true` if an edge-less terminal query arose: the rewriting then also
+    /// contains the trivial disjunct "the answer tuple is in `dom(D)`".
+    pub has_true_disjunct: bool,
+    /// Run statistics.
+    pub stats: ProcessStats,
+}
+
+impl MarkedRewriting {
+    /// The disjuncts as a UCQ (without the trivial disjunct, if any).
+    pub fn ucq(&self) -> Ucq {
+        Ucq::new(self.disjuncts.clone())
+    }
+
+    /// The paper's `rs` measure over the produced disjuncts.
+    pub fn max_disjunct_size(&self) -> usize {
+        self.disjuncts.iter().map(ConjunctiveQuery::size).max().unwrap_or(0)
+    }
+}
+
+/// Runs the process of Section 10 to completion (or the step cap).
+pub fn marked_process(
+    seeds: Vec<MarkedQuery>,
+    step_cap: usize,
+    colors: &ColorMap,
+) -> Result<MarkedRewriting, ProcessError> {
+    let mut stats = ProcessStats::default();
+    let mut work: VecDeque<MarkedQuery> = VecDeque::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut terminal: Vec<MarkedQuery> = Vec::new();
+    let mut terminal_keys: HashSet<String> = HashSet::new();
+    let mut has_true = false;
+    let mut dropped_improper = 0usize;
+
+    let push = |q: MarkedQuery,
+                    work: &mut VecDeque<MarkedQuery>,
+                    terminal: &mut Vec<MarkedQuery>,
+                    terminal_keys: &mut HashSet<String>,
+                    has_true: &mut bool,
+                    seen: &mut HashSet<String>,
+                    dropped_improper: &mut usize| {
+        // cut/fuse can produce improperly marked queries (e.g. fuse closing
+        // an unmarked cycle); by Observation 50 those are unsatisfiable, so
+        // they are discarded. This also keeps Lemma 55's guarantee (every
+        // properly marked live query has a maximal variable) for the
+        // queries that stay in the worklist.
+        if !q.is_properly_marked() {
+            *dropped_improper += 1;
+            return;
+        }
+        if q.is_totally_marked() {
+            if q.edges().is_empty() {
+                *has_true = true;
+            } else if terminal_keys.insert(q.canonical_key()) {
+                terminal.push(q);
+            }
+        } else if seen.insert(q.canonical_key()) {
+            work.push_back(q);
+        }
+    };
+
+    for q in seeds {
+        push(
+            q,
+            &mut work,
+            &mut terminal,
+            &mut terminal_keys,
+            &mut has_true,
+            &mut seen,
+            &mut dropped_improper,
+        );
+    }
+
+    while let Some(q) = work.pop_front() {
+        stats.max_frontier = stats.max_frontier.max(work.len() + 1);
+        stats.steps += 1;
+        if stats.steps > step_cap {
+            return Err(ProcessError::StepCap(step_cap));
+        }
+        match q.step() {
+            StepResult::Terminal => {
+                unreachable!("properly marked live queries have a maximal variable (Lemma 55)")
+            }
+            StepResult::Dropped => stats.dropped += 1,
+            StepResult::Replaced(qs) => {
+                for nq in qs {
+                    push(
+                        nq,
+                        &mut work,
+                        &mut terminal,
+                        &mut terminal_keys,
+                        &mut has_true,
+                        &mut seen,
+                        &mut dropped_improper,
+                    );
+                }
+            }
+        }
+    }
+
+    stats.dropped += dropped_improper;
+    let disjuncts = terminal
+        .iter()
+        .filter_map(|q| q.to_cq(colors))
+        .collect::<Vec<_>>();
+    Ok(MarkedRewriting {
+        disjuncts,
+        has_true_disjunct: has_true,
+        stats,
+    })
+}
+
+/// Computes the `T_d`-rewriting of a (connected, non-Boolean) query over
+/// `{r, g}` via the marked process — the executable content of Theorem 5(A).
+pub fn rewrite_td(
+    query: &ConjunctiveQuery,
+    step_cap: usize,
+) -> Result<MarkedRewriting, ProcessError> {
+    let colors = ColorMap::td();
+    let seeds = MarkedQuery::markings_of(query, &colors)?;
+    marked_process(seeds, step_cap, &colors)
+}
+
+/// The `T_d^K` variant over `{i1 … iK}`.
+pub fn rewrite_tdk(
+    k: usize,
+    query: &ConjunctiveQuery,
+    step_cap: usize,
+) -> Result<MarkedRewriting, ProcessError> {
+    let colors = ColorMap::tdk(k);
+    let seeds = MarkedQuery::markings_of(query, &colors)?;
+    marked_process(seeds, step_cap, &colors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theories::{g_power_query, phi_r_n};
+    use qr_hom::containment::equivalent;
+    use qr_syntax::parse_query;
+
+    fn td_colors() -> ColorMap {
+        ColorMap::td()
+    }
+
+    #[test]
+    fn proper_marking_conditions() {
+        // g(A,B) with B marked, A unmarked violates (i).
+        let q = MarkedQuery::new(2, [(1, 0, 1)], [1], vec![1]);
+        assert!(!q.is_properly_marked());
+        // Cycle of unmarked variables violates (ii).
+        let c = MarkedQuery::new(2, [(1, 0, 1), (1, 1, 0)], [2], vec![2]);
+        // (variable 2 needs an edge to exist in vars(); give it one)
+        let c = MarkedQuery::new(
+            2,
+            c.edges().iter().copied().chain([(2u8, 2u32, 0u32)]),
+            [2],
+            vec![2],
+        );
+        assert!(!c.is_properly_marked());
+        // Same-colour in-edges with mixed markings violate (iii).
+        let m = MarkedQuery::new(2, [(1, 0, 2), (1, 1, 2), (2, 3, 0)], [0, 3], vec![3]);
+        assert!(!m.is_properly_marked());
+    }
+
+    #[test]
+    fn markings_of_phi_r_1() {
+        let q = phi_r_n(1);
+        let s0 = MarkedQuery::markings_of(&q, &td_colors()).unwrap();
+        // φ_R^1 has 4 existential vars (x1, y1 … wait: x0,x1,y0,y1: two
+        // existential) — markings must include the all-marked one.
+        assert!(!s0.is_empty());
+        assert!(s0.iter().any(|m| m.is_totally_marked()));
+        assert!(s0.iter().all(|m| m.is_properly_marked()));
+    }
+
+    #[test]
+    fn boolean_rejected() {
+        let q = parse_query("? :- g(X,Y).").unwrap();
+        assert!(matches!(
+            MarkedQuery::markings_of(&q, &td_colors()),
+            Err(ProcessError::UnsupportedQuery(_))
+        ));
+    }
+
+    #[test]
+    fn cut_on_dangling_green() {
+        // ?(A) :- g(A,B): B unmarked maximal with one in-edge: cut yields
+        // the true disjunct (every element has an outgoing green edge).
+        let q = parse_query("?(A) :- g(A,B).").unwrap();
+        let r = rewrite_td(&q, 1000).unwrap();
+        assert!(r.has_true_disjunct);
+        // The totally marked seed g(A,B) with B marked also survives, but
+        // it is a disjunct of the rewriting only as written:
+        assert!(r.disjuncts.len() <= 2);
+    }
+
+    #[test]
+    fn theorem_5b_n1() {
+        // rew(φ_R^1) contains G^2.
+        let r = rewrite_td(&phi_r_n(1), 100_000).unwrap();
+        let g2 = g_power_query(2);
+        assert!(
+            r.disjuncts.iter().any(|d| equivalent(d, &g2)),
+            "G^2 must appear among {} disjuncts",
+            r.disjuncts.len()
+        );
+    }
+
+    #[test]
+    fn theorem_5b_n2() {
+        // rew(φ_R^2) contains G^4.
+        let r = rewrite_td(&phi_r_n(2), 1_000_000).unwrap();
+        let g4 = g_power_query(4);
+        assert!(r.disjuncts.iter().any(|d| equivalent(d, &g4)));
+        // Exponential disjunct size: some disjunct has ≥ 4 atoms although
+        // |φ_R^2| = 5 and the G-path uses only 4 of them.
+        assert!(r.max_disjunct_size() >= 4);
+    }
+
+    #[test]
+    fn process_is_deterministic() {
+        let r1 = rewrite_td(&phi_r_n(1), 100_000).unwrap();
+        let r2 = rewrite_td(&phi_r_n(1), 100_000).unwrap();
+        let k1: Vec<String> = r1.disjuncts.iter().map(|d| d.render()).collect();
+        let k2: Vec<String> = r2.disjuncts.iter().map(|d| d.render()).collect();
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn fuse_induced_unmarked_cycle_is_dropped_not_panicking() {
+        // Regression: fusing Z and Z2 closes an unmarked self-loop, which
+        // is unsatisfiable (Observation 50(ii)) and must be discarded, not
+        // left in the worklist where Lemma 55 no longer applies.
+        let q = qr_syntax::parse_query("?(A) :- r(Z,X), r(Z2,X), g(Z,Z2), g(A,Z).").unwrap();
+        let r = rewrite_td(&q, 10_000).unwrap();
+        assert!(r.stats.dropped >= 1);
+        assert!(!r.disjuncts.is_empty());
+    }
+
+    #[test]
+    fn step_cap_enforced() {
+        assert!(matches!(
+            rewrite_td(&phi_r_n(2), 3),
+            Err(ProcessError::StepCap(3))
+        ));
+    }
+
+    #[test]
+    fn tdk_k2_matches_td_shape() {
+        // T_d^2 over i2/i1 behaves like T_d over r/g.
+        let q = crate::theories::phi_n(1, "i2", "i1");
+        let r = rewrite_tdk(2, &q, 100_000).unwrap();
+        let path = crate::theories::colour_path_query(2, "i1");
+        assert!(r.disjuncts.iter().any(|d| equivalent(d, &path)));
+    }
+}

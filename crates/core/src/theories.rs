@@ -1,0 +1,221 @@
+//! The paper's theory zoo and the instance/query families its arguments
+//! use. Everything is built through the parser so the printed form of each
+//! theory matches the paper.
+
+use qr_syntax::{
+    parse_instance, parse_query, parse_theory, ConjunctiveQuery, Instance, Symbol, TermId,
+    Theory,
+};
+
+/// Example 1: `Human(y) ⇒ ∃z Mother(y,z)`; `Mother(x,y) ⇒ Human(y)`.
+pub fn t_a() -> Theory {
+    parse_theory(
+        "human(Y) -> mother(Y, Z).\n\
+         mother(X, Y) -> human(Y).",
+    )
+    .expect("t_a parses")
+}
+
+/// Exercise 12's `T_p`: `E(x,y) ⇒ ∃z E(y,z)` — BDD, not core-terminating.
+pub fn t_p() -> Theory {
+    parse_theory("e(X,Y) -> e(Y,Z).").expect("t_p parses")
+}
+
+/// Exercise 23: core-terminating but not all-instances-terminating.
+pub fn ex23() -> Theory {
+    parse_theory(
+        "e(X,Y) -> e(Y,Z).\n\
+         e(X,X1), e(X1,X2) -> e(X1,X1).",
+    )
+    .expect("ex23 parses")
+}
+
+/// A finite truncation of Example 28's infinite theory: rules
+/// `E_i(x,y) ⇒ ∃z E_{i-1}(y,z)` for `1 ≤ i ≤ k`. The infinite union over
+/// all `k` is BDD and FES but not UBDD; the truncations witness this as a
+/// uniformity constant growing linearly with `k`.
+pub fn ex28(k: usize) -> Theory {
+    let mut src = String::new();
+    for i in 1..=k {
+        src.push_str(&format!("e{}(X,Y) -> e{}(Y,Z).\n", i, i - 1));
+    }
+    parse_theory(&src).expect("ex28 parses")
+}
+
+/// Example 39's sticky one-rule theory:
+/// `E(x,y,y',t), R(x,t') ⇒ ∃y'' E(x,y',y'',t')` — BDD but not local.
+pub fn ex39() -> Theory {
+    parse_theory("e(X,Y,Y1,T), r(X,T1) -> e(X,Y1,Y2,T1).").expect("ex39 parses")
+}
+
+/// Example 41: `E(x,y,z), R(x,z) ⇒ R(y,z)` — bd-local but not BDD.
+pub fn ex41() -> Theory {
+    parse_theory("e(X,Y,Z), r(X,Z) -> r(Y,Z).").expect("ex41 parses")
+}
+
+/// Example 42's `T_c`: BDD but not bd-local.
+pub fn t_c() -> Theory {
+    parse_theory(
+        "e(X,Y) -> r(X,Y,X1,Y1).\n\
+         r(X,Y,X1,Y1), e(Y,Z) -> r(Y,Z,Y1,Z1).",
+    )
+    .expect("t_c parses")
+}
+
+/// Example 66: the pair of rules showing that ancestor sets of the
+/// un-normalized theory can be unboundedly large.
+pub fn ex66() -> Theory {
+    parse_theory(
+        "e(X,Y), r(Z,Y) -> e(Y,V).\n\
+         e(X,Y), p(Z) -> r(Z,Y).",
+    )
+    .expect("ex66 parses")
+}
+
+/// Definition 45's `T_d`: the BDD theory that is not distancing. Rules
+/// (loop), (pins — the unnamed `∀x true ⇒ ∃z,z' R(x,z), G(x,z')`), (grid).
+pub fn t_d() -> Theory {
+    parse_theory(
+        "true -> r(X,X), g(X,X).\n\
+         dom(X) -> r(X,Z), g(X,Z1).\n\
+         r(X,X1), g(X,U), g(U,U1) -> r(U1,Z), g(X1,Z).",
+    )
+    .expect("t_d parses")
+}
+
+/// Section 12's `T_d^K` over `Σ_K = {I_K, …, I_1}`: (loop), K pins rules,
+/// and the K−1 grid rules
+/// `I_{i+1}(x,x'), I_i(x,u), I_i(u,u') ⇒ ∃z I_{i+1}(u',z), I_i(x',z)`.
+///
+/// `t_d_k(2)` is `T_d` with `I_2 = R`, `I_1 = G`.
+pub fn t_d_k(k: usize) -> Theory {
+    assert!(k >= 1, "T_d^K needs at least one relation");
+    let mut src = String::new();
+    // (loop): one element carrying self-loops of every colour.
+    let loops: Vec<String> = (1..=k).map(|i| format!("i{i}(X,X)")).collect();
+    src.push_str(&format!("true -> {}.\n", loops.join(", ")));
+    // (pins): every element sprouts one edge of every colour.
+    for i in 1..=k {
+        src.push_str(&format!("dom(X) -> i{i}(X, Z).\n"));
+    }
+    // (grid_i).
+    for i in 1..k {
+        src.push_str(&format!(
+            "i{hi}(X,X1), i{lo}(X,U), i{lo}(U,U1) -> i{hi}(U1,Z), i{lo}(X1,Z).\n",
+            hi = i + 1,
+            lo = i
+        ));
+    }
+    parse_theory(&src).expect("t_d_k parses")
+}
+
+/// The green path `G^n(a_0, a_n)`: `n` `g`-edges over constants
+/// `<prefix>0 … <prefix>n`. Returns the instance and the endpoints.
+pub fn green_path(n: usize, prefix: &str) -> (Instance, TermId, TermId) {
+    colour_path(n, prefix, "g")
+}
+
+/// A path of `n` edges of the given colour predicate (binary).
+pub fn colour_path(n: usize, prefix: &str, colour: &str) -> (Instance, TermId, TermId) {
+    assert!(n >= 1);
+    let mut src = String::new();
+    for i in 0..n {
+        src.push_str(&format!("{colour}({prefix}{i}, {prefix}{}).\n", i + 1));
+    }
+    let inst = parse_instance(&src).expect("path parses");
+    let a = TermId::constant(Symbol::intern(&format!("{prefix}0")));
+    let b = TermId::constant(Symbol::intern(&format!("{prefix}{n}")));
+    (inst, a, b)
+}
+
+/// The paper's query `φ_R^n(x,y) = ∃x',y' R^n(x,x'), R^n(y,y'), G(x',y')`
+/// (Section 10). Answer variables are `(x, y)`.
+pub fn phi_r_n(n: usize) -> ConjunctiveQuery {
+    phi_n(n, "r", "g")
+}
+
+/// `φ^n` over arbitrary adjacent colour names (`hi` plays R, `lo` plays G).
+pub fn phi_n(n: usize, hi: &str, lo: &str) -> ConjunctiveQuery {
+    let mut atoms = Vec::new();
+    for i in 0..n {
+        atoms.push(format!("{hi}(X{i}, X{})", i + 1));
+        atoms.push(format!("{hi}(Y{i}, Y{})", i + 1));
+    }
+    atoms.push(format!("{lo}(X{n}, Y{n})"));
+    parse_query(&format!("?(X0, Y0) :- {}.", atoms.join(", "))).expect("phi_n parses")
+}
+
+/// The query `G^n(x,y)`: a green path of length `n` between the answer
+/// variables — the paper's exponential rewriting disjunct (Theorem 5 B).
+pub fn g_power_query(n: usize) -> ConjunctiveQuery {
+    colour_path_query(n, "g")
+}
+
+/// A path query of `n` edges of one colour with endpoints as answers.
+pub fn colour_path_query(n: usize, colour: &str) -> ConjunctiveQuery {
+    assert!(n >= 1);
+    let atoms: Vec<String> = (0..n)
+        .map(|i| format!("{colour}(X{i}, X{})", i + 1))
+        .collect();
+    parse_query(&format!("?(X0, X{n}) :- {}.", atoms.join(", "))).expect("path query parses")
+}
+
+/// Example 42's cycle instance `D_n`: `E(a_1,a_2), …, E(a_n,a_1)`.
+pub fn cycle(n: usize) -> Instance {
+    let mut src = String::new();
+    for i in 1..=n {
+        let j = if i == n { 1 } else { i + 1 };
+        src.push_str(&format!("e(a{i}, a{j}).\n"));
+    }
+    parse_instance(&src).expect("cycle parses")
+}
+
+/// Example 39's star instance: one `E`-atom plus `k` colours at vertex `a`.
+pub fn star_39(k: usize) -> Instance {
+    let mut src = String::from("e(a, b1, b2, c1).\n");
+    for i in 1..=k {
+        src.push_str(&format!("r(a, c{i}).\n"));
+    }
+    parse_instance(&src).expect("star parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr_classes::{is_binary, is_connected, is_linear, is_sticky};
+
+    #[test]
+    fn zoo_shapes() {
+        assert_eq!(t_a().len(), 2);
+        assert!(is_linear(&t_a()) && is_binary(&t_a()));
+        assert!(is_linear(&t_p()));
+        assert_eq!(ex28(4).len(), 4);
+        assert!(is_linear(&ex28(4)));
+        assert!(is_sticky(&ex39()));
+        assert!(!is_sticky(&ex41()));
+        assert!(is_connected(&t_c()));
+        assert_eq!(t_d().len(), 3);
+        assert!(is_binary(&t_d()));
+    }
+
+    #[test]
+    fn t_d_k_generalizes_t_d() {
+        let t2 = t_d_k(2);
+        // loop + 2 pins + 1 grid.
+        assert_eq!(t2.len(), 4);
+        assert_eq!(t_d_k(3).len(), 1 + 3 + 2);
+        assert!(is_binary(&t_d_k(3)));
+    }
+
+    #[test]
+    fn families() {
+        let (p, a, b) = green_path(4, "a");
+        assert_eq!(p.len(), 4);
+        assert_ne!(a, b);
+        assert_eq!(cycle(5).len(), 5);
+        assert_eq!(star_39(3).len(), 4);
+        assert_eq!(phi_r_n(2).size(), 5);
+        assert_eq!(phi_r_n(2).answer_vars().len(), 2);
+        assert_eq!(g_power_query(4).size(), 4);
+    }
+}

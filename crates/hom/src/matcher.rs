@@ -1,0 +1,352 @@
+//! The backtracking homomorphism matcher.
+//!
+//! Matches a list of atoms (a query body or a rule body) against an indexed
+//! instance. Candidate facts are drawn from the most selective available
+//! index; atoms are statically ordered so that each atom shares as many
+//! variables as possible with the atoms matched before it.
+//!
+//! The builtin `dom/1` predicate is supported: `dom(X)` matches every term
+//! of the instance's active domain (this is how the paper's
+//! `∀x (true ⇒ ∃z R(x,z))` rules are chased).
+
+use std::collections::HashSet;
+
+use qr_syntax::query::{ConjunctiveQuery, QAtom, QTerm, Var};
+use qr_syntax::{Instance, TermId};
+
+/// A partial variable assignment, indexed by [`Var`] index.
+pub type Assignment = Vec<Option<TermId>>;
+
+/// Enumerates all homomorphisms from `atoms` into `inst` extending `fixed`.
+///
+/// `nvars` must be at least `1 + max` variable index used in `atoms` and
+/// `fixed`. The callback receives each complete assignment and returns
+/// `true` to continue enumerating; returning `false` stops the search.
+///
+/// Returns `true` iff the enumeration ran to completion (was not stopped by
+/// the callback).
+pub fn for_each_match(
+    atoms: &[QAtom],
+    nvars: usize,
+    inst: &Instance,
+    fixed: &[(Var, TermId)],
+    mut cb: impl FnMut(&Assignment) -> bool,
+) -> bool {
+    let mut asg: Assignment = vec![None; nvars];
+    for (v, t) in fixed {
+        match asg[v.index()] {
+            Some(prev) if prev != *t => return true, // inconsistent fixing: no matches
+            _ => asg[v.index()] = Some(*t),
+        }
+    }
+    let order = plan(atoms, &asg, inst);
+    search(&order, 0, inst, &mut asg, &mut cb)
+}
+
+/// Static atom ordering: `dom` atoms last; otherwise greedily maximize the
+/// number of already-bound variables, tie-breaking on fewer candidates.
+fn plan<'a>(atoms: &'a [QAtom], asg: &Assignment, inst: &Instance) -> Vec<&'a QAtom> {
+    let (dom, mut rest): (Vec<&QAtom>, Vec<&QAtom>) =
+        atoms.iter().partition(|a| a.pred.is_dom());
+    let mut bound: HashSet<Var> = asg
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| t.map(|_| Var(i as u32)))
+        .collect();
+    let mut order: Vec<&QAtom> = Vec::with_capacity(atoms.len());
+    while !rest.is_empty() {
+        let (best_idx, _) = rest
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let bound_positions = a
+                    .args
+                    .iter()
+                    .filter(|t| match t {
+                        QTerm::Const(_) => true,
+                        QTerm::Var(v) => bound.contains(v),
+                    })
+                    .count();
+                let candidates = inst.with_pred(a.pred).len();
+                // Higher bound-position count first, then fewer candidates.
+                (i, (usize::MAX - bound_positions, candidates))
+            })
+            .min_by_key(|(_, key)| *key)
+            .expect("rest is non-empty");
+        let atom = rest.remove(best_idx);
+        bound.extend(atom.vars());
+        order.push(atom);
+    }
+    order.extend(dom);
+    order
+}
+
+fn search(
+    order: &[&QAtom],
+    depth: usize,
+    inst: &Instance,
+    asg: &mut Assignment,
+    cb: &mut impl FnMut(&Assignment) -> bool,
+) -> bool {
+    let Some(atom) = order.get(depth) else {
+        return cb(asg);
+    };
+    if atom.pred.is_dom() {
+        let v = match atom.args[0] {
+            QTerm::Var(v) => v,
+            QTerm::Const(c) => {
+                // A ground dom atom: holds iff the constant is in the domain.
+                let t = TermId::constant(c);
+                if inst.contains_term(t) {
+                    return search(order, depth + 1, inst, asg, cb);
+                }
+                return true;
+            }
+        };
+        if let Some(t) = asg[v.index()] {
+            if inst.contains_term(t) {
+                return search(order, depth + 1, inst, asg, cb);
+            }
+            return true;
+        }
+        for &t in inst.domain() {
+            asg[v.index()] = Some(t);
+            if !search(order, depth + 1, inst, asg, cb) {
+                asg[v.index()] = None;
+                return false;
+            }
+        }
+        asg[v.index()] = None;
+        return true;
+    }
+
+    // Pick the most selective index over bound positions.
+    let mut candidates: Option<&[usize]> = None;
+    for (pos, t) in atom.args.iter().enumerate() {
+        let bound_term = match t {
+            QTerm::Const(c) => Some(TermId::constant(*c)),
+            QTerm::Var(v) => asg[v.index()],
+        };
+        if let Some(term) = bound_term {
+            let list = inst.with_pred_pos_term(atom.pred, pos as u32, term);
+            if candidates.is_none_or(|c| list.len() < c.len()) {
+                candidates = Some(list);
+            }
+        }
+    }
+    let candidates = candidates.unwrap_or_else(|| inst.with_pred(atom.pred));
+
+    for &fidx in candidates {
+        let fact = inst.fact(fidx);
+        let mut newly_bound: Vec<Var> = Vec::new();
+        let mut ok = true;
+        for (pos, t) in atom.args.iter().enumerate() {
+            let ft = fact.args[pos];
+            match t {
+                QTerm::Const(c) => {
+                    if TermId::constant(*c) != ft {
+                        ok = false;
+                        break;
+                    }
+                }
+                QTerm::Var(v) => match asg[v.index()] {
+                    Some(b) if b != ft => {
+                        ok = false;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        asg[v.index()] = Some(ft);
+                        newly_bound.push(*v);
+                    }
+                },
+            }
+        }
+        if ok && !search(order, depth + 1, inst, asg, cb) {
+            for v in newly_bound {
+                asg[v.index()] = None;
+            }
+            return false;
+        }
+        for v in newly_bound {
+            asg[v.index()] = None;
+        }
+    }
+    true
+}
+
+/// Finds one homomorphism from `atoms` into `inst` extending `fixed`.
+pub fn find_hom(
+    atoms: &[QAtom],
+    nvars: usize,
+    inst: &Instance,
+    fixed: &[(Var, TermId)],
+) -> Option<Assignment> {
+    let mut found = None;
+    for_each_match(atoms, nvars, inst, fixed, |asg| {
+        found = Some(asg.clone());
+        false
+    });
+    found
+}
+
+/// `true` iff some homomorphism from `atoms` into `inst` extends `fixed`.
+pub fn exists_match(atoms: &[QAtom], nvars: usize, inst: &Instance, fixed: &[(Var, TermId)]) -> bool {
+    find_hom(atoms, nvars, inst, fixed).is_some()
+}
+
+/// All homomorphisms (up to `limit`; `0` means no limit).
+pub fn all_homs(
+    atoms: &[QAtom],
+    nvars: usize,
+    inst: &Instance,
+    fixed: &[(Var, TermId)],
+    limit: usize,
+) -> Vec<Assignment> {
+    let mut out = Vec::new();
+    for_each_match(atoms, nvars, inst, fixed, |asg| {
+        out.push(asg.clone());
+        limit == 0 || out.len() < limit
+    });
+    out
+}
+
+fn nvars_of(q: &ConjunctiveQuery) -> usize {
+    q.var_names().len()
+}
+
+/// All answer tuples of `q` over `inst` (deduplicated; up to `limit`
+/// distinct tuples, `0` meaning no limit). For a Boolean query the result
+/// is either empty or the singleton empty tuple.
+pub fn all_answers(q: &ConjunctiveQuery, inst: &Instance, limit: usize) -> Vec<Vec<TermId>> {
+    let mut seen: HashSet<Vec<TermId>> = HashSet::new();
+    let mut out = Vec::new();
+    for_each_match(q.atoms(), nvars_of(q), inst, &[], |asg| {
+        let tuple: Vec<TermId> = q
+            .answer_vars()
+            .iter()
+            .map(|v| asg[v.index()].expect("answer variable bound by a complete match"))
+            .collect();
+        if seen.insert(tuple.clone()) {
+            out.push(tuple);
+        }
+        limit == 0 || out.len() < limit
+    });
+    out
+}
+
+/// `true` iff some disjunct of the UCQ holds: `inst ⊨ ⋁ qᵢ(ans)`.
+pub fn holds_ucq(u: &qr_syntax::Ucq, inst: &Instance, ans: &[TermId]) -> bool {
+    u.disjuncts().iter().any(|d| holds(d, inst, ans))
+}
+
+/// `true` iff `inst ⊨ q(ans)`.
+pub fn holds(q: &ConjunctiveQuery, inst: &Instance, ans: &[TermId]) -> bool {
+    assert_eq!(
+        ans.len(),
+        q.answer_vars().len(),
+        "answer tuple arity mismatch"
+    );
+    let fixed: Vec<(Var, TermId)> = q
+        .answer_vars()
+        .iter()
+        .copied()
+        .zip(ans.iter().copied())
+        .collect();
+    exists_match(q.atoms(), nvars_of(q), inst, &fixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr_syntax::parser::{parse_instance, parse_query};
+    use qr_syntax::Symbol;
+
+    fn c(name: &str) -> TermId {
+        TermId::constant(Symbol::intern(name))
+    }
+
+    #[test]
+    fn evaluates_path_query() {
+        let inst = parse_instance("e(a,b). e(b,c). e(c,d).").unwrap();
+        let q = parse_query("?(X,Z) :- e(X,Y), e(Y,Z).").unwrap();
+        let mut ans = all_answers(&q, &inst, 0);
+        ans.sort();
+        assert_eq!(ans, vec![vec![c("a"), c("c")], vec![c("b"), c("d")]]);
+    }
+
+    #[test]
+    fn holds_with_fixed_answers() {
+        let inst = parse_instance("e(a,b). e(b,c).").unwrap();
+        let q = parse_query("?(X) :- e(X,Y), e(Y,Z).").unwrap();
+        assert!(holds(&q, &inst, &[c("a")]));
+        assert!(!holds(&q, &inst, &[c("b")]));
+    }
+
+    #[test]
+    fn boolean_queries() {
+        let inst = parse_instance("e(a,b). e(b,a).").unwrap();
+        let cycle = parse_query("? :- e(X,Y), e(Y,X).").unwrap();
+        assert!(holds(&cycle, &inst, &[]));
+        let triangle = parse_query("? :- e(X,Y), e(Y,Z), e(Z,X), e(X,X).").unwrap();
+        assert!(!holds(&triangle, &inst, &[]));
+    }
+
+    #[test]
+    fn repeated_variables_enforced() {
+        let inst = parse_instance("e(a,b).").unwrap();
+        let q = parse_query("? :- e(X,X).").unwrap();
+        assert!(!holds(&q, &inst, &[]));
+        let inst2 = parse_instance("e(a,a).").unwrap();
+        assert!(holds(&q, &inst2, &[]));
+    }
+
+    #[test]
+    fn constants_in_query() {
+        let inst = parse_instance("e(a,b). e(c,b).").unwrap();
+        let q = parse_query("?(X) :- e(a, Y), e(X, Y).").unwrap();
+        let mut ans = all_answers(&q, &inst, 0);
+        ans.sort();
+        assert_eq!(ans, vec![vec![c("a")], vec![c("c")]]);
+    }
+
+    #[test]
+    fn limits_respected() {
+        let inst = parse_instance("e(a,b). e(b,c). e(c,d). e(d,a).").unwrap();
+        let q = parse_query("?(X) :- e(X,Y).").unwrap();
+        assert_eq!(all_answers(&q, &inst, 2).len(), 2);
+        assert_eq!(all_answers(&q, &inst, 0).len(), 4);
+    }
+
+    #[test]
+    fn empty_atom_list_matches_once() {
+        let inst = parse_instance("e(a,b).").unwrap();
+        let mut count = 0;
+        for_each_match(&[], 0, &inst, &[], |_| {
+            count += 1;
+            true
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn dom_atom_ranges_over_domain() {
+        use qr_syntax::query::VarPool;
+        use qr_syntax::{Pred, QAtom};
+        let inst = parse_instance("e(a,b). e(b,c).").unwrap();
+        let mut pool = VarPool::new();
+        let x = pool.var("X");
+        let atoms = vec![QAtom::new(Pred::dom(), vec![QTerm::Var(x)])];
+        let homs = all_homs(&atoms, 1, &inst, &[], 0);
+        assert_eq!(homs.len(), 3); // a, b, c
+    }
+
+    #[test]
+    fn inconsistent_fixed_yields_nothing() {
+        let inst = parse_instance("e(a,b).").unwrap();
+        let q = parse_query("?(X) :- e(X,Y).").unwrap();
+        let v = q.answer_vars()[0];
+        let homs = all_homs(q.atoms(), 2, &inst, &[(v, c("a")), (v, c("b"))], 0);
+        assert!(homs.is_empty());
+    }
+}

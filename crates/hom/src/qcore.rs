@@ -1,0 +1,107 @@
+//! Query minimization: the core of a conjunctive query.
+//!
+//! A CQ is equivalent to its core — the smallest subquery it retracts onto
+//! while fixing the answer variables. Cores are used to keep rewriting sets
+//! small and to make the cheap structural deduplication of
+//! [`qr_syntax::ConjunctiveQuery::canonical`] effective.
+
+use qr_syntax::query::ConjunctiveQuery;
+
+use crate::containment::equivalent;
+
+/// Returns an equivalent subquery from which no atom can be dropped without
+/// changing the semantics (a core of `q`).
+///
+/// Greedy: repeatedly tries to drop one atom and checks equivalence of the
+/// remainder; quadratic in the number of atoms times the cost of a
+/// containment check.
+pub fn query_core(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let mut current = q.canonical();
+    'outer: loop {
+        if current.size() <= 1 {
+            return current;
+        }
+        for skip in 0..current.size() {
+            let atoms: Vec<_> = current
+                .atoms()
+                .iter()
+                .enumerate()
+                .filter_map(|(i, a)| (i != skip).then(|| a.clone()))
+                .collect();
+            // Dropping an atom may orphan an answer variable; such removals
+            // cannot preserve equivalence, so skip them.
+            if !current
+                .answer_vars()
+                .iter()
+                .all(|v| atoms.iter().any(|a| a.mentions(*v)))
+            {
+                continue;
+            }
+            let candidate = ConjunctiveQuery::new(
+                current.answer_vars().to_vec(),
+                atoms,
+                current.var_names().to_vec(),
+            );
+            if equivalent(&current, &candidate) {
+                current = candidate.canonical();
+                continue 'outer;
+            }
+        }
+        return current;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr_syntax::parser::parse_query;
+
+    #[test]
+    fn redundant_atom_removed() {
+        let q = parse_query("?(X) :- e(X,Y), e(X,Z).").unwrap();
+        let core = query_core(&q);
+        assert_eq!(core.size(), 1);
+        assert!(equivalent(&q, &core));
+    }
+
+    #[test]
+    fn folds_path_onto_loop() {
+        // A 3-path plus a loop retracts onto the loop.
+        let q = parse_query("? :- e(X,X), e(X,Y), e(Y,Z), e(Z,W).").unwrap();
+        let core = query_core(&q);
+        assert_eq!(core.size(), 1);
+    }
+
+    #[test]
+    fn minimal_query_untouched() {
+        let q = parse_query("?(X) :- e(X,Y), e(Y,Z).").unwrap();
+        let core = query_core(&q);
+        assert_eq!(core.size(), 2);
+        assert!(equivalent(&q, &core));
+    }
+
+    #[test]
+    fn answer_vars_kept() {
+        // The loop is on a non-answer variable; the answer path must stay.
+        let q = parse_query("?(A) :- e(A,B), e(X,X).").unwrap();
+        let core = query_core(&q);
+        assert!(equivalent(&q, &core));
+        assert_eq!(core.answer_vars().len(), 1);
+        // e(X,X) absorbs e(A,B)? No: A is an answer variable, so both the
+        // loop atom and an atom mentioning A must survive... in fact e(A,B)
+        // maps onto e(X,X) only if A maps to X, which is forbidden.
+        assert_eq!(core.size(), 2);
+    }
+
+    #[test]
+    fn triangle_vs_cycle6() {
+        // A 6-cycle with a triangle retracts onto the triangle.
+        let q = parse_query(
+            "? :- e(A,B), e(B,C), e(C,D), e(D,E), e(E,F), e(F,A), \
+                  e(T1,T2), e(T2,T3), e(T3,T1).",
+        )
+        .unwrap();
+        let core = query_core(&q);
+        assert_eq!(core.size(), 3);
+    }
+}

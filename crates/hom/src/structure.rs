@@ -1,0 +1,162 @@
+//! Homomorphisms between instances (structures), and cores of finite
+//! structures relative to a fixed set of terms.
+//!
+//! These are the tools behind the paper's Section 5: `Core(T,D)` is found by
+//! folding a chase prefix onto itself while keeping `dom(D)` pointwise
+//! fixed (Definitions 19, 20, 24 and Lemma 35).
+
+use std::collections::{HashMap, HashSet};
+
+use qr_syntax::query::{ConjunctiveQuery, Var};
+use qr_syntax::{Fact, Instance, TermId};
+
+use crate::matcher::find_hom;
+
+/// Finds a homomorphism `src → dst` extending the partial map `fixed`
+/// (every term of `src`, including constants, is treated as a variable
+/// unless constrained by `fixed`).
+pub fn instance_hom(
+    src: &Instance,
+    dst: &Instance,
+    fixed: &HashMap<TermId, TermId>,
+) -> Option<HashMap<TermId, TermId>> {
+    if src.is_empty() {
+        return Some(fixed.clone());
+    }
+    let q = ConjunctiveQuery::of_instance(src, src.domain());
+    // `of_instance` numbers the free variables in the order of `src.domain()`.
+    let fixed_vars: Vec<(Var, TermId)> = src
+        .domain()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| fixed.get(t).map(|img| (Var(i as u32), *img)))
+        .collect();
+    let asg = find_hom(q.atoms(), q.var_names().len(), dst, &fixed_vars)?;
+    Some(
+        src.domain()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (*t, asg[i].expect("complete match binds all variables")))
+            .collect(),
+    )
+}
+
+/// Applies a term map to every fact of an instance (terms missing from the
+/// map are left unchanged).
+pub fn apply_term_map(inst: &Instance, map: &HashMap<TermId, TermId>) -> Instance {
+    Instance::from_facts(inst.iter().map(|f| {
+        Fact::new(
+            f.pred,
+            f.terms()
+                .map(|t| *map.get(&t).unwrap_or(&t))
+                .collect::<Vec<_>>(),
+        )
+    }))
+}
+
+/// Computes a core of `inst` relative to `frozen`: an induced substructure
+/// onto which `inst` retracts by a homomorphism that is the identity on
+/// `frozen`, and from which no further term can be folded away.
+///
+/// Returns the core together with the overall retraction.
+pub fn structure_core(
+    inst: &Instance,
+    frozen: &HashSet<TermId>,
+) -> (Instance, HashMap<TermId, TermId>) {
+    let mut current = inst.clone();
+    let mut retraction: HashMap<TermId, TermId> =
+        inst.domain().iter().map(|t| (*t, *t)).collect();
+    'outer: loop {
+        let candidates: Vec<TermId> = current
+            .domain()
+            .iter()
+            .copied()
+            .filter(|t| !frozen.contains(t))
+            .collect();
+        for &victim in &candidates {
+            // Try to retract onto the substructure induced by dom \ {victim}.
+            let kept: HashSet<TermId> = current
+                .domain()
+                .iter()
+                .copied()
+                .filter(|t| *t != victim)
+                .collect();
+            let target = current.induced(&kept);
+            let fixed: HashMap<TermId, TermId> =
+                frozen.iter().map(|t| (*t, *t)).collect();
+            if let Some(h) = instance_hom(&current, &target, &fixed) {
+                current = apply_term_map(&current, &h);
+                for img in retraction.values_mut() {
+                    if let Some(next) = h.get(img) {
+                        *img = *next;
+                    }
+                }
+                continue 'outer;
+            }
+        }
+        return (current, retraction);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr_syntax::parser::parse_instance;
+    use qr_syntax::Symbol;
+
+    fn c(name: &str) -> TermId {
+        TermId::constant(Symbol::intern(name))
+    }
+
+    #[test]
+    fn hom_folds_path_onto_loop() {
+        let src = parse_instance("e(a,b). e(b,c).").unwrap();
+        let dst = parse_instance("e(x,x).").unwrap();
+        let h = instance_hom(&src, &dst, &HashMap::new()).unwrap();
+        assert_eq!(h[&c("a")], c("x"));
+        assert_eq!(h[&c("b")], c("x"));
+    }
+
+    #[test]
+    fn fixed_terms_respected() {
+        let src = parse_instance("e(a,b).").unwrap();
+        let dst = parse_instance("e(x,x). e(a,y).").unwrap();
+        let fixed: HashMap<_, _> = [(c("a"), c("a"))].into_iter().collect();
+        let h = instance_hom(&src, &dst, &fixed).unwrap();
+        assert_eq!(h[&c("a")], c("a"));
+        assert_eq!(h[&c("b")], c("y"));
+    }
+
+    #[test]
+    fn no_hom_when_pattern_missing() {
+        let src = parse_instance("e(a,a).").unwrap();
+        let dst = parse_instance("e(x,y).").unwrap();
+        assert!(instance_hom(&src, &dst, &HashMap::new()).is_none());
+    }
+
+    #[test]
+    fn core_of_path_with_loop() {
+        let inst = parse_instance("e(a,b). e(b,c). e(c,c).").unwrap();
+        let (core, retraction) = structure_core(&inst, &HashSet::new());
+        assert_eq!(core, parse_instance("e(c,c).").unwrap());
+        assert_eq!(retraction[&c("a")], c("c"));
+    }
+
+    #[test]
+    fn frozen_terms_survive() {
+        let inst = parse_instance("e(a,b). e(b,c). e(c,c).").unwrap();
+        let frozen: HashSet<_> = [c("a")].into_iter().collect();
+        let (core, _) = structure_core(&inst, &frozen);
+        // `a` cannot be folded away, so e(a,·) must survive in some form.
+        assert!(core.contains_term(c("a")));
+        assert!(core.len() >= 2);
+    }
+
+    #[test]
+    fn core_of_core_is_identity() {
+        let inst = parse_instance("e(a,b). e(b,c). e(c,c).").unwrap();
+        let (core, _) = structure_core(&inst, &HashSet::new());
+        let (core2, _) = structure_core(&core, &HashSet::new());
+        assert_eq!(core, core2);
+    }
+}

@@ -1,0 +1,488 @@
+//! Piece unifiers: one backward-resolution step of the rewriting procedure.
+//!
+//! Given a CQ `Q` and a rule `ρ : B ⇒ ∃w̄ H`, a **piece unifier** selects a
+//! non-empty subset `Q' ⊆ Q` (the *piece*), maps each atom of `Q'` to a
+//! head atom with the same predicate, and unifies argument-wise. The
+//! unifier is *admissible* when, in the induced partition of terms:
+//!
+//! * no class contains two distinct constants;
+//! * a class containing an existential variable `w ∈ w̄` contains no
+//!   constant, no universal (frontier) variable of the rule, no second
+//!   existential variable, and only query variables that are **non-shared**
+//!   (not answer variables, and occurring exclusively inside the piece) —
+//!   this is exactly what the Skolem chase can realize: a witness term
+//!   `f_i^τ(…)` equals no constant, no frontier term, and no other
+//!   witness;
+//! * a class containing an answer variable contains no constant (a
+//!   documented completeness restriction; the theories of the paper have
+//!   constant-free rules, where no completeness is lost).
+//!
+//! The rewriting step replaces `Q'` by `u(B)` and applies `u` to the rest.
+
+use std::collections::{HashMap, HashSet};
+
+use qr_syntax::query::{ConjunctiveQuery, QAtom, QTerm, Var};
+use qr_syntax::{Symbol, Tgd};
+
+/// A successful piece unification, carrying the rewritten query.
+#[derive(Clone, Debug)]
+pub struct PieceUnifier {
+    /// Indices (into the input query's atom list) of the unified piece.
+    pub piece: Vec<usize>,
+    /// The rewritten query (canonicalized).
+    pub result: ConjunctiveQuery,
+}
+
+/// A small union–find over dense indices.
+#[derive(Clone)]
+struct Uf {
+    parent: Vec<usize>,
+}
+
+impl Uf {
+    fn new(n: usize) -> Uf {
+        Uf {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// The combined term space for a (query, rule) pair.
+struct Space<'a> {
+    q: &'a ConjunctiveQuery,
+    rule: &'a Tgd,
+    nq: usize,
+    nr: usize,
+    consts: Vec<Symbol>,
+    const_ids: HashMap<Symbol, usize>,
+    is_exist: Vec<bool>,   // rule vars
+    is_answer: Vec<bool>,  // query vars
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Node {
+    QVar(Var),
+    RVar(Var),
+    Const(Symbol),
+}
+
+impl<'a> Space<'a> {
+    fn new(q: &'a ConjunctiveQuery, rule: &'a Tgd) -> Space<'a> {
+        let nq = q.var_names().len();
+        let nr = rule.var_names().len();
+        let mut is_exist = vec![false; nr];
+        for v in rule.existential_vars() {
+            is_exist[v.index()] = true;
+        }
+        let mut is_answer = vec![false; nq];
+        for v in q.answer_vars() {
+            is_answer[v.index()] = true;
+        }
+        let mut consts = Vec::new();
+        let mut const_ids = HashMap::new();
+        let mut add_consts = |atoms: &[QAtom]| {
+            for a in atoms {
+                for t in a.args.iter() {
+                    if let QTerm::Const(c) = t {
+                        if !const_ids.contains_key(c) {
+                            const_ids.insert(*c, consts.len());
+                            consts.push(*c);
+                        }
+                    }
+                }
+            }
+        };
+        add_consts(q.atoms());
+        add_consts(rule.body());
+        add_consts(rule.head());
+        Space {
+            q,
+            rule,
+            nq,
+            nr,
+            consts,
+            const_ids,
+            is_exist,
+            is_answer,
+        }
+    }
+
+    fn total(&self) -> usize {
+        self.nq + self.nr + self.consts.len()
+    }
+
+    fn id_of_q(&self, t: &QTerm) -> usize {
+        match t {
+            QTerm::Var(v) => v.index(),
+            QTerm::Const(c) => self.nq + self.nr + self.const_ids[c],
+        }
+    }
+
+    fn id_of_r(&self, t: &QTerm) -> usize {
+        match t {
+            QTerm::Var(v) => self.nq + v.index(),
+            QTerm::Const(c) => self.nq + self.nr + self.const_ids[c],
+        }
+    }
+
+    fn node(&self, id: usize) -> Node {
+        if id < self.nq {
+            Node::QVar(Var(id as u32))
+        } else if id < self.nq + self.nr {
+            Node::RVar(Var((id - self.nq) as u32))
+        } else {
+            Node::Const(self.consts[id - self.nq - self.nr])
+        }
+    }
+}
+
+/// Enumerates all admissible piece unifiers of `q` against `rule` and
+/// returns the rewritten queries. Rules with builtin (`true`/`dom`) bodies
+/// must be filtered out by the caller.
+pub fn piece_rewritings(q: &ConjunctiveQuery, rule: &Tgd) -> Vec<PieceUnifier> {
+    let space = Space::new(q, rule);
+    let mut out: Vec<PieceUnifier> = Vec::new();
+    let mut seen: HashSet<ConjunctiveQuery> = HashSet::new();
+    let uf = Uf::new(space.total());
+    descend(&space, 0, Vec::new(), uf, &mut |piece, uf| {
+        if let Some(result) = finish(&space, piece, uf.clone()) {
+            if seen.insert(result.canonical()) {
+                out.push(PieceUnifier {
+                    piece: piece.to_vec(),
+                    result,
+                });
+            }
+        }
+    });
+    out
+}
+
+/// Recursively decides, per query atom, whether to skip it or unify it with
+/// one of the head atoms, pruning on hard constant clashes.
+fn descend(
+    space: &Space<'_>,
+    atom_idx: usize,
+    piece: Vec<usize>,
+    uf: Uf,
+    emit: &mut impl FnMut(&[usize], &Uf),
+) {
+    if atom_idx == space.q.atoms().len() {
+        if !piece.is_empty() {
+            emit(&piece, &uf);
+        }
+        return;
+    }
+    // Option 1: the atom is not part of the piece.
+    descend(space, atom_idx + 1, piece.clone(), uf.clone(), emit);
+    // Option 2: unify it with each same-predicate head atom.
+    let qatom = &space.q.atoms()[atom_idx];
+    for hatom in space.rule.head() {
+        if hatom.pred != qatom.pred {
+            continue;
+        }
+        let mut uf2 = uf.clone();
+        let mut ok = true;
+        for (qt, ht) in qatom.args.iter().zip(hatom.args.iter()) {
+            uf2.union(space.id_of_q(qt), space.id_of_r(ht));
+        }
+        // Early prune: two distinct constants in one class.
+        let mut class_const: HashMap<usize, Symbol> = HashMap::new();
+        for (ci, c) in space.consts.iter().enumerate() {
+            let root = uf2.find(space.nq + space.nr + ci);
+            if let Some(prev) = class_const.insert(root, *c) {
+                if prev != *c {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            let mut piece2 = piece.clone();
+            piece2.push(atom_idx);
+            descend(space, atom_idx + 1, piece2, uf2, emit);
+        }
+    }
+}
+
+/// Validates the partition and builds the rewritten query.
+fn finish(space: &Space<'_>, piece: &[usize], mut uf: Uf) -> Option<ConjunctiveQuery> {
+    let piece_set: HashSet<usize> = piece.iter().copied().collect();
+    // Group members by class root.
+    let mut classes: HashMap<usize, Vec<Node>> = HashMap::new();
+    for id in 0..space.total() {
+        let root = uf.find(id);
+        classes.entry(root).or_default().push(space.node(id));
+    }
+
+    // Query variables whose every occurrence lies inside the piece.
+    let confined: HashSet<Var> = {
+        let mut all: HashSet<Var> = space.q.vars().into_iter().collect();
+        for (i, a) in space.q.atoms().iter().enumerate() {
+            if !piece_set.contains(&i) {
+                for v in a.vars() {
+                    all.remove(&v);
+                }
+            }
+        }
+        all
+    };
+
+    let mut subst: HashMap<usize, QTerm> = HashMap::new(); // class root -> representative
+    for (root, members) in &classes {
+        let mut constants: Vec<Symbol> = Vec::new();
+        let mut exist: Vec<Var> = Vec::new();
+        let mut universal: Vec<Var> = Vec::new();
+        let mut answers: Vec<Var> = Vec::new();
+        let mut qvars: Vec<Var> = Vec::new();
+        for m in members {
+            match m {
+                Node::Const(c) => {
+                    if !constants.contains(c) {
+                        constants.push(*c);
+                    }
+                }
+                Node::RVar(v) => {
+                    if space.is_exist[v.index()] {
+                        exist.push(*v);
+                    } else {
+                        universal.push(*v);
+                    }
+                }
+                Node::QVar(v) => {
+                    if space.is_answer[v.index()] {
+                        answers.push(*v);
+                    } else {
+                        qvars.push(*v);
+                    }
+                }
+            }
+        }
+        if constants.len() > 1 {
+            return None;
+        }
+        if !exist.is_empty() {
+            // Admissibility of existential classes (see module docs).
+            let distinct_exist: HashSet<Var> = exist.iter().copied().collect();
+            if distinct_exist.len() > 1
+                || !constants.is_empty()
+                || !universal.is_empty()
+                || !answers.is_empty()
+                || qvars.iter().any(|v| !confined.contains(v))
+            {
+                return None;
+            }
+            // Existential classes vanish with the piece; no representative.
+            continue;
+        }
+        if !answers.is_empty() && !constants.is_empty() {
+            // Documented restriction: answer variables never unify with
+            // constants (constant-free rules lose nothing).
+            return None;
+        }
+        let rep = if let Some(c) = constants.first() {
+            QTerm::Const(*c)
+        } else if let Some(v) = answers.first() {
+            QTerm::Var(*v)
+        } else if let Some(v) = qvars.first() {
+            QTerm::Var(*v)
+        } else if let Some(v) = universal.first() {
+            QTerm::Var(Var((space.nq + v.index()) as u32))
+        } else {
+            continue; // singleton constant class already covered; unreachable
+        };
+        subst.insert(*root, rep);
+    }
+
+    // Build the combined variable table: query vars then rule vars (fresh
+    // display names so renderings stay unambiguous).
+    let mut names: Vec<Symbol> = space.q.var_names().to_vec();
+    for v in space.rule.var_names() {
+        names.push(Symbol::fresh(v.as_str()));
+    }
+
+    let apply_q = |t: &QTerm, uf: &mut Uf| -> QTerm {
+        let root = uf.find(space.id_of_q(t));
+        *subst.get(&root).unwrap_or(t)
+    };
+    let apply_r = |t: &QTerm, uf: &mut Uf| -> QTerm {
+        let root = uf.find(space.id_of_r(t));
+        subst.get(&root).copied().unwrap_or(match t {
+            QTerm::Var(v) => QTerm::Var(Var((space.nq + v.index()) as u32)),
+            QTerm::Const(c) => QTerm::Const(*c),
+        })
+    };
+
+    let mut atoms: Vec<QAtom> = Vec::new();
+    for a in space.rule.body() {
+        atoms.push(QAtom::new(
+            a.pred,
+            a.args
+                .iter()
+                .map(|t| apply_r(t, &mut uf))
+                .collect::<Vec<_>>(),
+        ));
+    }
+    for (i, a) in space.q.atoms().iter().enumerate() {
+        if piece_set.contains(&i) {
+            continue;
+        }
+        atoms.push(QAtom::new(
+            a.pred,
+            a.args
+                .iter()
+                .map(|t| apply_q(t, &mut uf))
+                .collect::<Vec<_>>(),
+        ));
+    }
+    if atoms.is_empty() {
+        // The whole query was resolved against a body-less rule; callers
+        // exclude such rules, so an empty result signals a logic error.
+        return None;
+    }
+
+    let answer: Vec<Var> = space
+        .q
+        .answer_vars()
+        .iter()
+        .map(|v| match apply_q(&QTerm::Var(*v), &mut uf) {
+            QTerm::Var(u) => u,
+            QTerm::Const(_) => unreachable!("answer/constant classes are rejected"),
+        })
+        .collect();
+
+    // Answer variables must still occur in the rewritten body (they do, by
+    // admissibility: they never sit in existential classes). Guard anyway.
+    if answer
+        .iter()
+        .any(|v| !atoms.iter().any(|a| a.mentions(*v)))
+    {
+        return None;
+    }
+
+    Some(ConjunctiveQuery::new(answer, atoms, names).canonical())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr_syntax::{parse_query, parse_theory};
+
+    fn rewrites(theory_src: &str, query_src: &str) -> Vec<String> {
+        let t = parse_theory(theory_src).unwrap();
+        let q = parse_query(query_src).unwrap();
+        let mut out: Vec<String> = piece_rewritings(&q, &t.rules()[0])
+            .into_iter()
+            .map(|p| p.result.render())
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn atomic_rewriting_against_linear_rule() {
+        // human(X) -> mother(X,Y): ?(X) :- mother(X,Y) rewrites to human(X).
+        let rs = rewrites("human(X) -> mother(X,Y).", "?(X) :- mother(X,Y).");
+        assert_eq!(rs.len(), 1);
+        assert!(rs[0].contains("human"));
+    }
+
+    #[test]
+    fn existential_position_blocks_shared_variable() {
+        // Y is existential in the head; the query shares Y between two
+        // atoms, so only pieces containing both mother-atoms may unify Y.
+        let t = parse_theory("human(X) -> mother(X,Y).").unwrap();
+        let q = parse_query("? :- mother(A,B), father(B,C).").unwrap();
+        // B also occurs in father(B,C), which can never join the piece.
+        assert!(piece_rewritings(&q, &t.rules()[0]).is_empty());
+    }
+
+    #[test]
+    fn answer_variable_blocks_existential_unification() {
+        let t = parse_theory("human(X) -> mother(X,Y).").unwrap();
+        let q = parse_query("?(B) :- mother(A,B).").unwrap();
+        assert!(piece_rewritings(&q, &t.rules()[0]).is_empty());
+    }
+
+    #[test]
+    fn frontier_unification_allowed() {
+        let t = parse_theory("human(X) -> mother(X,Y).").unwrap();
+        let q = parse_query("?(A) :- mother(A,B).").unwrap();
+        let rs = piece_rewritings(&q, &t.rules()[0]);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].result.render(), "?(A) :- human(A)");
+    }
+
+    #[test]
+    fn two_atom_piece_through_multi_head() {
+        // Multi-head rule: p(X) -> r(X,Z), g(X,Z); query with shared Z needs
+        // both atoms in one piece.
+        let t = parse_theory("p(X) -> r(X,Z), g(X,Z).").unwrap();
+        let q = parse_query("? :- r(U,V), g(U,V).").unwrap();
+        let rs = piece_rewritings(&q, &t.rules()[0]);
+        assert!(rs.iter().any(|p| p.piece.len() == 2));
+        assert!(rs.iter().any(|p| p.result.render() == "? :- p(U)"));
+    }
+
+    #[test]
+    fn distinct_existentials_do_not_merge() {
+        // p(X) -> r(Z,Z2): query r(U,U) must not unify (Z ≠ Z2 in chase).
+        let t = parse_theory("p(X) -> r(Z,Z2).").unwrap();
+        let q = parse_query("? :- r(U,U).").unwrap();
+        assert!(piece_rewritings(&q, &t.rules()[0]).is_empty());
+        // But the loop-headed rule p(X) -> r(Z,Z) does unify.
+        let t2 = parse_theory("p(X) -> r(Z,Z).").unwrap();
+        let rs = piece_rewritings(&q, &t2.rules()[0]);
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn constants_unify_with_frontier() {
+        let t = parse_theory("human(X) -> mother(X,Y).").unwrap();
+        let q = parse_query("? :- mother(abel, M).").unwrap();
+        let rs = piece_rewritings(&q, &t.rules()[0]);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].result.render(), "? :- human(abel)");
+    }
+
+    #[test]
+    fn constant_clash_rejected() {
+        let t = parse_theory("p(X) -> r(abel, X).").unwrap();
+        let q = parse_query("? :- r(cain, U).").unwrap();
+        assert!(piece_rewritings(&q, &t.rules()[0]).is_empty());
+    }
+
+    #[test]
+    fn datalog_rule_rewrites_in_place() {
+        let t = parse_theory("e(X,Y), e(Y,Z) -> e(X,Z).").unwrap();
+        let q = parse_query("? :- e(a, b).").unwrap();
+        let rs = piece_rewritings(&q, &t.rules()[0]);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].result.size(), 2);
+    }
+
+    #[test]
+    fn remaining_atoms_substituted() {
+        let t = parse_theory("p(X) -> r(X,X).").unwrap();
+        let q = parse_query("? :- r(U,V), s(U), s(V).").unwrap();
+        // Unifying r(U,V) with r(X,X) merges U and V.
+        let rs = piece_rewritings(&q, &t.rules()[0]);
+        assert_eq!(rs.len(), 1);
+        let rendered = rs[0].result.render();
+        assert_eq!(rs[0].result.size(), 2, "{rendered}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Predicates and ground facts.
+
+use std::fmt;
+
+use crate::symbol::Symbol;
+use crate::term::TermId;
+
+/// A predicate: an interned name together with an arity.
+///
+/// Two predicates with the same name but different arities are distinct;
+/// the parser rejects inconsistent arities within one input.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pred {
+    name: Symbol,
+    arity: u32,
+}
+
+impl Pred {
+    /// Creates (or looks up) the predicate `name/arity`.
+    pub fn new(name: impl Into<Symbol>, arity: u32) -> Pred {
+        Pred {
+            name: name.into(),
+            arity,
+        }
+    }
+
+    /// The builtin unary domain predicate `dom/1`.
+    ///
+    /// `dom(x)` holds for every term of the active domain of the structure
+    /// being chased; it models the paper's rules of the form
+    /// `∀x (true ⇒ ∃z R(x,z))` (Definition 45). It never occurs in facts.
+    pub fn dom() -> Pred {
+        Pred::new("dom", 1)
+    }
+
+    /// `true` iff this is the builtin domain predicate.
+    pub fn is_dom(self) -> bool {
+        self == Pred::dom()
+    }
+
+    /// Predicate name.
+    pub fn name(self) -> Symbol {
+        self.name
+    }
+
+    /// Predicate arity.
+    pub fn arity(self) -> u32 {
+        self.arity
+    }
+}
+
+impl fmt::Debug for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.arity)
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// A ground fact `p(t₁,…,tₖ)`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fact {
+    /// The predicate.
+    pub pred: Pred,
+    /// The argument terms; `args.len() == pred.arity()`.
+    pub args: Box<[TermId]>,
+}
+
+impl Fact {
+    /// Creates a fact, checking the arity.
+    pub fn new(pred: Pred, args: impl Into<Box<[TermId]>>) -> Fact {
+        let args = args.into();
+        assert_eq!(
+            args.len(),
+            pred.arity() as usize,
+            "arity mismatch constructing fact for {pred:?}"
+        );
+        Fact { pred, args }
+    }
+
+    /// Iterates over the terms of the fact.
+    pub fn terms(&self) -> impl Iterator<Item = TermId> + '_ {
+        self.args.iter().copied()
+    }
+
+    /// `true` iff every argument is a constant (i.e. no chase-invented term).
+    pub fn is_original(&self) -> bool {
+        self.terms().all(TermId::is_const)
+    }
+
+    /// Maximum Skolem nesting depth among the arguments.
+    pub fn term_depth(&self) -> usize {
+        self.terms().map(|t| t.depth()).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Debug for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(name: &str) -> TermId {
+        TermId::constant(Symbol::intern(name))
+    }
+
+    #[test]
+    fn fact_equality_is_structural() {
+        let p = Pred::new("e", 2);
+        let f1 = Fact::new(p, vec![c("a"), c("b")]);
+        let f2 = Fact::new(p, vec![c("a"), c("b")]);
+        assert_eq!(f1, f2);
+        let f3 = Fact::new(p, vec![c("b"), c("a")]);
+        assert_ne!(f1, f3);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn fact_arity_checked() {
+        let p = Pred::new("e", 2);
+        let _ = Fact::new(p, vec![c("a")]);
+    }
+
+    #[test]
+    fn dom_predicate_is_recognised() {
+        assert!(Pred::dom().is_dom());
+        assert!(!Pred::new("dom", 2).is_dom());
+        assert!(!Pred::new("e", 1).is_dom());
+    }
+
+    #[test]
+    fn display() {
+        let p = Pred::new("mother", 2);
+        let f = Fact::new(p, vec![c("abel"), c("eve")]);
+        assert_eq!(format!("{f}"), "mother(abel,eve)");
+    }
+}

@@ -1,0 +1,231 @@
+//! Gaifman graphs of instances and queries (Section 2 of the paper).
+//!
+//! The vertices are the active-domain terms (resp. the variables); two
+//! vertices are adjacent iff they co-occur in a fact (resp. an atom).
+//! Distances, degrees and connectivity over this graph underpin the paper's
+//! notions of *connected* theories/queries, *bounded-degree* instances
+//! (Definition 40) and *distancing* theories (Definition 43).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::Hash;
+
+use crate::instance::Instance;
+use crate::query::{ConjunctiveQuery, QAtom, Var};
+use crate::term::TermId;
+
+/// An undirected graph over copyable node ids.
+#[derive(Clone, Debug, Default)]
+pub struct Graph<N: Eq + Hash + Copy> {
+    adj: HashMap<N, HashSet<N>>,
+}
+
+impl<N: Eq + Hash + Copy> Graph<N> {
+    /// Creates an empty graph.
+    pub fn new() -> Graph<N> {
+        Graph {
+            adj: HashMap::new(),
+        }
+    }
+
+    /// Ensures `n` is a vertex.
+    pub fn add_node(&mut self, n: N) {
+        self.adj.entry(n).or_default();
+    }
+
+    /// Adds an undirected edge (self-loops are ignored).
+    pub fn add_edge(&mut self, a: N, b: N) {
+        if a == b {
+            self.add_node(a);
+            return;
+        }
+        self.adj.entry(a).or_default().insert(b);
+        self.adj.entry(b).or_default().insert(a);
+    }
+
+    /// Number of vertices.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Degree of `n` (0 if absent).
+    pub fn degree(&self, n: N) -> usize {
+        self.adj.get(&n).map_or(0, HashSet::len)
+    }
+
+    /// Maximum degree over all vertices.
+    pub fn max_degree(&self) -> usize {
+        self.adj.values().map(HashSet::len).max().unwrap_or(0)
+    }
+
+    /// BFS distance between two vertices; `None` if disconnected or absent.
+    pub fn distance(&self, from: N, to: N) -> Option<usize> {
+        if !self.adj.contains_key(&from) || !self.adj.contains_key(&to) {
+            return None;
+        }
+        if from == to {
+            return Some(0);
+        }
+        let mut dist: HashMap<N, usize> = HashMap::new();
+        dist.insert(from, 0);
+        let mut queue = VecDeque::from([from]);
+        while let Some(u) = queue.pop_front() {
+            let d = dist[&u];
+            for &v in &self.adj[&u] {
+                if !dist.contains_key(&v) {
+                    if v == to {
+                        return Some(d + 1);
+                    }
+                    dist.insert(v, d + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// All distances from `from` (BFS layers).
+    pub fn distances_from(&self, from: N) -> HashMap<N, usize> {
+        let mut dist: HashMap<N, usize> = HashMap::new();
+        if !self.adj.contains_key(&from) {
+            return dist;
+        }
+        dist.insert(from, 0);
+        let mut queue = VecDeque::from([from]);
+        while let Some(u) = queue.pop_front() {
+            let d = dist[&u];
+            for &v in &self.adj[&u] {
+                if !dist.contains_key(&v) {
+                    dist.insert(v, d + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Connected components (each a vector of vertices).
+    pub fn components(&self) -> Vec<Vec<N>> {
+        let mut seen: HashSet<N> = HashSet::new();
+        let mut out = Vec::new();
+        for &start in self.adj.keys() {
+            if seen.contains(&start) {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut queue = VecDeque::from([start]);
+            seen.insert(start);
+            while let Some(u) = queue.pop_front() {
+                comp.push(u);
+                for &v in &self.adj[&u] {
+                    if seen.insert(v) {
+                        queue.push_back(v);
+                    }
+                }
+            }
+            out.push(comp);
+        }
+        out
+    }
+
+    /// `true` iff the graph has at most one connected component.
+    pub fn is_connected(&self) -> bool {
+        self.components().len() <= 1
+    }
+}
+
+/// The Gaifman graph of an instance.
+pub fn of_instance(inst: &Instance) -> Graph<TermId> {
+    let mut g = Graph::new();
+    for t in inst.domain() {
+        g.add_node(*t);
+    }
+    for f in inst.iter() {
+        let ts: Vec<TermId> = f.terms().collect();
+        for i in 0..ts.len() {
+            for j in (i + 1)..ts.len() {
+                g.add_edge(ts[i], ts[j]);
+            }
+        }
+    }
+    g
+}
+
+/// The Gaifman graph of a set of atoms (over variables).
+pub fn of_atoms(atoms: &[QAtom]) -> Graph<Var> {
+    let mut g = Graph::new();
+    for a in atoms {
+        let vs: Vec<Var> = a.vars().collect();
+        for &v in &vs {
+            g.add_node(v);
+        }
+        for i in 0..vs.len() {
+            for j in (i + 1)..vs.len() {
+                g.add_edge(vs[i], vs[j]);
+            }
+        }
+    }
+    g
+}
+
+/// The Gaifman graph of a conjunctive query.
+pub fn of_query(q: &ConjunctiveQuery) -> Graph<Var> {
+    of_atoms(q.atoms())
+}
+
+/// `true` iff the atom set is connected (empty sets are connected).
+pub fn atoms_connected(atoms: &[QAtom]) -> bool {
+    of_atoms(atoms).is_connected()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_instance, parse_query};
+
+    #[test]
+    fn path_distances() {
+        let i = parse_instance("e(a,b). e(b,c). e(c,d).").unwrap();
+        let g = of_instance(&i);
+        let a = TermId::constant("a".into());
+        let d = TermId::constant("d".into());
+        assert_eq!(g.distance(a, d), Some(3));
+        assert_eq!(g.max_degree(), 2);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn disconnected_instance() {
+        let i = parse_instance("e(a,b). e(c,d).").unwrap();
+        let g = of_instance(&i);
+        assert_eq!(g.components().len(), 2);
+        let a = TermId::constant("a".into());
+        let c = TermId::constant("c".into());
+        assert_eq!(g.distance(a, c), None);
+    }
+
+    #[test]
+    fn query_connectivity() {
+        let q = parse_query("? :- e(X,Y), e(Y,Z).").unwrap();
+        assert!(of_query(&q).is_connected());
+        let q2 = parse_query("? :- e(X,Y), e(U,V).").unwrap();
+        assert!(!of_query(&q2).is_connected());
+    }
+
+    #[test]
+    fn higher_arity_cliques() {
+        let i = parse_instance("t(a,b,c).").unwrap();
+        let g = of_instance(&i);
+        let a = TermId::constant("a".into());
+        let c = TermId::constant("c".into());
+        assert_eq!(g.distance(a, c), Some(1));
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let i = parse_instance("e(a,a).").unwrap();
+        let g = of_instance(&i);
+        assert_eq!(g.degree(TermId::constant("a".into())), 0);
+        assert_eq!(g.node_count(), 1);
+    }
+}

@@ -1,0 +1,262 @@
+//! Indexed database instances (fact sets).
+//!
+//! An [`Instance`] is a finite set of ground facts with join indexes:
+//! by predicate, and by (predicate, position, term). Insertion order is
+//! preserved (the chase relies on this to delimit rounds), duplicates are
+//! ignored, and equality is *set* equality.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::atom::{Fact, Pred};
+use crate::term::TermId;
+
+/// Index of a fact within an instance (dense, insertion-ordered).
+pub type FactIdx = usize;
+
+/// A finite set of facts with join indexes.
+#[derive(Clone, Default)]
+pub struct Instance {
+    facts: Vec<Fact>,
+    positions: HashMap<Fact, FactIdx>,
+    by_pred: HashMap<Pred, Vec<FactIdx>>,
+    by_pred_pos_term: HashMap<(Pred, u32, TermId), Vec<FactIdx>>,
+    domain: Vec<TermId>,
+    domain_set: HashSet<TermId>,
+}
+
+impl Instance {
+    /// The empty instance.
+    pub fn new() -> Instance {
+        Instance::default()
+    }
+
+    /// Builds an instance from an iterator of facts (duplicates ignored).
+    pub fn from_facts(facts: impl IntoIterator<Item = Fact>) -> Instance {
+        let mut inst = Instance::new();
+        inst.extend(facts);
+        inst
+    }
+
+    /// Inserts a fact; returns `true` if it was not already present.
+    pub fn insert(&mut self, fact: Fact) -> bool {
+        if self.positions.contains_key(&fact) {
+            return false;
+        }
+        let idx = self.facts.len();
+        for t in fact.terms() {
+            if self.domain_set.insert(t) {
+                self.domain.push(t);
+            }
+        }
+        self.by_pred.entry(fact.pred).or_default().push(idx);
+        for (pos, t) in fact.terms().enumerate() {
+            self.by_pred_pos_term
+                .entry((fact.pred, pos as u32, t))
+                .or_default()
+                .push(idx);
+        }
+        self.positions.insert(fact.clone(), idx);
+        self.facts.push(fact);
+        true
+    }
+
+    /// Inserts all facts from the iterator.
+    pub fn extend(&mut self, facts: impl IntoIterator<Item = Fact>) {
+        for f in facts {
+            self.insert(f);
+        }
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// `true` iff the instance has no facts.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.positions.contains_key(fact)
+    }
+
+    /// The fact at a given index (insertion order).
+    pub fn fact(&self, idx: FactIdx) -> &Fact {
+        &self.facts[idx]
+    }
+
+    /// Iterates over all facts in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Fact> {
+        self.facts.iter()
+    }
+
+    /// Indexes of all facts with the given predicate.
+    pub fn with_pred(&self, pred: Pred) -> &[FactIdx] {
+        self.by_pred.get(&pred).map_or(&[], Vec::as_slice)
+    }
+
+    /// Indexes of all facts with `pred` whose argument at `pos` is `term`.
+    pub fn with_pred_pos_term(&self, pred: Pred, pos: u32, term: TermId) -> &[FactIdx] {
+        self.by_pred_pos_term
+            .get(&(pred, pos, term))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The active domain, in first-occurrence order.
+    pub fn domain(&self) -> &[TermId] {
+        &self.domain
+    }
+
+    /// `true` iff `term` occurs in some fact.
+    pub fn contains_term(&self, term: TermId) -> bool {
+        self.domain_set.contains(&term)
+    }
+
+    /// All predicates that occur in the instance.
+    pub fn preds(&self) -> impl Iterator<Item = Pred> + '_ {
+        self.by_pred.keys().copied()
+    }
+
+    /// `true` iff every fact of `self` is a fact of `other`.
+    pub fn subset_of(&self, other: &Instance) -> bool {
+        self.len() <= other.len() && self.iter().all(|f| other.contains(f))
+    }
+
+    /// Set union of two instances.
+    pub fn union(&self, other: &Instance) -> Instance {
+        let mut out = self.clone();
+        out.extend(other.iter().cloned());
+        out
+    }
+
+    /// The substructure induced on the complement of `banned` terms: all
+    /// facts that mention no banned term (the paper's `M_F`, Definition 36).
+    pub fn without_terms(&self, banned: &HashSet<TermId>) -> Instance {
+        Instance::from_facts(
+            self.iter()
+                .filter(|f| f.terms().all(|t| !banned.contains(&t)))
+                .cloned(),
+        )
+    }
+
+    /// The substructure induced on `kept` terms: all facts whose terms all
+    /// belong to `kept`.
+    pub fn induced(&self, kept: &HashSet<TermId>) -> Instance {
+        Instance::from_facts(
+            self.iter()
+                .filter(|f| f.terms().all(|t| kept.contains(&t)))
+                .cloned(),
+        )
+    }
+
+    /// The facts whose terms are all constants (the "original" part).
+    pub fn original_part(&self) -> Instance {
+        Instance::from_facts(self.iter().filter(|f| f.is_original()).cloned())
+    }
+
+    /// Removes one fact by value, returning a new instance (used for
+    /// minimal-support computation).
+    pub fn without_fact(&self, fact: &Fact) -> Instance {
+        Instance::from_facts(self.iter().filter(|f| *f != fact).cloned())
+    }
+
+    /// Maximum Skolem nesting depth over all facts (0 for original instances).
+    pub fn max_term_depth(&self) -> usize {
+        self.iter().map(Fact::term_depth).max().unwrap_or(0)
+    }
+}
+
+impl PartialEq for Instance {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.subset_of(other)
+    }
+}
+
+impl Eq for Instance {}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, fact) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{fact}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Fact> for Instance {
+    fn from_iter<I: IntoIterator<Item = Fact>>(iter: I) -> Self {
+        Instance::from_facts(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Symbol;
+
+    fn c(name: &str) -> TermId {
+        TermId::constant(Symbol::intern(name))
+    }
+
+    fn e(a: &str, b: &str) -> Fact {
+        Fact::new(Pred::new("e", 2), vec![c(a), c(b)])
+    }
+
+    #[test]
+    fn insert_dedups_and_indexes() {
+        let mut inst = Instance::new();
+        assert!(inst.insert(e("a", "b")));
+        assert!(!inst.insert(e("a", "b")));
+        assert!(inst.insert(e("b", "c")));
+        assert_eq!(inst.len(), 2);
+        assert_eq!(inst.with_pred(Pred::new("e", 2)).len(), 2);
+        assert_eq!(
+            inst.with_pred_pos_term(Pred::new("e", 2), 0, c("b")),
+            &[1]
+        );
+        assert_eq!(inst.domain(), &[c("a"), c("b"), c("c")]);
+    }
+
+    #[test]
+    fn set_equality_ignores_order() {
+        let i1 = Instance::from_facts([e("a", "b"), e("b", "c")]);
+        let i2 = Instance::from_facts([e("b", "c"), e("a", "b")]);
+        assert_eq!(i1, i2);
+        let i3 = Instance::from_facts([e("a", "b")]);
+        assert_ne!(i1, i3);
+        assert!(i3.subset_of(&i1));
+        assert!(!i1.subset_of(&i3));
+    }
+
+    #[test]
+    fn induced_and_banned_substructures() {
+        let inst = Instance::from_facts([e("a", "b"), e("b", "c"), e("c", "a")]);
+        let banned: HashSet<_> = [c("c")].into_iter().collect();
+        let m = inst.without_terms(&banned);
+        assert_eq!(m, Instance::from_facts([e("a", "b")]));
+        let kept: HashSet<_> = [c("a"), c("b")].into_iter().collect();
+        assert_eq!(inst.induced(&kept), Instance::from_facts([e("a", "b")]));
+    }
+
+    #[test]
+    fn union_and_without_fact() {
+        let i1 = Instance::from_facts([e("a", "b")]);
+        let i2 = Instance::from_facts([e("b", "c")]);
+        let u = i1.union(&i2);
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.without_fact(&e("a", "b")), i2);
+    }
+}

@@ -1,0 +1,514 @@
+//! A small text format for theories, queries, and instances.
+//!
+//! * Variables start with an uppercase letter or `_` (Prolog convention);
+//!   anything else in term position is a constant.
+//! * Rules: `body -> head.` where `body` is `true` or a comma-separated atom
+//!   list (possibly using the builtin `dom/1`), e.g.
+//!   `r(X,X1), g(X,U), g(U,U1) -> r(U1,Z), g(X1,Z).`
+//! * Queries: `?(X,Y) :- e(X,U), e(U,Y).` — Boolean queries use a bare `?`.
+//! * Instances: `e(a,b). e(b,c).` — all arguments must be constants.
+//! * Comments run from `#` or `%` to end of line.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::atom::{Fact, Pred};
+use crate::instance::Instance;
+use crate::query::{ConjunctiveQuery, QAtom, QTerm, VarPool};
+use crate::rule::{Tgd, Theory};
+use crate::symbol::Symbol;
+use crate::term::TermId;
+
+/// A parse error with 1-based line/column position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    Question,
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Arrow,
+    ColonDash,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+type Spanned = (Tok, usize, usize);
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = *self.src.get(self.pos)?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            col: self.col,
+            msg: msg.into(),
+        }
+    }
+
+    fn tokens(mut self) -> Result<Vec<Spanned>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            while let Some(c) = self.peek() {
+                if c == b'#' || c == b'%' {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                } else if c.is_ascii_whitespace() {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else { break };
+            let tok = match c {
+                b'(' => {
+                    self.bump();
+                    Tok::LParen
+                }
+                b')' => {
+                    self.bump();
+                    Tok::RParen
+                }
+                b',' => {
+                    self.bump();
+                    Tok::Comma
+                }
+                b'.' => {
+                    self.bump();
+                    Tok::Dot
+                }
+                b'?' => {
+                    self.bump();
+                    Tok::Question
+                }
+                b'-' => {
+                    self.bump();
+                    if self.peek() == Some(b'>') {
+                        self.bump();
+                        Tok::Arrow
+                    } else {
+                        return Err(self.error("expected '>' after '-'"));
+                    }
+                }
+                b':' => {
+                    self.bump();
+                    if self.peek() == Some(b'-') {
+                        self.bump();
+                        Tok::ColonDash
+                    } else {
+                        return Err(self.error("expected '-' after ':'"));
+                    }
+                }
+                c if c.is_ascii_alphanumeric() || c == b'_' => {
+                    let mut ident = String::new();
+                    while let Some(c) = self.peek() {
+                        if c.is_ascii_alphanumeric() || c == b'_' || c == b'\'' {
+                            ident.push(c as char);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    Tok::Ident(ident)
+                }
+                other => {
+                    return Err(self.error(format!("unexpected character '{}'", other as char)))
+                }
+            };
+            out.push((tok, line, col));
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    arities: HashMap<String, u32>,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Parser, ParseError> {
+        Ok(Parser {
+            toks: Lexer::new(src).tokens()?,
+            pos: 0,
+            arities: HashMap::new(),
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _, _)| t)
+    }
+
+    fn here(&self) -> (usize, usize) {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or((1, 1), |(_, l, c)| (*l, *c))
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        let (line, col) = self.here();
+        ParseError {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}")))
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            _ => Err(self.error(format!("expected {what}"))),
+        }
+    }
+
+    fn pred(&mut self, name: &str, arity: u32) -> Result<Pred, ParseError> {
+        match self.arities.get(name) {
+            Some(&a) if a != arity => Err(self.error(format!(
+                "predicate '{name}' used with arity {arity}, previously {a}"
+            ))),
+            _ => {
+                self.arities.insert(name.to_owned(), arity);
+                Ok(Pred::new(name, arity))
+            }
+        }
+    }
+
+    /// Parses `ident` or `ident(t1,…,tk)`; `term` maps an identifier to a QTerm.
+    fn atom(
+        &mut self,
+        term: &mut impl FnMut(&str) -> QTerm,
+    ) -> Result<QAtom, ParseError> {
+        let name = self.ident("a predicate name")?;
+        let mut args = Vec::new();
+        if self.peek() == Some(&Tok::LParen) {
+            self.bump();
+            if self.peek() != Some(&Tok::RParen) {
+                loop {
+                    let id = self.ident("a term")?;
+                    args.push(term(&id));
+                    if self.peek() == Some(&Tok::Comma) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Tok::RParen, "')'")?;
+        }
+        let pred = self.pred(&name, args.len() as u32)?;
+        Ok(QAtom::new(pred, args))
+    }
+
+    fn atom_list(
+        &mut self,
+        term: &mut impl FnMut(&str) -> QTerm,
+    ) -> Result<Vec<QAtom>, ParseError> {
+        let mut atoms = vec![self.atom(term)?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.bump();
+            atoms.push(self.atom(term)?);
+        }
+        Ok(atoms)
+    }
+}
+
+fn is_var_name(id: &str) -> bool {
+    id.starts_with(|c: char| c.is_ascii_uppercase() || c == '_')
+}
+
+/// Parses a theory: a sequence of `body -> head.` rules.
+pub fn parse_theory(src: &str) -> Result<Theory, ParseError> {
+    let mut p = Parser::new(src)?;
+    let mut rules = Vec::new();
+    while !p.at_end() {
+        let mut pool = VarPool::new();
+        let mut term = |id: &str| {
+            if is_var_name(id) {
+                QTerm::Var(pool.var(id))
+            } else {
+                QTerm::Const(Symbol::intern(id))
+            }
+        };
+        // Body: `true` or an atom list.
+        let body = if matches!(p.peek(), Some(Tok::Ident(s)) if s == "true") {
+            p.bump();
+            Vec::new()
+        } else {
+            p.atom_list(&mut term)?
+        };
+        p.expect(&Tok::Arrow, "'->'")?;
+        let head = p.atom_list(&mut term)?;
+        p.expect(&Tok::Dot, "'.' after rule")?;
+        for a in &head {
+            if a.pred.is_dom() {
+                return Err(p.error("builtin dom/1 may not occur in a rule head"));
+            }
+        }
+        drop(term);
+        let name = format!("r{}", rules.len() + 1);
+        rules.push(Tgd::new(name, body, head, pool.into_names()));
+    }
+    Ok(Theory::new("theory", rules))
+}
+
+/// Parses a single query `?(X,…) :- atoms.` (or Boolean `? :- atoms.`).
+pub fn parse_query(src: &str) -> Result<ConjunctiveQuery, ParseError> {
+    let queries = parse_queries(src)?;
+    match <[_; 1]>::try_from(queries) {
+        Ok([q]) => Ok(q),
+        Err(qs) => Err(ParseError {
+            line: 1,
+            col: 1,
+            msg: format!("expected exactly one query, found {}", qs.len()),
+        }),
+    }
+}
+
+/// Parses a sequence of queries, one per `.`-terminated statement.
+pub fn parse_queries(src: &str) -> Result<Vec<ConjunctiveQuery>, ParseError> {
+    let mut p = Parser::new(src)?;
+    let mut out = Vec::new();
+    while !p.at_end() {
+        p.expect(&Tok::Question, "'?' starting a query")?;
+        let mut pool = VarPool::new();
+        let mut answer_names: Vec<String> = Vec::new();
+        if p.peek() == Some(&Tok::LParen) {
+            p.bump();
+            if p.peek() != Some(&Tok::RParen) {
+                loop {
+                    let id = p.ident("an answer variable")?;
+                    if !is_var_name(&id) {
+                        return Err(p.error(format!(
+                            "answer position '{id}' must be a variable (uppercase)"
+                        )));
+                    }
+                    answer_names.push(id);
+                    if p.peek() == Some(&Tok::Comma) {
+                        p.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            p.expect(&Tok::RParen, "')'")?;
+        }
+        let answer: Vec<_> = answer_names.iter().map(|n| pool.var(n)).collect();
+        p.expect(&Tok::ColonDash, "':-'")?;
+        let mut term = |id: &str| {
+            if is_var_name(id) {
+                QTerm::Var(pool.var(id))
+            } else {
+                QTerm::Const(Symbol::intern(id))
+            }
+        };
+        let atoms = p.atom_list(&mut term)?;
+        p.expect(&Tok::Dot, "'.' after query")?;
+        for a in &atoms {
+            if a.pred.is_dom() {
+                return Err(p.error("builtin dom/1 may not occur in a query"));
+            }
+        }
+        drop(term);
+        out.push(ConjunctiveQuery::new(answer, atoms, pool.into_names()));
+    }
+    Ok(out)
+}
+
+/// Parses an instance: a sequence of ground facts `p(a,b).`.
+pub fn parse_instance(src: &str) -> Result<Instance, ParseError> {
+    let mut p = Parser::new(src)?;
+    let mut inst = Instance::new();
+    while !p.at_end() {
+        let mut term = |id: &str| QTerm::Const(Symbol::intern(id));
+        let before = p.here();
+        let atom = p.atom(&mut term)?;
+        p.expect(&Tok::Dot, "'.' after fact")?;
+        if atom.pred.is_dom() {
+            return Err(ParseError {
+                line: before.0,
+                col: before.1,
+                msg: "builtin dom/1 may not occur in an instance".to_owned(),
+            });
+        }
+        let args: Vec<TermId> = atom
+            .args
+            .iter()
+            .map(|t| match t {
+                QTerm::Const(c) => TermId::constant(*c),
+                QTerm::Var(_) => unreachable!("instance terms are constants"),
+            })
+            .collect();
+        inst.insert(Fact::new(atom.pred, args));
+    }
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_example_1_theory() {
+        // Example 1 of the paper.
+        let t = parse_theory(
+            "human(Y) -> mother(Y, Z).\n\
+             mother(X, Y) -> human(Y).",
+        )
+        .unwrap();
+        assert_eq!(t.len(), 2);
+        let r1 = &t.rules()[0];
+        assert_eq!(r1.frontier().len(), 1);
+        assert_eq!(r1.existential_vars().len(), 1);
+        assert!(t.rules()[1].is_datalog());
+    }
+
+    #[test]
+    fn parses_t_d() {
+        // Definition 45 of the paper.
+        let t = parse_theory(
+            "true -> r(X,X), g(X,X).\n\
+             dom(X) -> r(X,Z).\n\
+             dom(X) -> g(X,Z).\n\
+             r(X,X1), g(X,U), g(U,U1) -> r(U1,Z), g(X1,Z).",
+        )
+        .unwrap();
+        assert_eq!(t.len(), 4);
+        assert!(t.rules()[0].has_builtin_body());
+        assert!(t.rules()[0].is_detached());
+        assert!(t.rules()[1].has_builtin_body());
+        assert_eq!(t.rules()[3].head().len(), 2);
+        assert!(!t.rules()[3].has_builtin_body());
+        assert_eq!(t.max_arity(), 2);
+    }
+
+    #[test]
+    fn parses_query_and_instance() {
+        let q = parse_query("?(X) :- mother(X, Y), human(Y).").unwrap();
+        assert_eq!(q.answer_vars().len(), 1);
+        assert_eq!(q.size(), 2);
+        let i = parse_instance("human(abel). mother(abel, eve).").unwrap();
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.domain().len(), 2);
+    }
+
+    #[test]
+    fn boolean_query() {
+        let q = parse_query("? :- e(X,Y), e(Y,X).").unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.vars().len(), 2);
+    }
+
+    #[test]
+    fn nullary_atoms() {
+        let t = parse_theory("p(X), m -> q(X).").unwrap();
+        assert_eq!(t.rules()[0].body()[1].pred.arity(), 0);
+    }
+
+    #[test]
+    fn constants_in_queries() {
+        let q = parse_query("?(X) :- siblings(abel, X), female(X).").unwrap();
+        assert_eq!(q.vars().len(), 1);
+        assert!(matches!(q.atoms()[0].args[0], QTerm::Const(_)));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let e = parse_theory("p(X) -> p(X, Y).").unwrap_err();
+        assert!(e.msg.contains("arity"));
+    }
+
+    #[test]
+    fn dom_restrictions() {
+        assert!(parse_theory("p(X) -> dom(X).").is_err());
+        assert!(parse_query("? :- dom(X).").is_err());
+        assert!(parse_instance("dom(a).").is_err());
+        assert!(parse_theory("dom(X) -> p(X).").is_ok());
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = parse_theory("p(X) ->\n q(X,").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = parse_theory("# comment\np(X) -> q(X). % trailing\n").unwrap();
+        assert_eq!(t.len(), 1);
+    }
+}

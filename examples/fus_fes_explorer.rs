@@ -1,0 +1,78 @@
+//! Explorer for the FUS/FES landscape (Sections 5, 6, 8): classify the
+//! paper's zoo by the engine's termination probes and measure the
+//! uniformity constant `c_{T,D}` that the FUS/FES conjecture is about.
+//!
+//! Run with `cargo run --release --example fus_fes_explorer`.
+
+use query_rewritability::chase::{
+    all_instances_termination, core_termination, CoreTermBudget,
+};
+use query_rewritability::classes::{is_linear, is_sticky, is_weakly_acyclic};
+use query_rewritability::core::fusfes::{theorem4_certificate, uniform_bound_profile};
+use query_rewritability::core::theories::{ex23, ex28, t_a, t_p};
+use query_rewritability::prelude::*;
+
+fn e_path(n: usize) -> Instance {
+    let mut src = String::new();
+    for i in 0..n {
+        src.push_str(&format!("e(v{i}, v{}).\n", i + 1));
+    }
+    parse_instance(&src).expect("path parses")
+}
+
+fn main() {
+    let budget = CoreTermBudget::default();
+
+    println!("== termination probes on e(a,b)-style instances ==\n");
+    let zoo: Vec<(&str, Theory, Instance)> = vec![
+        ("T_a  (Ex. 1)", t_a(), parse_instance("human(abel).").unwrap()),
+        ("T_p  (Ex. 12)", t_p(), e_path(1)),
+        ("Ex. 23", ex23(), e_path(1)),
+        ("Ex. 28 (K=3)", ex28(3), parse_instance("e3(a,b).").unwrap()),
+    ];
+    for (name, theory, db) in &zoo {
+        let ait = all_instances_termination(theory, db, 12);
+        let fes = core_termination(theory, db, budget);
+        println!("{name}");
+        println!("  linear: {:<5} sticky: {:<5} weakly acyclic: {}",
+            is_linear(theory), is_sticky(theory), is_weakly_acyclic(theory));
+        println!("  all-instances termination: {}",
+            ait.map_or("no fixpoint within 12 rounds".into(), |n| format!("fixpoint at round {n}")));
+        match fes.depth() {
+            Some(c) => println!("  core termination: certified with c_{{T,D}} = {c}"),
+            None => println!("  core termination: no certificate found (likely not FES)"),
+        }
+        println!();
+    }
+
+    println!("== the uniformity constant across growing instances (Obs. 27) ==\n");
+    let family: Vec<Instance> = (1..=6).map(e_path).collect();
+    let p23 = uniform_bound_profile(&ex23(), &family, budget);
+    println!("Ex. 23 (BDD + FES + local) over paths 1..6:");
+    for (size, c) in &p23.per_instance {
+        println!("  |D| = {size}: c_{{T,D}} = {}", c.map_or("-".into(), |c| c.to_string()));
+    }
+    println!(
+        "  flat: {} — the UBDD signature Theorem 4 predicts for local FES theories\n",
+        p23.is_flat()
+    );
+
+    println!("Ex. 28 truncations (BDD + FES, but the union is not UBDD):");
+    for k in 2..=5usize {
+        let db = parse_instance(&format!("e{k}(a,b).")).unwrap();
+        let p = uniform_bound_profile(
+            &ex28(k),
+            &[db],
+            CoreTermBudget { max_depth: 8, lookahead: 2, max_facts: 100_000 },
+        );
+        println!("  K = {k}: c = {}", p.per_instance[0].1.map_or("-".into(), |c| c.to_string()));
+    }
+    println!("  the constant tracks K, so no single c_T works for the infinite union.\n");
+
+    println!("== a Theorem-4 certificate, constructively ==\n");
+    let db = e_path(4);
+    let (m, n) = theorem4_certificate(&ex23(), &db, 2, budget).expect("local + FES");
+    println!("D = {db}");
+    println!("found M |= T with D ⊆ M ⊆ Ch_{n}(T,D):");
+    println!("M = {m}");
+}

@@ -1,0 +1,83 @@
+//! Ontology-mediated query answering over a small university ontology —
+//! the scenario the paper's introduction motivates: the database is
+//! incomplete, the ontology (a set of existential rules) fills the gaps,
+//! and because the ontology is **linear** (hence local, hence BDD), every
+//! query compiles to a small UCQ that runs directly on the database.
+//!
+//! Run with `cargo run --example ontology_qa`.
+
+use query_rewritability::chase::{chase, ChaseBudget};
+use query_rewritability::classes::{is_linear, is_sticky};
+use query_rewritability::hom::all_answers;
+use query_rewritability::prelude::*;
+use query_rewritability::rewrite::{rewrite, RewriteBudget};
+
+fn main() {
+    let ontology = parse_theory(
+        "# every professor teaches something\n\
+         professor(P) -> teaches(P, C).\n\
+         # whatever is taught is a course\n\
+         teaches(P, C) -> course(C).\n\
+         # teaching staff are employed by some department\n\
+         teaches(P, C) -> works_in(P, D).\n\
+         # departments have heads, who are professors\n\
+         works_in(P, D) -> head_of(H, D).\n\
+         head_of(H, D) -> professor(H).",
+    )
+    .expect("ontology parses");
+
+    println!("ontology ({} rules):", ontology.len());
+    print!("{}", ontology.render());
+    println!(
+        "linear: {}   sticky: {}   (=> BDD, local, linear-size rewritings)",
+        is_linear(&ontology),
+        is_sticky(&ontology)
+    );
+
+    let db = parse_instance(
+        "professor(turing).\n\
+         teaches(hopper, compilers).\n\
+         works_in(dijkstra, algorithms_dept).",
+    )
+    .expect("database parses");
+
+    let queries = [
+        "?(P) :- professor(P).",
+        "?(P) :- works_in(P, D).",
+        "?(C) :- course(C).",
+        "? :- head_of(H, D), professor(H).",
+    ];
+
+    let ch = chase(&ontology, &db, ChaseBudget::rounds(8));
+    println!("\nchase: {} facts at depth {}", ch.instance.len(), ch.rounds);
+
+    for qsrc in queries {
+        let q = parse_query(qsrc).expect("query parses");
+        let r = rewrite(&ontology, &q, RewriteBudget::default()).expect("supported");
+        assert!(r.is_complete());
+        println!("\n{qsrc}");
+        println!(
+            "  rewriting: {} disjuncts, max size {} (query size {})",
+            r.ucq.len(),
+            r.rs(),
+            q.size()
+        );
+        let mut answers: Vec<Vec<TermId>> = r
+            .ucq
+            .disjuncts()
+            .iter()
+            .flat_map(|d| all_answers(d, &db, 0))
+            .collect();
+        answers.sort();
+        answers.dedup();
+        // Cross-check with the chase, restricted to database constants.
+        let mut via_chase = all_answers(&q, &ch.instance, 0);
+        via_chase.retain(|t| t.iter().all(|x| x.is_const()));
+        via_chase.sort();
+        via_chase.dedup();
+        assert_eq!(answers, via_chase);
+        println!("  certain answers: {answers:?}");
+    }
+
+    println!("\nall queries answered over D alone; chase agreed on every one.");
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate for the *Frontiers of Query Rewritability* workspace.
+//!
+//! Re-exports the member crates so downstream users (and the examples,
+//! integration tests and benches in this repository) can depend on a single
+//! package. See `README.md` for a tour and `DESIGN.md` for the system
+//! inventory mapping each module to the paper.
+
+pub use qr_chase as chase;
+pub use qr_classes as classes;
+pub use qr_core as core;
+pub use qr_hom as hom;
+pub use qr_rewrite as rewrite;
+pub use qr_syntax as syntax;
+
+/// Convenience prelude: the types and functions most code needs.
+pub mod prelude {
+    pub use qr_syntax::{
+        parse_instance, parse_query, parse_theory, ConjunctiveQuery, Fact, Instance, Pred,
+        Symbol, TermId, Tgd, Theory, Ucq,
+    };
+}

@@ -1,0 +1,118 @@
+//! The fundamental soundness cross-check (Theorem 1): evaluating the UCQ
+//! rewriting over `D` agrees with evaluating the query over the (bounded)
+//! chase, across theories, queries and instances — including randomized
+//! instances with a fixed seed.
+
+use query_rewritability::chase::{chase, ChaseBudget};
+use query_rewritability::hom::holds;
+use query_rewritability::prelude::*;
+use query_rewritability::rewrite::{rewrite, RewriteBudget};
+
+/// Deterministic pseudo-random instance over binary predicate `e` and unary
+/// `p` with `n` vertices.
+fn random_instance(n: usize, edges: usize, seed: u64) -> Instance {
+    let mut state = seed ^ 0x9E3779B97F4A7C15;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let mut src = String::new();
+    for _ in 0..edges {
+        src.push_str(&format!("e(n{}, n{}).\n", next() % n, next() % n));
+    }
+    src.push_str(&format!("p(n{}).\n", next() % n));
+    parse_instance(&src).unwrap()
+}
+
+/// Asserts rewriting ≡ chase for every answer tuple over dom(D).
+fn assert_equivalent(theory: &Theory, query_src: &str, db: &Instance, depth: usize) {
+    let query = parse_query(query_src).unwrap();
+    let r = rewrite(theory, &query, RewriteBudget::default()).unwrap();
+    assert!(r.is_complete(), "rewriting must complete for {query_src}");
+    let ch = chase(theory, db, ChaseBudget::rounds(depth));
+    let arity = query.answer_vars().len();
+    let dom = db.domain();
+    let mut tuples: Vec<Vec<TermId>> = vec![vec![]];
+    for _ in 0..arity {
+        tuples = tuples
+            .into_iter()
+            .flat_map(|t| {
+                dom.iter().map(move |c| {
+                    let mut t2 = t.clone();
+                    t2.push(*c);
+                    t2
+                })
+            })
+            .collect();
+    }
+    for tuple in tuples {
+        let via_chase = holds(&query, &ch.instance, &tuple);
+        let via_rw = r.ucq.disjuncts().iter().any(|d| holds(d, db, &tuple));
+        assert_eq!(
+            via_chase, via_rw,
+            "disagreement on {query_src} at {tuple:?} over {db}"
+        );
+    }
+}
+
+#[test]
+fn family_theory_random_instances() {
+    let t = parse_theory("human(Y) -> mother(Y,Z).\nmother(X,Y) -> human(Y).").unwrap();
+    for seed in 0..4u64 {
+        let mut db = random_instance(5, 4, seed);
+        db.extend(parse_instance("human(n0). mother(n1, n2).").unwrap().iter().cloned());
+        assert_equivalent(&t, "?(X) :- mother(X, M).", &db, 6);
+        assert_equivalent(&t, "?(X) :- human(X).", &db, 6);
+        assert_equivalent(&t, "? :- mother(X, Y), human(Y).", &db, 6);
+    }
+}
+
+#[test]
+fn linear_path_theory_random_instances() {
+    let t = parse_theory("e(X,Y) -> e(Y,Z).").unwrap();
+    for seed in 0..6u64 {
+        let db = random_instance(6, 7, 100 + seed);
+        assert_equivalent(&t, "?(A) :- e(A,B), e(B,C).", &db, 7);
+        assert_equivalent(&t, "?(A,B) :- e(A,X), e(B,X).", &db, 7);
+        assert_equivalent(&t, "? :- e(X,Y), e(Y,Z), e(Z,W).", &db, 7);
+    }
+}
+
+#[test]
+fn guarded_propagation_theory() {
+    let t = parse_theory("p(X), e(X,Y) -> q(Y).\nq(X) -> r(X,W).").unwrap();
+    for seed in 0..4u64 {
+        let db = random_instance(5, 6, 200 + seed);
+        assert_equivalent(&t, "?(Y) :- q(Y).", &db, 5);
+        assert_equivalent(&t, "?(Y) :- r(Y, Z).", &db, 5);
+    }
+}
+
+#[test]
+fn sticky_example_39_structured() {
+    let t = parse_theory("e(X,Y,Y1,T), r(X,T1) -> e(X,Y1,Y2,T1).").unwrap();
+    let db = parse_instance("e(a,b1,b2,c1). r(a,c1). r(a,c2). r(d,c1).").unwrap();
+    assert_equivalent(&t, "?(A,D) :- e(A,B,C,D).", &db, 4);
+    assert_equivalent(&t, "?(A) :- e(A,B,C,D), r(A,D).", &db, 4);
+}
+
+#[test]
+fn multi_head_shared_existential() {
+    let t = parse_theory("p(X) -> s(X,W), s2(W,X).").unwrap();
+    let db = parse_instance("p(a). s(b,c). s2(c,b).").unwrap();
+    assert_equivalent(&t, "?(X) :- s(X,W), s2(W,X).", &db, 3);
+}
+
+#[test]
+fn datalog_transitivity_bounded_query() {
+    // Unbounded Datalog is not BDD, but *some* queries still have complete
+    // rewritings (e.g. single-edge queries rewrite to themselves plus
+    // 2-step paths... in fact e is closed under nothing here: check a
+    // query that the engine does complete).
+    let t = parse_theory("e(X,Y), e(Y,Z) -> f(X,Z).").unwrap(); // non-recursive
+    for seed in 0..4u64 {
+        let db = random_instance(5, 6, 300 + seed);
+        assert_equivalent(&t, "?(A,B) :- f(A,B).", &db, 3);
+        assert_equivalent(&t, "? :- f(A,B), e(B,C).", &db, 3);
+    }
+}

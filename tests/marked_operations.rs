@@ -1,0 +1,157 @@
+//! Operation-level edge cases of the marked-query process (Definitions
+//! 56–58 and the K-colour generalization).
+
+use query_rewritability::core::marked::{
+    rewrite_td, rewrite_tdk, ColorMap, MarkedQuery, StepResult,
+};
+use query_rewritability::hom::containment::equivalent;
+use query_rewritability::prelude::*;
+
+const G: u8 = 1;
+const R: u8 = 2;
+
+#[test]
+fn cut_removes_a_dangling_edge() {
+    // marked A --g--> unmarked B (maximal): cut leaves the edge-less query.
+    let q = MarkedQuery::new(2, [(G, 0, 1)], [0], vec![0]);
+    assert!(q.is_properly_marked() && q.is_live());
+    match q.step() {
+        StepResult::Replaced(qs) => {
+            assert_eq!(qs.len(), 1);
+            assert!(qs[0].edges().is_empty());
+            assert!(qs[0].is_totally_marked());
+        }
+        other => panic!("expected cut, got {other:?}"),
+    }
+}
+
+#[test]
+fn fuse_merges_same_colour_sources() {
+    // g(A,X), g(B,X) with X unmarked maximal: A and B must coincide.
+    let q = MarkedQuery::new(2, [(G, 0, 2), (G, 1, 2), (R, 3, 0), (R, 3, 1)], [0, 1, 3], vec![3]);
+    assert!(q.is_properly_marked());
+    match q.step() {
+        StepResult::Replaced(qs) => {
+            assert_eq!(qs.len(), 1);
+            // A and B merged: the two r-edges collapse too.
+            assert_eq!(qs[0].count(R), 1);
+            assert_eq!(qs[0].count(G), 1);
+        }
+        other => panic!("expected fuse, got {other:?}"),
+    }
+}
+
+#[test]
+fn reduce_produces_at_most_three_proper_markings() {
+    // r(A,X), g(B,X) with X unmarked maximal, A and B unmarked... A,B must
+    // be unmarked-compatible: keep them unmarked via a marked anchor.
+    let q = MarkedQuery::new(
+        2,
+        [(R, 0, 2), (G, 1, 2), (G, 3, 0), (G, 3, 1)],
+        [3],
+        vec![3],
+    );
+    assert!(q.is_properly_marked(), "{q:?}");
+    match q.step() {
+        StepResult::Replaced(qs) => {
+            assert!(!qs.is_empty() && qs.len() <= 3, "got {}", qs.len());
+            for nq in &qs {
+                assert!(nq.is_properly_marked());
+                // x is gone; the grid body pattern appeared.
+                assert_eq!(nq.count(R), 1);
+                assert_eq!(nq.count(G), 4);
+            }
+        }
+        other => panic!("expected reduce, got {other:?}"),
+    }
+}
+
+#[test]
+fn reduce_into_marked_target_forces_markings() {
+    // r(A,X), g(B,X) with A marked: the new green chain ends at A, so the
+    // fresh variables are forced marked by condition (i).
+    let q = MarkedQuery::new(2, [(R, 0, 2), (G, 1, 2), (G, 0, 1)], [0, 1], vec![0]);
+    assert!(q.is_properly_marked());
+    match q.step() {
+        StepResult::Replaced(qs) => {
+            for nq in &qs {
+                assert!(nq.is_properly_marked());
+            }
+            // Only the fully marked variant survives: g(x'',A) into marked
+            // A forces x'' marked, which forces x' marked.
+            assert_eq!(qs.len(), 1);
+            assert!(qs[0].is_totally_marked());
+        }
+        other => panic!("expected reduce, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_adjacent_profile_is_dropped_in_k3() {
+    // i3(A,X), i1(B,X): no chase term of T_d^3 has in-edges of colours
+    // {3, 1}, and the loop element is unreachable from marked variables:
+    // the query is unsatisfiable.
+    let q = MarkedQuery::new(3, [(3, 0, 2), (1, 1, 2), (1, 3, 0), (1, 3, 1)], [3], vec![3]);
+    assert!(q.is_properly_marked() || !q.is_properly_marked()); // profile checked in step
+    match q.step() {
+        StepResult::Dropped => {}
+        other => panic!("expected drop, got {other:?}"),
+    }
+}
+
+#[test]
+fn adjacent_profiles_reduce_at_every_level_of_k3() {
+    for (hi, lo) in [(2u8, 1u8), (3, 2)] {
+        let q = MarkedQuery::new(
+            3,
+            [(hi, 0, 2), (lo, 1, 2), (lo, 3, 0), (lo, 3, 1)],
+            [3],
+            vec![3],
+        );
+        match q.step() {
+            StepResult::Replaced(qs) => {
+                for nq in &qs {
+                    assert_eq!(nq.count(hi), 1, "level ({hi},{lo})");
+                }
+            }
+            other => panic!("expected reduce at ({hi},{lo}), got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn true_disjunct_reported() {
+    // ?(A) :- g(A,B): rewriting contains the trivial disjunct because every
+    // domain element grows a green edge (rule pins).
+    let q = parse_query("?(A) :- g(A, B).").unwrap();
+    let r = rewrite_td(&q, 1000).unwrap();
+    assert!(r.has_true_disjunct);
+}
+
+#[test]
+fn red_query_rewrites_like_green() {
+    // Colour symmetry at the top level: ?(A) :- r(A,B) also cuts to true.
+    let q = parse_query("?(A) :- r(A, B).").unwrap();
+    let r = rewrite_td(&q, 1000).unwrap();
+    assert!(r.has_true_disjunct);
+}
+
+#[test]
+fn fully_marked_query_is_its_own_rewriting() {
+    // A query between two answer variables over g: the only disjuncts are
+    // over D (no chase term can be an interior, by Observation 50).
+    let q = parse_query("?(A,B) :- g(A,C), g(C,B).").unwrap();
+    let r = rewrite_td(&q, 10_000).unwrap();
+    assert!(!r.has_true_disjunct);
+    assert_eq!(r.disjuncts.len(), 1);
+    assert!(equivalent(&r.disjuncts[0], &q));
+}
+
+#[test]
+fn k1_theory_only_cuts() {
+    // T_d^1 has no grid rule: every unmarked variable is eventually cut.
+    let q = parse_query("?(A) :- i1(A,B), i1(B,C).").unwrap();
+    let r = rewrite_tdk(1, &q, 1000).unwrap();
+    assert!(r.has_true_disjunct);
+    let _ = ColorMap::tdk(1);
+}

@@ -1,0 +1,167 @@
+//! Cross-crate integration tests: one small-scale assertion per result of
+//! the paper (the experiments in `qr-bench` sweep the same claims over
+//! larger parameter ranges).
+
+use query_rewritability::chase::{
+    all_instances_termination, chase, core_termination, ChaseBudget, CoreTermBudget,
+};
+use query_rewritability::classes::{
+    degree, distancing_profile, empirical_locality, is_binary, is_linear, is_sticky,
+};
+use query_rewritability::core::marked::rewrite_td;
+use query_rewritability::core::theories::{
+    cycle, ex23, ex28, ex39, ex41, g_power_query, green_path, phi_r_n, star_39, t_a, t_c, t_d,
+    t_p,
+};
+use query_rewritability::hom::containment::equivalent;
+use query_rewritability::hom::holds;
+use query_rewritability::prelude::*;
+use query_rewritability::rewrite::{rewrite, RewriteBudget, RewriteOutcome};
+
+#[test]
+fn example_1_entailment() {
+    // T_a, D_a = {Human(Abel)} ⊨ ∃y,z Mother(Abel,y), Mother(y,z).
+    let db = parse_instance("human(abel).").unwrap();
+    let q = parse_query("? :- mother(abel, Y), mother(Y, Z).").unwrap();
+    let ch = chase(&t_a(), &db, ChaseBudget::rounds(4));
+    assert!(holds(&q, &ch.instance, &[]));
+}
+
+#[test]
+fn exercise_12_t_p_is_bdd() {
+    // Every chain query has a complete rewriting under T_p.
+    for k in 1..=4usize {
+        let atoms: Vec<String> = (0..k).map(|i| format!("e(X{i}, X{})", i + 1)).collect();
+        let q = parse_query(&format!("? :- {}.", atoms.join(", "))).unwrap();
+        let r = rewrite(&t_p(), &q, RewriteBudget::default()).unwrap();
+        assert!(r.is_complete(), "k={k}");
+    }
+}
+
+#[test]
+fn exercise_22_23_termination_split() {
+    let db = parse_instance("e(a,b).").unwrap();
+    // T_p: BDD but not core-terminating.
+    assert!(!core_termination(&t_p(), &db, CoreTermBudget::default()).terminates());
+    // Ex. 23: core-terminating but not all-instances-terminating.
+    assert!(core_termination(&ex23(), &db, CoreTermBudget::default()).terminates());
+    assert_eq!(all_instances_termination(&ex23(), &db, 12), None);
+}
+
+#[test]
+fn example_28_no_uniform_bound() {
+    // The uniformity constant of the K-truncation grows linearly in K.
+    let mut bounds = Vec::new();
+    for k in 2..=4usize {
+        let db = parse_instance(&format!("e{k}(a,b).")).unwrap();
+        let c = core_termination(
+            &ex28(k),
+            &db,
+            CoreTermBudget {
+                max_depth: 8,
+                lookahead: 2,
+                max_facts: 50_000,
+            },
+        )
+        .depth()
+        .unwrap();
+        bounds.push(c);
+    }
+    assert_eq!(bounds, vec![2, 3, 4]);
+}
+
+#[test]
+fn example_39_sticky_but_not_local() {
+    assert!(is_sticky(&ex39()));
+    let p2 = empirical_locality(&ex39(), &star_39(2), 2);
+    let p4 = empirical_locality(&ex39(), &star_39(4), 4);
+    assert_eq!(p2.max_support, 3);
+    assert_eq!(p4.max_support, 5);
+}
+
+#[test]
+fn example_41_bd_local_not_bdd() {
+    assert!(!is_sticky(&ex41()));
+    let q = parse_query("?(Y,Z) :- r(Y,Z).").unwrap();
+    let r = rewrite(
+        &ex41(),
+        &q,
+        RewriteBudget {
+            max_queries: 256,
+            max_generated: 10_000,
+            max_atoms: 16,
+        },
+    )
+    .unwrap();
+    assert_eq!(r.outcome, RewriteOutcome::Budget);
+}
+
+#[test]
+fn example_42_not_bd_local() {
+    let p4 = empirical_locality(&t_c(), &cycle(4), 5);
+    let p6 = empirical_locality(&t_c(), &cycle(6), 7);
+    assert_eq!((p4.degree, p4.max_support), (2, 4));
+    assert_eq!((p6.degree, p6.max_support), (2, 6));
+}
+
+#[test]
+fn theorem_5_overall() {
+    // (B)(i): Ch(T_d, G^{2^n}) ⊨ φ_R^n for n = 0, 1, 2.
+    for n in 0..=2usize {
+        let (db, a, b) = green_path(1 << n, &format!("pc{n}"));
+        let ch = chase(&t_d(), &db, ChaseBudget::rounds(2 * n + 1));
+        assert!(holds(&phi_r_n(n), &ch.instance, &[a, b]), "n={n}");
+    }
+    // (A) + (B)(ii): the marked process terminates and emits G^{2^n}.
+    for n in 1..=3usize {
+        let r = rewrite_td(&phi_r_n(n), 10_000_000).unwrap();
+        let g = g_power_query(1 << n);
+        assert!(r.disjuncts.iter().any(|d| equivalent(d, &g)), "n={n}");
+    }
+}
+
+#[test]
+fn t_d_is_binary_and_not_distancing() {
+    assert!(is_binary(&t_d()));
+    let (db, _, _) = green_path(8, "ndist");
+    let dp = distancing_profile(&t_d(), &db, 7);
+    assert!(dp.max_ratio.unwrap() > 1.0);
+}
+
+#[test]
+fn observation_49_structure_of_t_d_chase() {
+    // In Ch(T_d, D): edges into dom(D) originate in dom(D), and every
+    // directed cycle lies within D (checked on a sample chase).
+    let (db, _, _) = green_path(4, "obs49");
+    let ch = chase(&t_d(), &db, ChaseBudget::rounds(5));
+    let dom_d: std::collections::HashSet<TermId> = db.domain().iter().copied().collect();
+    for f in ch.instance.iter() {
+        let (src, dst) = (f.args[0], f.args[1]);
+        if dom_d.contains(&dst) {
+            assert!(
+                dom_d.contains(&src),
+                "chase edge into dom(D) from outside: {f}"
+            );
+        }
+    }
+    // Self-loops (1-cycles) only on the loop element, which is not in D's
+    // component: no self-loop mentions dom(D).
+    for f in ch.instance.iter() {
+        if f.args[0] == f.args[1] {
+            assert!(!dom_d.contains(&f.args[0]), "loop on a D constant: {f}");
+        }
+    }
+}
+
+#[test]
+fn zoo_class_matrix() {
+    // The class membership table of the introduction.
+    assert!(is_linear(&t_a()) && is_binary(&t_a()) && is_sticky(&t_a()));
+    assert!(is_linear(&t_p()));
+    assert!(is_linear(&ex28(3)));
+    assert!(is_sticky(&ex39()) && !is_linear(&ex39()));
+    assert!(!is_sticky(&ex41()));
+    assert!(!is_linear(&t_c()) && !is_binary(&t_c()));
+    assert!(is_binary(&t_d()) && !is_linear(&t_d()));
+    assert_eq!(degree(&cycle(7)), 2);
+}
