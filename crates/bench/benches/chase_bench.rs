@@ -1,76 +1,67 @@
-//! Criterion micro-benchmarks for the chase engine (E11's performance
-//! side): semi-naive vs naive evaluation, Datalog vs existential loads,
-//! and the `T_d` grid chase of E1.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! Micro-benchmarks for the chase engine (E11's performance side):
+//! semi-naive vs naive evaluation, Datalog vs existential loads, and the
+//! `T_d` grid chase of E1.
 
 use qr_bench::experiments::e11_chase_engine::random_graph;
+use qr_bench::microbench::{bench, group};
 use qr_chase::{chase, chase_naive, ChaseBudget};
 use qr_core::theories::{green_path, t_a, t_d};
 use qr_syntax::{parse_instance, parse_theory};
 
-fn bench_transitive_closure(c: &mut Criterion) {
+fn bench_transitive_closure() {
     let theory = parse_theory("e(X,Y), e(Y,Z) -> e(X,Z).").unwrap();
-    let mut group = c.benchmark_group("chase/transitive_closure");
+    group("chase/transitive_closure");
     for (n, m) in [(20usize, 35usize), (40, 70)] {
         let db = random_graph(n, m, 42);
         let budget = ChaseBudget {
             max_rounds: 16,
             max_facts: 1_000_000,
         };
-        group.bench_with_input(
-            BenchmarkId::new("semi_naive", format!("G({n},{m})")),
-            &db,
-            |b, db| b.iter(|| chase(&theory, db, budget)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("naive", format!("G({n},{m})")),
-            &db,
-            |b, db| b.iter(|| chase_naive(&theory, db, budget)),
-        );
-    }
-    group.finish();
-}
-
-fn bench_existential_chain(c: &mut Criterion) {
-    let theory = t_a();
-    let db = parse_instance("human(abel). human(cain). human(eve).").unwrap();
-    let mut group = c.benchmark_group("chase/mother_chain");
-    for depth in [8usize, 16, 32] {
-        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
-            b.iter(|| chase(&theory, &db, ChaseBudget::rounds(d)))
+        bench(&format!("semi_naive/G({n},{m})"), || {
+            chase(&theory, &db, budget).instance.len()
+        });
+        bench(&format!("naive/G({n},{m})"), || {
+            chase_naive(&theory, &db, budget).instance.len()
         });
     }
-    group.finish();
 }
 
-fn bench_td_grid(c: &mut Criterion) {
+fn bench_existential_chain() {
+    let theory = t_a();
+    let db = parse_instance("human(abel). human(cain). human(eve).").unwrap();
+    group("chase/mother_chain");
+    for depth in [8usize, 16, 32] {
+        bench(&format!("depth/{depth}"), || {
+            chase(&theory, &db, ChaseBudget::rounds(depth))
+                .instance
+                .len()
+        });
+    }
+}
+
+fn bench_td_grid() {
     let theory = t_d();
-    let mut group = c.benchmark_group("chase/t_d_grid");
-    group.sample_size(10);
+    group("chase/t_d_grid");
     for n in [1usize, 2] {
         let (db, _, _) = green_path(1 << n, "bench");
         let depth = 2 * n + 1;
-        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
-            b.iter(|| {
-                chase(
-                    &theory,
-                    db,
-                    ChaseBudget {
-                        max_rounds: depth,
-                        max_facts: 1_000_000,
-                    },
-                )
-            })
+        bench(&format!("n/{n}"), || {
+            chase(
+                &theory,
+                &db,
+                ChaseBudget {
+                    max_rounds: depth,
+                    max_facts: 1_000_000,
+                },
+            )
+            .instance
+            .len()
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_transitive_closure,
-    bench_existential_chain,
-    bench_td_grid
-);
-criterion_main!(benches);
+fn main() {
+    bench_transitive_closure();
+    bench_existential_chain();
+    bench_td_grid();
+}

@@ -1,51 +1,42 @@
-//! Criterion micro-benchmarks for the homomorphism engine: CQ evaluation
-//! over indexed instances, containment checks, and query cores.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! Micro-benchmarks for the homomorphism engine: CQ evaluation over
+//! indexed instances, containment checks, and query cores.
 
 use qr_bench::experiments::e11_chase_engine::random_graph;
+use qr_bench::microbench::{bench, group};
 use qr_hom::containment::contains;
 use qr_hom::qcore::query_core;
 use qr_hom::{all_answers, holds};
 use qr_syntax::parse_query;
 
-fn bench_evaluation(c: &mut Criterion) {
+fn bench_evaluation() {
     let path3 = parse_query("?(A,D) :- e(A,B), e(B,C), e(C,D).").unwrap();
     let triangle = parse_query("? :- e(X,Y), e(Y,Z), e(Z,X).").unwrap();
-    let mut group = c.benchmark_group("hom/evaluate");
+    group("hom/evaluate");
     for (n, m) in [(30usize, 60usize), (80, 200)] {
         let db = random_graph(n, m, 7);
-        group.bench_with_input(
-            BenchmarkId::new("path3_all_answers", format!("G({n},{m})")),
-            &db,
-            |b, db| b.iter(|| all_answers(&path3, db, 0).len()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("triangle_boolean", format!("G({n},{m})")),
-            &db,
-            |b, db| b.iter(|| holds(&triangle, db, &[])),
-        );
+        bench(&format!("path3_all_answers/G({n},{m})"), || {
+            all_answers(&path3, &db, 0).len()
+        });
+        bench(&format!("triangle_boolean/G({n},{m})"), || {
+            holds(&triangle, &db, &[])
+        });
     }
-    group.finish();
 }
 
-fn bench_containment(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hom/containment");
+fn bench_containment() {
+    group("hom/containment");
     for k in [4usize, 8, 12] {
         let atoms: Vec<String> = (0..k).map(|i| format!("e(X{i}, X{})", i + 1)).collect();
         let long = parse_query(&format!("?(X0) :- {}.", atoms.join(", "))).unwrap();
         let short = parse_query("?(X0) :- e(X0, Y).").unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| contains(&long, &short))
-        });
+        bench(&format!("chain/{k}"), || contains(&long, &short));
     }
-    group.finish();
 }
 
-fn bench_query_core(c: &mut Criterion) {
+fn bench_query_core() {
     // A 2k-cycle with a chord folds onto smaller structures; core search is
     // the expensive primitive behind rewriting minimization.
-    let mut group = c.benchmark_group("hom/query_core");
+    group("hom/query_core");
     for k in [3usize, 5] {
         let n = 2 * k;
         let mut atoms: Vec<String> = (0..n)
@@ -53,12 +44,12 @@ fn bench_query_core(c: &mut Criterion) {
             .collect();
         atoms.push("e(X0, X2)".into());
         let q = parse_query(&format!("? :- {}.", atoms.join(", "))).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &q, |b, q| {
-            b.iter(|| query_core(q).size())
-        });
+        bench(&format!("cycle_with_chord/{n}"), || query_core(&q).size());
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_evaluation, bench_containment, bench_query_core);
-criterion_main!(benches);
+fn main() {
+    bench_evaluation();
+    bench_containment();
+    bench_query_core();
+}

@@ -1,51 +1,48 @@
-//! Criterion micro-benchmarks for the marked-query process (E3/E9's
-//! workload): `rew(φ_R^n)` under `T_d`, the `T_d^K` levels, and rank
-//! computation (the termination certificate of Lemma 53).
+//! Micro-benchmarks for the marked-query process (E3/E9's workload):
+//! `rew(φ_R^n)` under `T_d`, the `T_d^K` levels, and rank computation
+//! (the termination certificate of Lemma 53).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use qr_bench::microbench::{bench, group};
 use qr_core::marked::{rewrite_td, rewrite_tdk, ColorMap, MarkedQuery};
 use qr_core::ranks::qrk;
 use qr_core::theories::{phi_n, phi_r_n};
 
-fn bench_marked_process(c: &mut Criterion) {
-    let mut group = c.benchmark_group("marked/rewrite_td");
+fn bench_marked_process() {
+    group("marked/rewrite_td");
     for n in [1usize, 2, 3, 4] {
         let q = phi_r_n(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &q, |b, q| {
-            b.iter(|| rewrite_td(q, 10_000_000).unwrap().disjuncts.len())
+        bench(&format!("phi_r/{n}"), || {
+            rewrite_td(&q, 10_000_000).unwrap().disjuncts.len()
         });
     }
-    group.finish();
 }
 
-fn bench_tdk_levels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("marked/rewrite_tdk");
+fn bench_tdk_levels() {
+    group("marked/rewrite_tdk");
     for (hi, lo) in [("i2", "i1"), ("i3", "i2")] {
         let q = phi_n(2, hi, lo);
-        group.bench_with_input(BenchmarkId::new("level", hi), &q, |b, q| {
-            b.iter(|| rewrite_tdk(3, q, 10_000_000).unwrap().disjuncts.len())
+        bench(&format!("level/{hi}"), || {
+            rewrite_tdk(3, &q, 10_000_000).unwrap().disjuncts.len()
         });
     }
-    group.finish();
 }
 
-fn bench_rank_computation(c: &mut Criterion) {
+fn bench_rank_computation() {
     let colors = ColorMap::td();
-    let mut group = c.benchmark_group("marked/qrk");
+    group("marked/qrk");
     for n in [1usize, 2, 3] {
         let seeds = MarkedQuery::markings_of(&phi_r_n(n), &colors).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &seeds, |b, seeds| {
-            b.iter(|| {
-                seeds
-                    .iter()
-                    .map(|s| qrk(s, 2).components().len())
-                    .sum::<usize>()
-            })
+        bench(&format!("phi_r/{n}"), || {
+            seeds
+                .iter()
+                .map(|s| qrk(s, 2).components().len())
+                .sum::<usize>()
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_marked_process, bench_tdk_levels, bench_rank_computation);
-criterion_main!(benches);
+fn main() {
+    bench_marked_process();
+    bench_tdk_levels();
+    bench_rank_computation();
+}

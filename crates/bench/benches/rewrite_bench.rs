@@ -1,60 +1,65 @@
-//! Criterion micro-benchmarks for the UCQ rewriting engine: linear
-//! theories (E7's workload), the sticky Example 39, and divergence probes
-//! under budget (Example 41).
+//! Micro-benchmarks for the UCQ rewriting engine: linear theories (E7's
+//! workload), the sticky Example 39, and divergence probes under budget
+//! (Example 41).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use qr_bench::microbench::{bench, group};
 use qr_core::theories::{ex39, ex41, t_a};
 use qr_rewrite::{rewrite, RewriteBudget};
 use qr_syntax::parse_query;
 
-fn bench_linear_chains(c: &mut Criterion) {
+fn bench_linear_chains() {
     let theory = t_a();
-    let mut group = c.benchmark_group("rewrite/mother_chain");
+    group("rewrite/mother_chain");
     for k in [2usize, 4, 6] {
         let atoms: Vec<String> = (0..k)
             .map(|i| format!("mother(X{i}, X{})", i + 1))
             .collect();
         let q = parse_query(&format!("?(X0) :- {}.", atoms.join(", "))).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(k), &q, |b, q| {
-            b.iter(|| rewrite(&theory, q, RewriteBudget::default()).unwrap().ucq.len())
-        });
-    }
-    group.finish();
-}
-
-fn bench_sticky(c: &mut Criterion) {
-    let theory = ex39();
-    let q = parse_query("?(A,D) :- e(A,B,C,D).").unwrap();
-    c.bench_function("rewrite/sticky_ex39_atomic", |b| {
-        b.iter(|| rewrite(&theory, &q, RewriteBudget::default()).unwrap().ucq.len())
-    });
-}
-
-fn bench_divergent_budget(c: &mut Criterion) {
-    let theory = ex41();
-    let q = parse_query("?(Y,Z) :- r(Y,Z).").unwrap();
-    let mut group = c.benchmark_group("rewrite/ex41_divergence");
-    for max_atoms in [8usize, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(max_atoms), &max_atoms, |b, &m| {
-            b.iter(|| {
-                rewrite(
-                    &theory,
-                    &q,
-                    RewriteBudget {
-                        max_queries: 1024,
-                        max_generated: 100_000,
-                        max_atoms: m,
-                    },
-                )
+        bench(&format!("chain/{k}"), || {
+            rewrite(&theory, &q, RewriteBudget::default())
                 .unwrap()
                 .ucq
                 .len()
-            })
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_linear_chains, bench_sticky, bench_divergent_budget);
-criterion_main!(benches);
+fn bench_sticky() {
+    let theory = ex39();
+    let q = parse_query("?(A,D) :- e(A,B,C,D).").unwrap();
+    group("rewrite/sticky_ex39");
+    bench("atomic", || {
+        rewrite(&theory, &q, RewriteBudget::default())
+            .unwrap()
+            .ucq
+            .len()
+    });
+}
+
+fn bench_divergent_budget() {
+    let theory = ex41();
+    let q = parse_query("?(Y,Z) :- r(Y,Z).").unwrap();
+    group("rewrite/ex41_divergence");
+    for max_atoms in [8usize, 16] {
+        bench(&format!("max_atoms/{max_atoms}"), || {
+            rewrite(
+                &theory,
+                &q,
+                RewriteBudget {
+                    max_queries: 1024,
+                    max_generated: 100_000,
+                    max_atoms,
+                },
+            )
+            .unwrap()
+            .ucq
+            .len()
+        });
+    }
+}
+
+fn main() {
+    bench_linear_chains();
+    bench_sticky();
+    bench_divergent_budget();
+}

@@ -1,19 +1,49 @@
 //! Prints every experiment table of DESIGN.md (E1-E12), streaming each as
 //! it completes.
 //!
-//! Usage: `cargo run -p qr-bench --release --bin harness [e01 e07 ...]`
-//! With no arguments all experiments run in order.
+//! Usage: `cargo run -p qr-bench --release --bin harness [--json] [e01 e07 ...]`
+//!
+//! With no experiment arguments all experiments run in order. With
+//! `--json`, per-experiment wall times plus the chase engine's per-round
+//! counters (the E11 workloads re-run under [`qr_chase::ChaseStats`]) are
+//! written to `BENCH_chase.json` in the current directory.
 
 use qr_bench::experiments;
+use qr_bench::report::{self, ExperimentTiming};
 
 fn main() {
-    let filters: Vec<String> = std::env::args().skip(1).map(|s| s.to_ascii_lowercase()).collect();
+    let mut filters: Vec<String> = std::env::args()
+        .skip(1)
+        .map(|s| s.to_ascii_lowercase())
+        .collect();
+    let json = filters.iter().any(|f| f == "--json");
+    filters.retain(|f| f != "--json");
+
+    let mut timings: Vec<ExperimentTiming> = Vec::new();
     for (id, build) in experiments::all() {
         if !filters.is_empty() && !filters.iter().any(|f| f == id) {
             continue;
         }
         let t0 = std::time::Instant::now();
         let table = build();
-        println!("{table}   [{id} total {:?}]\n", t0.elapsed());
+        let wall = t0.elapsed();
+        println!("{table}   [{id} total {wall:?}]\n");
+        timings.push(ExperimentTiming {
+            id: id.to_owned(),
+            wall_ms: wall.as_secs_f64() * 1e3,
+        });
+    }
+
+    if json {
+        let runs = experiments::e11_chase_engine::stats_runs();
+        let rendered = report::render_json(&timings, &runs);
+        let path = "BENCH_chase.json";
+        match std::fs::write(path, rendered) {
+            Ok(()) => println!("wrote {path} ({} chase runs)", runs.len()),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -43,7 +43,15 @@ pub fn table() -> Table {
     let mut t = Table::new(
         "E1  Fig. 1 / Thm 5B(i) — T_d entails φ_R^n on the green path G^{2^n}",
         "entailed at every n; depth grows ~linearly in n, chase size exponentially",
-        &["n", "|G path|", "|φ_R^n|", "entailed", "depth", "chase facts", "ms"],
+        &[
+            "n",
+            "|G path|",
+            "|φ_R^n|",
+            "entailed",
+            "depth",
+            "chase facts",
+            "ms",
+        ],
     );
     for n in 0..=MAX_N {
         let t0 = Instant::now();

@@ -37,12 +37,17 @@ pub fn table() -> Table {
             max_rounds: depth_for(n),
             max_facts: 2_000_000,
         };
-        let support = minimal_support(&t_d(), &db, &phi_r_n(n), &[a, b], budget)
-            .expect("entailed by E1");
+        let support =
+            minimal_support(&t_d(), &db, &phi_r_n(n), &[a, b], budget).expect("entailed by E1");
         let dp = distancing_profile(&t_d(), &db, depth_for(n));
         let (d_ch, ratio) = dp
             .worst
-            .map(|(_, _, d_ch, _)| (d_ch.to_string(), format!("{:.1}", dp.max_ratio.unwrap_or(0.0))))
+            .map(|(_, _, d_ch, _)| {
+                (
+                    d_ch.to_string(),
+                    format!("{:.1}", dp.max_ratio.unwrap_or(0.0)),
+                )
+            })
             .unwrap_or(("-".into(), "-".into()));
         t.row(vec![
             n.to_string(),

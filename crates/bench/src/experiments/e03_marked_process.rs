@@ -18,7 +18,15 @@ pub fn table() -> Table {
     let mut t = Table::new(
         "E3  Thm 5(A) — marked-query process computes rew(φ_R^n) under T_d",
         "terminates; contains the G^{2^n} disjunct; max disjunct size grows exponentially in n",
-        &["n", "|φ_R^n|", "steps", "disjuncts", "max size", "G^{2^n} present", "ms"],
+        &[
+            "n",
+            "|φ_R^n|",
+            "steps",
+            "disjuncts",
+            "max size",
+            "G^{2^n} present",
+            "ms",
+        ],
     );
     for n in 1..=MAX_N {
         let t0 = Instant::now();
@@ -45,7 +53,11 @@ mod tests {
     #[test]
     fn exponential_disjunct_growth() {
         let sizes: Vec<usize> = (1..=3)
-            .map(|n| rewrite_td(&phi_r_n(n), 10_000_000).unwrap().max_disjunct_size())
+            .map(|n| {
+                rewrite_td(&phi_r_n(n), 10_000_000)
+                    .unwrap()
+                    .max_disjunct_size()
+            })
             .collect();
         // Query grows by 2 atoms per n; the max disjunct roughly doubles.
         assert!(sizes[1] >= 2 * sizes[0]);

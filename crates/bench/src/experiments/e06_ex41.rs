@@ -28,7 +28,14 @@ pub fn table() -> Table {
     let mut t = Table::new(
         "E6  Ex. 41 — bd-local but not BDD: rewriting diverges, supports stay small",
         "disjunct count grows with the budget (never Complete); bounded-degree supports ≤ 2",
-        &["budget (max atoms)", "outcome", "disjuncts", "rs", "bd-chain support", "ms"],
+        &[
+            "budget (max atoms)",
+            "outcome",
+            "disjuncts",
+            "rs",
+            "bd-chain support",
+            "ms",
+        ],
     );
     let q = parse_query("?(Y,Z) :- r(Y,Z).").expect("query parses");
     for max_atoms in [8usize, 16, 32] {

@@ -43,7 +43,15 @@ pub fn table() -> Table {
     let mut t = Table::new(
         "E7  Obs. 31 / Thm 3 — linear (local) theories have linear-size rewritings",
         "complete rewritings; rs(ψ) ≤ l·|ψ| with small l (compare E3's exponential rs)",
-        &["theory", "|ψ|", "complete", "disjuncts", "rs", "rs/|ψ|", "ms"],
+        &[
+            "theory",
+            "|ψ|",
+            "complete",
+            "disjuncts",
+            "rs",
+            "rs/|ψ|",
+            "ms",
+        ],
     );
     for k in 1..=6usize {
         let t0 = Instant::now();

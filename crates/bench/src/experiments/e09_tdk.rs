@@ -51,7 +51,16 @@ pub fn table() -> Table {
     let mut t = Table::new(
         "E9  §12 / Thm 6 — T_d^K: the per-level exponential compounds across colours",
         "each level pair yields pure low-colour paths of length 2^n; tower sizes grow with K and n",
-        &["K", "query", "|ψ|", "disjuncts", "max size", "2^n low path", "steps", "ms"],
+        &[
+            "K",
+            "query",
+            "|ψ|",
+            "disjuncts",
+            "max size",
+            "2^n low path",
+            "steps",
+            "ms",
+        ],
     );
     // (1) Per-level single exponential inside T_d^3.
     for (level, hi, lo) in [(1u8, "i2", "i1"), (2u8, "i3", "i2")] {
@@ -111,9 +120,15 @@ mod tests {
 
     #[test]
     fn tower_grows_with_k() {
-        let m2 = rewrite_tdk(2, &tower(2, 1), 1_000_000).unwrap().max_disjunct_size();
-        let m3 = rewrite_tdk(3, &tower(3, 1), 1_000_000).unwrap().max_disjunct_size();
-        let m4 = rewrite_tdk(4, &tower(4, 1), 1_000_000).unwrap().max_disjunct_size();
+        let m2 = rewrite_tdk(2, &tower(2, 1), 1_000_000)
+            .unwrap()
+            .max_disjunct_size();
+        let m3 = rewrite_tdk(3, &tower(3, 1), 1_000_000)
+            .unwrap()
+            .max_disjunct_size();
+        let m4 = rewrite_tdk(4, &tower(4, 1), 1_000_000)
+            .unwrap()
+            .max_disjunct_size();
         assert!(m2 < m3 && m3 < m4, "{m2} {m3} {m4}");
     }
 }

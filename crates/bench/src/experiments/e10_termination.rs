@@ -20,18 +20,30 @@ fn probe_instance(theory: &Theory) -> Instance {
         .iter()
         .filter_map(|p| {
             let name = p.name().as_str();
-            name.strip_prefix('e')?.parse::<usize>().ok().filter(|_| p.arity() == 2)
+            name.strip_prefix('e')?
+                .parse::<usize>()
+                .ok()
+                .filter(|_| p.arity() == 2)
         })
         .max();
     if has("mother") {
         parse_instance("human(abel).").expect("parses")
     } else if let Some(k) = top_ek {
         parse_instance(&format!("e{k}(a,b).")).expect("parses")
-    } else if sig.iter().any(|p| p.name().as_str() == "e" && p.arity() == 4) {
+    } else if sig
+        .iter()
+        .any(|p| p.name().as_str() == "e" && p.arity() == 4)
+    {
         parse_instance("e(a,b1,b2,c1). r(a,c1). r(a,c2).").expect("parses")
-    } else if sig.iter().any(|p| p.name().as_str() == "e" && p.arity() == 3) {
+    } else if sig
+        .iter()
+        .any(|p| p.name().as_str() == "e" && p.arity() == 3)
+    {
         parse_instance("e(a,b,c). r(a,c).").expect("parses")
-    } else if sig.iter().any(|p| p.name().as_str() == "r" && p.arity() == 4) {
+    } else if sig
+        .iter()
+        .any(|p| p.name().as_str() == "r" && p.arity() == 4)
+    {
         // T_c: only cycles exhibit its non-termination.
         qr_core::theories::cycle(3)
     } else if has("g") {
@@ -73,7 +85,8 @@ pub fn table() -> Table {
         } else {
             CoreTermBudget::default()
         };
-        let ait = all_instances_termination(&theory, &db, if name.starts_with("T_d") { 4 } else { 12 });
+        let ait =
+            all_instances_termination(&theory, &db, if name.starts_with("T_d") { 4 } else { 12 });
         let fes = core_termination(&theory, &db, budget);
         t.row(vec![
             name.into(),

@@ -8,15 +8,18 @@
 use std::time::Instant;
 
 use qr_chase::{chase, chase_naive, ChaseBudget};
-use qr_core::theories::t_a;
-use qr_syntax::{parse_theory, Fact, Instance, Pred, Symbol, TermId};
+use qr_core::theories::{t_a, t_d};
+use qr_syntax::{parse_theory, Fact, Instance, Pred, Symbol, TermId, Theory};
 
+use crate::report::ChaseRun;
 use crate::Table;
 
 /// A pseudo-random edge instance over `n` vertices with `m` edges
 /// (deterministic LCG so the harness is reproducible).
 pub fn random_graph(n: usize, m: usize, seed: u64) -> Instance {
-    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     let mut next = || {
         state = state
             .wrapping_mul(6364136223846793005)
@@ -39,12 +42,72 @@ pub fn random_graph(n: usize, m: usize, seed: u64) -> Instance {
     inst
 }
 
+fn measured_run(label: &str, theory: &Theory, db: &Instance, budget: ChaseBudget) -> ChaseRun {
+    let t0 = Instant::now();
+    let ch = chase(theory, db, budget);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    ChaseRun {
+        workload: label.to_owned(),
+        engine: "semi-naive",
+        wall_ms,
+        facts_out: ch.instance.len(),
+        rounds_run: ch.rounds,
+        stats: ch.stats,
+    }
+}
+
+/// The chase workloads E11 measures, re-run with the semi-naive engine and
+/// their per-round [`qr_chase::ChaseStats`] captured — this is what the
+/// harness's `--json` mode writes to `BENCH_chase.json`.
+pub fn stats_runs() -> Vec<ChaseRun> {
+    let mut out = Vec::new();
+    let tc = parse_theory("e(X,Y), e(Y,Z) -> e(X,Z).").expect("parses");
+    for (n, m) in [(24usize, 40usize), (40, 80), (60, 120)] {
+        let db = random_graph(n, m, 0xC0FFEE + n as u64);
+        let budget = ChaseBudget {
+            max_rounds: 12,
+            max_facts: 2_000_000,
+        };
+        out.push(measured_run(&format!("TC on G({n},{m})"), &tc, &db, budget));
+    }
+    let db = qr_syntax::parse_instance("human(abel). human(cain).").expect("parses");
+    out.push(measured_run(
+        "T_a chain depth 12",
+        &t_a(),
+        &db,
+        ChaseBudget {
+            max_rounds: 12,
+            max_facts: 2_000_000,
+        },
+    ));
+    // The grid workload: T_d (Definition 45) grows a grid of fresh terms —
+    // heavy on dom-delta sweeps and existential head application.
+    let db = random_graph(6, 9, 0xD_0D0);
+    out.push(measured_run(
+        "T_d grid depth 5",
+        &t_d(),
+        &db,
+        ChaseBudget {
+            max_rounds: 5,
+            max_facts: 2_000_000,
+        },
+    ));
+    out
+}
+
 /// The E11 table.
 pub fn table() -> Table {
     let mut t = Table::new(
         "E11  Obs. 8 / §3 — engine properties: semi-naive speedup, literal chase equality",
         "identical prefixes; semi-naive faster on recursive Datalog; Obs. 8 holds on all samples",
-        &["workload", "facts out", "naive ms", "semi-naive ms", "equal prefixes", "Obs.8 ok"],
+        &[
+            "workload",
+            "facts out",
+            "naive ms",
+            "semi-naive ms",
+            "equal prefixes",
+            "Obs.8 ok",
+        ],
     );
     let tc = parse_theory("e(X,Y), e(Y,Z) -> e(X,Z).").expect("parses");
     for (n, m) in [(24usize, 40usize), (40, 80), (60, 120)] {
@@ -59,8 +122,7 @@ pub fn table() -> Table {
         let t1 = Instant::now();
         let fast = chase(&tc, &db, budget);
         let fast_ms = t1.elapsed().as_millis();
-        let equal = (0..=fast.rounds.max(slow.rounds))
-            .all(|i| fast.prefix(i) == slow.prefix(i));
+        let equal = (0..=fast.rounds.max(slow.rounds)).all(|i| fast.prefix(i) == slow.prefix(i));
         // Observation 8 on this theory: pick F = Ch_1(D).
         let f = fast.prefix(1);
         let chf = chase(&tc, &f, budget);
@@ -99,6 +161,31 @@ pub fn table() -> Table {
         equal.to_string(),
         obs8.to_string(),
     ]);
+    // The grid workload: T_d's (grid) rule joins two delta-heavy atoms, so
+    // it exercises the multi-delta trigger dedup and the dom-delta sweeps.
+    let db = random_graph(6, 9, 0xD_0D0);
+    let budget = ChaseBudget {
+        max_rounds: 5,
+        max_facts: 2_000_000,
+    };
+    let t0 = Instant::now();
+    let slow = chase_naive(&t_d(), &db, budget);
+    let naive_ms = t0.elapsed().as_millis();
+    let t1 = Instant::now();
+    let fast = chase(&t_d(), &db, budget);
+    let fast_ms = t1.elapsed().as_millis();
+    let equal = (0..=fast.rounds.max(slow.rounds)).all(|i| fast.prefix(i) == slow.prefix(i));
+    let f = fast.prefix(1);
+    let chf = chase(&t_d(), &f, budget);
+    let obs8 = fast.instance.subset_of(&chf.instance);
+    t.row(vec![
+        "T_d grid depth 5".into(),
+        fast.instance.len().to_string(),
+        naive_ms.to_string(),
+        fast_ms.to_string(),
+        equal.to_string(),
+        obs8.to_string(),
+    ]);
     t
 }
 
@@ -121,6 +208,33 @@ mod tests {
             let fast = chase(&tc, &db, budget);
             let slow = chase_naive(&tc, &db, budget);
             assert_eq!(fast.instance, slow.instance, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stats_runs_carry_round_counters() {
+        let runs = stats_runs();
+        assert_eq!(runs.len(), 5);
+        assert!(runs.iter().any(|r| r.workload.starts_with("T_d grid")));
+        for r in &runs {
+            assert!(!r.stats.rounds.is_empty(), "{} has rounds", r.workload);
+            assert!(r.stats.triggers() > 0, "{} enumerated triggers", r.workload);
+            assert_eq!(
+                r.stats.facts_added() + runs_input_len(&r.workload),
+                r.facts_out
+            );
+        }
+    }
+
+    /// Input sizes of the `stats_runs` workloads, keyed by label.
+    fn runs_input_len(workload: &str) -> usize {
+        match workload {
+            "TC on G(24,40)" => 40,
+            "TC on G(40,80)" => 80,
+            "TC on G(60,120)" => 120,
+            "T_a chain depth 12" => 2,
+            "T_d grid depth 5" => 9,
+            other => panic!("unknown workload {other}"),
         }
     }
 

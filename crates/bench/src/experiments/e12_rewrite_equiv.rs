@@ -58,8 +58,8 @@ pub fn check_equivalence(
     let (mut agree, mut disagree) = (0, 0);
     for tuple in tuples {
         let via_chase = holds(query, &ch.instance, &tuple);
-        let via_rewriting = rewriting_has_true
-            || rewriting.disjuncts().iter().any(|d| holds(d, db, &tuple));
+        let via_rewriting =
+            rewriting_has_true || rewriting.disjuncts().iter().any(|d| holds(d, db, &tuple));
         if via_chase == via_rewriting {
             agree += 1;
         } else {
@@ -77,14 +77,25 @@ pub fn table() -> Table {
         &["theory", "query", "instance", "tuples", "disagree", "ms"],
     );
 
-    // Generic engine cases.
-    let cases: Vec<(&str, Theory, ConjunctiveQuery, Vec<(&str, Instance)>, usize)> = vec![
+    // Generic engine cases: (theory label, theory, query, named instances,
+    // chase depth).
+    type Case = (
+        &'static str,
+        Theory,
+        ConjunctiveQuery,
+        Vec<(&'static str, Instance)>,
+        usize,
+    );
+    let cases: Vec<Case> = vec![
         (
             "T_a",
             t_a(),
             parse_query("?(X) :- mother(X, M).").expect("q"),
             vec![
-                ("family", parse_instance("human(abel). mother(eve, abel).").expect("i")),
+                (
+                    "family",
+                    parse_instance("human(abel). mother(eve, abel).").expect("i"),
+                ),
                 ("humans", parse_instance("human(a). human(b).").expect("i")),
                 ("empty-ish", parse_instance("p(z).").expect("i")),
             ],
@@ -117,8 +128,7 @@ pub fn table() -> Table {
         assert!(r.is_complete(), "{name} rewriting incomplete");
         for (iname, db) in dbs {
             let t0 = Instant::now();
-            let (agree, disagree) =
-                check_equivalence(&theory, &query, &r.ucq, false, &db, depth);
+            let (agree, disagree) = check_equivalence(&theory, &query, &r.ucq, false, &db, depth);
             t.row(vec![
                 name.into(),
                 query.render(),
@@ -178,8 +188,7 @@ mod tests {
         let mr = rewrite_td(&q, 1_000_000).unwrap();
         for m in 1..=3usize {
             let (db, _, _) = green_path(m, &format!("t12x{m}x"));
-            let (_, disagree) =
-                check_equivalence(&td, &q, &mr.ucq(), mr.has_true_disjunct, &db, 4);
+            let (_, disagree) = check_equivalence(&td, &q, &mr.ucq(), mr.has_true_disjunct, &db, 4);
             assert_eq!(disagree, 0, "G^{m}");
         }
     }

@@ -10,9 +10,7 @@
 
 use std::time::Instant;
 
-use qr_classes::exercises::{
-    edge_contraction_bound, observation29_check, production_delay_bound,
-};
+use qr_classes::exercises::{edge_contraction_bound, observation29_check, production_delay_bound};
 use qr_core::theories::{t_a, t_p};
 use qr_syntax::{parse_instance, parse_query, parse_theory, Instance, Theory};
 
@@ -43,10 +41,7 @@ pub fn table() -> Table {
         for n in [4usize, 8, 16] {
             let t0 = Instant::now();
             let db = if name.starts_with("T_a") {
-                parse_instance(&format!(
-                    "human(h{n}). mother(h{n}, m{n}).\n"
-                ))
-                .expect("parses")
+                parse_instance(&format!("human(h{n}). mother(h{n}, m{n}).\n")).expect("parses")
             } else {
                 path(n)
             };
@@ -88,8 +83,10 @@ mod tests {
     #[test]
     fn bdd_flat_tc_grows() {
         let tc = parse_theory("e(X,Y), e(Y,Z) -> e(X,Z).").unwrap();
-        assert!(edge_contraction_bound(&tc, &path(8), 6).unwrap()
-            > edge_contraction_bound(&tc, &path(4), 6).unwrap());
+        assert!(
+            edge_contraction_bound(&tc, &path(8), 6).unwrap()
+                > edge_contraction_bound(&tc, &path(4), 6).unwrap()
+        );
         let tp = t_p();
         assert_eq!(
             edge_contraction_bound(&tp, &path(4), 6),

@@ -17,9 +17,12 @@ pub mod e14_exercises;
 
 use crate::Table;
 
+/// A table-producing experiment entry point.
+pub type ExperimentFn = fn() -> Table;
+
 /// The experiments, as `(id, constructor)` pairs so callers can stream
 /// results as they are produced.
-pub fn all() -> Vec<(&'static str, fn() -> Table)> {
+pub fn all() -> Vec<(&'static str, ExperimentFn)> {
     vec![
         ("e01", e01_td_grid::table),
         ("e02", e02_td_support::table),

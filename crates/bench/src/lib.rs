@@ -6,6 +6,8 @@
 //! doc comment states the paper anchor and the expected shape.
 
 pub mod experiments;
+pub mod microbench;
+pub mod report;
 pub mod table;
 
 pub use table::Table;

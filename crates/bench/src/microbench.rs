@@ -1,0 +1,44 @@
+//! A dependency-free micro-benchmark runner for the `harness = false`
+//! bench binaries (stands in for criterion, which is not vendored).
+//!
+//! Each measurement warms up, then repeats the closure until a small time
+//! budget is spent, reporting min / median / max wall time per iteration.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-iteration time budget for one measurement.
+const BUDGET: Duration = Duration::from_millis(300);
+/// Upper bound on measured iterations (keeps fast closures bounded).
+const MAX_ITERS: usize = 200;
+
+/// Measures `f` and prints one aligned result line under `label`.
+///
+/// The closure's return value is passed through [`black_box`] so the
+/// optimizer cannot elide the computation.
+pub fn bench<T>(label: &str, mut f: impl FnMut() -> T) {
+    for _ in 0..2 {
+        black_box(f());
+    }
+    let mut samples: Vec<Duration> = Vec::new();
+    let start = Instant::now();
+    while samples.len() < MAX_ITERS && (samples.len() < 5 || start.elapsed() < BUDGET) {
+        let t0 = Instant::now();
+        black_box(f());
+        samples.push(t0.elapsed());
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    println!(
+        "{label:<52} min {:>10.2?}  median {:>10.2?}  max {:>10.2?}  ({} iters)",
+        samples[0],
+        median,
+        samples[samples.len() - 1],
+        samples.len()
+    );
+}
+
+/// Prints a group header, criterion-style, before related measurements.
+pub fn group(name: &str) {
+    println!("\n== {name}");
+}

@@ -1,0 +1,158 @@
+//! Machine-readable bench output.
+//!
+//! The harness's `--json` mode serializes per-experiment wall times and the
+//! chase engine's [`ChaseStats`] counters to `BENCH_chase.json`, so the
+//! repo's perf trajectory is recorded as data points across PRs instead of
+//! anecdotes in commit messages. The format is hand-rolled (the workspace
+//! is offline — no serde) but stable: see `render_json` for the schema.
+
+use std::fmt::Write as _;
+
+use qr_chase::ChaseStats;
+
+/// One measured chase run: a named workload plus the engine's own counters.
+pub struct ChaseRun {
+    /// Workload label (matches the E11 table's `workload` column).
+    pub workload: String,
+    /// Which engine ran (`"semi-naive"` / `"naive"`).
+    pub engine: &'static str,
+    /// End-to-end wall time of the run, in milliseconds.
+    pub wall_ms: f64,
+    /// Facts in the final instance.
+    pub facts_out: usize,
+    /// Completed rounds.
+    pub rounds_run: usize,
+    /// Per-round engine counters.
+    pub stats: ChaseStats,
+}
+
+/// Wall time of one whole experiment table.
+pub struct ExperimentTiming {
+    /// Experiment id (`"e11"`, ...).
+    pub id: String,
+    /// Wall time to build the table, in milliseconds.
+    pub wall_ms: f64,
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn ms(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Renders `BENCH_chase.json`: schema tag, per-experiment wall times, and
+/// one entry per chase run with totals and per-round counters.
+pub fn render_json(experiments: &[ExperimentTiming], runs: &[ChaseRun]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"qr-bench/chase-v1\",\n  \"experiments\": [\n");
+    for (i, e) in experiments.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"id\": \"{}\", \"wall_ms\": {}}}{}",
+            escape(&e.id),
+            ms(e.wall_ms),
+            if i + 1 < experiments.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n  \"chase_runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\n      \"workload\": \"{}\",\n      \"engine\": \"{}\",\n      \"wall_ms\": {},\n      \"facts_out\": {},\n      \"rounds_run\": {},\n      \"totals\": {{\"triggers\": {}, \"candidates\": {}, \"facts_added\": {}, \"terms_added\": {}}},\n      \"rounds\": [\n",
+            escape(&r.workload),
+            escape(r.engine),
+            ms(r.wall_ms),
+            r.facts_out,
+            r.rounds_run,
+            r.stats.triggers(),
+            r.stats.candidates(),
+            r.stats.facts_added(),
+            r.stats.terms_added(),
+        );
+        for (j, round) in r.stats.rounds.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "        {{\"round\": {}, \"triggers\": {}, \"candidates\": {}, \"facts_added\": {}, \"terms_added\": {}, \"wall_ms\": {}}}{}",
+                round.round,
+                round.triggers,
+                round.candidates,
+                round.facts_added,
+                round.terms_added,
+                ms(round.wall.as_secs_f64() * 1e3),
+                if j + 1 < r.stats.rounds.len() { "," } else { "" }
+            );
+        }
+        let _ = write!(
+            out,
+            "      ]\n    }}{}\n",
+            if i + 1 < runs.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr_chase::RoundStats;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_escaped_well_formed_json() {
+        let runs = vec![ChaseRun {
+            workload: "TC on \"G(2,2)\"".into(),
+            engine: "semi-naive",
+            wall_ms: 1.5,
+            facts_out: 4,
+            rounds_run: 1,
+            stats: ChaseStats {
+                rounds: vec![RoundStats {
+                    round: 1,
+                    triggers: 2,
+                    candidates: 8,
+                    facts_added: 2,
+                    terms_added: 0,
+                    wall: Duration::from_micros(1500),
+                }],
+            },
+        }];
+        let timings = vec![ExperimentTiming {
+            id: "e11".into(),
+            wall_ms: 10.0,
+        }];
+        let json = render_json(&timings, &runs);
+        assert!(json.contains("\"schema\": \"qr-bench/chase-v1\""));
+        assert!(json.contains("\\\"G(2,2)\\\""));
+        assert!(json.contains("\"wall_ms\": 1.500"));
+        assert!(json.contains("\"candidates\": 8"));
+        // Braces and brackets balance.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // No trailing commas before closers.
+        assert!(!json.contains(",\n  ]"));
+        assert!(!json.contains(",\n      ]"));
+    }
+
+    #[test]
+    fn escape_handles_control_chars() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

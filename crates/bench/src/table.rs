@@ -16,11 +16,7 @@ pub struct Table {
 
 impl Table {
     /// Creates a table with the given title, expectation note and header.
-    pub fn new(
-        title: impl Into<String>,
-        expectation: impl Into<String>,
-        header: &[&str],
-    ) -> Table {
+    pub fn new(title: impl Into<String>, expectation: impl Into<String>, header: &[&str]) -> Table {
         Table {
             title: title.into(),
             expectation: expectation.into(),

@@ -6,19 +6,32 @@
 //! feed triggers of round `i+1`.
 //!
 //! The default engine is *semi-naive*: a trigger is enumerated in round
-//! `i+1` only if it uses at least one fact (or, for `dom`-scoped variables,
-//! one domain term) that first appeared in round `i`. Triggers using only
-//! older facts already fired in an earlier round, so the produced fact sets
-//! `Ch_i` are exactly those of the textbook definition; [`chase_naive`]
-//! re-enumerates everything each round and is used to cross-check this.
+//! `i+1` only if it uses at least one fact (or, for `dom`-scoped variables
+//! and ground `dom` atoms, one domain term) that first appeared in round
+//! `i`. Triggers using only older facts already fired in an earlier round,
+//! so the produced fact sets `Ch_i` are exactly those of the textbook
+//! definition; [`chase_naive`] re-enumerates everything each round and is
+//! used to cross-check this.
+//!
+//! The hot path is compiled per run: each rule gets one [`JoinPlan`] per
+//! enumeration path (per forced body atom), the per-round delta is tracked
+//! as contiguous fact/term index ranges plus a per-predicate index, and a
+//! trigger using several round-`i` delta elements is processed exactly once
+//! — only when it arrives via its *first* delta body atom (paths are
+//! ordered; later paths skip triggers an earlier path already covers), so
+//! no per-trigger hashing or allocation is needed. Every run also fills a
+//! [`ChaseStats`] for observability.
 
 use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+use std::time::Instant;
 
-use qr_hom::matcher::for_each_match;
+use qr_hom::matcher::{Assignment, JoinPlan, MatchCounters};
 use qr_syntax::query::{QAtom, QTerm, Var};
-use qr_syntax::{Fact, Instance, TermId, Theory};
+use qr_syntax::{Fact, FactIdx, Instance, Pred, TermId, Theory};
 
 use crate::skolem::SkolemizedRule;
+use crate::stats::{ChaseStats, RoundStats};
 
 /// Resource limits for a chase run.
 #[derive(Clone, Copy, Debug)]
@@ -59,12 +72,14 @@ pub enum ChaseOutcome {
 }
 
 /// Provenance of one derived fact: which rule fired, on which body image.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Derivation {
     /// Index of the rule in the theory.
     pub rule: usize,
-    /// Indices (into the chase instance) of the non-builtin body facts.
-    pub trigger: Vec<usize>,
+    /// Indices (into the chase instance) of the non-builtin body facts,
+    /// one per regular body atom of the rule (total: recording never drops
+    /// an index).
+    pub trigger: Vec<FactIdx>,
     /// The frontier image `σ(fr(ρ))` (Observation 9) in canonical order.
     pub frontier: Vec<TermId>,
     /// The round in which the fact was added.
@@ -85,11 +100,15 @@ pub struct Chase {
     pub outcome: ChaseOutcome,
     /// For each fact index, its first derivation (`None` for input facts).
     pub derivations: Vec<Option<Derivation>>,
-    /// With [`chase_all`], **every** distinct derivation of each fact
-    /// (semi-naive enumeration visits each trigger exactly once, so this is
-    /// the complete set of rule applications producing the fact). Empty in
-    /// normal mode.
+    /// With [`chase_all`], **every** distinct derivation of each fact:
+    /// semi-naive evaluation visits each trigger in exactly one round via
+    /// exactly one enumeration path, and assignments that collapse to the
+    /// same `(rule, trigger, frontier)` are deduplicated within the round,
+    /// so each distinct derivation appears exactly once. Empty in normal
+    /// mode.
     pub all_derivations: Vec<Vec<Derivation>>,
+    /// Per-round engine counters (triggers, matcher work, growth, time).
+    pub stats: ChaseStats,
 }
 
 impl Chase {
@@ -102,7 +121,8 @@ impl Chase {
             self.instance
                 .iter()
                 .enumerate()
-                .filter_map(|(i, f)| (self.round_of[i] <= n).then(|| f.clone())),
+                .filter(|&(i, _f)| self.round_of[i] <= n)
+                .map(|(_i, f)| f.clone()),
         )
     }
 
@@ -136,12 +156,31 @@ impl Chase {
     }
 }
 
+/// A rule compiled for the chase loop: Skolemization, the split of the
+/// body into regular / `dom` atoms, and one pre-compiled [`JoinPlan`] per
+/// semi-naive enumeration path (built once per run, not once per trigger).
 struct RulePlan<'a> {
     rule: &'a qr_syntax::Tgd,
     skolemized: SkolemizedRule,
-    nvars: usize,
-    regular: Vec<usize>, // indices of non-dom body atoms
-    dom: Vec<usize>,     // indices of dom body atoms
+    /// Indices of non-dom body atoms.
+    regular: Vec<usize>,
+    /// `dom` atoms whose argument is a variable: `(body index, var)`.
+    dom_var: Vec<(usize, Var)>,
+    /// Ground `dom` atoms: `(body index, constant term)`.
+    dom_ground: Vec<(usize, TermId)>,
+    /// For each body index, its position in `regular` (None for dom atoms);
+    /// maps match-trail entries to trigger slots.
+    reg_pos: Vec<Option<usize>>,
+    /// The whole body (naive mode; empty-body rules).
+    full: JoinPlan,
+    /// Per regular atom `k`: the body minus atom `k`, compiled with atom
+    /// `k`'s variables assumed bound (they come from the forced delta fact).
+    by_regular: Vec<JoinPlan>,
+    /// Per dom-var atom: the body minus that atom, with its variable bound.
+    by_dom_var: Vec<JoinPlan>,
+    /// Per ground-dom atom: the body minus that atom (the constant's
+    /// delta-ness is checked outside the matcher).
+    by_dom_ground: Vec<JoinPlan>,
 }
 
 fn plans(theory: &Theory) -> Vec<RulePlan<'_>> {
@@ -149,14 +188,56 @@ fn plans(theory: &Theory) -> Vec<RulePlan<'_>> {
         .rules()
         .iter()
         .map(|rule| {
-            let (regular, dom): (Vec<usize>, Vec<usize>) = (0..rule.body().len())
-                .partition(|&i| !rule.body()[i].pred.is_dom());
+            let body = rule.body();
+            let nvars = rule.var_names().len();
+            let mut regular = Vec::new();
+            let mut dom_var = Vec::new();
+            let mut dom_ground = Vec::new();
+            let mut reg_pos = vec![None; body.len()];
+            for (i, atom) in body.iter().enumerate() {
+                if !atom.pred.is_dom() {
+                    reg_pos[i] = Some(regular.len());
+                    regular.push(i);
+                } else {
+                    match atom.args[0] {
+                        QTerm::Var(v) => dom_var.push((i, v)),
+                        QTerm::Const(c) => dom_ground.push((i, TermId::constant(c))),
+                    }
+                }
+            }
+            let rest_of = |skip: usize| -> Vec<QAtom> {
+                body.iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != skip)
+                    .map(|(_, a)| a.clone())
+                    .collect()
+            };
+            let by_regular = regular
+                .iter()
+                .map(|&k| {
+                    let bound: Vec<Var> = body[k].vars().collect();
+                    JoinPlan::compile(rest_of(k), nvars, &bound)
+                })
+                .collect();
+            let by_dom_var = dom_var
+                .iter()
+                .map(|&(k, v)| JoinPlan::compile(rest_of(k), nvars, &[v]))
+                .collect();
+            let by_dom_ground = dom_ground
+                .iter()
+                .map(|&(k, _)| JoinPlan::compile(rest_of(k), nvars, &[]))
+                .collect();
             RulePlan {
                 rule,
                 skolemized: SkolemizedRule::new(rule),
-                nvars: rule.var_names().len(),
                 regular,
-                dom,
+                dom_var,
+                dom_ground,
+                reg_pos,
+                full: JoinPlan::compile(body.to_vec(), nvars, &[]),
+                by_regular,
+                by_dom_var,
+                by_dom_ground,
             }
         })
         .collect()
@@ -175,16 +256,14 @@ fn unify_atom_fact(atom: &QAtom, fact: &Fact, out: &mut Vec<(Var, TermId)>) -> b
                     return false;
                 }
             }
-            QTerm::Var(v) => {
-                match out.iter().find(|(u, _)| u == v) {
-                    Some((_, bound)) if *bound != ft => {
-                        out.truncate(start);
-                        return false;
-                    }
-                    Some(_) => {}
-                    None => out.push((*v, ft)),
+            QTerm::Var(v) => match out.iter().find(|(u, _)| u == v) {
+                Some((_, bound)) if *bound != ft => {
+                    out.truncate(start);
+                    return false;
                 }
-            }
+                Some(_) => {}
+                None => out.push((*v, ft)),
+            },
         }
     }
     true
@@ -208,6 +287,195 @@ pub fn chase_all(theory: &Theory, db: &Instance, budget: ChaseBudget) -> Chase {
     run_chase(theory, db, budget, true, true)
 }
 
+/// Which semi-naive enumeration path produced a body match. Paths are
+/// ordered (regular atoms by body position, then dom-var atoms, then
+/// ground-dom atoms); a trigger is processed only when it arrives via its
+/// *first* delta body atom, so multi-delta triggers are handled exactly
+/// once per round with no hashing.
+#[derive(Clone, Copy)]
+enum Path {
+    /// The whole body (naive mode / empty bodies): every match is unique.
+    Full,
+    /// Regular atom at position `k` of `RulePlan::regular` was forced onto
+    /// the fact delta; the forced fact's index rides along.
+    Regular(usize, FactIdx),
+    /// Dom-var atom at position `k` of `RulePlan::dom_var` was forced onto
+    /// the term delta.
+    DomVar(usize),
+    /// Ground-dom atom at position `k` of `RulePlan::dom_ground` joined
+    /// the delta (its constant is new).
+    DomGround(usize),
+}
+
+/// The previous round's delta, for canonical-path checks: facts with index
+/// `>= fact_start` and terms in `new_terms` are new.
+struct DeltaCtx {
+    fact_start: FactIdx,
+    new_terms: HashSet<TermId>,
+}
+
+/// Round-mutable buffers: facts produced this round, provenance extras for
+/// `record_all`, reusable trigger/frontier scratch space, and counters.
+struct RoundBuf {
+    /// New facts with their first derivation, in emission order.
+    fresh: Vec<(Fact, Derivation)>,
+    /// Set view of `fresh` for O(1) duplicate checks.
+    fresh_set: HashSet<Fact>,
+    /// `record_all`: further derivations of facts already in `fresh`.
+    fresh_extra: Vec<(Fact, Derivation)>,
+    /// `record_all`: derivations of facts already in the instance.
+    existing_extra: Vec<(FactIdx, Derivation)>,
+    /// `record_all` only: derivation values recorded this round, so two
+    /// assignments differing only on a non-frontier dom variable don't
+    /// register the same `(rule, trigger, frontier)` twice.
+    seen_derivs: HashSet<(usize, Vec<FactIdx>, Vec<TermId>)>,
+    /// Scratch: the current trigger, one slot per regular body atom.
+    trigger_buf: Vec<FactIdx>,
+    /// Scratch: the current frontier image.
+    frontier_buf: Vec<TermId>,
+    /// Triggers enumerated (complete body matches, pre-dedup).
+    triggers: u64,
+}
+
+impl RoundBuf {
+    fn new() -> RoundBuf {
+        RoundBuf {
+            fresh: Vec::new(),
+            fresh_set: HashSet::new(),
+            fresh_extra: Vec::new(),
+            existing_extra: Vec::new(),
+            seen_derivs: HashSet::new(),
+            trigger_buf: Vec::new(),
+            frontier_buf: Vec::new(),
+            triggers: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.fresh.clear();
+        self.fresh_set.clear();
+        self.fresh_extra.clear();
+        self.existing_extra.clear();
+        self.seen_derivs.clear();
+        self.triggers = 0;
+    }
+}
+
+/// Processes one complete body match: reconstructs the trigger from the
+/// match trail (totally — one fact index per regular atom, no hash
+/// re-probing), drops non-canonical arrivals of multi-delta triggers,
+/// instantiates the head, and stages the produced facts.
+#[allow(clippy::too_many_arguments)]
+fn emit(
+    plan: &RulePlan<'_>,
+    ridx: usize,
+    round: usize,
+    asg: &Assignment,
+    trail: &[(usize, usize)],
+    path: Path,
+    delta: &DeltaCtx,
+    instance: &Instance,
+    buf: &mut RoundBuf,
+    record_all: bool,
+) {
+    buf.triggers += 1;
+    // Rebuild the trigger from the trail. The rest-plans omit one body
+    // atom, so trail atom indices at or past the omitted one shift by one.
+    buf.trigger_buf.clear();
+    buf.trigger_buf.resize(plan.regular.len(), FactIdx::MAX);
+    let skipped = match path {
+        Path::Full => None,
+        Path::Regular(k, forced) => {
+            buf.trigger_buf[k] = forced;
+            Some(plan.regular[k])
+        }
+        Path::DomVar(k) => Some(plan.dom_var[k].0),
+        Path::DomGround(k) => Some(plan.dom_ground[k].0),
+    };
+    for &(ai, fi) in trail {
+        let bi = match skipped {
+            Some(s) if ai >= s => ai + 1,
+            _ => ai,
+        };
+        let pos = plan.reg_pos[bi].expect("trail entries are regular atoms");
+        buf.trigger_buf[pos] = fi;
+    }
+    assert!(
+        !buf.trigger_buf.contains(&FactIdx::MAX),
+        "trigger recording must cover every regular body atom"
+    );
+    let term_of = |v: Var| asg[v.index()].expect("bound body var");
+
+    // Canonical-path check: process the trigger only if no earlier path
+    // also reaches it this round (i.e. the forced atom is the trigger's
+    // first delta body atom).
+    let regular_delta_before = |k: usize| -> bool {
+        buf.trigger_buf[..k]
+            .iter()
+            .any(|&fi| fi >= delta.fact_start)
+    };
+    let dom_var_delta_before = |k: usize| -> bool {
+        plan.dom_var[..k]
+            .iter()
+            .any(|&(_, v)| delta.new_terms.contains(&term_of(v)))
+    };
+    match path {
+        Path::Full => {}
+        Path::Regular(k, _) => {
+            if regular_delta_before(k) {
+                return;
+            }
+        }
+        Path::DomVar(k) => {
+            if regular_delta_before(plan.regular.len()) || dom_var_delta_before(k) {
+                return;
+            }
+        }
+        Path::DomGround(k) => {
+            if regular_delta_before(plan.regular.len())
+                || dom_var_delta_before(plan.dom_var.len())
+                || plan.dom_ground[..k]
+                    .iter()
+                    .any(|&(_, c)| delta.new_terms.contains(&c))
+            {
+                return;
+            }
+        }
+    }
+
+    buf.frontier_buf.clear();
+    buf.frontier_buf
+        .extend(plan.skolemized.frontier.iter().map(|v| term_of(*v)));
+    if record_all {
+        let key = (ridx, buf.trigger_buf.clone(), buf.frontier_buf.clone());
+        if !buf.seen_derivs.insert(key) {
+            return;
+        }
+    }
+    let facts = plan
+        .skolemized
+        .apply_with_frontier(plan.rule, &buf.frontier_buf, term_of);
+    for fact in facts {
+        let is_new = !instance.contains(&fact) && !buf.fresh_set.contains(&fact);
+        if !is_new && !record_all {
+            continue;
+        }
+        let deriv = Derivation {
+            rule: ridx,
+            trigger: buf.trigger_buf.clone(),
+            frontier: buf.frontier_buf.clone(),
+            round,
+        };
+        if let Some(idx) = instance.index_of(&fact) {
+            buf.existing_extra.push((idx, deriv));
+        } else if buf.fresh_set.insert(fact.clone()) {
+            buf.fresh.push((fact, deriv));
+        } else {
+            buf.fresh_extra.push((fact, deriv));
+        }
+    }
+}
+
 fn run_chase(
     theory: &Theory,
     db: &Instance,
@@ -220,166 +488,218 @@ fn run_chase(
     let mut round_of: Vec<usize> = vec![0; instance.len()];
     let mut derivations: Vec<Option<Derivation>> = vec![None; instance.len()];
     let mut all_derivations: Vec<Vec<Derivation>> = vec![Vec::new(); instance.len()];
-    let mut domain_round: HashMap<TermId, usize> =
-        instance.domain().iter().map(|t| (*t, 0)).collect();
     let mut outcome = ChaseOutcome::Exhausted;
     let mut rounds = 0;
+    let mut stats = ChaseStats::default();
+
+    // The delta of the previous round, as contiguous index ranges (facts
+    // and domain terms are append-only, so each round owns a dense slice).
+    let mut delta_facts: Range<FactIdx> = 0..instance.len();
+    let mut delta_terms: Range<usize> = 0..instance.domain_len();
+    let mut buf = RoundBuf::new();
 
     for round in 1..=budget.max_rounds {
-        let prev = round - 1;
-        // New facts of this round, collected before insertion ("parallel"
-        // round semantics: triggers only see Ch_{round-1}).
-        let mut fresh: Vec<(Fact, Derivation)> = Vec::new();
-        let mut fresh_set: HashSet<Fact> = HashSet::new();
-        let mut fresh_extra: Vec<(Fact, Derivation)> = Vec::new();
-        let mut existing_extra: Vec<(usize, Derivation)> = Vec::new();
+        let t0 = Instant::now();
+        buf.clear();
+        let mut counters = MatchCounters::default();
 
-        let delta_fact_idxs: Vec<usize> = if semi_naive {
-            (0..instance.len()).filter(|&i| round_of[i] == prev).collect()
-        } else {
-            (0..instance.len()).collect()
-        };
-        let delta_terms: Vec<TermId> = if semi_naive {
-            instance
-                .domain()
-                .iter()
-                .copied()
-                .filter(|t| domain_round.get(t) == Some(&prev))
-                .collect()
-        } else {
-            instance.domain().to_vec()
-        };
-
-        for (ridx, plan) in plans.iter().enumerate() {
-            let body = plan.rule.body();
-            let mut emit = |asg: &[Option<TermId>],
-                            fresh: &mut Vec<(Fact, Derivation)>,
-                            fresh_set: &mut HashSet<Fact>| {
-                let (facts, frontier) = plan
-                    .skolemized
-                    .apply(plan.rule, |v| asg[v.index()].expect("bound body var"));
-                let mut trigger = Vec::with_capacity(plan.regular.len());
-                for &bi in &plan.regular {
-                    let ground = ground_atom(&body[bi], asg);
-                    if let Some(idx) = instance_index_of(&instance, &ground) {
-                        trigger.push(idx);
-                    }
-                }
-                for fact in facts {
-                    let deriv = Derivation {
-                        rule: ridx,
-                        trigger: trigger.clone(),
-                        frontier: frontier.clone(),
-                        round,
-                    };
-                    if instance.contains(&fact) {
-                        if record_all {
-                            if let Some(idx) = instance_index_of(&instance, &fact) {
-                                existing_extra.push((idx, deriv));
-                            }
-                        }
-                    } else if fresh_set.insert(fact.clone()) {
-                        fresh.push((fact, deriv));
-                    } else if record_all {
-                        fresh_extra.push((fact, deriv));
-                    }
-                }
+        if semi_naive {
+            // Per-predicate index over the previous round's fact delta.
+            let mut delta_by_pred: HashMap<Pred, Vec<FactIdx>> = HashMap::new();
+            for fi in delta_facts.clone() {
+                delta_by_pred
+                    .entry(instance.fact(fi).pred)
+                    .or_default()
+                    .push(fi);
+            }
+            let delta_term_slice = &instance.domain()[delta_terms.clone()];
+            let delta = DeltaCtx {
+                fact_start: delta_facts.start,
+                new_terms: delta_term_slice.iter().copied().collect(),
             };
 
-            if semi_naive {
-                // (a) Force each regular body atom into the fact delta.
+            for (ridx, plan) in plans.iter().enumerate() {
+                let body = plan.rule.body();
+                // (a) Force each regular body atom onto the fact delta.
                 for (k, &bi) in plan.regular.iter().enumerate() {
                     let atom = &body[bi];
-                    let rest: Vec<QAtom> = plan
-                        .regular
-                        .iter()
-                        .enumerate()
-                        .filter(|(j, _)| *j != k)
-                        .map(|(_, &b)| body[b].clone())
-                        .chain(plan.dom.iter().map(|&b| body[b].clone()))
-                        .collect();
-                    for &fi in &delta_fact_idxs {
-                        let fact = instance.fact(fi);
-                        if fact.pred != atom.pred {
+                    let Some(delta_idxs) = delta_by_pred.get(&atom.pred) else {
+                        continue;
+                    };
+                    let rest = &plan.by_regular[k];
+                    let mut fixed = Vec::new();
+                    for &fi in delta_idxs {
+                        counters.candidates += 1;
+                        fixed.clear();
+                        if !unify_atom_fact(atom, instance.fact(fi), &mut fixed) {
                             continue;
                         }
-                        let mut fixed = Vec::new();
-                        if !unify_atom_fact(atom, fact, &mut fixed) {
-                            continue;
-                        }
-                        for_each_match(&rest, plan.nvars, &instance, &fixed, |asg| {
-                            emit(asg, &mut fresh, &mut fresh_set);
-                            true
-                        });
+                        rest.for_each_match_with_facts(
+                            &instance,
+                            &fixed,
+                            &mut counters,
+                            |asg, trail| {
+                                emit(
+                                    plan,
+                                    ridx,
+                                    round,
+                                    asg,
+                                    trail,
+                                    Path::Regular(k, fi),
+                                    &delta,
+                                    &instance,
+                                    &mut buf,
+                                    record_all,
+                                );
+                                true
+                            },
+                        );
                     }
                 }
                 // (b) Force each dom-scoped variable onto the domain delta.
-                for (k, &bi) in plan.dom.iter().enumerate() {
-                    let atom = &body[bi];
-                    let Some(v) = atom.args[0].as_var() else { continue };
-                    let rest: Vec<QAtom> = plan
-                        .regular
-                        .iter()
-                        .map(|&b| body[b].clone())
-                        .chain(
-                            plan.dom
-                                .iter()
-                                .enumerate()
-                                .filter(|(j, _)| *j != k)
-                                .map(|(_, &b)| body[b].clone()),
-                        )
-                        .collect();
-                    for &t in &delta_terms {
+                for (k, &(_, v)) in plan.dom_var.iter().enumerate() {
+                    let rest = &plan.by_dom_var[k];
+                    for &t in delta_term_slice {
                         let fixed = [(v, t)];
-                        for_each_match(&rest, plan.nvars, &instance, &fixed, |asg| {
-                            emit(asg, &mut fresh, &mut fresh_set);
-                            true
-                        });
+                        rest.for_each_match_with_facts(
+                            &instance,
+                            &fixed,
+                            &mut counters,
+                            |asg, trail| {
+                                emit(
+                                    plan,
+                                    ridx,
+                                    round,
+                                    asg,
+                                    trail,
+                                    Path::DomVar(k),
+                                    &delta,
+                                    &instance,
+                                    &mut buf,
+                                    record_all,
+                                );
+                                true
+                            },
+                        );
                     }
                 }
-                // (c) Rules with no body at all fire exactly once, in round 1.
-                if body.is_empty() && round == 1 {
-                    for_each_match(&[], plan.nvars, &instance, &[], |asg| {
-                        emit(asg, &mut fresh, &mut fresh_set);
+                // (c) Ground `dom` atoms join the delta exactly when their
+                // constant first enters the active domain (e.g. the body of
+                // `dom(a) -> p(a)` has no variable to force — the constant
+                // itself is the delta).
+                for (k, &(_, c)) in plan.dom_ground.iter().enumerate() {
+                    if !delta.new_terms.contains(&c) {
+                        continue;
+                    }
+                    let rest = &plan.by_dom_ground[k];
+                    rest.for_each_match_with_facts(&instance, &[], &mut counters, |asg, trail| {
+                        emit(
+                            plan,
+                            ridx,
+                            round,
+                            asg,
+                            trail,
+                            Path::DomGround(k),
+                            &delta,
+                            &instance,
+                            &mut buf,
+                            record_all,
+                        );
                         true
                     });
                 }
-            } else {
-                for_each_match(body, plan.nvars, &instance, &[], |asg| {
-                    emit(asg, &mut fresh, &mut fresh_set);
-                    true
-                });
+                // (d) Rules with no body at all fire exactly once, in round 1.
+                if body.is_empty() && round == 1 {
+                    plan.full.for_each_match_with_facts(
+                        &instance,
+                        &[],
+                        &mut counters,
+                        |asg, trail| {
+                            emit(
+                                plan,
+                                ridx,
+                                round,
+                                asg,
+                                trail,
+                                Path::Full,
+                                &delta,
+                                &instance,
+                                &mut buf,
+                                record_all,
+                            );
+                            true
+                        },
+                    );
+                }
+            }
+        } else {
+            let delta = DeltaCtx {
+                fact_start: 0,
+                new_terms: HashSet::new(),
+            };
+            for (ridx, plan) in plans.iter().enumerate() {
+                plan.full
+                    .for_each_match_with_facts(&instance, &[], &mut counters, |asg, trail| {
+                        emit(
+                            plan,
+                            ridx,
+                            round,
+                            asg,
+                            trail,
+                            Path::Full,
+                            &delta,
+                            &instance,
+                            &mut buf,
+                            record_all,
+                        );
+                        true
+                    });
             }
         }
 
-        if fresh.is_empty() {
+        if buf.fresh.is_empty() {
+            stats.rounds.push(RoundStats {
+                round,
+                triggers: buf.triggers,
+                candidates: counters.candidates,
+                facts_added: 0,
+                terms_added: 0,
+                wall: t0.elapsed(),
+            });
             outcome = ChaseOutcome::Fixpoint;
             break;
         }
-        for (fact, deriv) in fresh {
-            for t in fact.terms() {
-                domain_round.entry(t).or_insert(round);
-            }
-            if instance.insert(fact) {
+
+        let facts_before = instance.len();
+        let terms_before = instance.domain_len();
+        for (fact, deriv) in buf.fresh.drain(..) {
+            if instance.insert(fact).is_some() {
                 round_of.push(round);
                 all_derivations.push(vec![deriv.clone()]);
                 derivations.push(Some(deriv));
             }
         }
         if record_all {
-            for (idx, deriv) in existing_extra {
-                if !all_derivations[idx].contains(&deriv) {
-                    all_derivations[idx].push(deriv);
-                }
+            for (idx, deriv) in buf.existing_extra.drain(..) {
+                all_derivations[idx].push(deriv);
             }
-            for (fact, deriv) in fresh_extra {
-                if let Some(idx) = instance_index_of(&instance, &fact) {
-                    if !all_derivations[idx].contains(&deriv) {
-                        all_derivations[idx].push(deriv);
-                    }
-                }
+            for (fact, deriv) in buf.fresh_extra.drain(..) {
+                let idx = instance
+                    .index_of(&fact)
+                    .expect("fresh facts were just inserted");
+                all_derivations[idx].push(deriv);
             }
         }
+        delta_facts = facts_before..instance.len();
+        delta_terms = terms_before..instance.domain_len();
+        stats.rounds.push(RoundStats {
+            round,
+            triggers: buf.triggers,
+            candidates: counters.candidates,
+            facts_added: instance.len() - facts_before,
+            terms_added: instance.domain_len() - terms_before,
+            wall: t0.elapsed(),
+        });
         rounds = round;
         if instance.len() > budget.max_facts {
             break;
@@ -398,31 +718,8 @@ fn run_chase(
         outcome,
         derivations,
         all_derivations,
+        stats,
     }
-}
-
-fn ground_atom(atom: &QAtom, asg: &[Option<TermId>]) -> Fact {
-    Fact::new(
-        atom.pred,
-        atom.args
-            .iter()
-            .map(|t| match t {
-                QTerm::Var(v) => asg[v.index()].expect("bound body var"),
-                QTerm::Const(c) => TermId::constant(*c),
-            })
-            .collect::<Vec<_>>(),
-    )
-}
-
-fn instance_index_of(inst: &Instance, fact: &Fact) -> Option<usize> {
-    // Use the most selective positional index to find the fact's position.
-    if fact.args.is_empty() {
-        return inst.with_pred(fact.pred).iter().copied().find(|&i| inst.fact(i) == fact);
-    }
-    inst.with_pred_pos_term(fact.pred, 0, fact.args[0])
-        .iter()
-        .copied()
-        .find(|&i| inst.fact(i) == fact)
 }
 
 #[cfg(test)]
@@ -445,7 +742,7 @@ mod tests {
         let d = parse_instance("human(abel).").unwrap();
         let ch = chase(&t, &d, ChaseBudget::rounds(6));
         assert_eq!(ch.outcome, ChaseOutcome::Exhausted); // infinite chase
-        // Ch_1 adds mother(abel, mum(abel)).
+                                                         // Ch_1 adds mother(abel, mum(abel)).
         let ch1 = ch.prefix(1);
         assert_eq!(ch1.len(), 2);
         // The paper's query: ∃y,z mother(abel,y), mother(y,z).
@@ -527,6 +824,69 @@ mod tests {
     }
 
     #[test]
+    fn ground_dom_body_rule_fires() {
+        // The body has no regular atom and no dom variable — only the
+        // ground `dom(a)`. The semi-naive engine must still fire it when
+        // `a` enters the active domain (regression: it used to never fire).
+        let t = parse_theory("dom(a) -> p(a).").unwrap();
+        let d = parse_instance("e(a,b).").unwrap();
+        let fast = chase(&t, &d, ChaseBudget::rounds(3));
+        let slow = chase_naive(&t, &d, ChaseBudget::rounds(3));
+        assert_eq!(fast.instance, slow.instance);
+        assert_eq!(fast.rounds, slow.rounds);
+        assert!(fast
+            .instance
+            .contains(&Fact::new(qr_syntax::Pred::new("p", 1), vec![c("a")])));
+        // And when the constant never appears, the rule never fires.
+        let d2 = parse_instance("e(x,y).").unwrap();
+        let ch2 = chase(&t, &d2, ChaseBudget::rounds(3));
+        assert_eq!(ch2.instance.len(), 1);
+    }
+
+    #[test]
+    fn ground_dom_fires_when_constant_arrives_late() {
+        // `a` enters the domain only in round 1 (as a rule-produced
+        // constant), so the ground-dom rule fires in round 2 — in both
+        // engines.
+        let t = parse_theory(
+            "start(X) -> e(X, a).\n\
+             dom(a) -> p(a).",
+        )
+        .unwrap();
+        let d = parse_instance("start(s).").unwrap();
+        let fast = chase(&t, &d, ChaseBudget::rounds(4));
+        let slow = chase_naive(&t, &d, ChaseBudget::rounds(4));
+        assert_eq!(fast.rounds, slow.rounds);
+        for n in 0..=fast.rounds {
+            assert_eq!(fast.prefix(n), slow.prefix(n), "round {n} differs");
+        }
+        let p_a = Fact::new(qr_syntax::Pred::new("p", 1), vec![c("a")]);
+        let idx = fast.instance.index_of(&p_a).expect("p(a) derived");
+        assert_eq!(fast.round_of[idx], 2);
+    }
+
+    #[test]
+    fn mixed_ground_dom_and_regular_atoms() {
+        // A trigger whose only delta contribution is the ground dom
+        // constant: q(s) is old, `a` arrives in round 1.
+        let t = parse_theory(
+            "start(X) -> e(X, a).\n\
+             q(X), dom(a) -> r(X).",
+        )
+        .unwrap();
+        let d = parse_instance("start(s). q(s).").unwrap();
+        let fast = chase(&t, &d, ChaseBudget::rounds(4));
+        let slow = chase_naive(&t, &d, ChaseBudget::rounds(4));
+        assert_eq!(fast.rounds, slow.rounds);
+        for n in 0..=fast.rounds {
+            assert_eq!(fast.prefix(n), slow.prefix(n), "round {n} differs");
+        }
+        assert!(fast
+            .instance
+            .contains(&Fact::new(qr_syntax::Pred::new("r", 1), vec![c("s")])));
+    }
+
+    #[test]
     fn provenance_recorded() {
         let t = parse_theory("e(X,Y), p(Y) -> f(X).").unwrap();
         let d = parse_instance("e(a,b). p(b).").unwrap();
@@ -542,6 +902,78 @@ mod tests {
         assert_eq!(deriv.rule, 0);
         assert_eq!(deriv.trigger.len(), 2);
         assert_eq!(deriv.frontier, vec![c("a")]);
+    }
+
+    #[test]
+    fn provenance_is_total_per_regular_atom() {
+        // Repeated predicates and a repeated fact image: the trigger must
+        // still list one index per regular body atom, in body-atom order.
+        let t = parse_theory("e(X,Y), e(Y,Z), e(X,X) -> f(X,Z).").unwrap();
+        let d = parse_instance("e(a,a). e(a,b).").unwrap();
+        let ch = chase(&t, &d, ChaseBudget::default());
+        assert!(ch.terminated());
+        for (idx, deriv) in ch.derivations.iter().enumerate() {
+            if let Some(d) = deriv {
+                assert_eq!(
+                    d.trigger.len(),
+                    3,
+                    "trigger of fact {:?} must cover all 3 body atoms",
+                    ch.instance.fact(idx)
+                );
+                // Each trigger index points at a fact of the right predicate.
+                for &ti in &d.trigger {
+                    assert_eq!(ch.instance.fact(ti).pred, qr_syntax::Pred::new("e", 2));
+                }
+            }
+        }
+        // f(a,a) (from X=Y=Z=a) and f(a,b) both derived.
+        assert!(ch.instance.contains(&Fact::new(
+            qr_syntax::Pred::new("f", 2),
+            vec![c("a"), c("a")]
+        )));
+        assert!(ch.instance.contains(&Fact::new(
+            qr_syntax::Pred::new("f", 2),
+            vec![c("a"), c("b")]
+        )));
+    }
+
+    #[test]
+    fn multi_delta_trigger_recorded_exactly_once() {
+        // Both body facts of the trigger (e(a,b), e(b,c)) are round-0
+        // delta facts, so step (a) reaches the trigger twice (once per
+        // forced atom); the hashed dedup must keep exactly one derivation.
+        let t = parse_theory("e(X,Y), e(Y,Z) -> f(X,Z).").unwrap();
+        let d = parse_instance("e(a,b). e(b,c).").unwrap();
+        let ch = chase_all(&t, &d, ChaseBudget::default());
+        let fact = Fact::new(qr_syntax::Pred::new("f", 2), vec![c("a"), c("c")]);
+        let idx = ch.instance.index_of(&fact).expect("derived");
+        assert_eq!(
+            ch.all_derivations[idx].len(),
+            1,
+            "one trigger, one derivation: {:?}",
+            ch.all_derivations[idx]
+        );
+    }
+
+    #[test]
+    fn stats_track_rounds_and_growth() {
+        let t = parse_theory("e(X,Y), e(Y,Z) -> e(X,Z).").unwrap();
+        let d = parse_instance("e(a,b). e(b,c). e(c,d).").unwrap();
+        let ch = chase(&t, &d, ChaseBudget::default());
+        assert!(ch.terminated());
+        // Rounds 1..N grew the instance; the last stats entry is the
+        // fixpoint probe that added nothing.
+        assert_eq!(ch.stats.rounds.len(), ch.rounds + 1);
+        assert_eq!(ch.stats.facts_added(), ch.instance.len() - d.len());
+        assert_eq!(ch.stats.rounds.last().unwrap().facts_added, 0);
+        assert!(ch.stats.triggers() > 0);
+        assert!(ch.stats.candidates() > 0);
+        // No fresh terms: transitive closure invents nothing.
+        assert_eq!(ch.stats.terms_added(), 0);
+        // Existential rules do invent terms.
+        let t2 = parse_theory("e(X,Y) -> e(Y,Z).").unwrap();
+        let ch2 = chase(&t2, &d, ChaseBudget::rounds(2));
+        assert_eq!(ch2.stats.terms_added(), ch2.instance.domain_len() - 4);
     }
 
     #[test]

@@ -14,6 +14,7 @@ pub mod engine;
 pub mod model;
 pub mod provenance;
 pub mod skolem;
+pub mod stats;
 
 pub use core_term::{
     all_instances_termination, core_of, core_termination, CoreTermBudget, CoreTermination,
@@ -22,6 +23,7 @@ pub use engine::{chase, chase_all, chase_naive, Chase, ChaseBudget, ChaseOutcome
 pub use model::is_model;
 pub use provenance::{minimal_subset, minimal_support, Provenance};
 pub use skolem::SkolemizedRule;
+pub use stats::{ChaseStats, RoundStats};
 
 use qr_syntax::{ConjunctiveQuery, Instance, TermId, Theory};
 

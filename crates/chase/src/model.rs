@@ -7,7 +7,7 @@
 
 use qr_hom::matcher::{exists_match, for_each_match};
 use qr_syntax::query::{QTerm, Var};
-use qr_syntax::{Instance, TermId, Theory, Tgd};
+use qr_syntax::{Instance, TermId, Tgd, Theory};
 
 /// `true` iff every rule of `theory` is satisfied in `inst`.
 pub fn is_model(inst: &Instance, theory: &Theory) -> bool {

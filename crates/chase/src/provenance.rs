@@ -158,7 +158,10 @@ impl<'a> Provenance<'a> {
 /// `keep`. Requires `keep(base)`; the result satisfies `keep` and dropping
 /// any single fact from it falsifies `keep`.
 pub fn minimal_subset(base: &Instance, mut keep: impl FnMut(&Instance) -> bool) -> Instance {
-    assert!(keep(base), "minimal_subset: base does not satisfy the predicate");
+    assert!(
+        keep(base),
+        "minimal_subset: base does not satisfy the predicate"
+    );
     let mut current = base.clone();
     let facts: Vec<Fact> = base.iter().cloned().collect();
     for f in facts {

@@ -96,21 +96,30 @@ impl SkolemizedRule {
     /// image used by provenance.
     ///
     /// `lookup` maps each frontier variable to its ground term.
-    pub fn apply(
+    pub fn apply(&self, rule: &Tgd, lookup: impl Fn(Var) -> TermId) -> (Vec<Fact>, Vec<TermId>) {
+        let frontier_args: Vec<TermId> = self.frontier.iter().map(|v| lookup(*v)).collect();
+        let facts = self.apply_with_frontier(rule, &frontier_args, lookup);
+        (facts, frontier_args)
+    }
+
+    /// Like [`apply`](Self::apply), but with the frontier image already
+    /// computed by the caller (the chase computes it first, for trigger
+    /// deduplication, and must not pay for it twice). `frontier_args` must
+    /// be `lookup` applied to [`frontier`](Self::frontier), in order.
+    pub fn apply_with_frontier(
         &self,
         rule: &Tgd,
+        frontier_args: &[TermId],
         lookup: impl Fn(Var) -> TermId,
-    ) -> (Vec<Fact>, Vec<TermId>) {
-        let frontier_args: Vec<TermId> = self.frontier.iter().map(|v| lookup(*v)).collect();
+    ) -> Vec<Fact> {
         let term_of = |v: Var| -> TermId {
             if let Some(f) = self.skolem_of.get(&v) {
-                TermId::skolem(*f, &frontier_args)
+                TermId::skolem(*f, frontier_args)
             } else {
                 lookup(v)
             }
         };
-        let facts = rule
-            .head()
+        rule.head()
             .iter()
             .map(|a| {
                 Fact::new(
@@ -124,8 +133,7 @@ impl SkolemizedRule {
                         .collect::<Vec<_>>(),
                 )
             })
-            .collect();
-        (facts, frontier_args)
+            .collect()
     }
 }
 

@@ -1,0 +1,98 @@
+//! Observability for chase runs.
+//!
+//! Every [`run`](crate::engine::chase) fills a [`ChaseStats`] with one
+//! [`RoundStats`] per completed (or attempted) round: how many triggers
+//! were enumerated, how much raw matcher work was done, what the round
+//! produced, and how long it took. The bench harness serializes these
+//! counters to `BENCH_chase.json` so the repo's perf trajectory is
+//! recorded as data, not anecdotes.
+
+use std::time::Duration;
+
+/// Counters for a single chase round.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// The round number (1-based; round 0 is the input instance).
+    pub round: usize,
+    /// Complete body matches enumerated (trigger candidates passed to the
+    /// head-application stage, before fact dedup).
+    pub triggers: u64,
+    /// Candidate facts / domain terms scanned by the matcher while
+    /// extending partial assignments — the engine's raw work measure.
+    pub candidates: u64,
+    /// Facts newly added by this round.
+    pub facts_added: usize,
+    /// Distinct terms that first entered the active domain this round.
+    pub terms_added: usize,
+    /// Wall time spent enumerating and applying this round.
+    pub wall: Duration,
+}
+
+/// Per-run chase statistics: one entry per round, in order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaseStats {
+    /// Per-round counters. The final entry may describe a round that added
+    /// nothing (the fixpoint probe).
+    pub rounds: Vec<RoundStats>,
+}
+
+impl ChaseStats {
+    /// Total triggers enumerated across all rounds.
+    pub fn triggers(&self) -> u64 {
+        self.rounds.iter().map(|r| r.triggers).sum()
+    }
+
+    /// Total matcher candidates scanned across all rounds.
+    pub fn candidates(&self) -> u64 {
+        self.rounds.iter().map(|r| r.candidates).sum()
+    }
+
+    /// Total facts added by rule applications (excludes the input).
+    pub fn facts_added(&self) -> usize {
+        self.rounds.iter().map(|r| r.facts_added).sum()
+    }
+
+    /// Total fresh terms introduced by rule applications.
+    pub fn terms_added(&self) -> usize {
+        self.rounds.iter().map(|r| r.terms_added).sum()
+    }
+
+    /// Total wall time across all rounds.
+    pub fn wall(&self) -> Duration {
+        self.rounds.iter().map(|r| r.wall).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_rounds() {
+        let stats = ChaseStats {
+            rounds: vec![
+                RoundStats {
+                    round: 1,
+                    triggers: 3,
+                    candidates: 10,
+                    facts_added: 2,
+                    terms_added: 1,
+                    wall: Duration::from_micros(5),
+                },
+                RoundStats {
+                    round: 2,
+                    triggers: 4,
+                    candidates: 20,
+                    facts_added: 0,
+                    terms_added: 0,
+                    wall: Duration::from_micros(7),
+                },
+            ],
+        };
+        assert_eq!(stats.triggers(), 7);
+        assert_eq!(stats.candidates(), 30);
+        assert_eq!(stats.facts_added(), 2);
+        assert_eq!(stats.terms_added(), 1);
+        assert_eq!(stats.wall(), Duration::from_micros(12));
+    }
+}

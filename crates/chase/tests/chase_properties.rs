@@ -2,82 +2,169 @@
 //! ≡ naive, determinism (Skolem naming), complete derivation recording,
 //! and prefix monotonicity.
 
-use proptest::prelude::*;
-
 use qr_chase::{chase, chase_all, chase_naive, ChaseBudget, Provenance};
 use qr_syntax::{parse_instance, parse_theory, Instance, Theory};
+use qr_testkit::{check, Rng};
 
-fn edge_instance() -> impl Strategy<Value = Instance> {
-    proptest::collection::vec((0u8..5, 0u8..5), 1..8).prop_map(|pairs| {
-        let mut src = String::new();
-        for (a, b) in pairs {
-            src.push_str(&format!("e(w{a}, w{b}).\n"));
-        }
-        parse_instance(&src).unwrap()
-    })
+fn edge_instance(rng: &mut Rng) -> Instance {
+    let n = rng.range(1, 8);
+    let mut src = String::new();
+    for _ in 0..n {
+        let a = rng.below(5);
+        let b = rng.below(5);
+        src.push_str(&format!("e(w{a}, w{b}).\n"));
+    }
+    parse_instance(&src).unwrap()
 }
 
-fn small_theory() -> impl Strategy<Value = Theory> {
-    prop_oneof![
-        Just(parse_theory("e(X,Y) -> e(Y,Z).").unwrap()),
-        Just(parse_theory("e(X,Y), e(Y,Z) -> e(X,Z).").unwrap()),
-        Just(parse_theory("e(X,Y) -> p(Y).\np(X) -> e(X,W).").unwrap()),
-        Just(parse_theory("e(X,Y), e(Y,X) -> loopy(X).\nloopy(X) -> e(X,Z).").unwrap()),
-        Just(parse_theory("true -> r(X,X).\ndom(X) -> r(X,Z).").unwrap()),
-    ]
+/// A pool of small theories exercising every semi-naive enumeration path:
+/// existential rules, Datalog joins (multi-delta-atom triggers), mutual
+/// recursion, `dom`-scoped variables, and ground `dom` bodies.
+fn small_theory(rng: &mut Rng) -> Theory {
+    let sources = [
+        "e(X,Y) -> e(Y,Z).",
+        "e(X,Y), e(Y,Z) -> e(X,Z).",
+        "e(X,Y) -> p(Y).\np(X) -> e(X,W).",
+        "e(X,Y), e(Y,X) -> loopy(X).\nloopy(X) -> e(X,Z).",
+        "true -> r(X,X).\ndom(X) -> r(X,Z).",
+        // Ground-dom bodies: fire iff the constant enters the active domain.
+        "dom(w1) -> p(w1).\np(X) -> e(X,W).",
+        "e(X,Y) -> e(Y,Z).\ndom(w0), dom(X) -> q(X).",
+        // Multi-delta-atom trigger shapes (both body atoms can be new).
+        "e(X,Y), e(Y,Z) -> f(X,Z).\nf(X,Y), f(Y,Z) -> g(X,Z).",
+    ];
+    parse_theory(rng.pick::<&str>(&sources)).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn semi_naive_equals_naive(theory in small_theory(), db in edge_instance()) {
-        let budget = ChaseBudget { max_rounds: 4, max_facts: 50_000 };
+#[test]
+fn semi_naive_equals_naive() {
+    check("semi_naive_equals_naive", 60, |rng| {
+        let theory = small_theory(rng);
+        let db = edge_instance(rng);
+        let budget = ChaseBudget {
+            max_rounds: 4,
+            max_facts: 50_000,
+        };
         let fast = chase(&theory, &db, budget);
         let slow = chase_naive(&theory, &db, budget);
-        prop_assert_eq!(fast.rounds, slow.rounds);
+        assert_eq!(
+            fast.rounds,
+            slow.rounds,
+            "theory {}\ndb {}",
+            theory.render(),
+            db
+        );
         for i in 0..=fast.rounds {
-            prop_assert_eq!(fast.prefix(i), slow.prefix(i), "round {}", i);
+            assert_eq!(
+                fast.prefix(i),
+                slow.prefix(i),
+                "round {i} differs: theory {}\ndb {}",
+                theory.render(),
+                db
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn chase_is_deterministic(theory in small_theory(), db in edge_instance()) {
-        let budget = ChaseBudget { max_rounds: 4, max_facts: 50_000 };
+#[test]
+fn chase_is_deterministic() {
+    check("chase_is_deterministic", 40, |rng| {
+        let theory = small_theory(rng);
+        let db = edge_instance(rng);
+        let budget = ChaseBudget {
+            max_rounds: 4,
+            max_facts: 50_000,
+        };
         let a = chase(&theory, &db, budget);
         let b = chase(&theory, &db, budget);
         // Literal equality, including fact order (Skolem naming makes the
         // run a pure function of (T, D, budget)).
         let fa: Vec<_> = a.instance.iter().collect();
         let fb: Vec<_> = b.instance.iter().collect();
-        prop_assert_eq!(fa, fb);
-    }
+        assert_eq!(fa, fb);
+    });
+}
 
-    #[test]
-    fn prefixes_are_monotone(theory in small_theory(), db in edge_instance()) {
-        let ch = chase(&theory, &db, ChaseBudget { max_rounds: 4, max_facts: 50_000 });
+#[test]
+fn prefixes_are_monotone() {
+    check("prefixes_are_monotone", 40, |rng| {
+        let theory = small_theory(rng);
+        let db = edge_instance(rng);
+        let ch = chase(
+            &theory,
+            &db,
+            ChaseBudget {
+                max_rounds: 4,
+                max_facts: 50_000,
+            },
+        );
         for i in 1..=ch.rounds {
-            prop_assert!(ch.prefix(i - 1).subset_of(&ch.prefix(i)));
+            assert!(ch.prefix(i - 1).subset_of(&ch.prefix(i)));
         }
-        prop_assert!(db.subset_of(&ch.prefix(0)));
-    }
+        assert!(db.subset_of(&ch.prefix(0)));
+    });
+}
 
-    #[test]
-    fn all_derivations_extend_first(theory in small_theory(), db in edge_instance()) {
-        let budget = ChaseBudget { max_rounds: 3, max_facts: 20_000 };
+#[test]
+fn all_derivations_extend_first() {
+    check("all_derivations_extend_first", 40, |rng| {
+        let theory = small_theory(rng);
+        let db = edge_instance(rng);
+        let budget = ChaseBudget {
+            max_rounds: 3,
+            max_facts: 20_000,
+        };
         let full = chase_all(&theory, &db, budget);
-        prop_assert_eq!(full.all_derivations.len(), full.instance.len());
+        assert_eq!(full.all_derivations.len(), full.instance.len());
         for (i, first) in full.derivations.iter().enumerate() {
             // Input facts (first = None) may still be *re*-derived by rules
             // and collect derivations; derived facts must list their first
             // derivation among all derivations.
             if let Some(d) = first {
-                prop_assert!(full.all_derivations[i].contains(d));
+                assert!(full.all_derivations[i].contains(d));
+            }
+        }
+        // Every recorded derivation list is duplicate-free.
+        for derivs in &full.all_derivations {
+            for (i, d) in derivs.iter().enumerate() {
+                assert!(
+                    !derivs[i + 1..].contains(d),
+                    "duplicate derivation recorded: theory {}\ndb {}",
+                    theory.render(),
+                    db
+                );
             }
         }
         // And the instances agree with the plain run.
         let plain = chase(&theory, &db, budget);
-        prop_assert_eq!(plain.instance, full.instance);
+        assert_eq!(plain.instance, full.instance);
+    });
+}
+
+/// The checked-in proptest regression seed from the original suite:
+/// transitive closure over `{e(w4,w0), e(w0,w1), e(w3,w3)}`.
+#[test]
+fn regression_transitive_closure_with_self_loop() {
+    let theory = parse_theory("e(X,Y), e(Y,Z) -> e(X,Z).").unwrap();
+    let db = parse_instance("e(w4,w0). e(w0,w1). e(w3,w3).").unwrap();
+    let budget = ChaseBudget {
+        max_rounds: 4,
+        max_facts: 50_000,
+    };
+    let fast = chase(&theory, &db, budget);
+    let slow = chase_naive(&theory, &db, budget);
+    assert_eq!(fast.rounds, slow.rounds);
+    for i in 0..=fast.rounds {
+        assert_eq!(fast.prefix(i), slow.prefix(i), "round {i}");
+    }
+    // The closure adds exactly e(w4,w1); the self-loop re-derives itself.
+    assert_eq!(fast.instance.len(), 4);
+    let full = chase_all(&theory, &db, budget);
+    assert_eq!(full.instance, fast.instance);
+    for derivs in &full.all_derivations {
+        for (i, d) in derivs.iter().enumerate() {
+            assert!(!derivs[i + 1..].contains(d), "duplicate derivation");
+        }
     }
 }
 
@@ -95,9 +182,7 @@ fn all_derivations_on_example_66() {
     let chain_fact_idx = ch
         .instance
         .iter()
-        .position(|f| {
-            f.pred.name().as_str() == "e" && !f.is_original()
-        })
+        .position(|f| f.pred.name().as_str() == "e" && !f.is_original())
         .expect("derived e-fact exists");
     assert_eq!(ch.all_derivations[chain_fact_idx].len(), 3);
     // Adversarial ancestors can reach beyond any single recorded choice.

@@ -121,7 +121,9 @@ pub fn distancing_profile(theory: &Theory, db: &Instance, depth: usize) -> Dista
         let from_c_ch: HashMap<TermId, usize> = g_ch.distances_from(c);
         let from_c_db: HashMap<TermId, usize> = g_db.distances_from(c);
         for &c2 in dom.iter().skip(i + 1) {
-            let Some(&d_ch) = from_c_ch.get(&c2) else { continue };
+            let Some(&d_ch) = from_c_ch.get(&c2) else {
+                continue;
+            };
             if d_ch == 0 {
                 continue;
             }

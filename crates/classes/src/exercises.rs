@@ -27,10 +27,7 @@ pub fn edge_contraction_bound(theory: &Theory, db: &Instance, depth: usize) -> O
     let g_db = gaifman::of_instance(db);
     let mut max_d: Option<usize> = None;
     for f in ch.instance.iter() {
-        let input_terms: Vec<TermId> = f
-            .terms()
-            .filter(|t| db.contains_term(*t))
-            .collect();
+        let input_terms: Vec<TermId> = f.terms().filter(|t| db.contains_term(*t)).collect();
         for i in 0..input_terms.len() {
             for j in (i + 1)..input_terms.len() {
                 if input_terms[i] == input_terms[j] {

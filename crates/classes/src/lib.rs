@@ -8,12 +8,12 @@ pub mod empirical;
 pub mod exercises;
 pub mod syntactic;
 
-pub use exercises::{edge_contraction_bound, observation29_check, production_delay_bound};
 pub use empirical::{
     degree, distancing_profile, empirical_locality, locality_profile, DistancingProfile,
     LocalityProfile,
 };
+pub use exercises::{edge_contraction_bound, observation29_check, production_delay_bound};
 pub use syntactic::{
-    has_detached_rules, is_binary, is_connected, is_datalog, is_frontier_guarded,
-    is_frontier_one, is_guarded, is_linear, is_sticky, is_weakly_acyclic,
+    has_detached_rules, is_binary, is_connected, is_datalog, is_frontier_guarded, is_frontier_one,
+    is_guarded, is_linear, is_sticky, is_weakly_acyclic,
 };

@@ -214,8 +214,8 @@ pub fn is_weakly_acyclic(theory: &Theory) -> bool {
         }
         false
     };
-    for u in 0..n {
-        for &(v, special) in &edges[u] {
+    for (u, out_edges) in edges.iter().enumerate().take(n) {
+        for &(v, special) in out_edges {
             if special && reaches(v, u) {
                 return false;
             }
@@ -298,7 +298,9 @@ mod tests {
     fn linear_is_sticky() {
         // Linear theories are trivially sticky (no joins).
         assert!(is_sticky(&t("e(X,Y) -> e(Y,Z).")));
-        assert!(is_sticky(&t("human(Y) -> mother(Y,Z).\nmother(X,Y) -> human(Y).")));
+        assert!(is_sticky(&t(
+            "human(Y) -> mother(Y,Z).\nmother(X,Y) -> human(Y)."
+        )));
     }
 
     #[test]

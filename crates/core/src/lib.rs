@@ -22,10 +22,14 @@ pub mod normalize;
 pub mod ranks;
 pub mod theories;
 
-pub use fusfes::{c_d_of, small_subsets, theorem4_certificate, uniform_bound_profile, UniformBoundProfile};
-pub use marked::{
-    marked_process, rewrite_td, rewrite_tdk, ColorMap, MarkedQuery, MarkedRewriting,
-    ProcessError, ProcessStats, StepResult,
+pub use fusfes::{
+    c_d_of, small_subsets, theorem4_certificate, uniform_bound_profile, UniformBoundProfile,
 };
-pub use normalize::{ancestor_bounds, corollary76_check, lemma70_check, normalize, NormalizeError, Normalized};
+pub use marked::{
+    marked_process, rewrite_td, rewrite_tdk, ColorMap, MarkedQuery, MarkedRewriting, ProcessError,
+    ProcessStats, StepResult,
+};
+pub use normalize::{
+    ancestor_bounds, corollary76_check, lemma70_check, normalize, NormalizeError, Normalized,
+};
 pub use ranks::{erk, qrk, rank_decreases, srk, srk_lt, MultisetNat, QueryRank};

@@ -46,7 +46,9 @@ impl ColorMap {
     /// `T_d^K`'s colours `i1 … iK`.
     pub fn tdk(k: usize) -> ColorMap {
         ColorMap {
-            preds: (1..=k).map(|i| Pred::new(format!("i{i}").as_str(), 2)).collect(),
+            preds: (1..=k)
+                .map(|i| Pred::new(format!("i{i}").as_str(), 2))
+                .collect(),
         }
     }
 
@@ -273,10 +275,8 @@ impl MarkedQuery {
             state.insert(v, 1);
             for &w in adj.get(&v).into_iter().flatten() {
                 match state.get(&w).copied().unwrap_or(0) {
-                    0 => {
-                        if dfs(w, adj, state) {
-                            return true;
-                        }
+                    0 if dfs(w, adj, state) => {
+                        return true;
                     }
                     1 => return true,
                     _ => {}
@@ -305,7 +305,11 @@ impl MarkedQuery {
         let f = |v: u32| if v == from { to } else { v };
         MarkedQuery {
             k: self.k,
-            edges: self.edges.iter().map(|(c, a, b)| (*c, f(*a), f(*b))).collect(),
+            edges: self
+                .edges
+                .iter()
+                .map(|(c, a, b)| (*c, f(*a), f(*b)))
+                .collect(),
             marked: self.marked.iter().map(|v| f(*v)).collect(),
             answer: self.answer.iter().map(|v| f(*v)).collect(),
             next_var: self.next_var,
@@ -467,7 +471,10 @@ impl MarkedQuery {
             .enumerate()
             .map(|(i, v)| (*v, Var(i as u32)))
             .collect();
-        let names: Vec<Symbol> = vars.iter().map(|v| Symbol::intern(&format!("V{v}"))).collect();
+        let names: Vec<Symbol> = vars
+            .iter()
+            .map(|v| Symbol::intern(&format!("V{v}")))
+            .collect();
         let atoms: Vec<QAtom> = self
             .edges
             .iter()
@@ -508,7 +515,10 @@ impl MarkedQuery {
             .iter()
             .zip(answer)
             .map(|(v, t)| {
-                let idx = vars.iter().position(|u| u == v).expect("answer var present");
+                let idx = vars
+                    .iter()
+                    .position(|u| u == v)
+                    .expect("answer var present");
                 (Var(idx as u32), *t)
             })
             .collect();
@@ -519,11 +529,9 @@ impl MarkedQuery {
             chase_instance,
             &fixed,
             |asg| {
-                let respects_marking = vars.iter().enumerate().all(|(i, v)| {
-                    match asg[i] {
-                        Some(t) => dom_d.contains(&t) == self.marked.contains(v),
-                        None => false,
-                    }
+                let respects_marking = vars.iter().enumerate().all(|(i, v)| match asg[i] {
+                    Some(t) => dom_d.contains(&t) == self.marked.contains(v),
+                    None => false,
                 });
                 if respects_marking {
                     found = true;
@@ -572,7 +580,12 @@ impl MarkedQuery {
             edges.insert((c, ends[0], ends[1]));
         }
         let answer: Vec<u32> = q.answer_vars().iter().map(|v| v.0).collect();
-        let base = MarkedQuery::new(colors.k() as u8, edges.clone(), answer.clone(), answer.clone());
+        let base = MarkedQuery::new(
+            colors.k() as u8,
+            edges.clone(),
+            answer.clone(),
+            answer.clone(),
+        );
         let existential: Vec<u32> = base
             .vars()
             .into_iter()
@@ -619,7 +632,11 @@ impl MarkedRewriting {
 
     /// The paper's `rs` measure over the produced disjuncts.
     pub fn max_disjunct_size(&self) -> usize {
-        self.disjuncts.iter().map(ConjunctiveQuery::size).max().unwrap_or(0)
+        self.disjuncts
+            .iter()
+            .map(ConjunctiveQuery::size)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -638,12 +655,12 @@ pub fn marked_process(
     let mut dropped_improper = 0usize;
 
     let push = |q: MarkedQuery,
-                    work: &mut VecDeque<MarkedQuery>,
-                    terminal: &mut Vec<MarkedQuery>,
-                    terminal_keys: &mut HashSet<String>,
-                    has_true: &mut bool,
-                    seen: &mut HashSet<String>,
-                    dropped_improper: &mut usize| {
+                work: &mut VecDeque<MarkedQuery>,
+                terminal: &mut Vec<MarkedQuery>,
+                terminal_keys: &mut HashSet<String>,
+                has_true: &mut bool,
+                seen: &mut HashSet<String>,
+                dropped_improper: &mut usize| {
         // cut/fuse can produce improperly marked queries (e.g. fuse closing
         // an unmarked cycle); by Observation 50 those are unsatisfiable, so
         // they are discarded. This also keeps Lemma 55's guarantee (every

@@ -291,10 +291,22 @@ pub fn corollary76_check(
     );
     let datalog = Theory::new(
         "t_dl",
-        theory.rules().iter().filter(|r| r.is_datalog()).cloned().collect(),
+        theory
+            .rules()
+            .iter()
+            .filter(|r| r.is_datalog())
+            .cloned()
+            .collect(),
     );
     let closed = chase(&datalog, &base, ChaseBudget::rounds(depth + 4));
-    let ch = chase(theory, db, ChaseBudget { max_rounds: depth, max_facts: 500_000 });
+    let ch = chase(
+        theory,
+        db,
+        ChaseBudget {
+            max_rounds: depth,
+            max_facts: 500_000,
+        },
+    );
     ch.instance.subset_of(&closed.instance)
 }
 
@@ -316,7 +328,9 @@ pub fn existential_ancestor_union(
     let prov = Provenance::new(&ch);
     let mut union = std::collections::HashSet::new();
     for i in 0..ch.instance.len() {
-        let Some(d) = &ch.derivations[i] else { continue };
+        let Some(d) = &ch.derivations[i] else {
+            continue;
+        };
         if theory.rules()[d.rule].is_datalog() {
             continue;
         }

@@ -73,11 +73,7 @@ impl QueryRank {
 /// (Definition 62). Returns `None` if no hike reaches `α`.
 pub fn erk(q: &MarkedQuery, red_color: u8, alpha: Edge) -> Option<u128> {
     let (alpha_c, a_from, a_to) = alpha;
-    assert_eq!(
-        alpha_c,
-        red_color - 1,
-        "erk_i ranks atoms of colour i−1"
-    );
+    assert_eq!(alpha_c, red_color - 1, "erk_i ranks atoms of colour i−1");
     let reds: Vec<Edge> = q
         .edges()
         .iter()
@@ -116,8 +112,10 @@ pub fn erk(q: &MarkedQuery, red_color: u8, alpha: Edge) -> Option<u128> {
             }
         }
 
-        let push = |s: State, c: u128, dist: &mut HashMap<State, u128>,
-                        heap: &mut BinaryHeap<(std::cmp::Reverse<u128>, State)>| {
+        let push = |s: State,
+                    c: u128,
+                    dist: &mut HashMap<State, u128>,
+                    heap: &mut BinaryHeap<(std::cmp::Reverse<u128>, State)>| {
             if dist.get(&s).is_none_or(|&old| c < old) {
                 dist.insert(s, c);
                 heap.push((std::cmp::Reverse(c), s));
@@ -255,8 +253,7 @@ mod tests {
         for n in [1, 2] {
             let colors = ColorMap::td();
             let seeds = MarkedQuery::markings_of(&phi_r_n(n), &colors).unwrap();
-            let mut work: Vec<MarkedQuery> =
-                seeds.into_iter().filter(|q| q.is_live()).collect();
+            let mut work: Vec<MarkedQuery> = seeds.into_iter().filter(|q| q.is_live()).collect();
             let mut steps = 0;
             while let Some(q) = work.pop() {
                 steps += 1;

@@ -3,8 +3,7 @@
 //! theory matches the paper.
 
 use qr_syntax::{
-    parse_instance, parse_query, parse_theory, ConjunctiveQuery, Instance, Symbol, TermId,
-    Theory,
+    parse_instance, parse_query, parse_theory, ConjunctiveQuery, Instance, Symbol, TermId, Theory,
 };
 
 /// Example 1: `Human(y) ⇒ ∃z Mother(y,z)`; `Mother(x,y) ⇒ Human(y)`.

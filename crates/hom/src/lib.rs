@@ -13,6 +13,9 @@ pub mod qcore;
 pub mod structure;
 
 pub use containment::{contains, equivalent};
-pub use matcher::{all_answers, all_homs, exists_match, find_hom, holds, holds_ucq, Assignment};
+pub use matcher::{
+    all_answers, all_homs, exists_match, find_hom, holds, holds_ucq, Assignment, JoinPlan,
+    MatchCounters,
+};
 pub use qcore::query_core;
 pub use structure::{instance_hom, structure_core};

@@ -2,8 +2,17 @@
 //!
 //! Matches a list of atoms (a query body or a rule body) against an indexed
 //! instance. Candidate facts are drawn from the most selective available
-//! index; atoms are statically ordered so that each atom shares as many
-//! variables as possible with the atoms matched before it.
+//! index; atoms are ordered so that each atom shares as many variables as
+//! possible with the atoms matched before it.
+//!
+//! Two entry styles exist:
+//!
+//! * [`for_each_match`] plans the atom order on every call (fine for
+//!   one-shot query evaluation);
+//! * [`JoinPlan`] compiles the order **once** and is re-used across many
+//!   invocations — the chase compiles one plan per rule enumeration path
+//!   and replays it for every delta fact, avoiding the per-trigger sorting
+//!   and atom cloning the one-shot path would incur.
 //!
 //! The builtin `dom/1` predicate is supported: `dom(X)` matches every term
 //! of the instance's active domain (this is how the paper's
@@ -17,7 +26,133 @@ use qr_syntax::{Instance, TermId};
 /// A partial variable assignment, indexed by [`Var`] index.
 pub type Assignment = Vec<Option<TermId>>;
 
-/// Enumerates all homomorphisms from `atoms` into `inst` extending `fixed`.
+/// Counters filled in by the planned matcher, feeding the chase's
+/// observability layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MatchCounters {
+    /// Candidate facts (or domain terms) scanned while extending partial
+    /// assignments — the matcher's raw work measure.
+    pub candidates: u64,
+}
+
+/// A compiled join order over a fixed atom list.
+///
+/// The order is chosen once, statically: non-`dom` atoms greedily maximize
+/// the number of positions bound by constants, the externally-bound
+/// variables declared at compile time, or variables of earlier atoms;
+/// `dom` atoms run last (they only filter or sweep the active domain).
+/// Index selection (which positional index to probe) stays dynamic per
+/// call, since it depends on the actual bindings.
+#[derive(Clone, Debug)]
+pub struct JoinPlan {
+    atoms: Vec<QAtom>,
+    /// Indices into `atoms`, in execution order.
+    order: Vec<usize>,
+    nvars: usize,
+}
+
+impl JoinPlan {
+    /// Compiles a plan for `atoms`, assuming the variables in `bound` are
+    /// already assigned when the plan runs. `nvars` must be at least
+    /// `1 + max` variable index used in `atoms` and any later `fixed` list.
+    pub fn compile(atoms: Vec<QAtom>, nvars: usize, bound: &[Var]) -> JoinPlan {
+        let mut bound_vars: HashSet<Var> = bound.iter().copied().collect();
+        let mut remaining: Vec<usize> = (0..atoms.len())
+            .filter(|&i| !atoms[i].pred.is_dom())
+            .collect();
+        let mut order: Vec<usize> = Vec::with_capacity(atoms.len());
+        while !remaining.is_empty() {
+            let (pos_in_remaining, _) = remaining
+                .iter()
+                .enumerate()
+                .map(|(ri, &i)| {
+                    let bound_positions = atoms[i]
+                        .args
+                        .iter()
+                        .filter(|t| match t {
+                            QTerm::Const(_) => true,
+                            QTerm::Var(v) => bound_vars.contains(v),
+                        })
+                        .count();
+                    // Higher bound-position count first; tie-break on fewer
+                    // free positions, then original atom order.
+                    (ri, (usize::MAX - bound_positions, atoms[i].args.len(), i))
+                })
+                .min_by_key(|(_, key)| *key)
+                .expect("remaining is non-empty");
+            let atom_idx = remaining.remove(pos_in_remaining);
+            bound_vars.extend(atoms[atom_idx].vars());
+            order.push(atom_idx);
+        }
+        order.extend((0..atoms.len()).filter(|&i| atoms[i].pred.is_dom()));
+        JoinPlan {
+            atoms,
+            order,
+            nvars,
+        }
+    }
+
+    /// The planned atoms, in declaration (not execution) order.
+    pub fn atoms(&self) -> &[QAtom] {
+        &self.atoms
+    }
+
+    /// The variable-table size the plan was compiled for.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Enumerates all homomorphisms from the planned atoms into `inst`
+    /// extending `fixed`, accumulating scan work into `counters`.
+    ///
+    /// The callback receives each complete assignment and returns `true`
+    /// to continue enumerating. Returns `true` iff the enumeration ran to
+    /// completion (was not stopped by the callback).
+    pub fn for_each_match(
+        &self,
+        inst: &Instance,
+        fixed: &[(Var, TermId)],
+        counters: &mut MatchCounters,
+        mut cb: impl FnMut(&Assignment) -> bool,
+    ) -> bool {
+        self.for_each_match_with_facts(inst, fixed, counters, |asg, _| cb(asg))
+    }
+
+    /// Like [`for_each_match`](Self::for_each_match), but the callback also
+    /// receives the *match trail*: for every non-`dom` atom, the pair
+    /// `(atom index in declaration order, index of the matched fact)`.
+    /// The chase uses this to record trigger provenance without re-probing
+    /// the instance's hash indexes fact-by-fact.
+    pub fn for_each_match_with_facts(
+        &self,
+        inst: &Instance,
+        fixed: &[(Var, TermId)],
+        counters: &mut MatchCounters,
+        mut cb: impl FnMut(&Assignment, &[(usize, usize)]) -> bool,
+    ) -> bool {
+        let mut asg: Assignment = vec![None; self.nvars];
+        for (v, t) in fixed {
+            match asg[v.index()] {
+                Some(prev) if prev != *t => return true, // inconsistent fixing
+                _ => asg[v.index()] = Some(*t),
+            }
+        }
+        let mut trail: Vec<(usize, usize)> = Vec::with_capacity(self.atoms.len());
+        search(
+            &self.atoms,
+            &self.order,
+            0,
+            inst,
+            &mut asg,
+            &mut trail,
+            counters,
+            &mut cb,
+        )
+    }
+}
+
+/// Enumerates all homomorphisms from `atoms` into `inst` extending `fixed`,
+/// planning the join order per call.
 ///
 /// `nvars` must be at least `1 + max` variable index used in `atoms` and
 /// `fixed`. The callback receives each complete assignment and returns
@@ -40,26 +175,39 @@ pub fn for_each_match(
         }
     }
     let order = plan(atoms, &asg, inst);
-    search(&order, 0, inst, &mut asg, &mut cb)
+    let mut counters = MatchCounters::default();
+    let mut trail: Vec<(usize, usize)> = Vec::with_capacity(atoms.len());
+    search(
+        atoms,
+        &order,
+        0,
+        inst,
+        &mut asg,
+        &mut trail,
+        &mut counters,
+        &mut |asg, _| cb(asg),
+    )
 }
 
-/// Static atom ordering: `dom` atoms last; otherwise greedily maximize the
-/// number of already-bound variables, tie-breaking on fewer candidates.
-fn plan<'a>(atoms: &'a [QAtom], asg: &Assignment, inst: &Instance) -> Vec<&'a QAtom> {
-    let (dom, mut rest): (Vec<&QAtom>, Vec<&QAtom>) =
-        atoms.iter().partition(|a| a.pred.is_dom());
+/// Dynamic atom ordering: `dom` atoms last; otherwise greedily maximize the
+/// number of already-bound positions, tie-breaking on fewer index
+/// candidates in the instance at hand.
+fn plan(atoms: &[QAtom], asg: &Assignment, inst: &Instance) -> Vec<usize> {
     let mut bound: HashSet<Var> = asg
         .iter()
         .enumerate()
         .filter_map(|(i, t)| t.map(|_| Var(i as u32)))
         .collect();
-    let mut order: Vec<&QAtom> = Vec::with_capacity(atoms.len());
-    while !rest.is_empty() {
-        let (best_idx, _) = rest
+    let mut remaining: Vec<usize> = (0..atoms.len())
+        .filter(|&i| !atoms[i].pred.is_dom())
+        .collect();
+    let mut order: Vec<usize> = Vec::with_capacity(atoms.len());
+    while !remaining.is_empty() {
+        let (pos_in_remaining, _) = remaining
             .iter()
             .enumerate()
-            .map(|(i, a)| {
-                let bound_positions = a
+            .map(|(ri, &i)| {
+                let bound_positions = atoms[i]
                     .args
                     .iter()
                     .filter(|t| match t {
@@ -67,30 +215,35 @@ fn plan<'a>(atoms: &'a [QAtom], asg: &Assignment, inst: &Instance) -> Vec<&'a QA
                         QTerm::Var(v) => bound.contains(v),
                     })
                     .count();
-                let candidates = inst.with_pred(a.pred).len();
+                let candidates = inst.with_pred(atoms[i].pred).len();
                 // Higher bound-position count first, then fewer candidates.
-                (i, (usize::MAX - bound_positions, candidates))
+                (ri, (usize::MAX - bound_positions, candidates))
             })
             .min_by_key(|(_, key)| *key)
-            .expect("rest is non-empty");
-        let atom = rest.remove(best_idx);
-        bound.extend(atom.vars());
-        order.push(atom);
+            .expect("remaining is non-empty");
+        let atom_idx = remaining.remove(pos_in_remaining);
+        bound.extend(atoms[atom_idx].vars());
+        order.push(atom_idx);
     }
-    order.extend(dom);
+    order.extend((0..atoms.len()).filter(|&i| atoms[i].pred.is_dom()));
     order
 }
 
+#[allow(clippy::too_many_arguments)]
 fn search(
-    order: &[&QAtom],
+    atoms: &[QAtom],
+    order: &[usize],
     depth: usize,
     inst: &Instance,
     asg: &mut Assignment,
-    cb: &mut impl FnMut(&Assignment) -> bool,
+    trail: &mut Vec<(usize, usize)>,
+    counters: &mut MatchCounters,
+    cb: &mut impl FnMut(&Assignment, &[(usize, usize)]) -> bool,
 ) -> bool {
-    let Some(atom) = order.get(depth) else {
-        return cb(asg);
+    let Some(&atom_idx) = order.get(depth) else {
+        return cb(asg, trail);
     };
+    let atom = &atoms[atom_idx];
     if atom.pred.is_dom() {
         let v = match atom.args[0] {
             QTerm::Var(v) => v,
@@ -98,20 +251,21 @@ fn search(
                 // A ground dom atom: holds iff the constant is in the domain.
                 let t = TermId::constant(c);
                 if inst.contains_term(t) {
-                    return search(order, depth + 1, inst, asg, cb);
+                    return search(atoms, order, depth + 1, inst, asg, trail, counters, cb);
                 }
                 return true;
             }
         };
         if let Some(t) = asg[v.index()] {
             if inst.contains_term(t) {
-                return search(order, depth + 1, inst, asg, cb);
+                return search(atoms, order, depth + 1, inst, asg, trail, counters, cb);
             }
             return true;
         }
         for &t in inst.domain() {
+            counters.candidates += 1;
             asg[v.index()] = Some(t);
-            if !search(order, depth + 1, inst, asg, cb) {
+            if !search(atoms, order, depth + 1, inst, asg, trail, counters, cb) {
                 asg[v.index()] = None;
                 return false;
             }
@@ -137,6 +291,7 @@ fn search(
     let candidates = candidates.unwrap_or_else(|| inst.with_pred(atom.pred));
 
     for &fidx in candidates {
+        counters.candidates += 1;
         let fact = inst.fact(fidx);
         let mut newly_bound: Vec<Var> = Vec::new();
         let mut ok = true;
@@ -162,11 +317,16 @@ fn search(
                 },
             }
         }
-        if ok && !search(order, depth + 1, inst, asg, cb) {
-            for v in newly_bound {
-                asg[v.index()] = None;
+        if ok {
+            trail.push((atom_idx, fidx));
+            let keep_going = search(atoms, order, depth + 1, inst, asg, trail, counters, cb);
+            trail.pop();
+            if !keep_going {
+                for v in newly_bound {
+                    asg[v.index()] = None;
+                }
+                return false;
             }
-            return false;
         }
         for v in newly_bound {
             asg[v.index()] = None;
@@ -191,7 +351,12 @@ pub fn find_hom(
 }
 
 /// `true` iff some homomorphism from `atoms` into `inst` extends `fixed`.
-pub fn exists_match(atoms: &[QAtom], nvars: usize, inst: &Instance, fixed: &[(Var, TermId)]) -> bool {
+pub fn exists_match(
+    atoms: &[QAtom],
+    nvars: usize,
+    inst: &Instance,
+    fixed: &[(Var, TermId)],
+) -> bool {
     find_hom(atoms, nvars, inst, fixed).is_some()
 }
 
@@ -348,5 +513,64 @@ mod tests {
         let v = q.answer_vars()[0];
         let homs = all_homs(q.atoms(), 2, &inst, &[(v, c("a")), (v, c("b"))], 0);
         assert!(homs.is_empty());
+    }
+
+    #[test]
+    fn compiled_plan_matches_dynamic_planner() {
+        let inst = parse_instance("e(a,b). e(b,c). e(c,d). p(b). p(c).").unwrap();
+        let q = parse_query("?(X,Z) :- e(X,Y), p(Y), e(Y,Z).").unwrap();
+        let plan = JoinPlan::compile(q.atoms().to_vec(), q.var_names().len(), &[]);
+        let mut planned: Vec<Assignment> = Vec::new();
+        let mut counters = MatchCounters::default();
+        plan.for_each_match(&inst, &[], &mut counters, |asg| {
+            planned.push(asg.clone());
+            true
+        });
+        let mut dynamic: Vec<Assignment> = Vec::new();
+        for_each_match(q.atoms(), q.var_names().len(), &inst, &[], |asg| {
+            dynamic.push(asg.clone());
+            true
+        });
+        planned.sort();
+        dynamic.sort();
+        assert_eq!(planned, dynamic);
+        assert!(counters.candidates > 0, "scan work is counted");
+    }
+
+    #[test]
+    fn compiled_plan_respects_fixed_bindings() {
+        let inst = parse_instance("e(a,b). e(b,c).").unwrap();
+        let q = parse_query("?(X) :- e(X,Y), e(Y,Z).").unwrap();
+        let x = q.answer_vars()[0];
+        let plan = JoinPlan::compile(q.atoms().to_vec(), q.var_names().len(), &[x]);
+        let mut n = 0;
+        plan.for_each_match(&inst, &[(x, c("a"))], &mut MatchCounters::default(), |_| {
+            n += 1;
+            true
+        });
+        assert_eq!(n, 1);
+        // Inconsistent fixing enumerates nothing but completes.
+        let completed = plan.for_each_match(
+            &inst,
+            &[(x, c("a")), (x, c("b"))],
+            &mut MatchCounters::default(),
+            |_| panic!("no match expected"),
+        );
+        assert!(completed);
+    }
+
+    #[test]
+    fn compiled_plan_orders_bound_atoms_first() {
+        // With X pre-bound, the atom e(X,Y) should run before e(Y,Z) even
+        // though both have the same predicate.
+        let q = parse_query("? :- e(Y,Z), e(X,Y).").unwrap();
+        let x = q
+            .var_names()
+            .iter()
+            .position(|n| n.as_str() == "X")
+            .map(|i| Var(i as u32))
+            .unwrap();
+        let plan = JoinPlan::compile(q.atoms().to_vec(), q.var_names().len(), &[x]);
+        assert_eq!(plan.order[0], 1, "the X-anchored atom runs first");
     }
 }

@@ -26,7 +26,8 @@ pub fn query_core(q: &ConjunctiveQuery) -> ConjunctiveQuery {
                 .atoms()
                 .iter()
                 .enumerate()
-                .filter_map(|(i, a)| (i != skip).then(|| a.clone()))
+                .filter(|&(i, _a)| i != skip)
+                .map(|(_i, a)| a.clone())
                 .collect();
             // Dropping an atom may orphan an answer variable; such removals
             // cannot preserve equivalence, so skip them.

@@ -64,8 +64,7 @@ pub fn structure_core(
     frozen: &HashSet<TermId>,
 ) -> (Instance, HashMap<TermId, TermId>) {
     let mut current = inst.clone();
-    let mut retraction: HashMap<TermId, TermId> =
-        inst.domain().iter().map(|t| (*t, *t)).collect();
+    let mut retraction: HashMap<TermId, TermId> = inst.domain().iter().map(|t| (*t, *t)).collect();
     'outer: loop {
         let candidates: Vec<TermId> = current
             .domain()
@@ -82,8 +81,7 @@ pub fn structure_core(
                 .filter(|t| *t != victim)
                 .collect();
             let target = current.induced(&kept);
-            let fixed: HashMap<TermId, TermId> =
-                frozen.iter().map(|t| (*t, *t)).collect();
+            let fixed: HashMap<TermId, TermId> = frozen.iter().map(|t| (*t, *t)).collect();
             if let Some(h) = instance_hom(&current, &target, &fixed) {
                 current = apply_term_map(&current, &h);
                 for img in retraction.values_mut() {

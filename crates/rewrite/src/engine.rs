@@ -59,7 +59,10 @@ impl std::fmt::Display for RewriteError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RewriteError::BuiltinBody { rule } => {
-                write!(f, "rule with builtin body unsupported by piece rewriting: {rule}")
+                write!(
+                    f,
+                    "rule with builtin body unsupported by piece rewriting: {rule}"
+                )
             }
         }
     }
@@ -229,10 +232,7 @@ mod tests {
 
     #[test]
     fn longer_paths_still_one_edge() {
-        let r = run(
-            "e(X,Y) -> e(Y,Z).",
-            "? :- e(A,B), e(B,C), e(C,D), e(D,E).",
-        );
+        let r = run("e(X,Y) -> e(Y,Z).", "? :- e(A,B), e(B,C), e(C,D), e(D,E).");
         assert!(r.is_complete());
         assert_eq!(r.ucq.len(), 1);
         assert_eq!(r.rs(), 1);
@@ -276,10 +276,7 @@ mod tests {
 
     #[test]
     fn guarded_two_rule_theory() {
-        let r = run(
-            "p(X), e(X,Y) -> p(Y).\nq(X) -> p(X).",
-            "? :- p(A).",
-        );
+        let r = run("p(X), e(X,Y) -> p(Y).\nq(X) -> p(X).", "? :- p(A).");
         // p(A) ∨ q(A) ∨ p(B),e(B,A) ∨ q(B),e(B,A) ∨ longer chains... p is
         // propagated along edges, so this is unbounded Datalog-ish — but
         // each new disjunct extends the chain: budget or growth expected.
@@ -291,10 +288,7 @@ mod tests {
         // Example 39: E(x,y,y',t), R(x,t') -> ∃y'' E(x,y',y,t') — for the
         // fully existential atomic query, every rewriting step introduces an
         // e-atom, so all rewrites are subsumed by the query itself.
-        let r = run(
-            "e(X,Y,Y1,T), r(X,T1) -> e(X,Y1,Y2,T1).",
-            "? :- e(A,B,C,D).",
-        );
+        let r = run("e(X,Y,Y1,T), r(X,T1) -> e(X,Y1,Y2,T1).", "? :- e(A,B,C,D).");
         assert!(r.is_complete());
         assert_eq!(r.ucq.len(), 1);
         // Anchoring the spectator and the color makes the r-atom matter.

@@ -21,5 +21,7 @@
 pub mod engine;
 pub mod unify;
 
-pub use engine::{rewrite, rewrite_with_trace, RewriteBudget, RewriteError, RewriteOutcome, Rewriting};
+pub use engine::{
+    rewrite, rewrite_with_trace, RewriteBudget, RewriteError, RewriteOutcome, Rewriting,
+};
 pub use unify::{piece_rewritings, PieceUnifier};

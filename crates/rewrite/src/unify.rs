@@ -70,8 +70,8 @@ struct Space<'a> {
     nr: usize,
     consts: Vec<Symbol>,
     const_ids: HashMap<Symbol, usize>,
-    is_exist: Vec<bool>,   // rule vars
-    is_answer: Vec<bool>,  // query vars
+    is_exist: Vec<bool>,  // rule vars
+    is_answer: Vec<bool>, // query vars
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -367,10 +367,7 @@ fn finish(space: &Space<'_>, piece: &[usize], mut uf: Uf) -> Option<ConjunctiveQ
 
     // Answer variables must still occur in the rewritten body (they do, by
     // admissibility: they never sit in existential classes). Guard anyway.
-    if answer
-        .iter()
-        .any(|v| !atoms.iter().any(|a| a.mentions(*v)))
-    {
+    if answer.iter().any(|v| !atoms.iter().any(|a| a.mentions(*v))) {
         return None;
     }
 

@@ -14,7 +14,13 @@ fn display_var_name(names: &[Symbol], v: crate::query::Var) -> String {
     let raw = names[v.index()].as_str();
     let mut s: String = raw
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     match s.chars().next() {
         Some(c) if c.is_ascii_uppercase() || c == '_' => s,
@@ -108,10 +114,8 @@ mod tests {
 
     #[test]
     fn tgd_round_trip() {
-        let t = parse_theory(
-            "human(X) -> mother(X,Y).\ntrue -> r(X,X).\ndom(X) -> r(X,Z).",
-        )
-        .unwrap();
+        let t =
+            parse_theory("human(X) -> mother(X,Y).\ntrue -> r(X,X).\ndom(X) -> r(X,Z).").unwrap();
         let rendered = t.render();
         let t2 = parse_theory(&rendered).unwrap();
         assert_eq!(t.len(), t2.len());

@@ -71,11 +71,11 @@ impl<N: Eq + Hash + Copy> Graph<N> {
         while let Some(u) = queue.pop_front() {
             let d = dist[&u];
             for &v in &self.adj[&u] {
-                if !dist.contains_key(&v) {
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
                     if v == to {
                         return Some(d + 1);
                     }
-                    dist.insert(v, d + 1);
+                    e.insert(d + 1);
                     queue.push_back(v);
                 }
             }
@@ -94,8 +94,8 @@ impl<N: Eq + Hash + Copy> Graph<N> {
         while let Some(u) = queue.pop_front() {
             let d = dist[&u];
             for &v in &self.adj[&u] {
-                if !dist.contains_key(&v) {
-                    dist.insert(v, d + 1);
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
+                    e.insert(d + 1);
                     queue.push_back(v);
                 }
             }

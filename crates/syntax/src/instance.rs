@@ -38,10 +38,13 @@ impl Instance {
         inst
     }
 
-    /// Inserts a fact; returns `true` if it was not already present.
-    pub fn insert(&mut self, fact: Fact) -> bool {
+    /// Inserts a fact; returns `Some(idx)` with the assigned index if it
+    /// was not already present, `None` for duplicates. Indices are dense
+    /// and insertion-ordered, so the facts of one chase round always form
+    /// a contiguous index range (the chase's delta indexes rely on this).
+    pub fn insert(&mut self, fact: Fact) -> Option<FactIdx> {
         if self.positions.contains_key(&fact) {
-            return false;
+            return None;
         }
         let idx = self.facts.len();
         for t in fact.terms() {
@@ -58,7 +61,7 @@ impl Instance {
         }
         self.positions.insert(fact.clone(), idx);
         self.facts.push(fact);
-        true
+        Some(idx)
     }
 
     /// Inserts all facts from the iterator.
@@ -81,6 +84,19 @@ impl Instance {
     /// Membership test.
     pub fn contains(&self, fact: &Fact) -> bool {
         self.positions.contains_key(fact)
+    }
+
+    /// The index of a fact, if present (O(1) hash lookup; this is how the
+    /// chase records provenance without re-probing positional indexes).
+    pub fn index_of(&self, fact: &Fact) -> Option<FactIdx> {
+        self.positions.get(fact).copied()
+    }
+
+    /// Number of distinct terms in the active domain. Like fact indices,
+    /// the domain grows append-only, so callers can delimit "terms new
+    /// since length `n`" as the suffix `domain()[n..]`.
+    pub fn domain_len(&self) -> usize {
+        self.domain.len()
     }
 
     /// The fact at a given index (insertion order).
@@ -218,15 +234,16 @@ mod tests {
     #[test]
     fn insert_dedups_and_indexes() {
         let mut inst = Instance::new();
-        assert!(inst.insert(e("a", "b")));
-        assert!(!inst.insert(e("a", "b")));
-        assert!(inst.insert(e("b", "c")));
+        assert_eq!(inst.insert(e("a", "b")), Some(0));
+        assert_eq!(inst.insert(e("a", "b")), None);
+        assert_eq!(inst.insert(e("b", "c")), Some(1));
+        assert_eq!(inst.index_of(&e("a", "b")), Some(0));
+        assert_eq!(inst.index_of(&e("b", "c")), Some(1));
+        assert_eq!(inst.index_of(&e("c", "a")), None);
+        assert_eq!(inst.domain_len(), 3);
         assert_eq!(inst.len(), 2);
         assert_eq!(inst.with_pred(Pred::new("e", 2)).len(), 2);
-        assert_eq!(
-            inst.with_pred_pos_term(Pred::new("e", 2), 0, c("b")),
-            &[1]
-        );
+        assert_eq!(inst.with_pred_pos_term(Pred::new("e", 2), 0, c("b")), &[1]);
         assert_eq!(inst.domain(), &[c("a"), c("b"), c("c")]);
     }
 

@@ -249,10 +249,7 @@ impl Parser {
     }
 
     /// Parses `ident` or `ident(t1,…,tk)`; `term` maps an identifier to a QTerm.
-    fn atom(
-        &mut self,
-        term: &mut impl FnMut(&str) -> QTerm,
-    ) -> Result<QAtom, ParseError> {
+    fn atom(&mut self, term: &mut impl FnMut(&str) -> QTerm) -> Result<QAtom, ParseError> {
         let name = self.ident("a predicate name")?;
         let mut args = Vec::new();
         if self.peek() == Some(&Tok::LParen) {
@@ -297,29 +294,33 @@ pub fn parse_theory(src: &str) -> Result<Theory, ParseError> {
     let mut rules = Vec::new();
     while !p.at_end() {
         let mut pool = VarPool::new();
-        let mut term = |id: &str| {
-            if is_var_name(id) {
-                QTerm::Var(pool.var(id))
+        // Scope the term-builder closure so its borrow of `pool` ends
+        // before `pool.into_names()`.
+        let (body, head) = {
+            let mut term = |id: &str| {
+                if is_var_name(id) {
+                    QTerm::Var(pool.var(id))
+                } else {
+                    QTerm::Const(Symbol::intern(id))
+                }
+            };
+            // Body: `true` or an atom list.
+            let body = if matches!(p.peek(), Some(Tok::Ident(s)) if s == "true") {
+                p.bump();
+                Vec::new()
             } else {
-                QTerm::Const(Symbol::intern(id))
-            }
+                p.atom_list(&mut term)?
+            };
+            p.expect(&Tok::Arrow, "'->'")?;
+            let head = p.atom_list(&mut term)?;
+            p.expect(&Tok::Dot, "'.' after rule")?;
+            (body, head)
         };
-        // Body: `true` or an atom list.
-        let body = if matches!(p.peek(), Some(Tok::Ident(s)) if s == "true") {
-            p.bump();
-            Vec::new()
-        } else {
-            p.atom_list(&mut term)?
-        };
-        p.expect(&Tok::Arrow, "'->'")?;
-        let head = p.atom_list(&mut term)?;
-        p.expect(&Tok::Dot, "'.' after rule")?;
         for a in &head {
             if a.pred.is_dom() {
                 return Err(p.error("builtin dom/1 may not occur in a rule head"));
             }
         }
-        drop(term);
         let name = format!("r{}", rules.len() + 1);
         rules.push(Tgd::new(name, body, head, pool.into_names()));
     }
@@ -369,21 +370,25 @@ pub fn parse_queries(src: &str) -> Result<Vec<ConjunctiveQuery>, ParseError> {
         }
         let answer: Vec<_> = answer_names.iter().map(|n| pool.var(n)).collect();
         p.expect(&Tok::ColonDash, "':-'")?;
-        let mut term = |id: &str| {
-            if is_var_name(id) {
-                QTerm::Var(pool.var(id))
-            } else {
-                QTerm::Const(Symbol::intern(id))
-            }
+        // Scope the term-builder closure so its borrow of `pool` ends
+        // before `pool.into_names()`.
+        let atoms = {
+            let mut term = |id: &str| {
+                if is_var_name(id) {
+                    QTerm::Var(pool.var(id))
+                } else {
+                    QTerm::Const(Symbol::intern(id))
+                }
+            };
+            let atoms = p.atom_list(&mut term)?;
+            p.expect(&Tok::Dot, "'.' after query")?;
+            atoms
         };
-        let atoms = p.atom_list(&mut term)?;
-        p.expect(&Tok::Dot, "'.' after query")?;
         for a in &atoms {
             if a.pred.is_dom() {
                 return Err(p.error("builtin dom/1 may not occur in a query"));
             }
         }
-        drop(term);
         out.push(ConjunctiveQuery::new(answer, atoms, pool.into_names()));
     }
     Ok(out)

@@ -105,7 +105,10 @@ impl ConjunctiveQuery {
     /// body is empty, or if an answer variable does not occur in any atom
     /// (unsafe query).
     pub fn new(answer: Vec<Var>, atoms: Vec<QAtom>, var_names: Vec<Symbol>) -> ConjunctiveQuery {
-        assert!(!atoms.is_empty(), "conjunctive query must have a non-empty body");
+        assert!(
+            !atoms.is_empty(),
+            "conjunctive query must have a non-empty body"
+        );
         let n = var_names.len() as u32;
         for a in &atoms {
             for v in a.vars() {
@@ -174,7 +177,10 @@ impl ConjunctiveQuery {
     /// The existential variables: those occurring in the body but not free.
     pub fn existential_vars(&self) -> Vec<Var> {
         let ans: HashSet<Var> = self.answer.iter().copied().collect();
-        self.vars().into_iter().filter(|v| !ans.contains(v)).collect()
+        self.vars()
+            .into_iter()
+            .filter(|v| !ans.contains(v))
+            .collect()
     }
 
     /// Atoms that mention `v`.
@@ -345,7 +351,11 @@ impl Ucq {
 
     /// Maximum disjunct size — the paper's rewriting-size measure `rs`.
     pub fn max_disjunct_size(&self) -> usize {
-        self.disjuncts.iter().map(ConjunctiveQuery::size).max().unwrap_or(0)
+        self.disjuncts
+            .iter()
+            .map(ConjunctiveQuery::size)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Adds a disjunct.
@@ -460,11 +470,7 @@ mod tests {
             vec![atom("e", &[x, y]), atom("e", &[y, z])],
             names.clone(),
         );
-        let q2 = ConjunctiveQuery::new(
-            vec![],
-            vec![atom("e", &[y, z]), atom("e", &[x, y])],
-            names,
-        );
+        let q2 = ConjunctiveQuery::new(vec![], vec![atom("e", &[y, z]), atom("e", &[x, y])], names);
         assert_eq!(q1.canonical(), q2.canonical());
     }
 
@@ -492,11 +498,7 @@ mod tests {
         let x = pool.var("X");
         let names = pool.into_names();
         let q1 = ConjunctiveQuery::new(vec![], vec![atom("p", &[x])], names.clone());
-        let q2 = ConjunctiveQuery::new(
-            vec![],
-            vec![atom("p", &[x]), atom("q", &[x])],
-            names,
-        );
+        let q2 = ConjunctiveQuery::new(vec![], vec![atom("p", &[x]), atom("q", &[x])], names);
         let ucq = Ucq::new(vec![q1, q2]);
         assert_eq!(ucq.len(), 2);
         assert_eq!(ucq.max_disjunct_size(), 2);

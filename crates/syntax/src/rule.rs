@@ -42,7 +42,10 @@ impl Tgd {
             }
         }
         for a in &head {
-            assert!(!a.pred.is_dom(), "builtin dom/1 may not occur in a rule head");
+            assert!(
+                !a.pred.is_dom(),
+                "builtin dom/1 may not occur in a rule head"
+            );
         }
         Tgd {
             name: name.into(),
@@ -95,7 +98,10 @@ impl Tgd {
     /// The frontier `fr(ρ)`: variables occurring in both body and head.
     pub fn frontier(&self) -> Vec<Var> {
         let body: HashSet<Var> = self.body_vars().into_iter().collect();
-        self.head_vars().into_iter().filter(|v| body.contains(v)).collect()
+        self.head_vars()
+            .into_iter()
+            .filter(|v| body.contains(v))
+            .collect()
     }
 
     /// The existential variables `w̄`: head variables not in the body.
@@ -196,7 +202,11 @@ impl Theory {
 
     /// Maximum predicate arity in the signature.
     pub fn max_arity(&self) -> u32 {
-        self.signature().iter().map(|p| p.arity()).max().unwrap_or(0)
+        self.signature()
+            .iter()
+            .map(|p| p.arity())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum number of atoms in a rule body (the constant `h` of the

@@ -155,9 +155,7 @@ impl TermId {
     pub fn depth(self) -> usize {
         match self.data() {
             TermData::Const(_) => 0,
-            TermData::Skolem(_, args) => {
-                1 + args.iter().map(|t| t.depth()).max().unwrap_or(0)
-            }
+            TermData::Skolem(_, args) => 1 + args.iter().map(|t| t.depth()).max().unwrap_or(0),
         }
     }
 

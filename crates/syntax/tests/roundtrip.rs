@@ -1,82 +1,99 @@
 //! Property tests: renderings of randomly generated theories, queries and
 //! instances re-parse to structurally equal objects.
 
-use proptest::prelude::*;
-
 use qr_syntax::{parse_instance, parse_query, parse_theory};
+use qr_testkit::{check, Rng};
 
-/// A random predicate name (lowercase).
-fn pred_name() -> impl Strategy<Value = String> {
-    "[a-h]{1,3}".prop_map(|s| s)
+/// A random predicate name (lowercase), suffixed with its arity so random
+/// atoms never clash on arity.
+fn atom(rng: &mut Rng) -> String {
+    let pred = rng.string(b"abcdefgh", 1, 4);
+    let nargs = rng.range(1, 4);
+    let vars: Vec<String> = (0..nargs).map(|_| var_name(rng)).collect();
+    format!("{pred}_{}({})", vars.len(), vars.join(","))
 }
 
-fn var_name() -> impl Strategy<Value = String> {
-    "[A-E][0-9]?".prop_map(|s| s)
+fn var_name(rng: &mut Rng) -> String {
+    let head = *rng.pick(b"ABCDE") as char;
+    if rng.bool() {
+        format!("{head}{}", rng.below(10))
+    } else {
+        head.to_string()
+    }
 }
 
-fn atom() -> impl Strategy<Value = String> {
-    (pred_name(), proptest::collection::vec(var_name(), 1..4)).prop_map(|(p, vs)| {
-        format!("{p}_{}({})", vs.len(), vs.join(","))
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn theory_round_trip(bodies in proptest::collection::vec(
-        (proptest::collection::vec(atom(), 1..4), proptest::collection::vec(atom(), 1..3)),
-        1..5,
-    )) {
-        let src: String = bodies
-            .iter()
-            .map(|(b, h)| format!("{} -> {}.\n", b.join(", "), h.join(", ")))
-            .collect();
-        let Ok(theory) = parse_theory(&src) else {
-            // Arity clashes between random atoms are fine — skip.
-            return Ok(());
-        };
+#[test]
+fn theory_round_trip() {
+    check("theory_round_trip", 64, |rng| {
+        let nrules = rng.range(1, 5);
+        let mut src = String::new();
+        for _ in 0..nrules {
+            let body: Vec<String> = (0..rng.range(1, 4)).map(|_| atom(rng)).collect();
+            let head: Vec<String> = (0..rng.range(1, 3)).map(|_| atom(rng)).collect();
+            src.push_str(&format!("{} -> {}.\n", body.join(", "), head.join(", ")));
+        }
+        let theory = parse_theory(&src).expect("arity-tagged random rules parse");
         let rendered = theory.render();
         let theory2 = parse_theory(&rendered).expect("rendering must re-parse");
-        prop_assert_eq!(theory.len(), theory2.len());
+        assert_eq!(theory.len(), theory2.len());
         for (a, b) in theory.rules().iter().zip(theory2.rules()) {
-            prop_assert_eq!(a.body().len(), b.body().len());
-            prop_assert_eq!(a.head().len(), b.head().len());
-            prop_assert_eq!(a.frontier().len(), b.frontier().len());
-            prop_assert_eq!(a.existential_vars().len(), b.existential_vars().len());
+            assert_eq!(a.body().len(), b.body().len());
+            assert_eq!(a.head().len(), b.head().len());
+            assert_eq!(a.frontier().len(), b.frontier().len());
+            assert_eq!(a.existential_vars().len(), b.existential_vars().len());
         }
-    }
+    });
+}
 
-    #[test]
-    fn query_round_trip(atoms in proptest::collection::vec(atom(), 1..5)) {
+#[test]
+fn query_round_trip() {
+    check("query_round_trip", 64, |rng| {
+        let atoms: Vec<String> = (0..rng.range(1, 5)).map(|_| atom(rng)).collect();
         let src = format!("? :- {}.", atoms.join(", "));
-        let Ok(q) = parse_query(&src) else { return Ok(()) };
+        let q = parse_query(&src).expect("arity-tagged random atoms parse");
         let rendered = format!("{}.", q.render());
         let q2 = parse_query(&rendered).expect("rendering must re-parse");
-        prop_assert_eq!(q.canonical(), q2.canonical());
-    }
+        assert_eq!(q.canonical(), q2.canonical());
+    });
+}
 
-    #[test]
-    fn instance_round_trip(facts in proptest::collection::vec(
-        (pred_name(), proptest::collection::vec("[a-z][0-9]?", 1..4)),
-        1..8,
-    )) {
-        let src: String = facts
-            .iter()
-            .map(|(p, args)| format!("{p}_{}({}).\n", args.len(), args.join(",")))
-            .collect();
-        let Ok(inst) = parse_instance(&src) else { return Ok(()) };
+#[test]
+fn instance_round_trip() {
+    check("instance_round_trip", 64, |rng| {
+        let nfacts = rng.range(1, 8);
+        let mut src = String::new();
+        for _ in 0..nfacts {
+            let pred = rng.string(b"abcdefgh", 1, 4);
+            let nargs = rng.range(1, 4);
+            let args: Vec<String> = (0..nargs)
+                .map(|_| {
+                    let head = *rng.pick(b"abcdefghijklmnopqrstuvwxyz") as char;
+                    if rng.bool() {
+                        format!("{head}{}", rng.below(10))
+                    } else {
+                        head.to_string()
+                    }
+                })
+                .collect();
+            src.push_str(&format!("{pred}_{}({}).\n", args.len(), args.join(",")));
+        }
+        let inst = parse_instance(&src).expect("arity-tagged random facts parse");
         // Instances render via Display as `{fact, fact}`; re-render fact by
         // fact instead.
         let rendered: String = inst.iter().map(|f| format!("{f}.\n")).collect();
         let inst2 = parse_instance(&rendered).expect("rendering must re-parse");
-        prop_assert_eq!(inst, inst2);
-    }
+        assert_eq!(inst, inst2);
+    });
+}
 
-    #[test]
-    fn parser_never_panics(src in "[ -~]{0,60}") {
+#[test]
+fn parser_never_panics() {
+    // Printable-ASCII fuzzing: the parsers must reject garbage gracefully.
+    let printable: Vec<u8> = (b' '..=b'~').collect();
+    check("parser_never_panics", 256, |rng| {
+        let src = rng.string(&printable, 0, 61);
         let _ = parse_theory(&src);
         let _ = parse_query(&src);
         let _ = parse_instance(&src);
-    }
+    });
 }

@@ -1,0 +1,119 @@
+//! Dependency-free test support: a deterministic PRNG and a property-test
+//! loop, replacing the external `proptest`/`rand` crates so the workspace
+//! builds and tests hermetically.
+//!
+//! Every generator is a plain function of a [`Rng`]; [`check`] runs a
+//! property over a fixed number of derived seeds and reports the failing
+//! seed so a case can be replayed (and pinned as a regression test) with
+//! [`Rng::new`].
+
+/// A splitmix64 PRNG: deterministic, seedable, and good enough for test
+/// case generation (not for cryptography).
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Rng {
+        Rng {
+            state: seed.wrapping_add(0x9E3779B97F4A7C15),
+        }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `0..bound` (`bound` must be non-zero).
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "Rng::below needs a positive bound");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// A uniform value in the non-empty half-open range `lo..hi`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "Rng::range needs lo < hi");
+        lo + self.below(hi - lo)
+    }
+
+    /// A uniform boolean.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A uniform element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+
+    /// A random ASCII string of length `lo..hi` drawn from `alphabet`.
+    pub fn string(&mut self, alphabet: &[u8], lo: usize, hi: usize) -> String {
+        let len = self.range(lo, hi.max(lo + 1));
+        (0..len).map(|_| *self.pick(alphabet) as char).collect()
+    }
+}
+
+/// Runs `property` over `cases` deterministic seeds derived from `seed`.
+///
+/// On panic the failing derived seed is printed so the case can be replayed
+/// in isolation with `Rng::new(failing_seed)`.
+pub fn check(name: &str, cases: usize, property: impl Fn(&mut Rng)) {
+    let mut meta = Rng::new(0xC0FFEE ^ name.len() as u64);
+    for case in 0..cases {
+        let seed = meta.next_u64() ^ case as u64;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut rng = Rng::new(seed);
+            property(&mut rng);
+        }));
+        if let Err(payload) = result {
+            eprintln!("property `{name}` failed on case {case} (replay with Rng::new({seed:#x}))");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_is_in_bounds() {
+        let mut rng = Rng::new(1);
+        for _ in 0..1000 {
+            assert!(rng.below(13) < 13);
+            let r = rng.range(3, 9);
+            assert!((3..9).contains(&r));
+        }
+    }
+
+    #[test]
+    fn check_runs_all_cases() {
+        let mut count = 0usize;
+        let counter = std::cell::Cell::new(0usize);
+        check("counts", 17, |_| counter.set(counter.get() + 1));
+        count += counter.get();
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    #[should_panic]
+    fn check_propagates_failures() {
+        check("fails", 5, |rng| assert!(rng.below(10) > 100));
+    }
+}

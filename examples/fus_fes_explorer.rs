@@ -4,9 +4,7 @@
 //!
 //! Run with `cargo run --release --example fus_fes_explorer`.
 
-use query_rewritability::chase::{
-    all_instances_termination, core_termination, CoreTermBudget,
-};
+use query_rewritability::chase::{all_instances_termination, core_termination, CoreTermBudget};
 use query_rewritability::classes::{is_linear, is_sticky, is_weakly_acyclic};
 use query_rewritability::core::fusfes::{theorem4_certificate, uniform_bound_profile};
 use query_rewritability::core::theories::{ex23, ex28, t_a, t_p};
@@ -25,7 +23,11 @@ fn main() {
 
     println!("== termination probes on e(a,b)-style instances ==\n");
     let zoo: Vec<(&str, Theory, Instance)> = vec![
-        ("T_a  (Ex. 1)", t_a(), parse_instance("human(abel).").unwrap()),
+        (
+            "T_a  (Ex. 1)",
+            t_a(),
+            parse_instance("human(abel).").unwrap(),
+        ),
         ("T_p  (Ex. 12)", t_p(), e_path(1)),
         ("Ex. 23", ex23(), e_path(1)),
         ("Ex. 28 (K=3)", ex28(3), parse_instance("e3(a,b).").unwrap()),
@@ -34,10 +36,18 @@ fn main() {
         let ait = all_instances_termination(theory, db, 12);
         let fes = core_termination(theory, db, budget);
         println!("{name}");
-        println!("  linear: {:<5} sticky: {:<5} weakly acyclic: {}",
-            is_linear(theory), is_sticky(theory), is_weakly_acyclic(theory));
-        println!("  all-instances termination: {}",
-            ait.map_or("no fixpoint within 12 rounds".into(), |n| format!("fixpoint at round {n}")));
+        println!(
+            "  linear: {:<5} sticky: {:<5} weakly acyclic: {}",
+            is_linear(theory),
+            is_sticky(theory),
+            is_weakly_acyclic(theory)
+        );
+        println!(
+            "  all-instances termination: {}",
+            ait.map_or("no fixpoint within 12 rounds".into(), |n| format!(
+                "fixpoint at round {n}"
+            ))
+        );
         match fes.depth() {
             Some(c) => println!("  core termination: certified with c_{{T,D}} = {c}"),
             None => println!("  core termination: no certificate found (likely not FES)"),
@@ -50,7 +60,10 @@ fn main() {
     let p23 = uniform_bound_profile(&ex23(), &family, budget);
     println!("Ex. 23 (BDD + FES + local) over paths 1..6:");
     for (size, c) in &p23.per_instance {
-        println!("  |D| = {size}: c_{{T,D}} = {}", c.map_or("-".into(), |c| c.to_string()));
+        println!(
+            "  |D| = {size}: c_{{T,D}} = {}",
+            c.map_or("-".into(), |c| c.to_string())
+        );
     }
     println!(
         "  flat: {} — the UBDD signature Theorem 4 predicts for local FES theories\n",
@@ -63,9 +76,16 @@ fn main() {
         let p = uniform_bound_profile(
             &ex28(k),
             &[db],
-            CoreTermBudget { max_depth: 8, lookahead: 2, max_facts: 100_000 },
+            CoreTermBudget {
+                max_depth: 8,
+                lookahead: 2,
+                max_facts: 100_000,
+            },
         );
-        println!("  K = {k}: c = {}", p.per_instance[0].1.map_or("-".into(), |c| c.to_string()));
+        println!(
+            "  K = {k}: c = {}",
+            p.per_instance[0].1.map_or("-".into(), |c| c.to_string())
+        );
     }
     println!("  the constant tracks K, so no single c_T works for the infinite union.\n");
 

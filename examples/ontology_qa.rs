@@ -49,7 +49,11 @@ fn main() {
     ];
 
     let ch = chase(&ontology, &db, ChaseBudget::rounds(8));
-    println!("\nchase: {} facts at depth {}", ch.instance.len(), ch.rounds);
+    println!(
+        "\nchase: {} facts at depth {}",
+        ch.instance.len(),
+        ch.rounds
+    );
 
     for qsrc in queries {
         let q = parse_query(qsrc).expect("query parses");

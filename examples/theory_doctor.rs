@@ -10,12 +10,10 @@
 
 use std::io::Read;
 
-use query_rewritability::chase::{
-    all_instances_termination, core_termination, CoreTermBudget,
-};
+use query_rewritability::chase::{all_instances_termination, core_termination, CoreTermBudget};
 use query_rewritability::classes::{
-    has_detached_rules, is_binary, is_connected, is_datalog, is_frontier_guarded,
-    is_frontier_one, is_guarded, is_linear, is_sticky, is_weakly_acyclic,
+    has_detached_rules, is_binary, is_connected, is_datalog, is_frontier_guarded, is_frontier_one,
+    is_guarded, is_linear, is_sticky, is_weakly_acyclic,
 };
 use query_rewritability::prelude::*;
 use query_rewritability::rewrite::{rewrite, RewriteBudget, RewriteError};
@@ -29,7 +27,9 @@ fn main() {
         }),
         None => {
             let mut buf = String::new();
-            std::io::stdin().read_to_string(&mut buf).expect("read stdin");
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .expect("read stdin");
             buf
         }
     };
@@ -45,7 +45,8 @@ fn main() {
     print!("{}", theory.render());
 
     println!("\n— syntactic classes —");
-    let classes: [(&str, fn(&Theory) -> bool); 10] = [
+    type ClassCheck = fn(&Theory) -> bool;
+    let classes: [(&str, ClassCheck); 10] = [
         ("linear", is_linear),
         ("datalog", is_datalog),
         ("guarded", is_guarded),

@@ -15,7 +15,7 @@ pub use qr_syntax as syntax;
 /// Convenience prelude: the types and functions most code needs.
 pub mod prelude {
     pub use qr_syntax::{
-        parse_instance, parse_query, parse_theory, ConjunctiveQuery, Fact, Instance, Pred,
-        Symbol, TermId, Tgd, Theory, Ucq,
+        parse_instance, parse_query, parse_theory, ConjunctiveQuery, Fact, Instance, Pred, Symbol,
+        TermId, Tgd, Theory, Ucq,
     };
 }

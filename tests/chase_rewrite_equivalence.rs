@@ -13,7 +13,9 @@ use query_rewritability::rewrite::{rewrite, RewriteBudget};
 fn random_instance(n: usize, edges: usize, seed: u64) -> Instance {
     let mut state = seed ^ 0x9E3779B97F4A7C15;
     let mut next = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as usize
     };
     let mut src = String::new();
@@ -60,7 +62,12 @@ fn family_theory_random_instances() {
     let t = parse_theory("human(Y) -> mother(Y,Z).\nmother(X,Y) -> human(Y).").unwrap();
     for seed in 0..4u64 {
         let mut db = random_instance(5, 4, seed);
-        db.extend(parse_instance("human(n0). mother(n1, n2).").unwrap().iter().cloned());
+        db.extend(
+            parse_instance("human(n0). mother(n1, n2).")
+                .unwrap()
+                .iter()
+                .cloned(),
+        );
         assert_equivalent(&t, "?(X) :- mother(X, M).", &db, 6);
         assert_equivalent(&t, "?(X) :- human(X).", &db, 6);
         assert_equivalent(&t, "? :- mother(X, Y), human(Y).", &db, 6);

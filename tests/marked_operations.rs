@@ -28,7 +28,12 @@ fn cut_removes_a_dangling_edge() {
 #[test]
 fn fuse_merges_same_colour_sources() {
     // g(A,X), g(B,X) with X unmarked maximal: A and B must coincide.
-    let q = MarkedQuery::new(2, [(G, 0, 2), (G, 1, 2), (R, 3, 0), (R, 3, 1)], [0, 1, 3], vec![3]);
+    let q = MarkedQuery::new(
+        2,
+        [(G, 0, 2), (G, 1, 2), (R, 3, 0), (R, 3, 1)],
+        [0, 1, 3],
+        vec![3],
+    );
     assert!(q.is_properly_marked());
     match q.step() {
         StepResult::Replaced(qs) => {
@@ -91,7 +96,12 @@ fn non_adjacent_profile_is_dropped_in_k3() {
     // i3(A,X), i1(B,X): no chase term of T_d^3 has in-edges of colours
     // {3, 1}, and the loop element is unreachable from marked variables:
     // the query is unsatisfiable.
-    let q = MarkedQuery::new(3, [(3, 0, 2), (1, 1, 2), (1, 3, 0), (1, 3, 1)], [3], vec![3]);
+    let q = MarkedQuery::new(
+        3,
+        [(3, 0, 2), (1, 1, 2), (1, 3, 0), (1, 3, 1)],
+        [3],
+        vec![3],
+    );
     assert!(q.is_properly_marked() || !q.is_properly_marked()); // profile checked in step
     match q.step() {
         StepResult::Dropped => {}

@@ -87,7 +87,9 @@ fn lemma_52_step_soundness_exact() {
         while let Some(q) = work.pop() {
             steps += 1;
             assert!(steps < 2_000, "cap for the exact-soundness sweep");
-            let StepResult::Replaced(qs) = q.step() else { continue };
+            let StepResult::Replaced(qs) = q.step() else {
+                continue;
+            };
             for (db, answer, ch, dom) in &data {
                 let before = q.holds_in(ch, dom, answer, &colors);
                 let after = qs.iter().any(|nq| nq.holds_in(ch, dom, answer, &colors));

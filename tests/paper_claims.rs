@@ -10,8 +10,7 @@ use query_rewritability::classes::{
 };
 use query_rewritability::core::marked::rewrite_td;
 use query_rewritability::core::theories::{
-    cycle, ex23, ex28, ex39, ex41, g_power_query, green_path, phi_r_n, star_39, t_a, t_c, t_d,
-    t_p,
+    cycle, ex23, ex28, ex39, ex41, g_power_query, green_path, phi_r_n, star_39, t_a, t_c, t_d, t_p,
 };
 use query_rewritability::hom::containment::equivalent;
 use query_rewritability::hom::holds;

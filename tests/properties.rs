@@ -1,10 +1,9 @@
-//! Property-based tests (proptest) for the core invariants:
-//! chase monotonicity and Observation 8, containment as a preorder, query
-//! cores, instance cores, and soundness of the marked-query operations
-//! against the chase (Lemma 52 on random green paths).
+//! Property-based tests for the core invariants: chase monotonicity and
+//! Observation 8, containment as a preorder, query cores, instance cores,
+//! and soundness of the marked-query operations against the chase
+//! (Lemma 52 on random green paths).
 
-use proptest::prelude::*;
-
+use qr_testkit::{check, Rng};
 use query_rewritability::chase::{chase, ChaseBudget};
 use query_rewritability::core::marked::{ColorMap, MarkedQuery, StepResult};
 use query_rewritability::core::theories::t_d;
@@ -13,64 +12,75 @@ use query_rewritability::hom::qcore::query_core;
 use query_rewritability::hom::{holds, structure::structure_core};
 use query_rewritability::prelude::*;
 
-/// Strategy: a random small edge instance over `e/2`.
-fn edge_instance() -> impl Strategy<Value = Instance> {
-    proptest::collection::vec((0u8..6, 0u8..6), 1..10).prop_map(|pairs| {
-        let mut src = String::new();
-        for (a, b) in pairs {
-            src.push_str(&format!("e(v{a}, v{b}).\n"));
-        }
-        parse_instance(&src).unwrap()
-    })
+/// A random small edge instance over `e/2`.
+fn edge_instance(rng: &mut Rng) -> Instance {
+    let n = rng.range(1, 10);
+    let mut src = String::new();
+    for _ in 0..n {
+        let a = rng.below(6);
+        let b = rng.below(6);
+        src.push_str(&format!("e(v{a}, v{b}).\n"));
+    }
+    parse_instance(&src).unwrap()
 }
 
-/// Strategy: a random connected-ish Boolean path/tree query over `e/2`.
-fn small_query() -> impl Strategy<Value = ConjunctiveQuery> {
-    proptest::collection::vec((0u8..5, 0u8..5), 1..6).prop_map(|pairs| {
-        let atoms: Vec<String> = pairs
-            .iter()
-            .map(|(a, b)| format!("e(X{a}, X{b})"))
-            .collect();
-        parse_query(&format!("? :- {}.", atoms.join(", "))).unwrap()
-    })
+/// A random connected-ish Boolean path/tree query over `e/2`.
+fn small_query(rng: &mut Rng) -> ConjunctiveQuery {
+    let n = rng.range(1, 6);
+    let atoms: Vec<String> = (0..n)
+        .map(|_| format!("e(X{}, X{})", rng.below(5), rng.below(5)))
+        .collect();
+    parse_query(&format!("? :- {}.", atoms.join(", "))).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn chase_is_monotone(db in edge_instance(), extra in edge_instance()) {
+#[test]
+fn chase_is_monotone() {
+    check("chase_is_monotone", 48, |rng| {
+        let db = edge_instance(rng);
+        let extra = edge_instance(rng);
         let t = parse_theory("e(X,Y) -> e(Y,Z).").unwrap();
         let big = db.union(&extra);
         let ch_small = chase(&t, &db, ChaseBudget::rounds(4));
         let ch_big = chase(&t, &big, ChaseBudget::rounds(4));
-        prop_assert!(ch_small.instance.subset_of(&ch_big.instance));
-    }
+        assert!(ch_small.instance.subset_of(&ch_big.instance));
+    });
+}
 
-    #[test]
-    fn observation_8_literal(db in edge_instance(), cut in 0usize..3) {
+#[test]
+fn observation_8_literal() {
+    check("observation_8_literal", 48, |rng| {
         // D ⊆ F ⊆ Ch(T,D) ⇒ Ch(T,F) = Ch(T,D) — literally, thanks to the
         // Skolem naming convention. On bounded prefixes: Ch_k(D) ⊆ Ch_k(F).
+        let db = edge_instance(rng);
+        let cut = rng.below(3);
         let t = parse_theory("e(X,Y) -> e(Y,Z).").unwrap();
         let ch = chase(&t, &db, ChaseBudget::rounds(6));
         let f = ch.prefix(cut);
         let ch_f = chase(&t, &f, ChaseBudget::rounds(6));
-        prop_assert!(ch.instance.subset_of(&ch_f.instance));
-    }
+        assert!(ch.instance.subset_of(&ch_f.instance));
+    });
+}
 
-    #[test]
-    fn containment_is_reflexive_transitive(q1 in small_query(), q2 in small_query(), q3 in small_query()) {
-        prop_assert!(contains(&q1, &q1));
+#[test]
+fn containment_is_reflexive_transitive() {
+    check("containment_is_reflexive_transitive", 48, |rng| {
+        let q1 = small_query(rng);
+        let q2 = small_query(rng);
+        let q3 = small_query(rng);
+        assert!(contains(&q1, &q1));
         if contains(&q1, &q2) && contains(&q2, &q3) {
-            prop_assert!(contains(&q1, &q3));
+            assert!(contains(&q1, &q3));
         }
-    }
+    });
+}
 
-    #[test]
-    fn query_core_is_equivalent_and_minimal(q in small_query()) {
+#[test]
+fn query_core_is_equivalent_and_minimal() {
+    check("query_core_is_equivalent_and_minimal", 48, |rng| {
+        let q = small_query(rng);
         let core = query_core(&q);
-        prop_assert!(equivalent(&q, &core));
-        prop_assert!(core.size() <= q.size());
+        assert!(equivalent(&q, &core));
+        assert!(core.size() <= q.size());
         // Minimality: dropping any single atom changes the semantics
         // (unless it orphans nothing — query_core guarantees this).
         if core.size() > 1 {
@@ -83,37 +93,51 @@ proptest! {
                     .map(|(_, a)| a.clone())
                     .collect();
                 let smaller = ConjunctiveQuery::new(vec![], atoms, core.var_names().to_vec());
-                prop_assert!(!equivalent(&core, &smaller));
+                assert!(!equivalent(&core, &smaller));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn structure_core_retracts(db in edge_instance()) {
+#[test]
+fn structure_core_retracts() {
+    check("structure_core_retracts", 48, |rng| {
+        let db = edge_instance(rng);
         let (core, retraction) = structure_core(&db, &Default::default());
-        prop_assert!(core.subset_of(&db));
+        assert!(core.subset_of(&db));
         // The retraction maps every domain term into the core's domain.
         for t in db.domain() {
-            prop_assert!(core.domain().contains(&retraction[t]));
+            assert!(core.domain().contains(&retraction[t]));
         }
         // Idempotence.
         let (core2, _) = structure_core(&core, &Default::default());
-        prop_assert_eq!(core2, core);
-    }
+        assert_eq!(core2, core);
+    });
+}
 
-    #[test]
-    fn marked_operations_sound_on_green_paths(len in 1usize..5, seed_marking in 0u64..16) {
+#[test]
+fn marked_operations_sound_on_green_paths() {
+    check("marked_operations_sound_on_green_paths", 48, |rng| {
         // Lemma 52 on concrete data: applying one operation to a marked
         // version of the path query preserves satisfaction over the chase
         // of a small green path.
+        let len = rng.range(1, 5);
+        let seed_marking = rng.below(16);
         let colors = ColorMap::td();
         let atoms: Vec<String> = (0..len).map(|i| format!("g(X{i}, X{})", i + 1)).collect();
         let q = parse_query(&format!("?(X0) :- {}.", atoms.join(", "))).unwrap();
         let markings = MarkedQuery::markings_of(&q, &colors).unwrap();
-        let mq = &markings[(seed_marking as usize) % markings.len()];
+        let mq = &markings[seed_marking % markings.len()];
 
         let (db, a, _) = query_rewritability::core::theories::green_path(3, "pp");
-        let ch = chase(&t_d(), &db, ChaseBudget { max_rounds: 4, max_facts: 100_000 });
+        let ch = chase(
+            &t_d(),
+            &db,
+            ChaseBudget {
+                max_rounds: 4,
+                max_facts: 100_000,
+            },
+        );
 
         let satisfied = |m: &MarkedQuery| -> bool {
             match m.to_cq(&colors) {
@@ -134,11 +158,11 @@ proptest! {
                 // Soundness direction we can check with plain satisfaction:
                 // every replacement satisfied ⇒ original satisfied.
                 if qs.iter().any(satisfied) {
-                    prop_assert!(satisfied(mq), "replacement satisfied but original not");
+                    assert!(satisfied(mq), "replacement satisfied but original not");
                 }
             }
         }
-    }
+    });
 }
 
 #[test]
