@@ -1,0 +1,446 @@
+//! Compares two `BENCH_chase.json` files on their deterministic counters.
+//!
+//! Usage: `bench_diff <baseline.json> <candidate.json>`
+//!
+//! The chase engine's trigger/candidate/sweep counters are a pure function
+//! of (theory, instance, budget) — they must not drift across commits
+//! unless the engine semantics intentionally changed. This tool diffs the
+//! per-workload totals and per-round counters of two harness `--json`
+//! dumps, ignoring everything timing- or machine-dependent (`wall_ms`,
+//! `enum_ms`, `merge_ms`, `threads`, per-experiment timings). Exit code 0
+//! means the counters match; 1 means drift (differences listed on
+//! stderr); 2 means usage or parse errors.
+//!
+//! The parser below covers the JSON subset the harness emits (objects,
+//! arrays, strings with escapes, numbers, booleans, null) — the workspace
+//! is offline, so no serde.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> &[Value] {
+        match self {
+            Value::Arr(items) => items,
+            _ => &[],
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if n.fract() == 0.0 && *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(src: &'a str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 passes through unchanged.
+                    let s = &self.bytes[self.pos..];
+                    let ch_len = match s[0] {
+                        b if b < 0x80 => 1,
+                        b if b >= 0xF0 => 4,
+                        b if b >= 0xE0 => 3,
+                        _ => 2,
+                    };
+                    out.push_str(
+                        std::str::from_utf8(&s[..ch_len.min(s.len())])
+                            .map_err(|e| e.to_string())?,
+                    );
+                    self.pos += ch_len;
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+    }
+}
+
+/// The deterministic counter fields compared at both the totals and the
+/// per-round level. Wall times (`wall_ms`, `enum_ms`, `merge_ms`) and the
+/// thread count are machine-dependent and deliberately absent.
+const COUNTERS: [&str; 6] = [
+    "triggers",
+    "candidates",
+    "dom_sweeps",
+    "dom_pruned",
+    "facts_added",
+    "terms_added",
+];
+
+fn diff_counters(scope: &str, base: &Value, cand: &Value, report: &mut String) {
+    for key in COUNTERS {
+        let b = base.get(key).and_then(Value::as_u64);
+        let c = cand.get(key).and_then(Value::as_u64);
+        if b != c {
+            let _ = writeln!(report, "  {scope}: {key} {b:?} -> {c:?}");
+        }
+    }
+}
+
+/// Diffs two parsed dumps; returns a human-readable drift report (empty
+/// when the deterministic counters agree).
+fn diff(base: &Value, cand: &Value) -> String {
+    let mut report = String::new();
+    let base_runs = base
+        .get("chase_runs")
+        .map(Value::as_arr)
+        .unwrap_or_default();
+    let cand_runs = cand
+        .get("chase_runs")
+        .map(Value::as_arr)
+        .unwrap_or_default();
+    let workload = |r: &Value| {
+        r.get("workload")
+            .and_then(Value::as_str)
+            .unwrap_or("<unnamed>")
+            .to_owned()
+    };
+    for b in base_runs {
+        let name = workload(b);
+        let Some(c) = cand_runs.iter().find(|r| workload(r) == name) else {
+            let _ = writeln!(report, "  workload \"{name}\": missing from candidate");
+            continue;
+        };
+        for key in ["facts_out", "rounds_run"] {
+            let bv = b.get(key).and_then(Value::as_u64);
+            let cv = c.get(key).and_then(Value::as_u64);
+            if bv != cv {
+                let _ = writeln!(report, "  \"{name}\": {key} {bv:?} -> {cv:?}");
+            }
+        }
+        if let (Some(bt), Some(ct)) = (b.get("totals"), c.get("totals")) {
+            diff_counters(&format!("\"{name}\" totals"), bt, ct, &mut report);
+        }
+        let brounds = b.get("rounds").map(Value::as_arr).unwrap_or_default();
+        let crounds = c.get("rounds").map(Value::as_arr).unwrap_or_default();
+        if brounds.len() != crounds.len() {
+            let _ = writeln!(
+                report,
+                "  \"{name}\": round count {} -> {}",
+                brounds.len(),
+                crounds.len()
+            );
+        }
+        for (br, cr) in brounds.iter().zip(crounds) {
+            let n = br.get("round").and_then(Value::as_u64).unwrap_or(0);
+            diff_counters(&format!("\"{name}\" round {n}"), br, cr, &mut report);
+        }
+    }
+    for c in cand_runs {
+        let name = workload(c);
+        if !base_runs.iter().any(|b| workload(b) == name) {
+            let _ = writeln!(report, "  workload \"{name}\": missing from baseline");
+        }
+    }
+    report
+}
+
+fn load(path: &str) -> Value {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_diff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    Parser::parse(&src).unwrap_or_else(|e| {
+        eprintln!("bench_diff: cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [base_path, cand_path] = args.as_slice() else {
+        eprintln!("usage: bench_diff <baseline.json> <candidate.json>");
+        std::process::exit(2);
+    };
+    let base = load(base_path);
+    let cand = load(cand_path);
+    let report = diff(&base, &cand);
+    if report.is_empty() {
+        println!("bench_diff: deterministic counters match ({base_path} vs {cand_path})");
+    } else {
+        eprintln!("bench_diff: counter drift between {base_path} and {cand_path}:");
+        eprint!("{report}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(workload: &str, triggers: u64, rounds: &[(u64, u64)]) -> String {
+        let mut rows = String::new();
+        for (i, (round, t)) in rounds.iter().enumerate() {
+            let _ = write!(
+                rows,
+                "{{\"round\": {round}, \"triggers\": {t}, \"candidates\": 1, \"dom_sweeps\": 0, \"dom_pruned\": 0, \"facts_added\": 1, \"terms_added\": 0, \"enum_ms\": 0.1, \"merge_ms\": 0.1, \"wall_ms\": 0.3}}{}",
+                if i + 1 < rounds.len() { "," } else { "" }
+            );
+        }
+        format!(
+            "{{\"workload\": \"{workload}\", \"engine\": \"semi-naive\", \"threads\": 4, \"wall_ms\": 9.9, \"facts_out\": 10, \"rounds_run\": {}, \"totals\": {{\"triggers\": {triggers}, \"candidates\": 2, \"dom_sweeps\": 0, \"dom_pruned\": 0, \"facts_added\": 2, \"terms_added\": 0, \"enum_ms\": 1.0, \"merge_ms\": 0.5}}, \"rounds\": [{rows}]}}",
+            rounds.len()
+        )
+    }
+
+    fn dump(runs: &[String]) -> Value {
+        let src = format!(
+            "{{\"schema\": \"qr-bench/chase-v2\", \"experiments\": [], \"chase_runs\": [{}]}}",
+            runs.join(",")
+        );
+        Parser::parse(&src).unwrap()
+    }
+
+    #[test]
+    fn identical_dumps_have_no_drift() {
+        let a = dump(&[run("TC", 7, &[(1, 4), (2, 3)])]);
+        assert!(diff(&a, &a).is_empty());
+    }
+
+    #[test]
+    fn wall_times_and_threads_are_ignored() {
+        let a = dump(&[run("TC", 7, &[(1, 4)])]);
+        let b_src = run("TC", 7, &[(1, 4)])
+            .replace("\"threads\": 4", "\"threads\": 1")
+            .replace("\"wall_ms\": 9.9", "\"wall_ms\": 123.4")
+            .replace("\"enum_ms\": 1.0", "\"enum_ms\": 55.0");
+        let b = dump(&[b_src]);
+        assert!(diff(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn counter_drift_is_reported() {
+        let a = dump(&[run("TC", 7, &[(1, 4), (2, 3)])]);
+        let b = dump(&[run("TC", 8, &[(1, 4), (2, 4)])]);
+        let report = diff(&a, &b);
+        assert!(
+            report.contains("totals: triggers Some(7) -> Some(8)"),
+            "{report}"
+        );
+        assert!(
+            report.contains("round 2: triggers Some(3) -> Some(4)"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn missing_workloads_are_reported_both_ways() {
+        let a = dump(&[run("TC", 7, &[(1, 4)])]);
+        let b = dump(&[run("T_a", 7, &[(1, 4)])]);
+        let report = diff(&a, &b);
+        assert!(report.contains("\"TC\": missing from candidate"));
+        assert!(report.contains("\"T_a\": missing from baseline"));
+    }
+
+    #[test]
+    fn parser_round_trips_escapes_and_numbers() {
+        let v = Parser::parse(r#"{"a": "x\"y\nz", "b": [1, -2.5, 1e3], "c": true, "d": null}"#)
+            .unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_str), Some("x\"y\nz"));
+        assert_eq!(v.get("b").unwrap().as_arr().len(), 3);
+        assert_eq!(v.get("b").unwrap().as_arr()[2], Value::Num(1000.0));
+        assert_eq!(v.get("c"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("d"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Parser::parse("{\"a\": }").is_err());
+        assert!(Parser::parse("[1, 2").is_err());
+        assert!(Parser::parse("{} extra").is_err());
+    }
+}

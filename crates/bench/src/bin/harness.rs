@@ -1,15 +1,21 @@
 //! Prints every experiment table of DESIGN.md (E1-E12), streaming each as
 //! it completes.
 //!
-//! Usage: `cargo run -p qr-bench --release --bin harness [--json] [e01 e07 ...]`
+//! Usage: `cargo run -p qr-bench --release --bin harness [--json]
+//! [--threads N] [e01 e07 ...]`
 //!
 //! With no experiment arguments all experiments run in order. With
 //! `--json`, per-experiment wall times plus the chase engine's per-round
 //! counters (the E11 workloads re-run under [`qr_chase::ChaseStats`]) are
-//! written to `BENCH_chase.json` in the current directory.
+//! written to `BENCH_chase.json` in the current directory. `--threads N`
+//! sizes the worker pool the parallel engines run on (equivalent to
+//! setting `QR_THREADS=N`); the default comes from `QR_THREADS` or the
+//! machine's available parallelism. Thread count never changes any
+//! counter or table value — only wall times.
 
 use qr_bench::experiments;
 use qr_bench::report::{self, ExperimentTiming};
+use qr_exec::Executor;
 
 fn main() {
     let mut filters: Vec<String> = std::env::args()
@@ -18,6 +24,21 @@ fn main() {
         .collect();
     let json = filters.iter().any(|f| f == "--json");
     filters.retain(|f| f != "--json");
+    if let Some(i) = filters.iter().position(|f| f == "--threads") {
+        let n = filters
+            .get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--threads requires a positive integer");
+                std::process::exit(2);
+            });
+        filters.drain(i..=i + 1);
+        // Experiments build their executors via `Executor::from_env`, so
+        // the flag is surfaced to them through the env override.
+        std::env::set_var("QR_THREADS", n.to_string());
+    }
+    let exec = Executor::from_env();
+    eprintln!("worker pool: {} thread(s)", exec.threads());
 
     let mut timings: Vec<ExperimentTiming> = Vec::new();
     for (id, build) in experiments::all() {
@@ -35,7 +56,7 @@ fn main() {
     }
 
     if json {
-        let runs = experiments::e11_chase_engine::stats_runs();
+        let runs = experiments::e11_chase_engine::stats_runs(&exec);
         let rendered = report::render_json(&timings, &runs);
         let path = "BENCH_chase.json";
         match std::fs::write(path, rendered) {

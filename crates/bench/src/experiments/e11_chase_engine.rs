@@ -7,8 +7,9 @@
 
 use std::time::Instant;
 
-use qr_chase::{chase, chase_naive, ChaseBudget};
+use qr_chase::{chase, chase_naive, chase_with, ChaseBudget};
 use qr_core::theories::{t_a, t_d};
+use qr_exec::Executor;
 use qr_syntax::{parse_theory, Fact, Instance, Pred, Symbol, TermId, Theory};
 
 use crate::report::ChaseRun;
@@ -42,9 +43,15 @@ pub fn random_graph(n: usize, m: usize, seed: u64) -> Instance {
     inst
 }
 
-fn measured_run(label: &str, theory: &Theory, db: &Instance, budget: ChaseBudget) -> ChaseRun {
+fn measured_run(
+    label: &str,
+    theory: &Theory,
+    db: &Instance,
+    budget: ChaseBudget,
+    exec: &Executor,
+) -> ChaseRun {
     let t0 = Instant::now();
-    let ch = chase(theory, db, budget);
+    let ch = chase_with(theory, db, budget, exec);
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     ChaseRun {
         workload: label.to_owned(),
@@ -56,10 +63,12 @@ fn measured_run(label: &str, theory: &Theory, db: &Instance, budget: ChaseBudget
     }
 }
 
-/// The chase workloads E11 measures, re-run with the semi-naive engine and
-/// their per-round [`qr_chase::ChaseStats`] captured — this is what the
-/// harness's `--json` mode writes to `BENCH_chase.json`.
-pub fn stats_runs() -> Vec<ChaseRun> {
+/// The chase workloads E11 measures, re-run with the semi-naive engine on
+/// `exec` and their per-round [`qr_chase::ChaseStats`] captured — this is
+/// what the harness's `--json` mode writes to `BENCH_chase.json`. The
+/// counters are thread-count-independent by the engine's determinism
+/// contract; only the wall times vary.
+pub fn stats_runs(exec: &Executor) -> Vec<ChaseRun> {
     let mut out = Vec::new();
     let tc = parse_theory("e(X,Y), e(Y,Z) -> e(X,Z).").expect("parses");
     for (n, m) in [(24usize, 40usize), (40, 80), (60, 120)] {
@@ -68,7 +77,13 @@ pub fn stats_runs() -> Vec<ChaseRun> {
             max_rounds: 12,
             max_facts: 2_000_000,
         };
-        out.push(measured_run(&format!("TC on G({n},{m})"), &tc, &db, budget));
+        out.push(measured_run(
+            &format!("TC on G({n},{m})"),
+            &tc,
+            &db,
+            budget,
+            exec,
+        ));
     }
     let db = qr_syntax::parse_instance("human(abel). human(cain).").expect("parses");
     out.push(measured_run(
@@ -79,6 +94,7 @@ pub fn stats_runs() -> Vec<ChaseRun> {
             max_rounds: 12,
             max_facts: 2_000_000,
         },
+        exec,
     ));
     // The grid workload: T_d (Definition 45) grows a grid of fresh terms —
     // heavy on dom-delta sweeps and existential head application.
@@ -91,6 +107,7 @@ pub fn stats_runs() -> Vec<ChaseRun> {
             max_rounds: 5,
             max_facts: 2_000_000,
         },
+        exec,
     ));
     out
 }
@@ -213,7 +230,7 @@ mod tests {
 
     #[test]
     fn stats_runs_carry_round_counters() {
-        let runs = stats_runs();
+        let runs = stats_runs(&Executor::sequential());
         assert_eq!(runs.len(), 5);
         assert!(runs.iter().any(|r| r.workload.starts_with("T_d grid")));
         for r in &runs {

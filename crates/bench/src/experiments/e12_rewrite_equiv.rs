@@ -12,15 +12,17 @@ use std::time::Instant;
 use qr_chase::{chase, ChaseBudget};
 use qr_core::marked::rewrite_td;
 use qr_core::theories::{ex39, green_path, phi_r_n, t_a, t_p};
-use qr_hom::holds;
-use qr_rewrite::{rewrite, RewriteBudget};
+use qr_exec::Executor;
+use qr_hom::{holds, holds_ucq_with};
+use qr_rewrite::{rewrite_with, RewriteBudget};
 use qr_syntax::{parse_instance, parse_query, ConjunctiveQuery, Instance, TermId, Theory, Ucq};
 
 use crate::Table;
 
 /// Checks the equivalence for one (theory, query, rewriting, instance):
 /// returns `(agreements, disagreements)` over all answer tuples from
-/// `dom(D)` (capped at 200 tuples).
+/// `dom(D)` (capped at 200 tuples). The rewriting-side disjunct sweep for
+/// each tuple runs on `exec`'s worker pool.
 pub fn check_equivalence(
     theory: &Theory,
     query: &ConjunctiveQuery,
@@ -28,6 +30,7 @@ pub fn check_equivalence(
     rewriting_has_true: bool,
     db: &Instance,
     depth: usize,
+    exec: &Executor,
 ) -> (usize, usize) {
     let ch = chase(
         theory,
@@ -58,8 +61,7 @@ pub fn check_equivalence(
     let (mut agree, mut disagree) = (0, 0);
     for tuple in tuples {
         let via_chase = holds(query, &ch.instance, &tuple);
-        let via_rewriting =
-            rewriting_has_true || rewriting.disjuncts().iter().any(|d| holds(d, db, &tuple));
+        let via_rewriting = rewriting_has_true || holds_ucq_with(exec, rewriting, db, &tuple);
         if via_chase == via_rewriting {
             agree += 1;
         } else {
@@ -123,12 +125,14 @@ pub fn table() -> Table {
             5,
         ),
     ];
+    let exec = Executor::from_env();
     for (name, theory, query, dbs, depth) in cases {
-        let r = rewrite(&theory, &query, RewriteBudget::default()).expect("supported");
+        let r = rewrite_with(&theory, &query, RewriteBudget::default(), &exec).expect("supported");
         assert!(r.is_complete(), "{name} rewriting incomplete");
         for (iname, db) in dbs {
             let t0 = Instant::now();
-            let (agree, disagree) = check_equivalence(&theory, &query, &r.ucq, false, &db, depth);
+            let (agree, disagree) =
+                check_equivalence(&theory, &query, &r.ucq, false, &db, depth, &exec);
             t.row(vec![
                 name.into(),
                 query.render(),
@@ -153,7 +157,7 @@ pub fn table() -> Table {
             let (db, _, _) = green_path(m, &format!("e12x{n}x{m}x"));
             let t0 = Instant::now();
             let (agree, disagree) =
-                check_equivalence(&td, &q, &ucq, mr.has_true_disjunct, &db, 2 * n + 2);
+                check_equivalence(&td, &q, &ucq, mr.has_true_disjunct, &db, 2 * n + 2, &exec);
             t.row(vec![
                 "T_d (marked)".into(),
                 format!("φ_R^{n}"),
@@ -175,9 +179,10 @@ mod tests {
     fn no_disagreements_small() {
         let theory = t_p();
         let query = parse_query("?(A) :- e(A,B), e(B,C).").unwrap();
-        let r = rewrite(&theory, &query, RewriteBudget::default()).unwrap();
+        let exec = Executor::sequential();
+        let r = rewrite_with(&theory, &query, RewriteBudget::default(), &exec).unwrap();
         let db = parse_instance("e(a,b). e(c,d). e(d,a).").unwrap();
-        let (_, disagree) = check_equivalence(&theory, &query, &r.ucq, false, &db, 6);
+        let (_, disagree) = check_equivalence(&theory, &query, &r.ucq, false, &db, 6, &exec);
         assert_eq!(disagree, 0);
     }
 
@@ -188,7 +193,15 @@ mod tests {
         let mr = rewrite_td(&q, 1_000_000).unwrap();
         for m in 1..=3usize {
             let (db, _, _) = green_path(m, &format!("t12x{m}x"));
-            let (_, disagree) = check_equivalence(&td, &q, &mr.ucq(), mr.has_true_disjunct, &db, 4);
+            let (_, disagree) = check_equivalence(
+                &td,
+                &q,
+                &mr.ucq(),
+                mr.has_true_disjunct,
+                &db,
+                4,
+                &Executor::with_threads(2),
+            );
             assert_eq!(disagree, 0, "G^{m}");
         }
     }

@@ -58,7 +58,7 @@ fn ms(v: f64) -> String {
 /// one entry per chase run with totals and per-round counters.
 pub fn render_json(experiments: &[ExperimentTiming], runs: &[ChaseRun]) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"qr-bench/chase-v1\",\n  \"experiments\": [\n");
+    out.push_str("{\n  \"schema\": \"qr-bench/chase-v2\",\n  \"experiments\": [\n");
     for (i, e) in experiments.iter().enumerate() {
         let _ = writeln!(
             out,
@@ -72,26 +72,35 @@ pub fn render_json(experiments: &[ExperimentTiming], runs: &[ChaseRun]) -> Strin
     for (i, r) in runs.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\n      \"workload\": \"{}\",\n      \"engine\": \"{}\",\n      \"wall_ms\": {},\n      \"facts_out\": {},\n      \"rounds_run\": {},\n      \"totals\": {{\"triggers\": {}, \"candidates\": {}, \"facts_added\": {}, \"terms_added\": {}}},\n      \"rounds\": [\n",
+            "    {{\n      \"workload\": \"{}\",\n      \"engine\": \"{}\",\n      \"threads\": {},\n      \"wall_ms\": {},\n      \"facts_out\": {},\n      \"rounds_run\": {},\n      \"totals\": {{\"triggers\": {}, \"candidates\": {}, \"dom_sweeps\": {}, \"dom_pruned\": {}, \"facts_added\": {}, \"terms_added\": {}, \"enum_ms\": {}, \"merge_ms\": {}}},\n      \"rounds\": [\n",
             escape(&r.workload),
             escape(r.engine),
+            r.stats.threads,
             ms(r.wall_ms),
             r.facts_out,
             r.rounds_run,
             r.stats.triggers(),
             r.stats.candidates(),
+            r.stats.dom_sweeps(),
+            r.stats.dom_pruned(),
             r.stats.facts_added(),
             r.stats.terms_added(),
+            ms(r.stats.enum_wall().as_secs_f64() * 1e3),
+            ms(r.stats.merge_wall().as_secs_f64() * 1e3),
         );
         for (j, round) in r.stats.rounds.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "        {{\"round\": {}, \"triggers\": {}, \"candidates\": {}, \"facts_added\": {}, \"terms_added\": {}, \"wall_ms\": {}}}{}",
+                "        {{\"round\": {}, \"triggers\": {}, \"candidates\": {}, \"dom_sweeps\": {}, \"dom_pruned\": {}, \"facts_added\": {}, \"terms_added\": {}, \"enum_ms\": {}, \"merge_ms\": {}, \"wall_ms\": {}}}{}",
                 round.round,
                 round.triggers,
                 round.candidates,
+                round.dom_sweeps,
+                round.dom_pruned,
                 round.facts_added,
                 round.terms_added,
+                ms(round.enum_wall.as_secs_f64() * 1e3),
+                ms(round.merge_wall.as_secs_f64() * 1e3),
                 ms(round.wall.as_secs_f64() * 1e3),
                 if j + 1 < r.stats.rounds.len() { "," } else { "" }
             );
@@ -121,12 +130,17 @@ mod tests {
             facts_out: 4,
             rounds_run: 1,
             stats: ChaseStats {
+                threads: 4,
                 rounds: vec![RoundStats {
                     round: 1,
                     triggers: 2,
                     candidates: 8,
+                    dom_sweeps: 1,
+                    dom_pruned: 3,
                     facts_added: 2,
                     terms_added: 0,
+                    enum_wall: Duration::from_micros(1200),
+                    merge_wall: Duration::from_micros(300),
                     wall: Duration::from_micros(1500),
                 }],
             },
@@ -136,7 +150,11 @@ mod tests {
             wall_ms: 10.0,
         }];
         let json = render_json(&timings, &runs);
-        assert!(json.contains("\"schema\": \"qr-bench/chase-v1\""));
+        assert!(json.contains("\"schema\": \"qr-bench/chase-v2\""));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"dom_pruned\": 3"));
+        assert!(json.contains("\"enum_ms\": 1.200"));
+        assert!(json.contains("\"merge_ms\": 0.300"));
         assert!(json.contains("\\\"G(2,2)\\\""));
         assert!(json.contains("\"wall_ms\": 1.500"));
         assert!(json.contains("\"candidates\": 8"));

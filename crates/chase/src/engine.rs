@@ -21,11 +21,19 @@
 //! ordered; later paths skip triggers an earlier path already covers), so
 //! no per-trigger hashing or allocation is needed. Every run also fills a
 //! [`ChaseStats`] for observability.
+//!
+//! Enumeration is organised as per-round *tasks* (one chunk of one
+//! enumeration path of one rule) evaluated against the immutable prefix
+//! `Ch_{i-1}` on a [`qr_exec::Executor`], with task outputs merged in
+//! submission order — so [`chase_with`] on any thread count produces the
+//! same facts, term indices, provenance trails, and trigger counts as the
+//! sequential engine, bit for bit.
 
 use std::collections::{HashMap, HashSet};
 use std::ops::Range;
 use std::time::Instant;
 
+use qr_exec::Executor;
 use qr_hom::matcher::{Assignment, JoinPlan, MatchCounters};
 use qr_syntax::query::{QAtom, QTerm, Var};
 use qr_syntax::{Fact, FactIdx, Instance, Pred, TermId, Theory};
@@ -166,6 +174,12 @@ struct RulePlan<'a> {
     regular: Vec<usize>,
     /// `dom` atoms whose argument is a variable: `(body index, var)`.
     dom_var: Vec<(usize, Var)>,
+    /// Per dom-var atom: every `(pred, position)` at which that variable
+    /// also occurs in a regular body atom. A new term can only match the
+    /// sweep if it occurs at all of these positions within the fact delta
+    /// (new terms occur in delta facts only), so the per-round occurrence
+    /// index prunes the term sweep without changing which triggers exist.
+    dom_var_keys: Vec<Vec<(Pred, u32)>>,
     /// Ground `dom` atoms: `(body index, constant term)`.
     dom_ground: Vec<(usize, TermId)>,
     /// For each body index, its position in `regular` (None for dom atoms);
@@ -227,11 +241,26 @@ fn plans(theory: &Theory) -> Vec<RulePlan<'_>> {
                 .iter()
                 .map(|&(k, _)| JoinPlan::compile(rest_of(k), nvars, &[]))
                 .collect();
+            let dom_var_keys = dom_var
+                .iter()
+                .map(|&(_, v)| {
+                    let mut keys = Vec::new();
+                    for &bj in &regular {
+                        for (pos, arg) in body[bj].args.iter().enumerate() {
+                            if *arg == QTerm::Var(v) {
+                                keys.push((body[bj].pred, pos as u32));
+                            }
+                        }
+                    }
+                    keys
+                })
+                .collect();
             RulePlan {
                 rule,
                 skolemized: SkolemizedRule::new(rule),
                 regular,
                 dom_var,
+                dom_var_keys,
                 dom_ground,
                 reg_pos,
                 full: JoinPlan::compile(body.to_vec(), nvars, &[]),
@@ -269,22 +298,49 @@ fn unify_atom_fact(atom: &QAtom, fact: &Fact, out: &mut Vec<(Var, TermId)>) -> b
     true
 }
 
-/// Runs the semi-naive chase.
+/// Runs the semi-naive chase (sequentially; see [`chase_with`]).
 pub fn chase(theory: &Theory, db: &Instance, budget: ChaseBudget) -> Chase {
-    run_chase(theory, db, budget, true, false)
+    chase_with(theory, db, budget, &Executor::sequential())
+}
+
+/// Runs the semi-naive chase with round tasks scheduled on `exec`. The
+/// result is identical to [`chase`] for every thread count — parallelism
+/// only changes wall time, never output.
+pub fn chase_with(theory: &Theory, db: &Instance, budget: ChaseBudget, exec: &Executor) -> Chase {
+    run_chase(theory, db, budget, true, false, exec)
 }
 
 /// Runs the naive chase (re-enumerates all triggers each round). Used to
 /// validate the semi-naive engine; produces identical `Ch_i` sets.
 pub fn chase_naive(theory: &Theory, db: &Instance, budget: ChaseBudget) -> Chase {
-    run_chase(theory, db, budget, false, false)
+    chase_naive_with(theory, db, budget, &Executor::sequential())
+}
+
+/// Naive chase on an explicit executor (whole-rule tasks).
+pub fn chase_naive_with(
+    theory: &Theory,
+    db: &Instance,
+    budget: ChaseBudget,
+    exec: &Executor,
+) -> Chase {
+    run_chase(theory, db, budget, false, false, exec)
 }
 
 /// Runs the semi-naive chase recording **all** derivations of every fact
 /// (needed to quantify over the paper's ancestor functions, Appendix A —
 /// e.g. the worst-case ancestor sets of Example 66).
 pub fn chase_all(theory: &Theory, db: &Instance, budget: ChaseBudget) -> Chase {
-    run_chase(theory, db, budget, true, true)
+    chase_all_with(theory, db, budget, &Executor::sequential())
+}
+
+/// All-derivations chase on an explicit executor.
+pub fn chase_all_with(
+    theory: &Theory,
+    db: &Instance,
+    budget: ChaseBudget,
+    exec: &Executor,
+) -> Chase {
+    run_chase(theory, db, budget, true, true, exec)
 }
 
 /// Which semi-naive enumeration path produced a body match. Paths are
@@ -314,20 +370,75 @@ struct DeltaCtx {
     new_terms: HashSet<TermId>,
 }
 
-/// Round-mutable buffers: facts produced this round, provenance extras for
-/// `record_all`, reusable trigger/frontier scratch space, and counters.
-struct RoundBuf {
-    /// New facts with their first derivation, in emission order.
-    fresh: Vec<(Fact, Derivation)>,
-    /// Set view of `fresh` for O(1) duplicate checks.
+/// One unit of per-round enumeration work. Tasks are generated in exactly
+/// the order the sequential engine visits the corresponding work (rules in
+/// theory order; per rule: regular paths, dom-var paths, ground-dom paths,
+/// empty bodies), with long delta scans split into contiguous chunks, so
+/// merging task outputs in submission order replays the sequential run.
+#[derive(Clone, Copy)]
+enum RoundTask {
+    /// Force regular atom `k` of rule `ridx` onto `lo..hi` of that
+    /// predicate's fact delta.
+    Regular {
+        ridx: usize,
+        k: usize,
+        lo: usize,
+        hi: usize,
+    },
+    /// Force dom-var atom `k` of rule `ridx` onto `lo..hi` of the term
+    /// delta.
+    DomVar {
+        ridx: usize,
+        k: usize,
+        lo: usize,
+        hi: usize,
+    },
+    /// Ground-dom atom `k` of rule `ridx` (its constant just arrived).
+    DomGround { ridx: usize, k: usize },
+    /// Rule `ridx` has an empty body (fires in round 1 only).
+    EmptyBody { ridx: usize },
+    /// Naive mode: enumerate the whole body of rule `ridx`.
+    FullRule { ridx: usize },
+}
+
+/// Everything a round task reads: the compiled plans and the immutable
+/// round prefix with its delta indexes. Shared by all worker threads.
+struct RoundCtx<'a> {
+    plans: &'a [RulePlan<'a>],
+    instance: &'a Instance,
+    delta: &'a DeltaCtx,
+    delta_by_pred: &'a HashMap<Pred, Vec<FactIdx>>,
+    delta_terms: &'a [TermId],
+    /// Dom-sweep locality index: the new terms occurring at each
+    /// `(pred, position)` of the fact delta. New terms occur in delta
+    /// facts only, so this is a complete filter for the positions in
+    /// [`RulePlan::dom_var_keys`].
+    delta_occ: &'a HashMap<(Pred, u32), HashSet<TermId>>,
+    record_all: bool,
+}
+
+/// One staged rule application: the canonical trigger, its frontier image,
+/// and the produced head facts (in head-atom order) split by membership in
+/// the immutable prefix.
+struct StagedEvent {
+    rule: usize,
+    trigger: Vec<FactIdx>,
+    frontier: Vec<TermId>,
+    /// Head facts not in the prefix (normal mode: also deduplicated
+    /// against this task's earlier events).
+    fresh: Vec<Fact>,
+    /// `record_all`: prefix indices of head facts that already exist.
+    existing: Vec<FactIdx>,
+}
+
+/// Worker-local buffers for one round task.
+struct TaskBuf {
+    events: Vec<StagedEvent>,
+    /// Normal mode: facts staged by this task, for intra-task dedup.
     fresh_set: HashSet<Fact>,
-    /// `record_all`: further derivations of facts already in `fresh`.
-    fresh_extra: Vec<(Fact, Derivation)>,
-    /// `record_all`: derivations of facts already in the instance.
-    existing_extra: Vec<(FactIdx, Derivation)>,
-    /// `record_all` only: derivation values recorded this round, so two
-    /// assignments differing only on a non-frontier dom variable don't
-    /// register the same `(rule, trigger, frontier)` twice.
+    /// `record_all`: derivation keys staged by this task — an intra-task
+    /// pre-filter for the merge's global dedup (two assignments differing
+    /// only on a non-frontier dom variable collapse to one key).
     seen_derivs: HashSet<(usize, Vec<FactIdx>, Vec<TermId>)>,
     /// Scratch: the current trigger, one slot per regular body atom.
     trigger_buf: Vec<FactIdx>,
@@ -337,47 +448,129 @@ struct RoundBuf {
     triggers: u64,
 }
 
-impl RoundBuf {
-    fn new() -> RoundBuf {
-        RoundBuf {
-            fresh: Vec::new(),
+impl TaskBuf {
+    fn new() -> TaskBuf {
+        TaskBuf {
+            events: Vec::new(),
             fresh_set: HashSet::new(),
-            fresh_extra: Vec::new(),
-            existing_extra: Vec::new(),
             seen_derivs: HashSet::new(),
             trigger_buf: Vec::new(),
             frontier_buf: Vec::new(),
             triggers: 0,
         }
     }
+}
 
-    fn clear(&mut self) {
-        self.fresh.clear();
-        self.fresh_set.clear();
-        self.fresh_extra.clear();
-        self.existing_extra.clear();
-        self.seen_derivs.clear();
-        self.triggers = 0;
+/// The output of one round task, merged in submission order.
+struct TaskOut {
+    events: Vec<StagedEvent>,
+    triggers: u64,
+    candidates: u64,
+    dom_sweeps: u64,
+    dom_pruned: u64,
+}
+
+/// Runs one enumeration task against the immutable round prefix.
+fn run_task(ctx: &RoundCtx<'_>, task: RoundTask) -> TaskOut {
+    let mut buf = TaskBuf::new();
+    let mut counters = MatchCounters::default();
+    let mut dom_sweeps = 0u64;
+    let mut dom_pruned = 0u64;
+    match task {
+        RoundTask::Regular { ridx, k, lo, hi } => {
+            let plan = &ctx.plans[ridx];
+            let atom = &plan.rule.body()[plan.regular[k]];
+            let rest = &plan.by_regular[k];
+            let mut fixed = Vec::new();
+            for &fi in &ctx.delta_by_pred[&atom.pred][lo..hi] {
+                counters.candidates += 1;
+                fixed.clear();
+                if !unify_atom_fact(atom, ctx.instance.fact(fi), &mut fixed) {
+                    continue;
+                }
+                rest.for_each_match_with_facts(
+                    ctx.instance,
+                    &fixed,
+                    &mut counters,
+                    |asg, trail| {
+                        emit(plan, ridx, asg, trail, Path::Regular(k, fi), ctx, &mut buf);
+                        true
+                    },
+                );
+            }
+        }
+        RoundTask::DomVar { ridx, k, lo, hi } => {
+            let plan = &ctx.plans[ridx];
+            let (_, v) = plan.dom_var[k];
+            let keys = &plan.dom_var_keys[k];
+            let rest = &plan.by_dom_var[k];
+            for &t in &ctx.delta_terms[lo..hi] {
+                // Dom-sweep locality: a term that does not occur in the
+                // delta at every position the variable also takes in a
+                // regular atom cannot complete a match — skip the join.
+                if !keys.is_empty()
+                    && !keys
+                        .iter()
+                        .all(|key| ctx.delta_occ.get(key).is_some_and(|occ| occ.contains(&t)))
+                {
+                    dom_pruned += 1;
+                    continue;
+                }
+                dom_sweeps += 1;
+                let fixed = [(v, t)];
+                rest.for_each_match_with_facts(
+                    ctx.instance,
+                    &fixed,
+                    &mut counters,
+                    |asg, trail| {
+                        emit(plan, ridx, asg, trail, Path::DomVar(k), ctx, &mut buf);
+                        true
+                    },
+                );
+            }
+        }
+        RoundTask::DomGround { ridx, k } => {
+            let plan = &ctx.plans[ridx];
+            let rest = &plan.by_dom_ground[k];
+            rest.for_each_match_with_facts(ctx.instance, &[], &mut counters, |asg, trail| {
+                emit(plan, ridx, asg, trail, Path::DomGround(k), ctx, &mut buf);
+                true
+            });
+        }
+        RoundTask::EmptyBody { ridx } | RoundTask::FullRule { ridx } => {
+            let plan = &ctx.plans[ridx];
+            plan.full
+                .for_each_match_with_facts(ctx.instance, &[], &mut counters, |asg, trail| {
+                    emit(plan, ridx, asg, trail, Path::Full, ctx, &mut buf);
+                    true
+                });
+        }
+    }
+    TaskOut {
+        events: buf.events,
+        triggers: buf.triggers,
+        candidates: counters.candidates,
+        dom_sweeps,
+        dom_pruned,
     }
 }
 
 /// Processes one complete body match: reconstructs the trigger from the
 /// match trail (totally — one fact index per regular atom, no hash
 /// re-probing), drops non-canonical arrivals of multi-delta triggers,
-/// instantiates the head, and stages the produced facts.
+/// instantiates the head, and stages the produced facts as a
+/// [`StagedEvent`] in the task's output.
 #[allow(clippy::too_many_arguments)]
 fn emit(
     plan: &RulePlan<'_>,
     ridx: usize,
-    round: usize,
     asg: &Assignment,
     trail: &[(usize, usize)],
     path: Path,
-    delta: &DeltaCtx,
-    instance: &Instance,
-    buf: &mut RoundBuf,
-    record_all: bool,
+    ctx: &RoundCtx<'_>,
+    buf: &mut TaskBuf,
 ) {
+    let delta = ctx.delta;
     buf.triggers += 1;
     // Rebuild the trigger from the trail. The rest-plans omit one body
     // atom, so trail atom indices at or past the omitted one shift by one.
@@ -446,7 +639,7 @@ fn emit(
     buf.frontier_buf.clear();
     buf.frontier_buf
         .extend(plan.skolemized.frontier.iter().map(|v| term_of(*v)));
-    if record_all {
+    if ctx.record_all {
         let key = (ridx, buf.trigger_buf.clone(), buf.frontier_buf.clone());
         if !buf.seen_derivs.insert(key) {
             return;
@@ -455,25 +648,99 @@ fn emit(
     let facts = plan
         .skolemized
         .apply_with_frontier(plan.rule, &buf.frontier_buf, term_of);
+    let mut fresh = Vec::new();
+    let mut existing = Vec::new();
     for fact in facts {
-        let is_new = !instance.contains(&fact) && !buf.fresh_set.contains(&fact);
-        if !is_new && !record_all {
-            continue;
-        }
-        let deriv = Derivation {
-            rule: ridx,
-            trigger: buf.trigger_buf.clone(),
-            frontier: buf.frontier_buf.clone(),
-            round,
-        };
-        if let Some(idx) = instance.index_of(&fact) {
-            buf.existing_extra.push((idx, deriv));
-        } else if buf.fresh_set.insert(fact.clone()) {
-            buf.fresh.push((fact, deriv));
-        } else {
-            buf.fresh_extra.push((fact, deriv));
+        if ctx.record_all {
+            match ctx.instance.index_of(&fact) {
+                Some(idx) => existing.push(idx),
+                None => fresh.push(fact),
+            }
+        } else if !ctx.instance.contains(&fact) && buf.fresh_set.insert(fact.clone()) {
+            fresh.push(fact);
         }
     }
+    if fresh.is_empty() && existing.is_empty() {
+        return;
+    }
+    buf.events.push(StagedEvent {
+        rule: ridx,
+        trigger: buf.trigger_buf.clone(),
+        frontier: buf.frontier_buf.clone(),
+        fresh,
+        existing,
+    });
+}
+
+/// The merged outcome of one round's tasks, in sequential emission order.
+struct RoundMerge {
+    fresh: Vec<(Fact, Derivation)>,
+    fresh_extra: Vec<(Fact, Derivation)>,
+    existing_extra: Vec<(FactIdx, Derivation)>,
+    triggers: u64,
+    candidates: u64,
+    dom_sweeps: u64,
+    dom_pruned: u64,
+}
+
+/// Folds task outputs in submission order, replaying exactly the staging
+/// decisions of a sequential run: the first staging of a fact wins, later
+/// stagings survive only as `record_all` extras, and duplicate
+/// `(rule, trigger, frontier)` derivations are dropped round-globally.
+fn merge_task_outputs(outs: Vec<TaskOut>, round: usize, record_all: bool) -> RoundMerge {
+    let mut m = RoundMerge {
+        fresh: Vec::new(),
+        fresh_extra: Vec::new(),
+        existing_extra: Vec::new(),
+        triggers: 0,
+        candidates: 0,
+        dom_sweeps: 0,
+        dom_pruned: 0,
+    };
+    let mut fresh_set: HashSet<Fact> = HashSet::new();
+    let mut seen_derivs: HashSet<(usize, Vec<FactIdx>, Vec<TermId>)> = HashSet::new();
+    for out in outs {
+        m.triggers += out.triggers;
+        m.candidates += out.candidates;
+        m.dom_sweeps += out.dom_sweeps;
+        m.dom_pruned += out.dom_pruned;
+        for ev in out.events {
+            if record_all && !seen_derivs.insert((ev.rule, ev.trigger.clone(), ev.frontier.clone()))
+            {
+                continue;
+            }
+            let deriv = Derivation {
+                rule: ev.rule,
+                trigger: ev.trigger,
+                frontier: ev.frontier,
+                round,
+            };
+            for idx in ev.existing {
+                m.existing_extra.push((idx, deriv.clone()));
+            }
+            for fact in ev.fresh {
+                if fresh_set.insert(fact.clone()) {
+                    m.fresh.push((fact, deriv.clone()));
+                } else if record_all {
+                    m.fresh_extra.push((fact, deriv.clone()));
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Splits `n` work units into at most `2 × threads` contiguous chunks.
+/// Chunk boundaries affect scheduling only — outputs are merged in chunk
+/// order, so results are independent of the split.
+fn chunks(n: usize, threads: usize) -> impl Iterator<Item = (usize, usize)> {
+    let parts = if threads <= 1 {
+        1
+    } else {
+        (threads * 2).min(n.max(1))
+    };
+    let size = n.div_ceil(parts).max(1);
+    (0..n).step_by(size).map(move |lo| (lo, (lo + size).min(n)))
 }
 
 fn run_chase(
@@ -482,6 +749,7 @@ fn run_chase(
     budget: ChaseBudget,
     semi_naive: bool,
     record_all: bool,
+    exec: &Executor,
 ) -> Chase {
     let plans = plans(theory);
     let mut instance = db.clone();
@@ -490,180 +758,123 @@ fn run_chase(
     let mut all_derivations: Vec<Vec<Derivation>> = vec![Vec::new(); instance.len()];
     let mut outcome = ChaseOutcome::Exhausted;
     let mut rounds = 0;
-    let mut stats = ChaseStats::default();
+    let mut stats = ChaseStats {
+        threads: exec.threads(),
+        rounds: Vec::new(),
+    };
+    // Build the dom-sweep locality index only when some dom variable also
+    // occurs in a regular body atom.
+    let use_occ = plans
+        .iter()
+        .any(|p| p.dom_var_keys.iter().any(|keys| !keys.is_empty()));
 
     // The delta of the previous round, as contiguous index ranges (facts
     // and domain terms are append-only, so each round owns a dense slice).
     let mut delta_facts: Range<FactIdx> = 0..instance.len();
-    let mut delta_terms: Range<usize> = 0..instance.domain_len();
-    let mut buf = RoundBuf::new();
+    let mut delta_term_range: Range<usize> = 0..instance.domain_len();
 
     for round in 1..=budget.max_rounds {
         let t0 = Instant::now();
-        buf.clear();
-        let mut counters = MatchCounters::default();
-
-        if semi_naive {
-            // Per-predicate index over the previous round's fact delta.
+        let outs = {
+            // Per-round delta indexes and the task list, in sequential
+            // visit order.
             let mut delta_by_pred: HashMap<Pred, Vec<FactIdx>> = HashMap::new();
-            for fi in delta_facts.clone() {
-                delta_by_pred
-                    .entry(instance.fact(fi).pred)
-                    .or_default()
-                    .push(fi);
-            }
-            let delta_term_slice = &instance.domain()[delta_terms.clone()];
-            let delta = DeltaCtx {
-                fact_start: delta_facts.start,
-                new_terms: delta_term_slice.iter().copied().collect(),
-            };
-
-            for (ridx, plan) in plans.iter().enumerate() {
-                let body = plan.rule.body();
-                // (a) Force each regular body atom onto the fact delta.
-                for (k, &bi) in plan.regular.iter().enumerate() {
-                    let atom = &body[bi];
-                    let Some(delta_idxs) = delta_by_pred.get(&atom.pred) else {
-                        continue;
-                    };
-                    let rest = &plan.by_regular[k];
-                    let mut fixed = Vec::new();
-                    for &fi in delta_idxs {
-                        counters.candidates += 1;
-                        fixed.clear();
-                        if !unify_atom_fact(atom, instance.fact(fi), &mut fixed) {
-                            continue;
+            let mut delta_occ: HashMap<(Pred, u32), HashSet<TermId>> = HashMap::new();
+            let mut tasks: Vec<RoundTask> = Vec::new();
+            let delta_terms: &[TermId];
+            let delta;
+            if semi_naive {
+                for fi in delta_facts.clone() {
+                    delta_by_pred
+                        .entry(instance.fact(fi).pred)
+                        .or_default()
+                        .push(fi);
+                }
+                delta_terms = &instance.domain()[delta_term_range.clone()];
+                delta = DeltaCtx {
+                    fact_start: delta_facts.start,
+                    new_terms: delta_terms.iter().copied().collect(),
+                };
+                if use_occ {
+                    for fi in delta_facts.clone() {
+                        let f = instance.fact(fi);
+                        for (pos, t) in f.args.iter().enumerate() {
+                            if delta.new_terms.contains(t) {
+                                delta_occ
+                                    .entry((f.pred, pos as u32))
+                                    .or_default()
+                                    .insert(*t);
+                            }
                         }
-                        rest.for_each_match_with_facts(
-                            &instance,
-                            &fixed,
-                            &mut counters,
-                            |asg, trail| {
-                                emit(
-                                    plan,
-                                    ridx,
-                                    round,
-                                    asg,
-                                    trail,
-                                    Path::Regular(k, fi),
-                                    &delta,
-                                    &instance,
-                                    &mut buf,
-                                    record_all,
-                                );
-                                true
-                            },
-                        );
                     }
                 }
-                // (b) Force each dom-scoped variable onto the domain delta.
-                for (k, &(_, v)) in plan.dom_var.iter().enumerate() {
-                    let rest = &plan.by_dom_var[k];
-                    for &t in delta_term_slice {
-                        let fixed = [(v, t)];
-                        rest.for_each_match_with_facts(
-                            &instance,
-                            &fixed,
-                            &mut counters,
-                            |asg, trail| {
-                                emit(
-                                    plan,
-                                    ridx,
-                                    round,
-                                    asg,
-                                    trail,
-                                    Path::DomVar(k),
-                                    &delta,
-                                    &instance,
-                                    &mut buf,
-                                    record_all,
-                                );
-                                true
-                            },
-                        );
+                for (ridx, plan) in plans.iter().enumerate() {
+                    let body = plan.rule.body();
+                    // (a) Force each regular body atom onto the fact delta.
+                    for (k, &bi) in plan.regular.iter().enumerate() {
+                        if let Some(idxs) = delta_by_pred.get(&body[bi].pred) {
+                            for (lo, hi) in chunks(idxs.len(), exec.threads()) {
+                                tasks.push(RoundTask::Regular { ridx, k, lo, hi });
+                            }
+                        }
+                    }
+                    // (b) Force each dom-scoped variable onto the domain
+                    // delta.
+                    for k in 0..plan.dom_var.len() {
+                        for (lo, hi) in chunks(delta_terms.len(), exec.threads()) {
+                            tasks.push(RoundTask::DomVar { ridx, k, lo, hi });
+                        }
+                    }
+                    // (c) Ground `dom` atoms join the delta exactly when
+                    // their constant first enters the active domain (e.g.
+                    // the body of `dom(a) -> p(a)` has no variable to force
+                    // — the constant itself is the delta).
+                    for (k, &(_, c)) in plan.dom_ground.iter().enumerate() {
+                        if delta.new_terms.contains(&c) {
+                            tasks.push(RoundTask::DomGround { ridx, k });
+                        }
+                    }
+                    // (d) Rules with no body fire exactly once, in round 1.
+                    if body.is_empty() && round == 1 {
+                        tasks.push(RoundTask::EmptyBody { ridx });
                     }
                 }
-                // (c) Ground `dom` atoms join the delta exactly when their
-                // constant first enters the active domain (e.g. the body of
-                // `dom(a) -> p(a)` has no variable to force — the constant
-                // itself is the delta).
-                for (k, &(_, c)) in plan.dom_ground.iter().enumerate() {
-                    if !delta.new_terms.contains(&c) {
-                        continue;
-                    }
-                    let rest = &plan.by_dom_ground[k];
-                    rest.for_each_match_with_facts(&instance, &[], &mut counters, |asg, trail| {
-                        emit(
-                            plan,
-                            ridx,
-                            round,
-                            asg,
-                            trail,
-                            Path::DomGround(k),
-                            &delta,
-                            &instance,
-                            &mut buf,
-                            record_all,
-                        );
-                        true
-                    });
-                }
-                // (d) Rules with no body at all fire exactly once, in round 1.
-                if body.is_empty() && round == 1 {
-                    plan.full.for_each_match_with_facts(
-                        &instance,
-                        &[],
-                        &mut counters,
-                        |asg, trail| {
-                            emit(
-                                plan,
-                                ridx,
-                                round,
-                                asg,
-                                trail,
-                                Path::Full,
-                                &delta,
-                                &instance,
-                                &mut buf,
-                                record_all,
-                            );
-                            true
-                        },
-                    );
+            } else {
+                delta_terms = &[];
+                delta = DeltaCtx {
+                    fact_start: 0,
+                    new_terms: HashSet::new(),
+                };
+                for ridx in 0..plans.len() {
+                    tasks.push(RoundTask::FullRule { ridx });
                 }
             }
-        } else {
-            let delta = DeltaCtx {
-                fact_start: 0,
-                new_terms: HashSet::new(),
+            let ctx = RoundCtx {
+                plans: &plans,
+                instance: &instance,
+                delta: &delta,
+                delta_by_pred: &delta_by_pred,
+                delta_terms,
+                delta_occ: &delta_occ,
+                record_all,
             };
-            for (ridx, plan) in plans.iter().enumerate() {
-                plan.full
-                    .for_each_match_with_facts(&instance, &[], &mut counters, |asg, trail| {
-                        emit(
-                            plan,
-                            ridx,
-                            round,
-                            asg,
-                            trail,
-                            Path::Full,
-                            &delta,
-                            &instance,
-                            &mut buf,
-                            record_all,
-                        );
-                        true
-                    });
-            }
-        }
+            exec.map(&tasks, |task| run_task(&ctx, *task))
+        };
+        let enum_wall = t0.elapsed();
+        let t1 = Instant::now();
+        let mut m = merge_task_outputs(outs, round, record_all);
 
-        if buf.fresh.is_empty() {
+        if m.fresh.is_empty() {
             stats.rounds.push(RoundStats {
                 round,
-                triggers: buf.triggers,
-                candidates: counters.candidates,
+                triggers: m.triggers,
+                candidates: m.candidates,
+                dom_sweeps: m.dom_sweeps,
+                dom_pruned: m.dom_pruned,
                 facts_added: 0,
                 terms_added: 0,
+                enum_wall,
+                merge_wall: t1.elapsed(),
                 wall: t0.elapsed(),
             });
             outcome = ChaseOutcome::Fixpoint;
@@ -672,7 +883,7 @@ fn run_chase(
 
         let facts_before = instance.len();
         let terms_before = instance.domain_len();
-        for (fact, deriv) in buf.fresh.drain(..) {
+        for (fact, deriv) in m.fresh.drain(..) {
             if instance.insert(fact).is_some() {
                 round_of.push(round);
                 all_derivations.push(vec![deriv.clone()]);
@@ -680,10 +891,10 @@ fn run_chase(
             }
         }
         if record_all {
-            for (idx, deriv) in buf.existing_extra.drain(..) {
+            for (idx, deriv) in m.existing_extra.drain(..) {
                 all_derivations[idx].push(deriv);
             }
-            for (fact, deriv) in buf.fresh_extra.drain(..) {
+            for (fact, deriv) in m.fresh_extra.drain(..) {
                 let idx = instance
                     .index_of(&fact)
                     .expect("fresh facts were just inserted");
@@ -691,13 +902,17 @@ fn run_chase(
             }
         }
         delta_facts = facts_before..instance.len();
-        delta_terms = terms_before..instance.domain_len();
+        delta_term_range = terms_before..instance.domain_len();
         stats.rounds.push(RoundStats {
             round,
-            triggers: buf.triggers,
-            candidates: counters.candidates,
+            triggers: m.triggers,
+            candidates: m.candidates,
+            dom_sweeps: m.dom_sweeps,
+            dom_pruned: m.dom_pruned,
             facts_added: instance.len() - facts_before,
             terms_added: instance.domain_len() - terms_before,
+            enum_wall,
+            merge_wall: t1.elapsed(),
             wall: t0.elapsed(),
         });
         rounds = round;
@@ -987,6 +1202,100 @@ mod tests {
         let ch = chase(&t, &d, budget);
         assert_eq!(ch.outcome, ChaseOutcome::Exhausted);
         assert!(ch.instance.len() <= 52);
+    }
+
+    /// Deep equality of everything a chase run exposes (wall times aside).
+    fn assert_same_chase(a: &Chase, b: &Chase) {
+        assert_eq!(a.instance, b.instance);
+        assert_eq!(a.round_of, b.round_of);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.derivations, b.derivations);
+        assert_eq!(a.all_derivations, b.all_derivations);
+        assert_eq!(a.stats.rounds.len(), b.stats.rounds.len());
+        for (ra, rb) in a.stats.rounds.iter().zip(&b.stats.rounds) {
+            assert_eq!(ra.triggers, rb.triggers);
+            assert_eq!(ra.candidates, rb.candidates);
+            assert_eq!(ra.dom_sweeps, rb.dom_sweeps);
+            assert_eq!(ra.dom_pruned, rb.dom_pruned);
+            assert_eq!(ra.facts_added, rb.facts_added);
+            assert_eq!(ra.terms_added, rb.terms_added);
+        }
+    }
+
+    #[test]
+    fn parallel_chase_is_bit_identical_to_sequential() {
+        let theories = [
+            "e(X,Y), e(Y,Z) -> e(X,Z).",
+            "e(X,Y) -> e(Y,Z).\ne(X,Y), e(Y,Z) -> f(X,Z).\nf(X,Y) -> g(Y).",
+            "true -> r(X,X).\ndom(X) -> r(X,Z).\nr(X,Y), dom(Y) -> p(Y).",
+            "start(X) -> e(X, a).\nq(X), dom(a) -> r(X).",
+        ];
+        let d = parse_instance("e(a,b). e(b,c). e(c,a). start(s). q(s).").unwrap();
+        for src in theories {
+            let t = parse_theory(src).unwrap();
+            let seq = chase(&t, &d, ChaseBudget::rounds(5));
+            for threads in [2, 4] {
+                let par = chase_with(
+                    &t,
+                    &d,
+                    ChaseBudget::rounds(5),
+                    &Executor::with_threads(threads),
+                );
+                assert_same_chase(&seq, &par);
+                assert_eq!(par.stats.threads, threads);
+            }
+            let seq_all = chase_all(&t, &d, ChaseBudget::rounds(5));
+            let par_all =
+                chase_all_with(&t, &d, ChaseBudget::rounds(5), &Executor::with_threads(3));
+            assert_same_chase(&seq_all, &par_all);
+        }
+    }
+
+    #[test]
+    fn dom_sweep_locality_prunes_unmatchable_terms() {
+        // The dom variable Y also occurs in the regular atom g(X,Y), so
+        // only terms occurring at (g, 1) within the delta can complete a
+        // match. The input floods the domain with terms that never do.
+        let t = parse_theory(
+            "f(X) -> g(X, Z).\n\
+             g(X, Y), dom(Y) -> h(Y).",
+        )
+        .unwrap();
+        let d = parse_instance("f(a). p(c1,c2). p(c3,c4). p(c5,c6).").unwrap();
+        let fast = chase(&t, &d, ChaseBudget::rounds(4));
+        let slow = chase_naive(&t, &d, ChaseBudget::rounds(4));
+        assert_eq!(fast.instance, slow.instance);
+        assert_eq!(fast.rounds, slow.rounds);
+        // Round 1 sweeps 7 new terms (a, c1..c6) and prunes every one of
+        // them: no g-fact exists yet, so nothing occurs at (g, 1).
+        assert_eq!(fast.stats.rounds[0].dom_pruned, 7);
+        assert_eq!(fast.stats.rounds[0].dom_sweeps, 0);
+        // Round 2's delta is g(a, z) with one new term z at (g, 1): the
+        // sweep runs for z only, and h(z) is derived.
+        assert_eq!(fast.stats.rounds[1].dom_pruned, 0);
+        assert_eq!(fast.stats.rounds[1].dom_sweeps, 1);
+        assert!(fast.stats.dom_pruned() > 0);
+        let h = qr_syntax::Pred::new("h", 1);
+        assert_eq!(fast.instance.with_pred(h).len(), 1);
+    }
+
+    #[test]
+    fn pure_pin_rules_are_never_pruned() {
+        // T_d's pins rule `dom(X) -> r(X,Z), g(X,Z1)` has no regular atom
+        // mentioning X: every new term is swept, none pruned, and the
+        // locality index is not even built.
+        let t = qr_core_like_pins();
+        let d = parse_instance("e(a,b).").unwrap();
+        let ch = chase(&t, &d, ChaseBudget::rounds(3));
+        assert_eq!(ch.stats.dom_pruned(), 0);
+        // Round 1 sweeps the 2 input terms, round 2 the 2 fresh pins, ...
+        assert_eq!(ch.stats.rounds[0].dom_sweeps, 2);
+        assert_eq!(ch.stats.rounds[1].dom_sweeps, 2);
+    }
+
+    fn qr_core_like_pins() -> Theory {
+        parse_theory("dom(X) -> r(X, Z).").unwrap()
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub mod stats;
 pub use core_term::{
     all_instances_termination, core_of, core_termination, CoreTermBudget, CoreTermination,
 };
-pub use engine::{chase, chase_all, chase_naive, Chase, ChaseBudget, ChaseOutcome, Derivation};
+pub use engine::{
+    chase, chase_all, chase_all_with, chase_naive, chase_naive_with, chase_with, Chase,
+    ChaseBudget, ChaseOutcome, Derivation,
+};
 pub use model::is_model;
 pub use provenance::{minimal_subset, minimal_support, Provenance};
 pub use skolem::SkolemizedRule;

@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use qr_exec::Executor;
 use qr_syntax::query::{ConjunctiveQuery, Var};
 use qr_syntax::TermId;
 
@@ -36,6 +37,35 @@ pub fn contains(phi: &ConjunctiveQuery, psi: &ConjunctiveQuery) -> bool {
 /// `true` iff the two queries are equivalent (mutual containment).
 pub fn equivalent(a: &ConjunctiveQuery, b: &ConjunctiveQuery) -> bool {
     contains(a, b) && contains(b, a)
+}
+
+/// Parallel disjunct-vs-set sweep: `true` iff some query in `kept`
+/// [`contains`]-subsumes `cand` — i.e. `contains(cand, r)` holds for some
+/// `r`, so `cand` adds no answers to the union `kept` already describes.
+///
+/// The sweep runs on `exec`'s worker pool; each containment check is a
+/// pure predicate, so the early-exiting parallel `any` returns exactly
+/// what the sequential scan would. The rewrite engine uses this to test
+/// candidates against the accumulated rewriting set.
+pub fn subsumed_by_any(
+    exec: &Executor,
+    cand: &ConjunctiveQuery,
+    kept: &[&ConjunctiveQuery],
+) -> bool {
+    exec.any(kept, |r| contains(cand, r))
+}
+
+/// Parallel disjunct-vs-set sweep: one flag per query in `kept`, `true`
+/// iff `contains(r, cand)` — i.e. `r` is subsumed by `cand` and can be
+/// evicted from a union that now includes `cand`. Flags come back in
+/// `kept` order (ordered reduction), so callers retain/evict exactly as a
+/// sequential scan would.
+pub fn covered_by(
+    exec: &Executor,
+    kept: &[&ConjunctiveQuery],
+    cand: &ConjunctiveQuery,
+) -> Vec<bool> {
+    exec.map(kept, |r| contains(r, cand))
 }
 
 #[cfg(test)]

@@ -405,6 +405,20 @@ pub fn holds_ucq(u: &qr_syntax::Ucq, inst: &Instance, ans: &[TermId]) -> bool {
     u.disjuncts().iter().any(|d| holds(d, inst, ans))
 }
 
+/// [`holds_ucq`] with the disjunct sweep scheduled on `exec`'s worker
+/// pool. Each `inst ⊨ qᵢ(ans)` check is an independent pure predicate, so
+/// the early-exiting parallel `any` gives exactly the sequential answer.
+/// The bench harness uses this for entailment sweeps over large
+/// rewritings.
+pub fn holds_ucq_with(
+    exec: &qr_exec::Executor,
+    u: &qr_syntax::Ucq,
+    inst: &Instance,
+    ans: &[TermId],
+) -> bool {
+    exec.any(u.disjuncts(), |d| holds(d, inst, ans))
+}
+
 /// `true` iff `inst ⊨ q(ans)`.
 pub fn holds(q: &ConjunctiveQuery, inst: &Instance, ans: &[TermId]) -> bool {
     assert_eq!(

@@ -1,11 +1,33 @@
 //! Saturation: computing `rew(ψ)` by exhaustive piece rewriting with
 //! containment-based subsumption (Theorem 1 of the paper).
+//!
+//! # Parallel saturation
+//!
+//! The loop processes its FIFO work queue in *batches*: the piece
+//! rewritings (and their cores) of every queued query are generated
+//! speculatively on an [`Executor`]'s worker pool, then merged in exact
+//! queue order against the accumulated set. Subsumption checks,
+//! evictions, budget accounting and tracing all happen at merge time, so
+//! a parallel run makes the same decisions in the same order as the
+//! sequential loop: a FIFO queue enqueues descendants after everything
+//! already queued, hence one batch is exactly the window the sequential
+//! loop would drain before reaching any descendant, and dropping
+//! (uncounted) the candidates of items evicted earlier in the merge
+//! reproduces the sequential aliveness check verbatim.
+//!
+//! Accepted disjuncts are canonically renamed on acceptance: fresh
+//! variable names minted during unification embed a global counter that
+//! parallel generation advances in schedule-dependent order, so without
+//! the renaming, saturation output would differ textually between thread
+//! counts even though the sets are isomorphic.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
 
-use qr_hom::containment::contains;
+use qr_exec::Executor;
+use qr_hom::containment::{contains, covered_by, subsumed_by_any};
 use qr_hom::qcore::query_core;
-use qr_syntax::{ConjunctiveQuery, Theory, Ucq};
+use qr_syntax::{ConjunctiveQuery, Pred, Symbol, Theory, Ucq, Var};
 
 use crate::unify::piece_rewritings;
 
@@ -112,13 +134,186 @@ impl Rewriting {
     }
 }
 
+/// The predicate *signature* of a query: the sorted, deduplicated set of
+/// body predicates plus a 64-bit occupancy mask over their hashes.
+///
+/// A homomorphism from `src` into `tgt` maps every `src` atom onto a
+/// `tgt` atom over the same predicate, so `preds(src) ⊆ preds(tgt)` is a
+/// necessary condition for [`contains`]`(tgt, src)`. Note the *set*
+/// comparison: a homomorphism may collapse several atoms onto one, so the
+/// source can use a predicate more often than the target and multiset
+/// inclusion over occurrence counts would wrongly prune genuine
+/// homomorphisms.
+#[derive(Clone, Debug)]
+struct PredSig {
+    mask: u64,
+    preds: Vec<Pred>,
+}
+
+impl PredSig {
+    fn of(q: &ConjunctiveQuery) -> PredSig {
+        let mut preds: Vec<Pred> = q.atoms().iter().map(|a| a.pred).collect();
+        preds.sort();
+        preds.dedup();
+        let mask = preds.iter().fold(0u64, |m, p| m | pred_bit(p));
+        PredSig { mask, preds }
+    }
+
+    fn subset_of(&self, other: &PredSig) -> bool {
+        if self.mask & !other.mask != 0 {
+            return false;
+        }
+        // Merge-style subset test over the sorted signatures.
+        let mut it = other.preds.iter();
+        self.preds.iter().all(|p| it.by_ref().any(|q| q == p))
+    }
+}
+
+fn pred_bit(p: &Pred) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    p.hash(&mut h);
+    1 << (h.finish() % 64)
+}
+
+/// The accumulated rewriting set, indexed by [`PredSig`] so subsumption
+/// and eviction sweeps only run containment checks against entries whose
+/// signature makes a homomorphism possible. Entries are tombstoned rather
+/// than removed so the surviving queries keep their insertion order — the
+/// order the previous linear-scan implementation produced.
+struct KeptSet {
+    entries: Vec<KeptEntry>,
+    alive: usize,
+}
+
+struct KeptEntry {
+    query: ConjunctiveQuery,
+    sig: PredSig,
+    alive: bool,
+}
+
+impl KeptSet {
+    fn new() -> KeptSet {
+        KeptSet {
+            entries: Vec::new(),
+            alive: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.alive
+    }
+
+    fn push(&mut self, query: ConjunctiveQuery) {
+        let sig = PredSig::of(&query);
+        self.entries.push(KeptEntry {
+            query,
+            sig,
+            alive: true,
+        });
+        self.alive += 1;
+    }
+
+    fn contains_query(&self, q: &ConjunctiveQuery) -> bool {
+        self.entries.iter().any(|e| e.alive && e.query == *q)
+    }
+
+    /// Alive entries whose signature is a subset of `sig` — the only
+    /// entries that can subsume a candidate with that signature.
+    fn possible_subsumers(&self, sig: &PredSig) -> Vec<&ConjunctiveQuery> {
+        self.entries
+            .iter()
+            .filter(|e| e.alive && e.sig.subset_of(sig))
+            .map(|e| &e.query)
+            .collect()
+    }
+
+    /// Alive entries whose signature is a superset of `sig` — the only
+    /// entries a candidate with that signature can evict.
+    fn possible_victims(&self, sig: &PredSig) -> Vec<(usize, &ConjunctiveQuery)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.alive && sig.subset_of(&e.sig))
+            .map(|(i, e)| (i, &e.query))
+            .collect()
+    }
+
+    fn kill(&mut self, idx: usize) {
+        if std::mem::take(&mut self.entries[idx].alive) {
+            self.alive -= 1;
+        }
+    }
+
+    fn into_queries(self) -> Vec<ConjunctiveQuery> {
+        self.entries
+            .into_iter()
+            .filter(|e| e.alive)
+            .map(|e| e.query)
+            .collect()
+    }
+}
+
+/// Renames existential variables to `U0, U1, …` in variable-index order,
+/// keeping answer-variable names (skipping any `U<i>` an answer variable
+/// already uses). Structure — atom order, variable indices — is
+/// untouched, so piece enumeration over the renamed query is unaffected;
+/// only the schedule-dependent fresh names disappear.
+fn canonical_named(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let answer: HashSet<Var> = q.answer_vars().iter().copied().collect();
+    let reserved: HashSet<&str> = q
+        .answer_vars()
+        .iter()
+        .map(|v| q.var_name(*v).as_str())
+        .collect();
+    let mut names = q.var_names().to_vec();
+    let mut next = 0usize;
+    for (i, slot) in names.iter_mut().enumerate() {
+        if answer.contains(&Var(i as u32)) {
+            continue;
+        }
+        let name = loop {
+            let cand = format!("U{next}");
+            next += 1;
+            if !reserved.contains(cand.as_str()) {
+                break cand;
+            }
+        };
+        *slot = Symbol::intern(&name);
+    }
+    ConjunctiveQuery::new(q.answer_vars().to_vec(), q.atoms().to_vec(), names)
+}
+
+/// A speculatively generated candidate from one piece rewriting of a
+/// queued query.
+enum Generated {
+    /// The raw rewriting exceeded `max_atoms`: counted against the budget
+    /// at merge time, never core-minimized (matching the sequential loop,
+    /// which skips the core for oversized candidates).
+    Oversized,
+    /// Core-minimized, canonically renamed candidate.
+    Cand(ConjunctiveQuery),
+}
+
 /// Computes a UCQ rewriting of `query` under `theory` (see module docs).
 pub fn rewrite(
     theory: &Theory,
     query: &ConjunctiveQuery,
     budget: RewriteBudget,
 ) -> Result<Rewriting, RewriteError> {
-    rewrite_with_trace(theory, query, budget, |_, _| {})
+    saturate(theory, query, budget, &Executor::sequential(), |_, _| {})
+}
+
+/// [`rewrite`] with candidate generation and containment sweeps scheduled
+/// on `exec`'s worker pool. Deterministic: the result — disjuncts, their
+/// renderings, `generated`, `depth`, outcome — is identical to the
+/// sequential run for every thread count.
+pub fn rewrite_with(
+    theory: &Theory,
+    query: &ConjunctiveQuery,
+    budget: RewriteBudget,
+    exec: &Executor,
+) -> Result<Rewriting, RewriteError> {
+    saturate(theory, query, budget, exec, |_, _| {})
 }
 
 /// Like [`rewrite`], invoking `trace(depth, query)` for every query accepted
@@ -127,6 +322,16 @@ pub fn rewrite_with_trace(
     theory: &Theory,
     query: &ConjunctiveQuery,
     budget: RewriteBudget,
+    trace: impl FnMut(usize, &ConjunctiveQuery),
+) -> Result<Rewriting, RewriteError> {
+    saturate(theory, query, budget, &Executor::sequential(), trace)
+}
+
+fn saturate(
+    theory: &Theory,
+    query: &ConjunctiveQuery,
+    budget: RewriteBudget,
+    exec: &Executor,
     mut trace: impl FnMut(usize, &ConjunctiveQuery),
 ) -> Result<Rewriting, RewriteError> {
     for r in theory.rules() {
@@ -135,60 +340,95 @@ pub fn rewrite_with_trace(
         }
     }
 
-    let mut set: Vec<ConjunctiveQuery> = Vec::new();
-    let mut work: VecDeque<(ConjunctiveQuery, usize)> = VecDeque::new();
+    let mut set = KeptSet::new();
+    let mut queue: VecDeque<(ConjunctiveQuery, usize)> = VecDeque::new();
     let mut generated = 0usize;
     let mut depth_reached = 0usize;
     let mut truncated = false;
 
-    let seed = query_core(query);
+    let seed = canonical_named(&query_core(query));
     trace(0, &seed);
     set.push(seed.clone());
-    work.push_back((seed, 0));
+    queue.push_back((seed, 0));
 
-    'outer: while let Some((q, depth)) = work.pop_front() {
-        // The query may have been evicted by a more general later arrival.
-        if !set.iter().any(|r| r == &q) {
-            continue;
-        }
-        for rule in theory.rules() {
-            for pu in piece_rewritings(&q, rule) {
+    'outer: while !queue.is_empty() {
+        let batch: Vec<(ConjunctiveQuery, usize)> = queue.drain(..).collect();
+        // Speculative generation: piece rewritings and cores for every
+        // batch item, on the worker pool. Candidates of items evicted
+        // mid-merge are dropped uncounted below, exactly as the
+        // sequential loop never generates for queries that fail its
+        // aliveness check.
+        let gens: Vec<Vec<Generated>> = exec.map(&batch, |(q, _)| {
+            let mut out = Vec::new();
+            for rule in theory.rules() {
+                for pu in piece_rewritings(q, rule) {
+                    if pu.result.size() > budget.max_atoms {
+                        out.push(Generated::Oversized);
+                    } else {
+                        out.push(Generated::Cand(canonical_named(&query_core(&pu.result))));
+                    }
+                }
+            }
+            out
+        });
+        // Ordered merge: budget accounting, subsumption and eviction in
+        // exact queue order.
+        for (i, (q, depth)) in batch.iter().enumerate() {
+            // The query may have been evicted by a more general arrival.
+            if !set.contains_query(q) {
+                continue;
+            }
+            for g in &gens[i] {
                 generated += 1;
                 if generated > budget.max_generated {
                     truncated = true;
                     break 'outer;
                 }
-                if pu.result.size() > budget.max_atoms {
-                    truncated = true;
-                    continue;
-                }
-                let cand = query_core(&pu.result);
-                // Subsumed: some kept query already covers it (whenever the
-                // candidate holds, the kept one does).
-                if set.iter().any(|r| contains(&cand, r)) {
+                let cand = match g {
+                    Generated::Oversized => {
+                        truncated = true;
+                        continue;
+                    }
+                    Generated::Cand(c) => c,
+                };
+                let sig = PredSig::of(cand);
+                // Subsumed: some kept query already covers it (whenever
+                // the candidate holds, the kept one does).
+                if subsumed_by_any(exec, cand, &set.possible_subsumers(&sig)) {
                     continue;
                 }
                 // Evict kept queries covered by the candidate.
-                set.retain(|r| !contains(r, &cand));
+                let dead: Vec<usize> = {
+                    let victims = set.possible_victims(&sig);
+                    let refs: Vec<&ConjunctiveQuery> = victims.iter().map(|(_, r)| *r).collect();
+                    covered_by(exec, &refs, cand)
+                        .into_iter()
+                        .zip(&victims)
+                        .filter_map(|(covered, (idx, _))| covered.then_some(*idx))
+                        .collect()
+                };
+                for idx in dead {
+                    set.kill(idx);
+                }
                 if set.len() >= budget.max_queries {
                     truncated = true;
                     break 'outer;
                 }
                 depth_reached = depth_reached.max(depth + 1);
-                trace(depth + 1, &cand);
+                trace(depth + 1, cand);
                 set.push(cand.clone());
-                work.push_back((cand, depth + 1));
+                queue.push_back((cand.clone(), depth + 1));
             }
         }
     }
 
-    let outcome = if truncated || !work.is_empty() {
+    let outcome = if truncated || !queue.is_empty() {
         RewriteOutcome::Budget
     } else {
         RewriteOutcome::Complete
     };
     Ok(Rewriting {
-        ucq: Ucq::new(set),
+        ucq: Ucq::new(set.into_queries()),
         outcome,
         generated,
         depth: depth_reached,
@@ -299,6 +539,201 @@ mod tests {
         assert!(r2.is_complete());
         assert_eq!(r2.ucq.len(), 2);
         assert_eq!(r2.rs(), 2);
+    }
+
+    /// Every fixture the engine covers, as (label, theory, query, budget).
+    fn fixtures() -> Vec<(&'static str, &'static str, &'static str, RewriteBudget)> {
+        vec![
+            (
+                "t_a",
+                "human(Y) -> mother(Y,Z).\nmother(X,Y) -> human(Y).",
+                "?(X) :- mother(X, M).",
+                RewriteBudget::default(),
+            ),
+            (
+                "t_p",
+                "e(X,Y) -> e(Y,Z).",
+                "?(A) :- e(A,B), e(B,C).",
+                RewriteBudget::default(),
+            ),
+            (
+                "ex39",
+                "e(X,Y,Y1,T), r(X,T1) -> e(X,Y1,Y2,T1).",
+                "?(A,D) :- e(A,B,C,D).",
+                RewriteBudget::default(),
+            ),
+            (
+                "guarded",
+                "p(X), e(X,Y) -> p(Y).\nq(X) -> p(X).",
+                "? :- p(A).",
+                RewriteBudget::default(),
+            ),
+            (
+                "tc-budget",
+                "e(X,Y), e(Y,Z) -> e(X,Z).",
+                "? :- e(a, b).",
+                RewriteBudget {
+                    max_queries: 64,
+                    max_generated: 2_000,
+                    max_atoms: 12,
+                },
+            ),
+        ]
+    }
+
+    fn renders(r: &Rewriting) -> Vec<String> {
+        r.ucq.disjuncts().iter().map(|d| d.render()).collect()
+    }
+
+    #[test]
+    fn parallel_rewrite_is_identical_to_sequential() {
+        for (label, t, q, budget) in fixtures() {
+            // The budget-truncation path is what matters on the divergent
+            // fixture; a smaller budget exercises it at a fraction of the
+            // cost.
+            let budget = if label == "tc-budget" {
+                RewriteBudget {
+                    max_queries: 24,
+                    max_generated: 300,
+                    max_atoms: 8,
+                }
+            } else {
+                budget
+            };
+            let theory = parse_theory(t).unwrap();
+            let query = parse_query(q).unwrap();
+            let seq = rewrite(&theory, &query, budget).unwrap();
+            for threads in [2, 4] {
+                let par = rewrite_with(&theory, &query, budget, &Executor::with_threads(threads))
+                    .unwrap();
+                assert_eq!(par.outcome, seq.outcome, "{label} @{threads}: outcome");
+                assert_eq!(
+                    par.generated, seq.generated,
+                    "{label} @{threads}: generated"
+                );
+                assert_eq!(par.depth, seq.depth, "{label} @{threads}: depth");
+                assert_eq!(
+                    renders(&par),
+                    renders(&seq),
+                    "{label} @{threads}: saturated set"
+                );
+            }
+        }
+    }
+
+    /// The saturated sets the pre-index, pre-parallel engine produced on
+    /// these fixtures, pinned up to the canonical variable renaming:
+    /// identical outcome / generated / depth, and a bijection between the
+    /// disjuncts and the expected queries under [`equivalent`].
+    #[test]
+    fn saturated_sets_match_prechange_engine() {
+        use qr_hom::containment::equivalent;
+        let expected: Vec<(&str, RewriteOutcome, usize, usize, Vec<&str>)> = vec![
+            (
+                "t_a",
+                RewriteOutcome::Complete,
+                2,
+                2,
+                vec![
+                    "?(X) :- mother(X, M).",
+                    "?(X) :- human(X).",
+                    "?(X) :- mother(U, X).",
+                ],
+            ),
+            (
+                "t_p",
+                RewriteOutcome::Complete,
+                2,
+                2,
+                vec!["?(A) :- e(A, B).", "?(A) :- e(B, A)."],
+            ),
+            (
+                "ex39",
+                RewriteOutcome::Complete,
+                2,
+                1,
+                vec!["?(A,D) :- e(A,B,C,D).", "?(A,D) :- e(A,Y,B,T), r(A,D)."],
+            ),
+            (
+                "guarded",
+                RewriteOutcome::Complete,
+                2,
+                1,
+                vec!["? :- p(A).", "? :- q(A)."],
+            ),
+            (
+                "tc-budget",
+                RewriteOutcome::Budget,
+                2001,
+                11,
+                vec![], // pinned by shape below: chains of length 1..=12
+            ),
+        ];
+        for ((label, t, q, budget), (elabel, outcome, generated, depth, disjuncts)) in
+            fixtures().into_iter().zip(expected)
+        {
+            assert_eq!(label, elabel);
+            let r = rewrite(&parse_theory(t).unwrap(), &parse_query(q).unwrap(), budget).unwrap();
+            assert_eq!(r.outcome, outcome, "{label}: outcome");
+            assert_eq!(r.generated, generated, "{label}: generated");
+            assert_eq!(r.depth, depth, "{label}: depth");
+            if label == "tc-budget" {
+                // One chain disjunct per length 1..=12, exactly as before.
+                let mut sizes: Vec<usize> = r.ucq.disjuncts().iter().map(|d| d.size()).collect();
+                sizes.sort_unstable();
+                assert_eq!(sizes, (1..=12).collect::<Vec<_>>(), "tc-budget: sizes");
+                continue;
+            }
+            assert_eq!(r.ucq.len(), disjuncts.len(), "{label}: set size");
+            let want: Vec<ConjunctiveQuery> =
+                disjuncts.iter().map(|s| parse_query(s).unwrap()).collect();
+            for w in &want {
+                assert!(
+                    r.ucq.disjuncts().iter().any(|d| equivalent(d, w)),
+                    "{label}: missing disjunct equivalent to {}",
+                    w.render()
+                );
+            }
+            for d in r.ucq.disjuncts() {
+                assert!(
+                    want.iter().any(|w| equivalent(d, w)),
+                    "{label}: unexpected disjunct {}",
+                    d.render()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn signature_is_a_set_not_a_multiset() {
+        // A homomorphism may collapse atoms: the 2-path maps into the
+        // self-loop, even though the source uses `e` twice and the target
+        // once. The signature prefilter must not prune this.
+        let path = parse_query("? :- e(X,Y), e(Y,Z).").unwrap();
+        let selfloop = parse_query("? :- e(A,A).").unwrap();
+        assert!(contains(&selfloop, &path));
+        assert!(PredSig::of(&path).subset_of(&PredSig::of(&selfloop)));
+        assert!(PredSig::of(&selfloop).subset_of(&PredSig::of(&path)));
+        // Disjoint predicates are pruned in both directions.
+        let other = parse_query("? :- f(X,Y).").unwrap();
+        assert!(!PredSig::of(&other).subset_of(&PredSig::of(&path)));
+        assert!(!PredSig::of(&path).subset_of(&PredSig::of(&other)));
+        // Strict subset works one way only.
+        let mixed = parse_query("? :- e(X,Y), f(Y,Z).").unwrap();
+        assert!(PredSig::of(&path).subset_of(&PredSig::of(&mixed)));
+        assert!(!PredSig::of(&mixed).subset_of(&PredSig::of(&path)));
+    }
+
+    #[test]
+    fn canonical_renaming_keeps_answer_names_and_structure() {
+        let q = parse_query("?(X) :- mother(X, M), human(H).").unwrap();
+        let c = canonical_named(&q);
+        assert_eq!(c.answer_vars(), q.answer_vars());
+        assert_eq!(c.atoms(), q.atoms());
+        assert_eq!(c.render(), "?(X) :- mother(X,U0), human(U1)");
+        // An answer variable already named like a canonical slot is skipped.
+        let q2 = parse_query("?(U0) :- e(U0, Y).").unwrap();
+        assert_eq!(canonical_named(&q2).render(), "?(U0) :- e(U0,U1)");
     }
 
     #[test]

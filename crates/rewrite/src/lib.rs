@@ -22,6 +22,7 @@ pub mod engine;
 pub mod unify;
 
 pub use engine::{
-    rewrite, rewrite_with_trace, RewriteBudget, RewriteError, RewriteOutcome, Rewriting,
+    rewrite, rewrite_with, rewrite_with_trace, RewriteBudget, RewriteError, RewriteOutcome,
+    Rewriting,
 };
 pub use unify::{piece_rewritings, PieceUnifier};
