@@ -5,8 +5,10 @@
 //! The chase engine's trigger/candidate/sweep counters are a pure function
 //! of (theory, instance, budget) — they must not drift across commits
 //! unless the engine semantics intentionally changed. This tool diffs the
-//! per-workload totals and per-round counters of two harness `--json`
-//! dumps, ignoring everything timing- or machine-dependent (`wall_ms`,
+//! per-workload totals, memory counters (`peak_facts` and the storage
+//! layer's logical byte accounting — deterministic by construction, see
+//! `qr-storage`), and per-round counters of two harness `--json` dumps,
+//! ignoring everything timing- or machine-dependent (`wall_ms`,
 //! `enum_ms`, `merge_ms`, `threads`, per-experiment timings). Exit code 0
 //! means the counters match; 1 means drift (differences listed on
 //! stderr); 2 means usage or parse errors.
@@ -261,6 +263,32 @@ const COUNTERS: [&str; 6] = [
     "terms_added",
 ];
 
+/// The storage layer's deterministic memory counters (schema v3+): logical
+/// byte accounting with fixed element sizes, so — like the trigger counters
+/// — identical across machines and thread counts, and gated the same way.
+const MEMORY_KEYS: [&str; 4] = ["peak_facts", "bytes_facts", "bytes_index", "bytes_tuples"];
+
+fn diff_memory(scope: &str, base: &Value, cand: &Value, report: &mut String) {
+    match (base.get("memory"), cand.get("memory")) {
+        (None, None) => {}
+        (Some(_), None) => {
+            let _ = writeln!(report, "  {scope}: memory counters missing from candidate");
+        }
+        (None, Some(_)) => {
+            let _ = writeln!(report, "  {scope}: memory counters missing from baseline");
+        }
+        (Some(bm), Some(cm)) => {
+            for key in MEMORY_KEYS {
+                let b = bm.get(key).and_then(Value::as_u64);
+                let c = cm.get(key).and_then(Value::as_u64);
+                if b != c {
+                    let _ = writeln!(report, "  {scope}: memory.{key} {b:?} -> {c:?}");
+                }
+            }
+        }
+    }
+}
+
 fn diff_counters(scope: &str, base: &Value, cand: &Value, report: &mut String) {
     for key in COUNTERS {
         let b = base.get(key).and_then(Value::as_u64);
@@ -302,6 +330,7 @@ fn diff(base: &Value, cand: &Value) -> String {
                 let _ = writeln!(report, "  \"{name}\": {key} {bv:?} -> {cv:?}");
             }
         }
+        diff_memory(&format!("\"{name}\""), b, c, &mut report);
         if let (Some(bt), Some(ct)) = (b.get("totals"), c.get("totals")) {
             diff_counters(&format!("\"{name}\" totals"), bt, ct, &mut report);
         }
@@ -372,14 +401,14 @@ mod tests {
             );
         }
         format!(
-            "{{\"workload\": \"{workload}\", \"engine\": \"semi-naive\", \"threads\": 4, \"wall_ms\": 9.9, \"facts_out\": 10, \"rounds_run\": {}, \"totals\": {{\"triggers\": {triggers}, \"candidates\": 2, \"dom_sweeps\": 0, \"dom_pruned\": 0, \"facts_added\": 2, \"terms_added\": 0, \"enum_ms\": 1.0, \"merge_ms\": 0.5}}, \"rounds\": [{rows}]}}",
+            "{{\"workload\": \"{workload}\", \"engine\": \"semi-naive\", \"threads\": 4, \"wall_ms\": 9.9, \"facts_out\": 10, \"rounds_run\": {}, \"memory\": {{\"peak_facts\": 10, \"bytes_facts\": 80, \"bytes_index\": 200, \"bytes_tuples\": 96}}, \"totals\": {{\"triggers\": {triggers}, \"candidates\": 2, \"dom_sweeps\": 0, \"dom_pruned\": 0, \"facts_added\": 2, \"terms_added\": 0, \"enum_ms\": 1.0, \"merge_ms\": 0.5}}, \"rounds\": [{rows}]}}",
             rounds.len()
         )
     }
 
     fn dump(runs: &[String]) -> Value {
         let src = format!(
-            "{{\"schema\": \"qr-bench/chase-v2\", \"experiments\": [], \"chase_runs\": [{}]}}",
+            "{{\"schema\": \"qr-bench/chase-v3\", \"experiments\": [], \"chase_runs\": [{}]}}",
             runs.join(",")
         );
         Parser::parse(&src).unwrap()
@@ -413,6 +442,35 @@ mod tests {
         );
         assert!(
             report.contains("round 2: triggers Some(3) -> Some(4)"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn memory_drift_is_reported() {
+        let a = dump(&[run("TC", 7, &[(1, 4)])]);
+        let b_src = run("TC", 7, &[(1, 4)]).replace("\"bytes_index\": 200", "\"bytes_index\": 240");
+        let b = dump(&[b_src]);
+        let report = diff(&a, &b);
+        assert!(
+            report.contains("\"TC\": memory.bytes_index Some(200) -> Some(240)"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn missing_memory_object_is_drift() {
+        // A v2 baseline (no "memory") against a v3 candidate must flag the
+        // one-sided memory block instead of silently skipping it.
+        let a_src = run("TC", 7, &[(1, 4)]).replace(
+            "\"memory\": {\"peak_facts\": 10, \"bytes_facts\": 80, \"bytes_index\": 200, \"bytes_tuples\": 96}, ",
+            "",
+        );
+        let a = dump(&[a_src]);
+        let b = dump(&[run("TC", 7, &[(1, 4)])]);
+        let report = diff(&a, &b);
+        assert!(
+            report.contains("\"TC\": memory counters missing from baseline"),
             "{report}"
         );
     }

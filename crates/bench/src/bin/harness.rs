@@ -2,7 +2,7 @@
 //! it completes.
 //!
 //! Usage: `cargo run -p qr-bench --release --bin harness [--json]
-//! [--threads N] [e01 e07 ...]`
+//! [--threads N] [--list] [e01 e07 ...]`
 //!
 //! With no experiment arguments all experiments run in order. With
 //! `--json`, per-experiment wall times plus the chase engine's per-round
@@ -11,31 +11,71 @@
 //! sizes the worker pool the parallel engines run on (equivalent to
 //! setting `QR_THREADS=N`); the default comes from `QR_THREADS` or the
 //! machine's available parallelism. Thread count never changes any
-//! counter or table value — only wall times.
+//! counter or table value — only wall times. `--list` prints the available
+//! experiment ids and exits. Unknown options and unknown experiment ids
+//! are rejected (a misspelled `--thread 4` used to silently run everything
+//! single-threaded as two never-matching experiment filters).
 
 use qr_bench::experiments;
 use qr_bench::report::{self, ExperimentTiming};
 use qr_exec::Executor;
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: harness [--json] [--threads N] [--list] [EXPERIMENT_ID ...]\n\
+         \n\
+         options:\n\
+         \x20 --json       also write BENCH_chase.json (wall times + chase counters)\n\
+         \x20 --threads N  size the worker pool (same as QR_THREADS=N)\n\
+         \x20 --list       print available experiment ids and exit\n\
+         \n\
+         with no EXPERIMENT_ID arguments, all experiments run in order"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
-    let mut filters: Vec<String> = std::env::args()
-        .skip(1)
-        .map(|s| s.to_ascii_lowercase())
-        .collect();
-    let json = filters.iter().any(|f| f == "--json");
-    filters.retain(|f| f != "--json");
-    if let Some(i) = filters.iter().position(|f| f == "--threads") {
-        let n = filters
-            .get(i + 1)
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or_else(|| {
-                eprintln!("--threads requires a positive integer");
-                std::process::exit(2);
-            });
-        filters.drain(i..=i + 1);
-        // Experiments build their executors via `Executor::from_env`, so
-        // the flag is surfaced to them through the env override.
-        std::env::set_var("QR_THREADS", n.to_string());
+    let known_ids: Vec<&str> = experiments::all().iter().map(|(id, _)| *id).collect();
+    let mut filters: Vec<String> = Vec::new();
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let lower = arg.to_ascii_lowercase();
+        match lower.as_str() {
+            "--json" => json = true,
+            "--list" => {
+                for id in &known_ids {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--threads" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("harness: --threads requires a positive integer");
+                        std::process::exit(2);
+                    });
+                // Experiments build their executors via
+                // `Executor::from_env`, so the flag is surfaced to them
+                // through the env override.
+                std::env::set_var("QR_THREADS", n.to_string());
+            }
+            "--help" | "-h" => usage(),
+            opt if opt.starts_with('-') => {
+                eprintln!("harness: unknown option '{arg}'");
+                usage();
+            }
+            id => {
+                if !known_ids.contains(&id) {
+                    eprintln!("harness: unknown experiment id '{arg}' (try --list)");
+                    std::process::exit(2);
+                }
+                filters.push(lower);
+            }
+        }
     }
     let exec = Executor::from_env();
     eprintln!("worker pool: {} thread(s)", exec.threads());

@@ -55,10 +55,11 @@ fn ms(v: f64) -> String {
 }
 
 /// Renders `BENCH_chase.json`: schema tag, per-experiment wall times, and
-/// one entry per chase run with totals and per-round counters.
+/// one entry per chase run with totals, memory counters (schema v3: the
+/// storage layer's deterministic byte accounting), and per-round counters.
 pub fn render_json(experiments: &[ExperimentTiming], runs: &[ChaseRun]) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"qr-bench/chase-v2\",\n  \"experiments\": [\n");
+    out.push_str("{\n  \"schema\": \"qr-bench/chase-v3\",\n  \"experiments\": [\n");
     for (i, e) in experiments.iter().enumerate() {
         let _ = writeln!(
             out,
@@ -72,13 +73,17 @@ pub fn render_json(experiments: &[ExperimentTiming], runs: &[ChaseRun]) -> Strin
     for (i, r) in runs.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\n      \"workload\": \"{}\",\n      \"engine\": \"{}\",\n      \"threads\": {},\n      \"wall_ms\": {},\n      \"facts_out\": {},\n      \"rounds_run\": {},\n      \"totals\": {{\"triggers\": {}, \"candidates\": {}, \"dom_sweeps\": {}, \"dom_pruned\": {}, \"facts_added\": {}, \"terms_added\": {}, \"enum_ms\": {}, \"merge_ms\": {}}},\n      \"rounds\": [\n",
+            "    {{\n      \"workload\": \"{}\",\n      \"engine\": \"{}\",\n      \"threads\": {},\n      \"wall_ms\": {},\n      \"facts_out\": {},\n      \"rounds_run\": {},\n      \"memory\": {{\"peak_facts\": {}, \"bytes_facts\": {}, \"bytes_index\": {}, \"bytes_tuples\": {}}},\n      \"totals\": {{\"triggers\": {}, \"candidates\": {}, \"dom_sweeps\": {}, \"dom_pruned\": {}, \"facts_added\": {}, \"terms_added\": {}, \"enum_ms\": {}, \"merge_ms\": {}}},\n      \"rounds\": [\n",
             escape(&r.workload),
             escape(r.engine),
             r.stats.threads,
             ms(r.wall_ms),
             r.facts_out,
             r.rounds_run,
+            r.stats.peak_facts,
+            r.stats.bytes_facts,
+            r.stats.bytes_index,
+            r.stats.bytes_tuples,
             r.stats.triggers(),
             r.stats.candidates(),
             r.stats.dom_sweeps(),
@@ -143,6 +148,10 @@ mod tests {
                     merge_wall: Duration::from_micros(300),
                     wall: Duration::from_micros(1500),
                 }],
+                peak_facts: 4,
+                bytes_facts: 32,
+                bytes_index: 120,
+                bytes_tuples: 60,
             },
         }];
         let timings = vec![ExperimentTiming {
@@ -150,7 +159,10 @@ mod tests {
             wall_ms: 10.0,
         }];
         let json = render_json(&timings, &runs);
-        assert!(json.contains("\"schema\": \"qr-bench/chase-v2\""));
+        assert!(json.contains("\"schema\": \"qr-bench/chase-v3\""));
+        assert!(json.contains(
+            "\"memory\": {\"peak_facts\": 4, \"bytes_facts\": 32, \"bytes_index\": 120, \"bytes_tuples\": 60}"
+        ));
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"dom_pruned\": 3"));
         assert!(json.contains("\"enum_ms\": 1.200"));

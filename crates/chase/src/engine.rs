@@ -36,7 +36,7 @@ use std::time::Instant;
 use qr_exec::Executor;
 use qr_hom::matcher::{Assignment, JoinPlan, MatchCounters};
 use qr_syntax::query::{QAtom, QTerm, Var};
-use qr_syntax::{Fact, FactIdx, Instance, Pred, TermId, Theory};
+use qr_syntax::{Fact, FactIdx, FactRef, Instance, InstanceSnapshot, Pred, TermId, Theory};
 
 use crate::skolem::SkolemizedRule;
 use crate::stats::{ChaseStats, RoundStats};
@@ -117,25 +117,25 @@ pub struct Chase {
     pub all_derivations: Vec<Vec<Derivation>>,
     /// Per-round engine counters (triggers, matcher work, growth, time).
     pub stats: ChaseStats,
+    /// O(1) instance snapshots taken after the input load (index 0) and
+    /// after each completed round, powering the cheap [`Chase::prefix`].
+    pub round_snapshots: Vec<InstanceSnapshot>,
 }
 
 impl Chase {
-    /// The prefix `Ch_n(T,D)`: facts added in rounds `0..=n`.
+    /// The prefix `Ch_n(T,D)`: facts added in rounds `0..=n`. Built by
+    /// truncating to the end-of-round snapshot — O(suffix dropped), not a
+    /// full O(n) re-index — and bit-identical (fact stream, indices,
+    /// domain, stats) to an instance freshly built from those facts.
     pub fn prefix(&self, n: usize) -> Instance {
         if n >= self.rounds {
             return self.instance.clone();
         }
-        Instance::from_facts(
-            self.instance
-                .iter()
-                .enumerate()
-                .filter(|&(i, _f)| self.round_of[i] <= n)
-                .map(|(_i, f)| f.clone()),
-        )
+        self.instance.truncated(&self.round_snapshots[n])
     }
 
     /// Facts first appearing in round `n`.
-    pub fn delta(&self, n: usize) -> Vec<&Fact> {
+    pub fn delta(&self, n: usize) -> Vec<FactRef<'_>> {
         self.instance
             .iter()
             .enumerate()
@@ -274,7 +274,7 @@ fn plans(theory: &Theory) -> Vec<RulePlan<'_>> {
 
 /// Attempts to unify body atom `atom` with ground fact `fact`, extending
 /// `out` with variable bindings. Returns `false` on clash.
-fn unify_atom_fact(atom: &QAtom, fact: &Fact, out: &mut Vec<(Var, TermId)>) -> bool {
+fn unify_atom_fact(atom: &QAtom, fact: FactRef<'_>, out: &mut Vec<(Var, TermId)>) -> bool {
     let start = out.len();
     for (pos, t) in atom.args.iter().enumerate() {
         let ft = fact.args[pos];
@@ -760,8 +760,11 @@ fn run_chase(
     let mut rounds = 0;
     let mut stats = ChaseStats {
         threads: exec.threads(),
-        rounds: Vec::new(),
+        ..ChaseStats::default()
     };
+    // Snapshot 0 marks the loaded input; one more is taken after each
+    // completed round so `prefix(n)` can truncate instead of re-indexing.
+    let mut round_snapshots = vec![instance.snapshot()];
     // Build the dom-sweep locality index only when some dom variable also
     // occurs in a regular body atom.
     let use_occ = plans
@@ -916,6 +919,7 @@ fn run_chase(
             wall: t0.elapsed(),
         });
         rounds = round;
+        round_snapshots.push(instance.snapshot());
         if instance.len() > budget.max_facts {
             break;
         }
@@ -926,6 +930,11 @@ fn run_chase(
             d.clear();
         }
     }
+    let mem = instance.stats();
+    stats.peak_facts = mem.peak_facts;
+    stats.bytes_facts = mem.bytes_facts;
+    stats.bytes_index = mem.bytes_index;
+    stats.bytes_tuples = mem.bytes_tuples;
     Chase {
         instance,
         round_of,
@@ -934,6 +943,7 @@ fn run_chase(
         derivations,
         all_derivations,
         stats,
+        round_snapshots,
     }
 }
 
@@ -1033,7 +1043,7 @@ mod tests {
         let ch = chase(&t, &d, ChaseBudget::rounds(4));
         assert!(ch.terminated());
         assert_eq!(ch.instance.len(), 3);
-        let loops: Vec<&Fact> = ch.delta(1);
+        let loops: Vec<_> = ch.delta(1);
         assert_eq!(loops.len(), 2);
         assert_eq!(loops[0].args[0], loops[1].args[0]);
     }
@@ -1111,7 +1121,7 @@ mod tests {
         let idx = ch
             .instance
             .iter()
-            .position(|f| *f == fact)
+            .position(|f| f == fact)
             .expect("derived fact present");
         let deriv = ch.derivations[idx].as_ref().unwrap();
         assert_eq!(deriv.rule, 0);
@@ -1212,6 +1222,10 @@ mod tests {
         assert_eq!(a.outcome, b.outcome);
         assert_eq!(a.derivations, b.derivations);
         assert_eq!(a.all_derivations, b.all_derivations);
+        assert_eq!(a.stats.peak_facts, b.stats.peak_facts);
+        assert_eq!(a.stats.bytes_facts, b.stats.bytes_facts);
+        assert_eq!(a.stats.bytes_index, b.stats.bytes_index);
+        assert_eq!(a.stats.bytes_tuples, b.stats.bytes_tuples);
         assert_eq!(a.stats.rounds.len(), b.stats.rounds.len());
         for (ra, rb) in a.stats.rounds.iter().zip(&b.stats.rounds) {
             assert_eq!(ra.triggers, rb.triggers);

@@ -149,7 +149,7 @@ impl<'a> Provenance<'a> {
         Instance::from_facts(
             self.ancestors(fact_idx)
                 .into_iter()
-                .map(|i| self.chase.instance.fact(i).clone()),
+                .map(|i| self.chase.instance.fact(i).to_fact()),
         )
     }
 }
@@ -163,7 +163,7 @@ pub fn minimal_subset(base: &Instance, mut keep: impl FnMut(&Instance) -> bool) 
         "minimal_subset: base does not satisfy the predicate"
     );
     let mut current = base.clone();
-    let facts: Vec<Fact> = base.iter().cloned().collect();
+    let facts: Vec<Fact> = base.iter().map(|f| f.to_fact()).collect();
     for f in facts {
         if !current.contains(&f) {
             continue;
@@ -234,7 +234,7 @@ mod tests {
         let ch = chase(&t, &d, ChaseBudget::default());
         let prov = Provenance::new(&ch);
         let target = Fact::new(qr_syntax::Pred::new("e", 2), vec![c("a"), c("d")]);
-        let idx = ch.instance.iter().position(|f| *f == target).unwrap();
+        let idx = ch.instance.iter().position(|f| f == target).unwrap();
         let anc = prov.ancestor_instance(idx);
         assert_eq!(anc, d); // e(a,d) needs all three input edges
     }

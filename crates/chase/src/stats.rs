@@ -48,6 +48,18 @@ pub struct ChaseStats {
     /// Per-round counters. The final entry may describe a round that added
     /// nothing (the fixpoint probe).
     pub rounds: Vec<RoundStats>,
+    /// High-water mark of the instance's fact count over the run (sourced
+    /// from `StorageStats`; equals the final fact count, since the chase
+    /// only appends).
+    pub peak_facts: usize,
+    /// Logical bytes of the final instance's fact log (see
+    /// `qr_syntax::StorageStats::bytes_facts`). Deterministic across
+    /// platforms and thread counts, so `bench_diff` gates on it.
+    pub bytes_facts: usize,
+    /// Logical bytes of the final instance's join indexes.
+    pub bytes_index: usize,
+    /// Logical bytes of the final instance's interned tuple arena.
+    pub bytes_tuples: usize,
 }
 
 impl ChaseStats {
@@ -95,6 +107,12 @@ impl ChaseStats {
     pub fn merge_wall(&self) -> Duration {
         self.rounds.iter().map(|r| r.merge_wall).sum()
     }
+
+    /// Total measured fact-store bytes of the final instance
+    /// (`bytes_facts + bytes_index + bytes_tuples`).
+    pub fn bytes_total(&self) -> usize {
+        self.bytes_facts + self.bytes_index + self.bytes_tuples
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +149,10 @@ mod tests {
                     wall: Duration::from_micros(7),
                 },
             ],
+            peak_facts: 6,
+            bytes_facts: 48,
+            bytes_index: 100,
+            bytes_tuples: 52,
         };
         assert_eq!(stats.triggers(), 7);
         assert_eq!(stats.candidates(), 30);
@@ -141,5 +163,6 @@ mod tests {
         assert_eq!(stats.enum_wall(), Duration::from_micros(7));
         assert_eq!(stats.merge_wall(), Duration::from_micros(3));
         assert_eq!(stats.wall(), Duration::from_micros(12));
+        assert_eq!(stats.bytes_total(), 200);
     }
 }

@@ -55,6 +55,22 @@ fn assert_runs_identical(seq: &Chase, par: &Chase, ctx: &str) {
         "derivation sets differ: {ctx}"
     );
     assert_eq!(
+        seq.stats.peak_facts, par.stats.peak_facts,
+        "peak_facts differs: {ctx}"
+    );
+    assert_eq!(
+        seq.stats.bytes_facts, par.stats.bytes_facts,
+        "bytes_facts differs: {ctx}"
+    );
+    assert_eq!(
+        seq.stats.bytes_index, par.stats.bytes_index,
+        "bytes_index differs: {ctx}"
+    );
+    assert_eq!(
+        seq.stats.bytes_tuples, par.stats.bytes_tuples,
+        "bytes_tuples differs: {ctx}"
+    );
+    assert_eq!(
         seq.stats.rounds.len(),
         par.stats.rounds.len(),
         "stats rounds differ: {ctx}"

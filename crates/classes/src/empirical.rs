@@ -62,12 +62,12 @@ pub fn empirical_locality(theory: &Theory, db: &Instance, depth: usize) -> Local
         if candidate.len() <= max_support {
             break;
         }
-        let fact = ch.instance.fact(idx);
-        let derives = |f: &Instance| chase(theory, f, budget).instance.contains(fact);
+        let fact = ch.instance.fact(idx).to_fact();
+        let derives = |f: &Instance| chase(theory, f, budget).instance.contains(&fact);
         let support = minimal_subset(&candidate, derives);
         if support.len() > max_support {
             max_support = support.len();
-            witness = Some((fact.clone(), support));
+            witness = Some((fact, support));
         }
     }
     LocalityProfile {

@@ -11,7 +11,7 @@
 //! families ([`uniform_bound_profile`]) — flat profiles witness UBDD
 //! behaviour, growing ones (e.g. the Example 28 truncations) refute a
 //! uniform bound — and implements the constructive objects of Theorem 4's
-//! proof on bounded chase prefixes ([`c_d`], [`theorem4_certificate`]).
+//! proof on bounded chase prefixes ([`c_d_of`], [`theorem4_certificate`]).
 
 use std::collections::HashSet;
 
@@ -75,7 +75,7 @@ pub fn uniform_bound_profile(
 /// All subsets of `db` with at most `l` facts — the paper's `I_D`
 /// (Definition 32). Exponential; intended for small instances.
 pub fn small_subsets(db: &Instance, l: usize) -> Vec<Instance> {
-    let facts: Vec<Fact> = db.iter().cloned().collect();
+    let facts: Vec<Fact> = db.iter().map(|f| f.to_fact()).collect();
     assert!(facts.len() <= 24, "I_D enumeration is exponential");
     let mut out = Vec::new();
     for mask in 0u64..(1 << facts.len()) {
@@ -107,7 +107,7 @@ pub fn c_d_of(
         match core_termination(theory, &f, budget) {
             CoreTermination::CoreTerminates { depth, core } => {
                 k = k.max(depth);
-                union.extend(core.iter().cloned());
+                union.extend(core.iter().map(|f| f.to_fact()));
             }
             CoreTermination::Unknown { .. } => return None,
         }

@@ -252,10 +252,10 @@ pub fn lemma70_check(
                 return None;
             }
             match &c.derivations[i] {
-                None => Some(f.clone()),
+                None => Some(f.to_fact()),
                 Some(d) => {
                     let rule = &t.rules()[d.rule];
-                    (!rule.is_datalog() && f.pred.arity() > 0).then(|| f.clone())
+                    (!rule.is_datalog() && f.pred.arity() > 0).then(|| f.to_fact())
                 }
             }
         }))
@@ -287,7 +287,7 @@ pub fn corollary76_check(
             .instance
             .iter()
             .filter(|f| f.pred.arity() > 0)
-            .cloned(),
+            .map(|f| f.to_fact()),
     );
     let datalog = Theory::new(
         "t_dl",

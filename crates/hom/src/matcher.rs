@@ -275,7 +275,7 @@ fn search(
     }
 
     // Pick the most selective index over bound positions.
-    let mut candidates: Option<&[usize]> = None;
+    let mut candidates: Option<&[u32]> = None;
     for (pos, t) in atom.args.iter().enumerate() {
         let bound_term = match t {
             QTerm::Const(c) => Some(TermId::constant(*c)),
@@ -291,6 +291,7 @@ fn search(
     let candidates = candidates.unwrap_or_else(|| inst.with_pred(atom.pred));
 
     for &fidx in candidates {
+        let fidx = fidx as usize;
         counters.candidates += 1;
         let fact = inst.fact(fidx);
         let mut newly_bound: Vec<Var> = Vec::new();

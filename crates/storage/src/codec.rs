@@ -1,0 +1,190 @@
+//! Minimal std-only byte codec for versioned checkpoint formats.
+//!
+//! Unsigned integers are LEB128 varints; strings are length-prefixed
+//! UTF-8. `qr-syntax` builds the instance checkpoint format on top of
+//! this (magic + version header, predicate/term tables, fact stream).
+
+use std::fmt;
+
+/// Error decoding a checkpoint byte stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream ended before a complete value was read.
+    UnexpectedEof,
+    /// The stream does not start with the expected magic bytes.
+    BadMagic,
+    /// The stream's format version is newer than this build understands.
+    UnsupportedVersion(u64),
+    /// A structurally invalid value (out-of-range id, bad UTF-8, ...).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of checkpoint stream"),
+            DecodeError::BadMagic => write!(f, "bad checkpoint magic"),
+            DecodeError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v}")
+            }
+            DecodeError::Malformed(what) => write!(f, "malformed checkpoint: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Append-only byte sink.
+#[derive(Clone, Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// Appends raw bytes verbatim.
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends an unsigned integer as a LEB128 varint.
+    pub fn varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.varint(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor over an encoded byte stream.
+#[derive(Clone, Copy, Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over the full slice.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// `true` iff every byte has been consumed.
+    pub fn is_at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() - self.pos < n {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64, DecodeError> {
+        let mut v: u64 = 0;
+        let mut shift = 0;
+        loop {
+            let byte = *self.buf.get(self.pos).ok_or(DecodeError::UnexpectedEof)?;
+            self.pos += 1;
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return Err(DecodeError::Malformed("varint overflows u64"));
+            }
+            v |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, DecodeError> {
+        let len = self.varint()? as usize;
+        let bytes = self.raw(len)?;
+        std::str::from_utf8(bytes).map_err(|_| DecodeError::Malformed("invalid UTF-8"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        let values = [0, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        let mut w = ByteWriter::new();
+        for &v in &values {
+            w.varint(v);
+        }
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(r.varint(), Ok(v));
+        }
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn strings_and_raw_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.raw(b"QRCK");
+        w.str("mother");
+        w.str("");
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.raw(4), Ok(&b"QRCK"[..]));
+        assert_eq!(r.str(), Ok("mother"));
+        assert_eq!(r.str(), Ok(""));
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let mut w = ByteWriter::new();
+        w.str("hello");
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes[..3]);
+        assert_eq!(r.str(), Err(DecodeError::UnexpectedEof));
+        assert_eq!(
+            ByteReader::new(&[0x80]).varint(),
+            Err(DecodeError::UnexpectedEof)
+        );
+    }
+
+    #[test]
+    fn overlong_varint_is_malformed() {
+        // 11 continuation bytes cannot fit in a u64.
+        let bytes = [
+            0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f,
+        ];
+        assert_eq!(
+            ByteReader::new(&bytes).varint(),
+            Err(DecodeError::Malformed("varint overflows u64"))
+        );
+    }
+}

@@ -1,28 +1,132 @@
 //! Indexed database instances (fact sets).
 //!
-//! An [`Instance`] is a finite set of ground facts with join indexes:
-//! by predicate, and by (predicate, position, term). Insertion order is
+//! An [`Instance`] is a finite set of ground facts with join indexes: by
+//! predicate, and by (predicate, position, term). Insertion order is
 //! preserved (the chase relies on this to delimit rounds), duplicates are
 //! ignored, and equality is *set* equality.
+//!
+//! Since the S20 storage refactor the facts live in a columnar
+//! [`qr_storage::FactStore`]: argument tuples are interned once in a flat
+//! arena and each fact is two `u32`s, instead of one heap-allocated
+//! `Box<[TermId]>` per fact plus a second clone inside the dedup map.
+//! Reads hand out [`FactRef`] views borrowing the arena; call
+//! [`FactRef::to_fact`] where an owned [`Fact`] is needed. The store also
+//! gives the instance O(1) prefix snapshots ([`Instance::snapshot`] /
+//! [`Instance::truncated`]) and byte-level memory accounting
+//! ([`Instance::stats`]), plus a versioned binary checkpoint format
+//! ([`Instance::to_bytes`] / [`Instance::from_bytes`]) for chase
+//! checkpoint/resume.
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
+use qr_storage::{ByteReader, ByteWriter, DecodeError, FactStore, PredId, Snapshot};
+
 use crate::atom::{Fact, Pred};
-use crate::term::TermId;
+use crate::symbol::Symbol;
+use crate::term::{SkolemFn, TermData, TermId};
+
+pub use qr_storage::StorageStats;
 
 /// Index of a fact within an instance (dense, insertion-ordered).
 pub type FactIdx = usize;
 
-/// A finite set of facts with join indexes.
+/// A borrowed view of one fact: its predicate plus the interned argument
+/// slice. `Copy`, so it can be passed around like the old `&Fact` without
+/// cloning the argument tuple.
+#[derive(Clone, Copy)]
+pub struct FactRef<'a> {
+    /// The fact's predicate.
+    pub pred: Pred,
+    /// The fact's arguments (a slice into the instance's tuple arena).
+    pub args: &'a [TermId],
+}
+
+impl<'a> FactRef<'a> {
+    /// The argument terms, in position order.
+    pub fn terms(&self) -> impl Iterator<Item = TermId> + 'a {
+        self.args.iter().copied()
+    }
+
+    /// An owned copy of this fact.
+    pub fn to_fact(&self) -> Fact {
+        Fact::new(self.pred, self.args)
+    }
+
+    /// `true` iff every argument is a constant (no Skolem terms).
+    pub fn is_original(&self) -> bool {
+        self.args.iter().all(|t| t.is_const())
+    }
+
+    /// Maximum Skolem nesting depth over the arguments.
+    pub fn term_depth(&self) -> usize {
+        self.args.iter().map(|t| t.depth()).max().unwrap_or(0)
+    }
+}
+
+impl PartialEq for FactRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.pred == other.pred && self.args == other.args
+    }
+}
+
+impl Eq for FactRef<'_> {}
+
+impl PartialEq<Fact> for FactRef<'_> {
+    fn eq(&self, other: &Fact) -> bool {
+        self.pred == other.pred && *self.args == *other.args
+    }
+}
+
+impl PartialEq<FactRef<'_>> for Fact {
+    fn eq(&self, other: &FactRef<'_>) -> bool {
+        other == self
+    }
+}
+
+impl fmt::Display for FactRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for FactRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// An O(1) marker of an instance prefix, for [`Instance::restore`] /
+/// [`Instance::truncated`]. Valid as long as the marked state is still a
+/// prefix of the instance (facts are append-only, so any snapshot taken
+/// earlier on the same growth path qualifies).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InstanceSnapshot {
+    inner: Snapshot,
+}
+
+impl InstanceSnapshot {
+    /// Number of facts in the marked prefix.
+    pub fn facts(&self) -> usize {
+        self.inner.facts()
+    }
+}
+
+/// A finite set of facts with join indexes, backed by the columnar
+/// `qr-storage` fact store.
 #[derive(Clone, Default)]
 pub struct Instance {
-    facts: Vec<Fact>,
-    positions: HashMap<Fact, FactIdx>,
-    by_pred: HashMap<Pred, Vec<FactIdx>>,
-    by_pred_pos_term: HashMap<(Pred, u32, TermId), Vec<FactIdx>>,
-    domain: Vec<TermId>,
-    domain_set: HashSet<TermId>,
+    store: FactStore<TermId>,
+    /// Dense `PredId` → `Pred`, in first-occurrence order.
+    preds: Vec<Pred>,
+    pred_ids: HashMap<Pred, PredId>,
 }
 
 impl Instance {
@@ -38,30 +142,23 @@ impl Instance {
         inst
     }
 
+    fn pred_id(&mut self, pred: Pred) -> PredId {
+        if let Some(&id) = self.pred_ids.get(&pred) {
+            return id;
+        }
+        let id = self.store.register_pred(pred.arity());
+        self.preds.push(pred);
+        self.pred_ids.insert(pred, id);
+        id
+    }
+
     /// Inserts a fact; returns `Some(idx)` with the assigned index if it
     /// was not already present, `None` for duplicates. Indices are dense
     /// and insertion-ordered, so the facts of one chase round always form
     /// a contiguous index range (the chase's delta indexes rely on this).
     pub fn insert(&mut self, fact: Fact) -> Option<FactIdx> {
-        if self.positions.contains_key(&fact) {
-            return None;
-        }
-        let idx = self.facts.len();
-        for t in fact.terms() {
-            if self.domain_set.insert(t) {
-                self.domain.push(t);
-            }
-        }
-        self.by_pred.entry(fact.pred).or_default().push(idx);
-        for (pos, t) in fact.terms().enumerate() {
-            self.by_pred_pos_term
-                .entry((fact.pred, pos as u32, t))
-                .or_default()
-                .push(idx);
-        }
-        self.positions.insert(fact.clone(), idx);
-        self.facts.push(fact);
-        Some(idx)
+        let pid = self.pred_id(fact.pred);
+        self.store.insert(pid, &fact.args).map(|i| i as FactIdx)
     }
 
     /// Inserts all facts from the iterator.
@@ -73,78 +170,94 @@ impl Instance {
 
     /// Number of facts.
     pub fn len(&self) -> usize {
-        self.facts.len()
+        self.store.len()
     }
 
     /// `true` iff the instance has no facts.
     pub fn is_empty(&self) -> bool {
-        self.facts.is_empty()
+        self.store.is_empty()
     }
 
     /// Membership test.
     pub fn contains(&self, fact: &Fact) -> bool {
-        self.positions.contains_key(fact)
+        self.index_of(fact).is_some()
     }
 
-    /// The index of a fact, if present (O(1) hash lookup; this is how the
+    /// The index of a fact, if present (O(1) hash lookups; this is how the
     /// chase records provenance without re-probing positional indexes).
     pub fn index_of(&self, fact: &Fact) -> Option<FactIdx> {
-        self.positions.get(fact).copied()
+        let pid = *self.pred_ids.get(&fact.pred)?;
+        self.store.lookup(pid, &fact.args).map(|i| i as FactIdx)
+    }
+
+    fn contains_ref(&self, fact: FactRef<'_>) -> bool {
+        match self.pred_ids.get(&fact.pred) {
+            Some(&pid) => self.store.lookup(pid, fact.args).is_some(),
+            None => false,
+        }
     }
 
     /// Number of distinct terms in the active domain. Like fact indices,
     /// the domain grows append-only, so callers can delimit "terms new
     /// since length `n`" as the suffix `domain()[n..]`.
     pub fn domain_len(&self) -> usize {
-        self.domain.len()
+        self.store.domain().len()
     }
 
     /// The fact at a given index (insertion order).
-    pub fn fact(&self, idx: FactIdx) -> &Fact {
-        &self.facts[idx]
+    pub fn fact(&self, idx: FactIdx) -> FactRef<'_> {
+        FactRef {
+            pred: self.preds[self.store.pred_of(idx).index()],
+            args: self.store.args(idx),
+        }
     }
 
     /// Iterates over all facts in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &Fact> {
-        self.facts.iter()
+    pub fn iter(&self) -> impl Iterator<Item = FactRef<'_>> {
+        (0..self.len()).map(move |i| self.fact(i))
     }
 
-    /// Indexes of all facts with the given predicate.
-    pub fn with_pred(&self, pred: Pred) -> &[FactIdx] {
-        self.by_pred.get(&pred).map_or(&[], Vec::as_slice)
+    /// Indexes of all facts with the given predicate (as `u32`, matching
+    /// the store's compact postings; cast to [`FactIdx`] to address
+    /// [`Instance::fact`]).
+    pub fn with_pred(&self, pred: Pred) -> &[u32] {
+        self.pred_ids
+            .get(&pred)
+            .map_or(&[], |&pid| self.store.with_pred(pid))
     }
 
     /// Indexes of all facts with `pred` whose argument at `pos` is `term`.
-    pub fn with_pred_pos_term(&self, pred: Pred, pos: u32, term: TermId) -> &[FactIdx] {
-        self.by_pred_pos_term
-            .get(&(pred, pos, term))
-            .map_or(&[], Vec::as_slice)
+    pub fn with_pred_pos_term(&self, pred: Pred, pos: u32, term: TermId) -> &[u32] {
+        self.pred_ids
+            .get(&pred)
+            .map_or(&[], |&pid| self.store.with_pred_pos_term(pid, pos, term))
     }
 
     /// The active domain, in first-occurrence order.
     pub fn domain(&self) -> &[TermId] {
-        &self.domain
+        self.store.domain()
     }
 
     /// `true` iff `term` occurs in some fact.
     pub fn contains_term(&self, term: TermId) -> bool {
-        self.domain_set.contains(&term)
+        self.store.contains_element(term)
     }
 
-    /// All predicates that occur in the instance.
+    /// All predicates that occur in the instance, in first-occurrence
+    /// order.
     pub fn preds(&self) -> impl Iterator<Item = Pred> + '_ {
-        self.by_pred.keys().copied()
+        self.preds.iter().copied()
     }
 
     /// `true` iff every fact of `self` is a fact of `other`.
     pub fn subset_of(&self, other: &Instance) -> bool {
-        self.len() <= other.len() && self.iter().all(|f| other.contains(f))
+        self.len() <= other.len() && self.iter().all(|f| other.contains_ref(f))
     }
 
     /// Set union of two instances.
     pub fn union(&self, other: &Instance) -> Instance {
         let mut out = self.clone();
-        out.extend(other.iter().cloned());
+        out.extend(other.iter().map(|f| f.to_fact()));
         out
     }
 
@@ -154,7 +267,7 @@ impl Instance {
         Instance::from_facts(
             self.iter()
                 .filter(|f| f.terms().all(|t| !banned.contains(&t)))
-                .cloned(),
+                .map(|f| f.to_fact()),
         )
     }
 
@@ -164,26 +277,223 @@ impl Instance {
         Instance::from_facts(
             self.iter()
                 .filter(|f| f.terms().all(|t| kept.contains(&t)))
-                .cloned(),
+                .map(|f| f.to_fact()),
         )
     }
 
     /// The facts whose terms are all constants (the "original" part).
     pub fn original_part(&self) -> Instance {
-        Instance::from_facts(self.iter().filter(|f| f.is_original()).cloned())
+        Instance::from_facts(
+            self.iter()
+                .filter(FactRef::is_original)
+                .map(|f| f.to_fact()),
+        )
     }
 
     /// Removes one fact by value, returning a new instance (used for
     /// minimal-support computation).
     pub fn without_fact(&self, fact: &Fact) -> Instance {
-        Instance::from_facts(self.iter().filter(|f| *f != fact).cloned())
+        Instance::from_facts(self.iter().filter(|f| f != fact).map(|f| f.to_fact()))
     }
 
     /// Maximum Skolem nesting depth over all facts (0 for original instances).
     pub fn max_term_depth(&self) -> usize {
-        self.iter().map(Fact::term_depth).max().unwrap_or(0)
+        self.iter().map(|f| f.term_depth()).max().unwrap_or(0)
+    }
+
+    /// Logical memory footprint of the backing store; see
+    /// [`StorageStats`]. Byte counters are deterministic across platforms
+    /// and `QR_THREADS` settings.
+    pub fn stats(&self) -> StorageStats {
+        self.store.stats()
+    }
+
+    /// What the same fact set would cost in the pre-S20 layout
+    /// (`Vec<Fact>` with a boxed argument slice per fact, a `Fact`-keyed
+    /// dedup map cloning every tuple, one global `(pred, pos, term)` index
+    /// map, 64-bit `FactIdx` postings), using the same logical-bytes
+    /// accounting as [`Instance::stats`]. Kept as the baseline for the
+    /// storage regression tests.
+    ///
+    /// Per fact: 24 (`Fact` in the vec) plus 32 (dedup entry fixed part)
+    /// plus 8 (`by_pred` posting); per argument: 4 + 4 (two tuple copies)
+    /// plus 8 (index posting); per predicate: 8 (key) + 24 (list header);
+    /// per index key: 16 (key) + 24 (list header).
+    pub fn legacy_layout_bytes(&self) -> usize {
+        let s = self.stats();
+        s.facts * 64 + s.postings * 16 + self.preds.len() * 32 + s.index_keys * 40
+    }
+
+    /// Takes an O(1) snapshot of the current state; see
+    /// [`InstanceSnapshot`].
+    pub fn snapshot(&self) -> InstanceSnapshot {
+        InstanceSnapshot {
+            inner: self.store.snapshot(),
+        }
+    }
+
+    /// Restores the instance to a snapshot state in place, popping the
+    /// facts (and terms, tuples, predicates) inserted since in reverse
+    /// order. Cost is O(facts dropped). The memory high-water mark
+    /// (`stats().peak_facts`) is kept; use [`Instance::truncated`] for a
+    /// fresh-looking prefix copy.
+    pub fn restore(&mut self, snap: &InstanceSnapshot) {
+        self.store.restore(&snap.inner);
+        for pred in self.preds.drain(snap.inner.preds()..) {
+            self.pred_ids.remove(&pred);
+        }
+    }
+
+    /// A copy of this instance restored to `snap` — bit-identical (facts,
+    /// indices, domain, stats) to an instance freshly built from the
+    /// prefix insertion sequence, but O(suffix) instead of O(n). This is
+    /// what makes mid-chase prefix views cheap.
+    pub fn truncated(&self, snap: &InstanceSnapshot) -> Instance {
+        let mut out = Instance {
+            store: self.store.truncated(&snap.inner),
+            preds: self.preds[..snap.inner.preds()].to_vec(),
+            pred_ids: HashMap::new(),
+        };
+        for (i, &pred) in out.preds.iter().enumerate() {
+            out.pred_ids.insert(pred, out.store.pred_id(i));
+        }
+        out
+    }
+
+    /// Serializes the instance to the versioned `QRIN` checkpoint format:
+    /// magic + version, predicate table, topologically-ordered term table
+    /// (constants and Skolem terms), then the fact stream in insertion
+    /// order. Std-only, deterministic, and platform-independent.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.raw(CHECKPOINT_MAGIC);
+        w.varint(CHECKPOINT_VERSION);
+        w.varint(self.preds.len() as u64);
+        for pred in &self.preds {
+            w.str(pred.name().as_str());
+            w.varint(pred.arity() as u64);
+        }
+        // Close the domain under Skolem subterms (a domain term's
+        // arguments need not occur in any fact), then order by global
+        // arena index: arguments are always interned before the terms
+        // using them, so this order is topological.
+        let mut seen: HashSet<TermId> = HashSet::new();
+        let mut terms: Vec<TermId> = Vec::new();
+        let mut stack: Vec<TermId> = self.domain().to_vec();
+        while let Some(t) = stack.pop() {
+            if !seen.insert(t) {
+                continue;
+            }
+            terms.push(t);
+            if let TermData::Skolem(_, args) = t.data() {
+                stack.extend(args);
+            }
+        }
+        terms.sort_by_key(|t| t.index());
+        let local: HashMap<TermId, u64> = terms
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i as u64))
+            .collect();
+        w.varint(terms.len() as u64);
+        for &t in &terms {
+            match t.data() {
+                TermData::Const(name) => {
+                    w.varint(0);
+                    w.str(name.as_str());
+                }
+                TermData::Skolem(f, args) => {
+                    w.varint(1);
+                    w.str(f.tag().as_str());
+                    w.varint(args.len() as u64);
+                    for a in args {
+                        w.varint(local[&a]);
+                    }
+                }
+            }
+        }
+        w.varint(self.len() as u64);
+        for fact in self.iter() {
+            w.varint(self.pred_ids[&fact.pred].index() as u64);
+            for t in fact.terms() {
+                w.varint(local[&t]);
+            }
+        }
+        w.into_vec()
+    }
+
+    /// Decodes a checkpoint produced by [`Instance::to_bytes`]. Within one
+    /// process the round-trip is bit-identical (same `FactIdx` stream,
+    /// domain order, indices, and stats), because terms re-intern to the
+    /// same ids and facts are replayed in insertion order.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Instance, DecodeError> {
+        let mut r = ByteReader::new(bytes);
+        if r.raw(CHECKPOINT_MAGIC.len())? != CHECKPOINT_MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let version = r.varint()?;
+        if version != CHECKPOINT_VERSION {
+            return Err(DecodeError::UnsupportedVersion(version));
+        }
+        let pred_count = r.varint()? as usize;
+        let mut preds: Vec<Pred> = Vec::with_capacity(pred_count);
+        for _ in 0..pred_count {
+            let name = r.str()?;
+            let arity = r.varint()?;
+            let arity =
+                u32::try_from(arity).map_err(|_| DecodeError::Malformed("arity overflow"))?;
+            preds.push(Pred::new(Symbol::intern(name), arity));
+        }
+        let term_count = r.varint()? as usize;
+        let mut terms: Vec<TermId> = Vec::with_capacity(term_count);
+        for _ in 0..term_count {
+            match r.varint()? {
+                0 => terms.push(TermId::constant(Symbol::intern(r.str()?))),
+                1 => {
+                    let tag = Symbol::intern(r.str()?);
+                    let argc = r.varint()? as usize;
+                    let mut args = Vec::with_capacity(argc);
+                    for _ in 0..argc {
+                        let a = r.varint()? as usize;
+                        let &t = terms
+                            .get(a)
+                            .ok_or(DecodeError::Malformed("forward term reference"))?;
+                        args.push(t);
+                    }
+                    let f = SkolemFn::intern(tag, argc as u32);
+                    terms.push(TermId::skolem(f, &args));
+                }
+                _ => return Err(DecodeError::Malformed("unknown term tag")),
+            }
+        }
+        let fact_count = r.varint()? as usize;
+        let mut inst = Instance::new();
+        for _ in 0..fact_count {
+            let p = r.varint()? as usize;
+            let pred = *preds
+                .get(p)
+                .ok_or(DecodeError::Malformed("predicate id out of range"))?;
+            let mut args = Vec::with_capacity(pred.arity() as usize);
+            for _ in 0..pred.arity() {
+                let a = r.varint()? as usize;
+                let &t = terms
+                    .get(a)
+                    .ok_or(DecodeError::Malformed("term id out of range"))?;
+                args.push(t);
+            }
+            if inst.insert(Fact::new(pred, args)).is_none() {
+                return Err(DecodeError::Malformed("duplicate fact in stream"));
+            }
+        }
+        if !r.is_at_end() {
+            return Err(DecodeError::Malformed("trailing bytes"));
+        }
+        Ok(inst)
     }
 }
+
+const CHECKPOINT_MAGIC: &[u8] = b"QRIN";
+const CHECKPOINT_VERSION: u64 = 1;
 
 impl PartialEq for Instance {
     fn eq(&self, other: &Self) -> bool {
@@ -243,7 +553,10 @@ mod tests {
         assert_eq!(inst.domain_len(), 3);
         assert_eq!(inst.len(), 2);
         assert_eq!(inst.with_pred(Pred::new("e", 2)).len(), 2);
-        assert_eq!(inst.with_pred_pos_term(Pred::new("e", 2), 0, c("b")), &[1]);
+        assert_eq!(
+            inst.with_pred_pos_term(Pred::new("e", 2), 0, c("b")),
+            &[1u32]
+        );
         assert_eq!(inst.domain(), &[c("a"), c("b"), c("c")]);
     }
 
@@ -275,5 +588,113 @@ mod tests {
         let u = i1.union(&i2);
         assert_eq!(u.len(), 2);
         assert_eq!(u.without_fact(&e("a", "b")), i2);
+    }
+
+    #[test]
+    fn fact_refs_compare_and_render_like_facts() {
+        let inst = Instance::from_facts([e("a", "b")]);
+        let fr = inst.fact(0);
+        let owned = e("a", "b");
+        assert!(fr == owned);
+        assert!(owned == fr);
+        assert!(fr != e("b", "a"));
+        assert_eq!(format!("{fr}"), format!("{owned}"));
+        assert_eq!(fr.to_fact(), owned);
+        assert!(fr.is_original());
+        assert_eq!(fr.term_depth(), 0);
+    }
+
+    #[test]
+    fn snapshot_truncated_equals_fresh_prefix() {
+        let mut inst = Instance::from_facts([e("a", "b"), e("b", "c")]);
+        let snap = inst.snapshot();
+        inst.extend([e("c", "a"), e("c", "c")]);
+        let trunc = inst.truncated(&snap);
+        let fresh = Instance::from_facts([e("a", "b"), e("b", "c")]);
+        assert_eq!(trunc.len(), 2);
+        assert_eq!(trunc.domain(), fresh.domain());
+        assert_eq!(trunc.stats(), fresh.stats());
+        assert_eq!(trunc, fresh);
+        // The truncated copy is fully functional: inserts resume with
+        // dense indices and correct indexing.
+        let mut t = trunc;
+        assert_eq!(t.insert(e("c", "a")), Some(2));
+        assert_eq!(t.with_pred_pos_term(Pred::new("e", 2), 0, c("c")), &[2u32]);
+        // The original is untouched.
+        assert_eq!(inst.len(), 4);
+    }
+
+    #[test]
+    fn restore_drops_late_predicates() {
+        let mut inst = Instance::from_facts([e("a", "b")]);
+        let snap = inst.snapshot();
+        inst.insert(Fact::new(Pred::new("p", 1), vec![c("z")]));
+        inst.restore(&snap);
+        assert_eq!(inst.len(), 1);
+        assert_eq!(inst.preds().count(), 1);
+        assert!(!inst.contains_term(c("z")));
+        // peak_facts survives an in-place restore.
+        assert_eq!(inst.stats().peak_facts, 2);
+        // The freed predicate can be re-registered cleanly.
+        assert_eq!(
+            inst.insert(Fact::new(Pred::new("p", 1), vec![c("z")])),
+            Some(1)
+        );
+        assert_eq!(inst.with_pred(Pred::new("p", 1)), &[1u32]);
+    }
+
+    #[test]
+    fn stats_beat_legacy_layout() {
+        let mut inst = Instance::new();
+        for i in 0..50 {
+            inst.insert(e(&format!("v{i}"), &format!("v{}", (i + 1) % 50)));
+        }
+        let s = inst.stats();
+        assert_eq!(s.facts, 50);
+        assert_eq!(s.postings, 100);
+        assert!(s.bytes_total() < inst.legacy_layout_bytes());
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_is_bit_identical() {
+        let f = SkolemFn::intern(Symbol::intern("sk_inst_test"), 1);
+        let sk = TermId::skolem(f, &[c("a")]);
+        let sksk = TermId::skolem(f, &[sk]);
+        let mut inst = Instance::from_facts([e("a", "b")]);
+        inst.insert(Fact::new(Pred::new("r", 2), vec![c("a"), sksk]));
+        let bytes = inst.to_bytes();
+        let back = Instance::from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), inst.len());
+        let orig: Vec<Fact> = inst.iter().map(|f| f.to_fact()).collect();
+        let dec: Vec<Fact> = back.iter().map(|f| f.to_fact()).collect();
+        assert_eq!(orig, dec);
+        assert_eq!(back.domain(), inst.domain());
+        assert_eq!(back.stats(), inst.stats());
+        assert_eq!(
+            back.with_pred_pos_term(Pred::new("r", 2), 1, sksk),
+            inst.with_pred_pos_term(Pred::new("r", 2), 1, sksk)
+        );
+    }
+
+    #[test]
+    fn checkpoint_decode_rejects_garbage() {
+        assert_eq!(Instance::from_bytes(b"nope"), Err(DecodeError::BadMagic));
+        assert_eq!(
+            Instance::from_bytes(b"QRI"),
+            Err(DecodeError::UnexpectedEof)
+        );
+        let mut bytes = Instance::from_facts([e("a", "b")]).to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            Instance::from_bytes(&bytes),
+            Err(DecodeError::Malformed("trailing bytes"))
+        );
+        // Bump the version byte (right after the 4-byte magic).
+        let mut vbytes = Instance::new().to_bytes();
+        vbytes[4] = 9;
+        assert_eq!(
+            Instance::from_bytes(&vbytes),
+            Err(DecodeError::UnsupportedVersion(9))
+        );
     }
 }

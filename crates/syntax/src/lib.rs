@@ -50,7 +50,7 @@ pub mod symbol;
 pub mod term;
 
 pub use atom::{Fact, Pred};
-pub use instance::{FactIdx, Instance};
+pub use instance::{FactIdx, FactRef, Instance, InstanceSnapshot, StorageStats};
 pub use parser::{parse_instance, parse_query, parse_theory, ParseError};
 pub use query::{ConjunctiveQuery, QAtom, QTerm, Ucq, Var};
 pub use rule::{Tgd, Theory};

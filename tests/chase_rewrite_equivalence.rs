@@ -66,7 +66,7 @@ fn family_theory_random_instances() {
             parse_instance("human(n0). mother(n1, n2).")
                 .unwrap()
                 .iter()
-                .cloned(),
+                .map(|f| f.to_fact()),
         );
         assert_equivalent(&t, "?(X) :- mother(X, M).", &db, 6);
         assert_equivalent(&t, "?(X) :- human(X).", &db, 6);

@@ -1,0 +1,184 @@
+//! End-to-end acceptance tests for the S20 columnar fact store on the
+//! paper-shaped workloads the bench suite measures: the E1 grid chase
+//! (`T_d` on the green path `G^{2^3}`) and the E11 transitive-closure
+//! chase on a random graph `G(60,120)`.
+//!
+//! Two claims are pinned here. First, the memory claim: the columnar
+//! layout's logical byte accounting (`StorageStats::bytes_total`) beats
+//! the pre-S20 `Vec<Fact>` + hash-index layout
+//! (`Instance::legacy_layout_bytes`) by at least 30% on both workloads.
+//! Second, the checkpoint claim: serializing a mid-chase prefix with
+//! `Instance::to_bytes`, decoding it, and resuming yields a chase byte-
+//! identical to one resumed from the un-serialized prefix — and, where
+//! the budget suffices for a fixpoint, set-equal to the uninterrupted
+//! run (Observation 8: `Ch(T,F) = Ch(T,D)` for `D ⊆ F ⊆ Ch(T,D)`).
+
+use qr_chase::{chase, Chase, ChaseBudget};
+use qr_core::theories::{green_path, phi_r_n, t_d};
+use qr_hom::holds;
+use qr_syntax::{Fact, Instance, Pred, Symbol, TermId};
+
+/// The E11 random-graph generator (same LCG, same seed convention as
+/// `qr-bench`, which the root package deliberately does not depend on).
+fn random_graph(n: usize, m: usize, seed: u64) -> Instance {
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let e = Pred::new("e", 2);
+    let mut inst = Instance::new();
+    while inst.len() < m {
+        let a = next() % n;
+        let b = next() % n;
+        inst.insert(Fact::new(
+            e,
+            vec![
+                TermId::constant(Symbol::intern(&format!("v{a}"))),
+                TermId::constant(Symbol::intern(&format!("v{b}"))),
+            ],
+        ));
+    }
+    inst
+}
+
+fn tc_theory() -> qr_syntax::Theory {
+    qr_syntax::parse_theory("e(X,Y), e(Y,Z) -> e(X,Z).").unwrap()
+}
+
+const BUDGET: ChaseBudget = ChaseBudget {
+    max_rounds: 12,
+    max_facts: 2_000_000,
+};
+
+/// E1 at `n = 3`: chase `T_d` on the green path of length `2^3` until
+/// `φ_R^3(a,b)` is entailed, exactly as the harness's E1 table does.
+fn e1_chase() -> Chase {
+    let (db, a, b) = green_path(8, "a");
+    let theory = t_d();
+    let q = phi_r_n(3);
+    for rounds in 1..=10 {
+        let ch = chase(
+            &theory,
+            &db,
+            ChaseBudget {
+                max_rounds: rounds,
+                max_facts: 2_000_000,
+            },
+        );
+        if holds(&q, &ch.instance, &[a, b]) {
+            return ch;
+        }
+    }
+    panic!("E1 (n=3) must entail φ_R^3 within 10 rounds");
+}
+
+fn assert_memory_budget(inst: &Instance, label: &str) {
+    let new_bytes = inst.stats().bytes_total();
+    let old_bytes = inst.legacy_layout_bytes();
+    assert!(
+        new_bytes * 10 <= old_bytes * 7,
+        "{label}: columnar layout uses {new_bytes} logical bytes, legacy layout {old_bytes}; \
+         required at least a 30% reduction (got {:.1}%)",
+        100.0 * (1.0 - new_bytes as f64 / old_bytes as f64)
+    );
+}
+
+#[test]
+fn e1_grid_chase_meets_the_memory_budget() {
+    let ch = e1_chase();
+    assert!(ch.instance.len() > 8, "the grid chase must actually grow");
+    assert_memory_budget(&ch.instance, "E1 (n=3)");
+}
+
+#[test]
+fn e11_tc_chase_meets_the_memory_budget() {
+    let db = random_graph(60, 120, 0xC0FFEE + 60);
+    let ch = chase(&tc_theory(), &db, BUDGET);
+    assert!(
+        ch.rounds < BUDGET.max_rounds,
+        "TC on G(60,120) must reach its fixpoint within the budget"
+    );
+    assert_memory_budget(&ch.instance, "E11 TC on G(60,120)");
+}
+
+/// Deep equality of two runs resumed from (what must be) the same prefix:
+/// same fact stream in the same order, same rounds, same counters.
+fn assert_byte_identical(control: &Chase, resumed: &Chase, ctx: &str) {
+    let cf: Vec<Fact> = control.instance.iter().map(|f| f.to_fact()).collect();
+    let rf: Vec<Fact> = resumed.instance.iter().map(|f| f.to_fact()).collect();
+    assert_eq!(cf, rf, "fact stream differs: {ctx}");
+    assert_eq!(control.rounds, resumed.rounds, "{ctx}");
+    assert_eq!(control.round_of, resumed.round_of, "{ctx}");
+    assert_eq!(control.outcome, resumed.outcome, "{ctx}");
+    assert_eq!(
+        control.instance.domain(),
+        resumed.instance.domain(),
+        "{ctx}"
+    );
+    assert_eq!(control.instance.stats(), resumed.instance.stats(), "{ctx}");
+    assert_eq!(
+        control.instance.to_bytes(),
+        resumed.instance.to_bytes(),
+        "{ctx}"
+    );
+}
+
+#[test]
+fn e11_checkpoint_roundtrips_to_an_identical_chase() {
+    let db = random_graph(60, 120, 0xC0FFEE + 60);
+    let theory = tc_theory();
+    let full = chase(&theory, &db, BUDGET);
+    assert!(full.rounds >= 2, "need a mid-run round to checkpoint at");
+
+    let k = full.rounds / 2;
+    let prefix = full.prefix(k);
+    let checkpoint = prefix.to_bytes();
+    let restored = Instance::from_bytes(&checkpoint).expect("checkpoint decodes");
+    assert_eq!(restored, prefix);
+    assert_eq!(restored.to_bytes(), checkpoint);
+
+    let control = chase(&theory, &prefix, BUDGET);
+    let resumed = chase(&theory, &restored, BUDGET);
+    assert_byte_identical(&control, &resumed, "TC on G(60,120), checkpoint after half");
+
+    // Observation 8: the budget suffices for the fixpoint, so resuming
+    // from the checkpoint reproduces the uninterrupted chase as a set.
+    assert_eq!(resumed.instance, full.instance);
+    assert_eq!(resumed.instance.len(), full.instance.len());
+}
+
+#[test]
+fn e1_checkpoint_roundtrips_to_an_identical_chase() {
+    let (db, _, _) = green_path(8, "a");
+    let theory = t_d();
+    let budget = ChaseBudget {
+        max_rounds: 5,
+        max_facts: 2_000_000,
+    };
+    let full = chase(&theory, &db, budget);
+    assert!(full.rounds >= 2);
+
+    for k in [1, full.rounds - 1] {
+        let prefix = full.prefix(k);
+        let restored = Instance::from_bytes(&prefix.to_bytes()).expect("checkpoint decodes");
+        // Resume with the *remaining* budget: the grid grows a round per
+        // chase round, so a fresh full budget would overshoot the original
+        // depth (and the instance grows exponentially with depth).
+        let remaining = ChaseBudget {
+            max_rounds: budget.max_rounds - k,
+            max_facts: budget.max_facts,
+        };
+        let control = chase(&theory, &prefix, remaining);
+        let resumed = chase(&theory, &restored, remaining);
+        assert_byte_identical(
+            &control,
+            &resumed,
+            &format!("T_d on green path 8, checkpoint after round {k}"),
+        );
+    }
+}
