@@ -1,17 +1,22 @@
-//! Compares two `BENCH_chase.json` files on their deterministic counters.
+//! Compares two harness `--json` dumps on their deterministic counters.
 //!
 //! Usage: `bench_diff <baseline.json> <candidate.json>`
 //!
-//! The chase engine's trigger/candidate/sweep counters are a pure function
-//! of (theory, instance, budget) — they must not drift across commits
-//! unless the engine semantics intentionally changed. This tool diffs the
-//! per-workload totals, memory counters (`peak_facts` and the storage
-//! layer's logical byte accounting — deterministic by construction, see
-//! `qr-storage`), and per-round counters of two harness `--json` dumps,
-//! ignoring everything timing- or machine-dependent (`wall_ms`,
-//! `enum_ms`, `merge_ms`, `threads`, per-experiment timings). Exit code 0
-//! means the counters match; 1 means drift (differences listed on
-//! stderr); 2 means usage or parse errors.
+//! Works on both `BENCH_chase.json` (schema `qr-bench/chase-v3`) and
+//! `BENCH_rewrite.json` (schema `qr-bench/rewrite-v1`) — each dump carries
+//! whichever run arrays it has. The chase engine's trigger/candidate/sweep
+//! counters are a pure function of (theory, instance, budget), and the
+//! rewrite engine's per-window counters a pure function of (theory, query,
+//! budget) — they must not drift across commits unless the engine
+//! semantics intentionally changed. This tool diffs the per-workload
+//! totals, memory counters (`peak_facts` and the storage layer's logical
+//! byte accounting — deterministic by construction, see `qr-storage`),
+//! per-round chase counters, per-window rewrite counters, and the marked
+//! process's frontier counters, ignoring everything timing- or
+//! machine-dependent (`wall_ms`, `barrier_wall_ms`, every `*_ms` split,
+//! `threads`, per-experiment timings). Exit code 0 means the counters
+//! match; 1 means drift (differences listed on stderr); 2 means usage or
+//! parse errors.
 //!
 //! The parser below covers the JSON subset the harness emits (objects,
 //! arrays, strings with escapes, numbers, booleans, null) — the workspace
@@ -289,12 +294,114 @@ fn diff_memory(scope: &str, base: &Value, cand: &Value, report: &mut String) {
     }
 }
 
-fn diff_counters(scope: &str, base: &Value, cand: &Value, report: &mut String) {
-    for key in COUNTERS {
+fn diff_keys(scope: &str, keys: &[&str], base: &Value, cand: &Value, report: &mut String) {
+    for key in keys {
         let b = base.get(key).and_then(Value::as_u64);
         let c = cand.get(key).and_then(Value::as_u64);
         if b != c {
             let _ = writeln!(report, "  {scope}: {key} {b:?} -> {c:?}");
+        }
+    }
+}
+
+fn diff_counters(scope: &str, base: &Value, cand: &Value, report: &mut String) {
+    diff_keys(scope, &COUNTERS, base, cand, report);
+}
+
+/// Per-window (and totals-level) rewrite counters, all deterministic.
+const REWRITE_COUNTERS: [&str; 7] = [
+    "merged",
+    "dead_skipped",
+    "generated",
+    "subsumption_hits",
+    "evictions",
+    "oversized",
+    "accepted",
+];
+
+/// Window-identity and capacity counters gated on top of the shared ones.
+const WINDOW_KEYS: [&str; 3] = ["window", "items", "kept"];
+
+/// Frontier counters of the marked-query process.
+const PROCESS_KEYS: [&str; 3] = ["steps", "max_frontier", "dropped"];
+
+/// Diffs the `rewrite_runs` of two dumps into `report`. Run-level shape
+/// fields (`outcome`, `disjuncts`, `rs`, ...), totals, per-window counters
+/// and marked-process counters are gated; every `*_ms` field, `threads`
+/// and `barrier_wall_ms` are machine-dependent and ignored.
+fn diff_rewrite_run(name: &str, b: &Value, c: &Value, report: &mut String) {
+    for key in ["engine", "outcome"] {
+        let bv = b.get(key).and_then(Value::as_str);
+        let cv = c.get(key).and_then(Value::as_str);
+        if bv != cv {
+            let _ = writeln!(report, "  \"{name}\": {key} {bv:?} -> {cv:?}");
+        }
+    }
+    diff_keys(
+        &format!("\"{name}\""),
+        &[
+            "disjuncts",
+            "rs",
+            "generated",
+            "oversized_discarded",
+            "depth",
+        ],
+        b,
+        c,
+        report,
+    );
+    if let (Some(bt), Some(ct)) = (b.get("totals"), c.get("totals")) {
+        diff_keys(
+            &format!("\"{name}\" totals"),
+            &REWRITE_COUNTERS,
+            bt,
+            ct,
+            report,
+        );
+    }
+    let bwins = b.get("windows").map(Value::as_arr).unwrap_or_default();
+    let cwins = c.get("windows").map(Value::as_arr).unwrap_or_default();
+    if bwins.len() != cwins.len() {
+        let _ = writeln!(
+            report,
+            "  \"{name}\": window count {} -> {}",
+            bwins.len(),
+            cwins.len()
+        );
+    }
+    for (bw, cw) in bwins.iter().zip(cwins) {
+        let n = bw.get("window").and_then(Value::as_u64).unwrap_or(0);
+        let scope = format!("\"{name}\" window {n}");
+        diff_keys(&scope, &WINDOW_KEYS, bw, cw, report);
+        diff_keys(&scope, &REWRITE_COUNTERS, bw, cw, report);
+    }
+    match (b.get("process"), c.get("process")) {
+        (None, None) => {}
+        (Some(_), None) => {
+            let _ = writeln!(
+                report,
+                "  \"{name}\": process counters missing from candidate"
+            );
+        }
+        (None, Some(_)) => {
+            let _ = writeln!(
+                report,
+                "  \"{name}\": process counters missing from baseline"
+            );
+        }
+        (Some(bp), Some(cp)) => {
+            diff_keys(
+                &format!("\"{name}\" process"),
+                &PROCESS_KEYS,
+                bp,
+                cp,
+                report,
+            );
+            let bh = bp.get("has_true");
+            let ch = cp.get("has_true");
+            if bh != ch {
+                let _ = writeln!(report, "  \"{name}\": process.has_true {bh:?} -> {ch:?}");
+            }
         }
     }
 }
@@ -353,6 +460,34 @@ fn diff(base: &Value, cand: &Value) -> String {
         let name = workload(c);
         if !base_runs.iter().any(|b| workload(b) == name) {
             let _ = writeln!(report, "  workload \"{name}\": missing from baseline");
+        }
+    }
+    let base_rw = base
+        .get("rewrite_runs")
+        .map(Value::as_arr)
+        .unwrap_or_default();
+    let cand_rw = cand
+        .get("rewrite_runs")
+        .map(Value::as_arr)
+        .unwrap_or_default();
+    for b in base_rw {
+        let name = workload(b);
+        let Some(c) = cand_rw.iter().find(|r| workload(r) == name) else {
+            let _ = writeln!(
+                report,
+                "  rewrite workload \"{name}\": missing from candidate"
+            );
+            continue;
+        };
+        diff_rewrite_run(&name, b, c, &mut report);
+    }
+    for c in cand_rw {
+        let name = workload(c);
+        if !base_rw.iter().any(|b| workload(b) == name) {
+            let _ = writeln!(
+                report,
+                "  rewrite workload \"{name}\": missing from baseline"
+            );
         }
     }
     report
@@ -482,6 +617,85 @@ mod tests {
         let report = diff(&a, &b);
         assert!(report.contains("\"TC\": missing from candidate"));
         assert!(report.contains("\"T_a\": missing from baseline"));
+    }
+
+    fn rewrite_run(workload: &str, generated: u64, accepted: u64) -> String {
+        format!(
+            "{{\"workload\": \"{workload}\", \"engine\": \"saturation\", \"threads\": 4, \"wall_ms\": 5.5, \"barrier_wall_ms\": 8.8, \"outcome\": \"Complete\", \"disjuncts\": 3, \"rs\": 4, \"generated\": {generated}, \"oversized_discarded\": 0, \"depth\": 2, \"totals\": {{\"merged\": 4, \"dead_skipped\": 0, \"generated\": {generated}, \"subsumption_hits\": 2, \"evictions\": 1, \"oversized\": 0, \"accepted\": {accepted}, \"gen_ms\": 4.0, \"merge_ms\": 1.0, \"wait_ms\": 2.0, \"overlap_ms\": 2.0}}, \"windows\": [{{\"window\": 0, \"items\": 1, \"merged\": 1, \"dead_skipped\": 0, \"generated\": {generated}, \"subsumption_hits\": 2, \"evictions\": 1, \"oversized\": 0, \"accepted\": {accepted}, \"kept\": 3, \"gen_ms\": 4.0, \"merge_ms\": 1.0, \"wait_ms\": 2.0, \"overlap_ms\": 2.0}}]}}"
+        )
+    }
+
+    fn rewrite_dump(runs: &[String]) -> Value {
+        let src = format!(
+            "{{\"schema\": \"qr-bench/rewrite-v1\", \"rewrite_runs\": [{}]}}",
+            runs.join(",")
+        );
+        Parser::parse(&src).unwrap()
+    }
+
+    #[test]
+    fn rewrite_wall_splits_are_ignored() {
+        let a = rewrite_dump(&[rewrite_run("t_p", 9, 3)]);
+        let b_src = rewrite_run("t_p", 9, 3)
+            .replace("\"threads\": 4", "\"threads\": 1")
+            .replace("\"barrier_wall_ms\": 8.8", "\"barrier_wall_ms\": 99.0")
+            .replace("\"gen_ms\": 4.0", "\"gen_ms\": 44.0")
+            .replace("\"overlap_ms\": 2.0", "\"overlap_ms\": 0.0");
+        let b = rewrite_dump(&[b_src]);
+        assert!(diff(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn rewrite_counter_drift_is_reported() {
+        let a = rewrite_dump(&[rewrite_run("t_p", 9, 3)]);
+        let b = rewrite_dump(&[rewrite_run("t_p", 11, 4)]);
+        let report = diff(&a, &b);
+        assert!(
+            report.contains("\"t_p\": generated Some(9) -> Some(11)"),
+            "{report}"
+        );
+        assert!(
+            report.contains("\"t_p\" totals: accepted Some(3) -> Some(4)"),
+            "{report}"
+        );
+        assert!(
+            report.contains("\"t_p\" window 0: generated Some(9) -> Some(11)"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn rewrite_outcome_and_process_drift_are_reported() {
+        let a_src = rewrite_run("t_p", 9, 3);
+        let b_src = a_src.replace("\"outcome\": \"Complete\"", "\"outcome\": \"Budget\"");
+        let report = diff(&rewrite_dump(&[a_src]), &rewrite_dump(&[b_src]));
+        assert!(
+            report.contains("\"t_p\": outcome Some(\"Complete\") -> Some(\"Budget\")"),
+            "{report}"
+        );
+        let marked = |steps: u64, has_true: bool| {
+            format!(
+                "{{\"workload\": \"T_d marked phi_R^1\", \"engine\": \"marked\", \"threads\": 1, \"wall_ms\": 1.0, \"outcome\": \"Complete\", \"disjuncts\": 2, \"rs\": 3, \"generated\": 0, \"oversized_discarded\": 0, \"depth\": 0, \"process\": {{\"steps\": {steps}, \"max_frontier\": 3, \"dropped\": 1, \"has_true\": {has_true}}}}}"
+            )
+        };
+        let report = diff(
+            &rewrite_dump(&[marked(7, false)]),
+            &rewrite_dump(&[marked(9, true)]),
+        );
+        assert!(
+            report.contains("process: steps Some(7) -> Some(9)"),
+            "{report}"
+        );
+        assert!(report.contains("process.has_true"), "{report}");
+    }
+
+    #[test]
+    fn missing_rewrite_workloads_are_reported() {
+        let a = rewrite_dump(&[rewrite_run("t_p", 9, 3)]);
+        let b = rewrite_dump(&[rewrite_run("t_a", 9, 3)]);
+        let report = diff(&a, &b);
+        assert!(report.contains("rewrite workload \"t_p\": missing from candidate"));
+        assert!(report.contains("rewrite workload \"t_a\": missing from baseline"));
     }
 
     #[test]

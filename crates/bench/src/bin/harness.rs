@@ -7,14 +7,17 @@
 //! With no experiment arguments all experiments run in order. With
 //! `--json`, per-experiment wall times plus the chase engine's per-round
 //! counters (the E11 workloads re-run under [`qr_chase::ChaseStats`]) are
-//! written to `BENCH_chase.json` in the current directory. `--threads N`
-//! sizes the worker pool the parallel engines run on (equivalent to
-//! setting `QR_THREADS=N`); the default comes from `QR_THREADS` or the
-//! machine's available parallelism. Thread count never changes any
-//! counter or table value — only wall times. `--list` prints the available
-//! experiment ids and exits. Unknown options and unknown experiment ids
-//! are rejected (a misspelled `--thread 4` used to silently run everything
-//! single-threaded as two never-matching experiment filters).
+//! written to `BENCH_chase.json`, and the rewrite engine's per-window
+//! counters and wall splits (saturation fixtures + T_d marked-query runs,
+//! under [`qr_rewrite::RewriteStats`]) to `BENCH_rewrite.json`, both in
+//! the current directory. `--threads N` sizes the worker pool the parallel
+//! engines run on: the count is plumbed into the [`Executor`] explicitly
+//! (the `QR_THREADS` env var is only read as a default, never written).
+//! Thread count never changes any counter or table value — only wall
+//! times. `--list` prints the available experiment ids and exits. Unknown
+//! options and unknown experiment ids are rejected (a misspelled
+//! `--thread 4` used to silently run everything single-threaded as two
+//! never-matching experiment filters).
 
 use qr_bench::experiments;
 use qr_bench::report::{self, ExperimentTiming};
@@ -25,8 +28,8 @@ fn usage() -> ! {
         "usage: harness [--json] [--threads N] [--list] [EXPERIMENT_ID ...]\n\
          \n\
          options:\n\
-         \x20 --json       also write BENCH_chase.json (wall times + chase counters)\n\
-         \x20 --threads N  size the worker pool (same as QR_THREADS=N)\n\
+         \x20 --json       also write BENCH_chase.json and BENCH_rewrite.json\n\
+         \x20 --threads N  size the worker pool (default: QR_THREADS or all cores)\n\
          \x20 --list       print available experiment ids and exit\n\
          \n\
          with no EXPERIMENT_ID arguments, all experiments run in order"
@@ -38,6 +41,7 @@ fn main() {
     let known_ids: Vec<&str> = experiments::all().iter().map(|(id, _)| *id).collect();
     let mut filters: Vec<String> = Vec::new();
     let mut json = false;
+    let mut threads: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let lower = arg.to_ascii_lowercase();
@@ -58,10 +62,7 @@ fn main() {
                         eprintln!("harness: --threads requires a positive integer");
                         std::process::exit(2);
                     });
-                // Experiments build their executors via
-                // `Executor::from_env`, so the flag is surfaced to them
-                // through the env override.
-                std::env::set_var("QR_THREADS", n.to_string());
+                threads = Some(n);
             }
             "--help" | "-h" => usage(),
             opt if opt.starts_with('-') => {
@@ -77,7 +78,11 @@ fn main() {
             }
         }
     }
-    let exec = Executor::from_env();
+    // The explicit flag wins; the env var is a read-only default.
+    let exec = match threads {
+        Some(n) => Executor::with_threads(n),
+        None => Executor::from_env(),
+    };
     eprintln!("worker pool: {} thread(s)", exec.threads());
 
     let mut timings: Vec<ExperimentTiming> = Vec::new();
@@ -86,7 +91,7 @@ fn main() {
             continue;
         }
         let t0 = std::time::Instant::now();
-        let table = build();
+        let table = build(&exec);
         let wall = t0.elapsed();
         println!("{table}   [{id} total {wall:?}]\n");
         timings.push(ExperimentTiming {
@@ -101,6 +106,16 @@ fn main() {
         let path = "BENCH_chase.json";
         match std::fs::write(path, rendered) {
             Ok(()) => println!("wrote {path} ({} chase runs)", runs.len()),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        let rruns = qr_bench::rewrite_workloads::stats_runs(&exec);
+        let rendered = report::render_rewrite_json(&rruns);
+        let path = "BENCH_rewrite.json";
+        match std::fs::write(path, rendered) {
+            Ok(()) => println!("wrote {path} ({} rewrite runs)", rruns.len()),
             Err(e) => {
                 eprintln!("failed to write {path}: {e}");
                 std::process::exit(1);

@@ -39,7 +39,7 @@ pub fn run_one(n: usize, max_rounds: usize) -> (Option<usize>, usize, bool) {
 }
 
 /// The E1 table.
-pub fn table() -> Table {
+pub fn table(_exec: &qr_exec::Executor) -> Table {
     let mut t = Table::new(
         "E1  Fig. 1 / Thm 5B(i) — T_d entails φ_R^n on the green path G^{2^n}",
         "entailed at every n; depth grows ~linearly in n, chase size exponentially",

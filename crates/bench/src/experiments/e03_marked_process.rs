@@ -14,7 +14,7 @@ use crate::Table;
 pub const MAX_N: usize = 5;
 
 /// The E3 table.
-pub fn table() -> Table {
+pub fn table(_exec: &qr_exec::Executor) -> Table {
     let mut t = Table::new(
         "E3  Thm 5(A) — marked-query process computes rew(φ_R^n) under T_d",
         "terminates; contains the G^{2^n} disjunct; max disjunct size grows exponentially in n",

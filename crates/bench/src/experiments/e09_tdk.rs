@@ -47,7 +47,7 @@ pub fn tower(k: usize, n: usize) -> ConjunctiveQuery {
 }
 
 /// The E9 table.
-pub fn table() -> Table {
+pub fn table(_exec: &qr_exec::Executor) -> Table {
     let mut t = Table::new(
         "E9  §12 / Thm 6 — T_d^K: the per-level exponential compounds across colours",
         "each level pair yields pure low-colour paths of length 2^n; tower sizes grow with K and n",

@@ -72,7 +72,7 @@ pub fn check_equivalence(
 }
 
 /// The E12 table.
-pub fn table() -> Table {
+pub fn table(exec: &Executor) -> Table {
     let mut t = Table::new(
         "E12  Thm 1 — rewriting ≡ chase on every (theory, query, instance, tuple)",
         "zero disagreements everywhere",
@@ -125,14 +125,13 @@ pub fn table() -> Table {
             5,
         ),
     ];
-    let exec = Executor::from_env();
     for (name, theory, query, dbs, depth) in cases {
-        let r = rewrite_with(&theory, &query, RewriteBudget::default(), &exec).expect("supported");
+        let r = rewrite_with(&theory, &query, RewriteBudget::default(), exec).expect("supported");
         assert!(r.is_complete(), "{name} rewriting incomplete");
         for (iname, db) in dbs {
             let t0 = Instant::now();
             let (agree, disagree) =
-                check_equivalence(&theory, &query, &r.ucq, false, &db, depth, &exec);
+                check_equivalence(&theory, &query, &r.ucq, false, &db, depth, exec);
             t.row(vec![
                 name.into(),
                 query.render(),
@@ -157,7 +156,7 @@ pub fn table() -> Table {
             let (db, _, _) = green_path(m, &format!("e12x{n}x{m}x"));
             let t0 = Instant::now();
             let (agree, disagree) =
-                check_equivalence(&td, &q, &ucq, mr.has_true_disjunct, &db, 2 * n + 2, &exec);
+                check_equivalence(&td, &q, &ucq, mr.has_true_disjunct, &db, 2 * n + 2, exec);
             t.row(vec![
                 "T_d (marked)".into(),
                 format!("φ_R^{n}"),

@@ -16,9 +16,12 @@ pub mod e13_normalization;
 pub mod e14_exercises;
 
 use crate::Table;
+use qr_exec::Executor;
 
-/// A table-producing experiment entry point.
-pub type ExperimentFn = fn() -> Table;
+/// A table-producing experiment entry point. Experiments take the
+/// harness-built [`Executor`] so an explicit `--threads N` reaches every
+/// parallel stage without mutating process environment.
+pub type ExperimentFn = fn(&Executor) -> Table;
 
 /// The experiments, as `(id, constructor)` pairs so callers can stream
 /// results as they are produced.
@@ -42,6 +45,6 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
 }
 
 /// Runs every experiment, returning the tables in order.
-pub fn run_all() -> Vec<Table> {
-    all().into_iter().map(|(_, f)| f()).collect()
+pub fn run_all(exec: &Executor) -> Vec<Table> {
+    all().into_iter().map(|(_, f)| f(exec)).collect()
 }

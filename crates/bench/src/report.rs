@@ -1,14 +1,17 @@
 //! Machine-readable bench output.
 //!
 //! The harness's `--json` mode serializes per-experiment wall times and the
-//! chase engine's [`ChaseStats`] counters to `BENCH_chase.json`, so the
-//! repo's perf trajectory is recorded as data points across PRs instead of
-//! anecdotes in commit messages. The format is hand-rolled (the workspace
-//! is offline — no serde) but stable: see `render_json` for the schema.
+//! chase engine's [`ChaseStats`] counters to `BENCH_chase.json`, and the
+//! rewrite engine's [`RewriteStats`] counters to `BENCH_rewrite.json`, so
+//! the repo's perf trajectory is recorded as data points across PRs instead
+//! of anecdotes in commit messages. The format is hand-rolled (the
+//! workspace is offline — no serde) but stable: see `render_json` and
+//! `render_rewrite_json` for the schemas.
 
 use std::fmt::Write as _;
 
 use qr_chase::ChaseStats;
+use qr_rewrite::RewriteStats;
 
 /// One measured chase run: a named workload plus the engine's own counters.
 pub struct ChaseRun {
@@ -24,6 +27,51 @@ pub struct ChaseRun {
     pub rounds_run: usize,
     /// Per-round engine counters.
     pub stats: ChaseStats,
+}
+
+/// Frontier counters of one marked-query process run (`T_d` / `T_d^k`).
+pub struct MarkedCounters {
+    /// Frontier steps executed before the process terminated.
+    pub steps: usize,
+    /// Largest frontier reached.
+    pub max_frontier: usize,
+    /// Improperly-marked queries dropped along the way.
+    pub dropped: usize,
+    /// Whether the rewriting contains the always-true disjunct.
+    pub has_true: bool,
+}
+
+/// One measured rewrite run. Saturation fixtures (`engine: "saturation"`)
+/// carry the engine's per-window [`RewriteStats`] plus a barrier-mode
+/// reference wall time; marked-process runs (`engine: "marked"`) carry the
+/// process counters instead.
+pub struct RewriteRun {
+    /// Workload label (theory + query + budget shape).
+    pub workload: String,
+    /// Which rewriter ran (`"saturation"` / `"marked"`).
+    pub engine: &'static str,
+    /// Worker-pool size the run used.
+    pub threads: usize,
+    /// End-to-end wall time (pipelined mode for saturation runs), ms.
+    pub wall_ms: f64,
+    /// Wall time of the barrier-mode re-run, saturation runs only.
+    pub barrier_wall_ms: Option<f64>,
+    /// `RewriteOutcome` as a string (`"Complete"`, `"AtomCapped"`, ...).
+    pub outcome: String,
+    /// Disjuncts in the returned UCQ.
+    pub disjuncts: usize,
+    /// Rewriting size `rs` (atoms in the largest disjunct).
+    pub rs: usize,
+    /// Candidates generated before subsumption.
+    pub generated: usize,
+    /// Candidates discarded for exceeding the atom cap.
+    pub oversized_discarded: usize,
+    /// Deepest rewriting step applied.
+    pub depth: usize,
+    /// Per-window engine counters (saturation runs).
+    pub stats: Option<RewriteStats>,
+    /// Process counters (marked runs).
+    pub process: Option<MarkedCounters>,
 }
 
 /// Wall time of one whole experiment table.
@@ -120,6 +168,94 @@ pub fn render_json(experiments: &[ExperimentTiming], runs: &[ChaseRun]) -> Strin
     out
 }
 
+/// Renders `BENCH_rewrite.json` (schema `qr-bench/rewrite-v1`): one entry
+/// per rewrite run. Saturation runs carry a `totals` object and a
+/// `windows` array of per-window counters and wall splits; marked runs
+/// carry a `process` object. Every counter is deterministic across thread
+/// counts; only `*_ms` fields (and `threads`) vary between machines and
+/// schedules — `bench_diff` exempts exactly those.
+pub fn render_rewrite_json(runs: &[RewriteRun]) -> String {
+    let dur_ms = |d: std::time::Duration| ms(d.as_secs_f64() * 1e3);
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"qr-bench/rewrite-v1\",\n  \"rewrite_runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\n      \"workload\": \"{}\",\n      \"engine\": \"{}\",\n      \"threads\": {},\n      \"wall_ms\": {},\n",
+            escape(&r.workload),
+            escape(r.engine),
+            r.threads,
+            ms(r.wall_ms),
+        );
+        if let Some(b) = r.barrier_wall_ms {
+            let _ = writeln!(out, "      \"barrier_wall_ms\": {},", ms(b));
+        }
+        let _ = write!(
+            out,
+            "      \"outcome\": \"{}\",\n      \"disjuncts\": {},\n      \"rs\": {},\n      \"generated\": {},\n      \"oversized_discarded\": {},\n      \"depth\": {}",
+            escape(&r.outcome),
+            r.disjuncts,
+            r.rs,
+            r.generated,
+            r.oversized_discarded,
+            r.depth,
+        );
+        if let Some(s) = &r.stats {
+            let _ = write!(
+                out,
+                ",\n      \"totals\": {{\"merged\": {}, \"dead_skipped\": {}, \"generated\": {}, \"subsumption_hits\": {}, \"evictions\": {}, \"oversized\": {}, \"accepted\": {}, \"gen_ms\": {}, \"merge_ms\": {}, \"wait_ms\": {}, \"overlap_ms\": {}}},\n      \"windows\": [\n",
+                s.merged(),
+                s.dead_skipped(),
+                s.generated(),
+                s.subsumption_hits(),
+                s.evictions(),
+                s.oversized(),
+                s.accepted(),
+                dur_ms(s.gen_wall()),
+                dur_ms(s.merge_wall()),
+                dur_ms(s.wait_wall()),
+                dur_ms(s.overlap_wall()),
+            );
+            for (j, w) in s.windows.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "        {{\"window\": {}, \"items\": {}, \"merged\": {}, \"dead_skipped\": {}, \"generated\": {}, \"subsumption_hits\": {}, \"evictions\": {}, \"oversized\": {}, \"accepted\": {}, \"kept\": {}, \"gen_ms\": {}, \"merge_ms\": {}, \"wait_ms\": {}, \"overlap_ms\": {}}}{}",
+                    w.window,
+                    w.items,
+                    w.merged,
+                    w.dead_skipped,
+                    w.generated,
+                    w.subsumption_hits,
+                    w.evictions,
+                    w.oversized,
+                    w.accepted,
+                    w.kept,
+                    dur_ms(w.gen_wall),
+                    dur_ms(w.merge_wall),
+                    dur_ms(w.wait_wall),
+                    dur_ms(w.overlap_wall()),
+                    if j + 1 < s.windows.len() { "," } else { "" }
+                );
+            }
+            out.push_str("      ]");
+        }
+        if let Some(p) = &r.process {
+            let _ = write!(
+                out,
+                ",\n      \"process\": {{\"steps\": {}, \"max_frontier\": {}, \"dropped\": {}, \"has_true\": {}}}",
+                p.steps, p.max_frontier, p.dropped, p.has_true,
+            );
+        }
+        let _ = write!(
+            out,
+            "\n    }}{}\n",
+            if i + 1 < runs.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +312,80 @@ mod tests {
         assert_eq!(opens, closes);
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         // No trailing commas before closers.
+        assert!(!json.contains(",\n  ]"));
+        assert!(!json.contains(",\n      ]"));
+    }
+
+    #[test]
+    fn renders_rewrite_runs_well_formed() {
+        use qr_rewrite::{RewriteStats, WindowStats};
+        let runs = vec![
+            RewriteRun {
+                workload: "TC \"wide\"".into(),
+                engine: "saturation",
+                threads: 4,
+                wall_ms: 12.5,
+                barrier_wall_ms: Some(20.25),
+                outcome: "Budget".into(),
+                disjuncts: 7,
+                rs: 9,
+                generated: 41,
+                oversized_discarded: 3,
+                depth: 5,
+                stats: Some(RewriteStats {
+                    threads: 4,
+                    windows: vec![WindowStats {
+                        window: 0,
+                        items: 1,
+                        merged: 1,
+                        generated: 41,
+                        subsumption_hits: 30,
+                        evictions: 1,
+                        oversized: 3,
+                        accepted: 7,
+                        kept: 7,
+                        gen_wall: Duration::from_micros(9000),
+                        merge_wall: Duration::from_micros(2000),
+                        wait_wall: Duration::from_micros(1500),
+                        ..WindowStats::default()
+                    }],
+                }),
+                process: None,
+            },
+            RewriteRun {
+                workload: "T_d marked n=2".into(),
+                engine: "marked",
+                threads: 1,
+                wall_ms: 3.0,
+                barrier_wall_ms: None,
+                outcome: "Complete".into(),
+                disjuncts: 4,
+                rs: 6,
+                generated: 0,
+                oversized_discarded: 0,
+                depth: 0,
+                stats: None,
+                process: Some(MarkedCounters {
+                    steps: 17,
+                    max_frontier: 5,
+                    dropped: 2,
+                    has_true: false,
+                }),
+            },
+        ];
+        let json = render_rewrite_json(&runs);
+        assert!(json.contains("\"schema\": \"qr-bench/rewrite-v1\""));
+        assert!(json.contains("\\\"wide\\\""));
+        assert!(json.contains("\"barrier_wall_ms\": 20.250"));
+        assert!(json.contains("\"subsumption_hits\": 30"));
+        assert!(json.contains("\"gen_ms\": 9.000"));
+        // 9ms of generation, 1.5ms of it waited out: 7.5ms overlapped.
+        assert!(json.contains("\"overlap_ms\": 7.500"));
+        assert!(json.contains(
+            "\"process\": {\"steps\": 17, \"max_frontier\": 5, \"dropped\": 2, \"has_true\": false}"
+        ));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(!json.contains(",\n  ]"));
         assert!(!json.contains(",\n      ]"));
     }

@@ -1,0 +1,190 @@
+//! Rewriting workloads behind `BENCH_rewrite.json`.
+//!
+//! Two families, mirroring the chase workloads in `e11_chase_engine`:
+//!
+//! * **Saturation fixtures** — the (theory, query, budget) triples pinned
+//!   by `qr-rewrite`'s engine tests, plus a wider transitive-closure run
+//!   whose BFS windows are broad enough for the pipelined engine to
+//!   overlap generation with merging. Each fixture runs once in barrier
+//!   mode (the reference wall time) and once pipelined (the reported run,
+//!   whose [`qr_rewrite::RewriteStats`] counters are thread-invariant).
+//! * **Marked-query runs** — `rewrite_td` on the paper's `φ_R^n` queries,
+//!   reporting the frontier counters of the marked process.
+
+use std::time::Instant;
+
+use qr_core::marked::rewrite_td;
+use qr_core::theories::phi_r_n;
+use qr_exec::Executor;
+use qr_rewrite::{rewrite_with_mode, RewriteBudget, SaturationMode};
+use qr_syntax::{parse_query, parse_theory};
+
+use crate::report::{MarkedCounters, RewriteRun};
+
+/// The saturation fixtures: label, theory, query, budget. The first five
+/// are exactly the engine's pinned-fixture suite; `tc-wide` scales the
+/// transitive-closure run up until its windows hold dozens of queries.
+pub fn fixtures() -> Vec<(&'static str, &'static str, &'static str, RewriteBudget)> {
+    vec![
+        (
+            "t_a",
+            "human(Y) -> mother(Y,Z).\nmother(X,Y) -> human(Y).",
+            "?(X) :- mother(X, M).",
+            RewriteBudget::default(),
+        ),
+        (
+            "t_p",
+            "e(X,Y) -> e(Y,Z).",
+            "?(A) :- e(A,B), e(B,C).",
+            RewriteBudget::default(),
+        ),
+        (
+            "ex39",
+            "e(X,Y,Y1,T), r(X,T1) -> e(X,Y1,Y2,T1).",
+            "?(A,D) :- e(A,B,C,D).",
+            RewriteBudget::default(),
+        ),
+        (
+            "guarded",
+            "p(X), e(X,Y) -> p(Y).\nq(X) -> p(X).",
+            "? :- p(A).",
+            RewriteBudget::default(),
+        ),
+        (
+            "tc-budget",
+            "e(X,Y), e(Y,Z) -> e(X,Z).",
+            "? :- e(a, b).",
+            RewriteBudget {
+                max_queries: 64,
+                max_generated: 2_000,
+                max_atoms: 12,
+            },
+        ),
+        (
+            "tc-wide",
+            "e(X,Y), e(Y,Z) -> e(X,Z).",
+            "? :- e(a, b).",
+            RewriteBudget {
+                max_queries: 256,
+                max_generated: 8_000,
+                max_atoms: 16,
+            },
+        ),
+    ]
+}
+
+/// Runs one saturation fixture in both engine modes and reports the
+/// pipelined run (counters are identical either way; the barrier wall is
+/// kept as the overlap reference).
+fn saturation_run(
+    label: &str,
+    theory_src: &str,
+    query_src: &str,
+    budget: RewriteBudget,
+    exec: &Executor,
+) -> RewriteRun {
+    let theory = parse_theory(theory_src).expect("fixture theory parses");
+    let query = parse_query(query_src).expect("fixture query parses");
+    let t0 = Instant::now();
+    let barrier = rewrite_with_mode(&theory, &query, budget, exec, SaturationMode::Barrier)
+        .expect("no builtin bodies");
+    let barrier_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let r = rewrite_with_mode(&theory, &query, budget, exec, SaturationMode::Pipelined)
+        .expect("no builtin bodies");
+    let wall_ms = t1.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(barrier.outcome, r.outcome, "{label}: modes disagree");
+    RewriteRun {
+        workload: label.to_owned(),
+        engine: "saturation",
+        threads: exec.threads(),
+        wall_ms,
+        barrier_wall_ms: Some(barrier_ms),
+        outcome: format!("{:?}", r.outcome),
+        disjuncts: r.ucq.len(),
+        rs: r.rs(),
+        generated: r.generated,
+        oversized_discarded: r.oversized_discarded,
+        depth: r.depth,
+        stats: Some(r.stats),
+        process: None,
+    }
+}
+
+/// Runs `rewrite_td` on `φ_R^n` and reports the process counters.
+fn marked_run(n: usize) -> RewriteRun {
+    let query = phi_r_n(n);
+    let t0 = Instant::now();
+    let mr = rewrite_td(&query, 10_000_000).expect("process terminates");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    RewriteRun {
+        workload: format!("T_d marked phi_R^{n}"),
+        engine: "marked",
+        threads: 1,
+        wall_ms,
+        barrier_wall_ms: None,
+        outcome: "Complete".into(),
+        disjuncts: mr.disjuncts.len(),
+        rs: mr.max_disjunct_size(),
+        generated: 0,
+        oversized_discarded: 0,
+        depth: 0,
+        stats: None,
+        process: Some(MarkedCounters {
+            steps: mr.stats.steps,
+            max_frontier: mr.stats.max_frontier,
+            dropped: mr.stats.dropped,
+            has_true: mr.has_true_disjunct,
+        }),
+    }
+}
+
+/// All rewrite runs for `BENCH_rewrite.json`: every saturation fixture on
+/// `exec`'s pool, then the marked-query runs for `n = 1..=3`.
+pub fn stats_runs(exec: &Executor) -> Vec<RewriteRun> {
+    let mut out: Vec<RewriteRun> = fixtures()
+        .into_iter()
+        .map(|(label, t, q, budget)| saturation_run(label, t, q, budget, exec))
+        .collect();
+    out.extend((1..=3).map(marked_run));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The cheap fixtures only (debug-mode friendly): counters must be
+    /// identical across pool widths, and the run's totals must reconcile
+    /// with the returned rewriting.
+    #[test]
+    fn counters_thread_invariant_on_cheap_fixtures() {
+        for (label, t, q, budget) in fixtures().into_iter().take(4) {
+            let seq = saturation_run(label, t, q, budget, &Executor::sequential());
+            let par = saturation_run(label, t, q, budget, &Executor::with_threads(3));
+            assert_eq!(seq.outcome, par.outcome, "{label}");
+            assert_eq!(seq.disjuncts, par.disjuncts, "{label}");
+            assert_eq!(seq.generated, par.generated, "{label}");
+            let (ss, ps) = (seq.stats.unwrap(), par.stats.unwrap());
+            assert_eq!(ss.windows.len(), ps.windows.len(), "{label}");
+            for (a, b) in ss.windows.iter().zip(&ps.windows) {
+                assert_eq!(
+                    (a.window, a.items, a.merged, a.generated, a.accepted, a.kept),
+                    (b.window, b.items, b.merged, b.generated, b.accepted, b.kept),
+                    "{label}: window counters"
+                );
+            }
+            assert_eq!(ss.generated(), seq.generated, "{label}: totals reconcile");
+        }
+    }
+
+    #[test]
+    fn marked_run_reports_process_counters() {
+        let r = marked_run(1);
+        assert_eq!(r.engine, "marked");
+        assert!(r.disjuncts > 0);
+        let p = r.process.unwrap();
+        assert!(p.steps > 0);
+        assert!(p.max_frontier > 0);
+    }
+}

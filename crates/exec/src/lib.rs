@@ -28,9 +28,12 @@
 //! byte-identical to the historical sequential engines *by construction*
 //! rather than by test.
 
+use std::collections::{HashMap, VecDeque};
+use std::ops::ControlFlow;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Name of the environment variable overriding the default thread count.
 pub const THREADS_ENV: &str = "QR_THREADS";
@@ -218,6 +221,215 @@ impl Executor {
     pub fn all<T: Sync>(&self, items: &[T], pred: impl Fn(&T) -> bool + Sync) -> bool {
         !self.any(items, |item| !pred(item))
     }
+
+    /// Two-stage pipeline with an **ordered merge**: `work` runs on the
+    /// worker pool, speculatively and out of order, while the caller thread
+    /// merges each item's result in exact submission order. `merge` may
+    /// submit follow-up items through its [`PipelineCtx`]; they join the
+    /// back of the queue, so the merge order is the FIFO order a sequential
+    /// loop would produce. Returning [`ControlFlow::Break`] stops the
+    /// pipeline; results already computed for unmerged items are discarded.
+    ///
+    /// Determinism contract: `work` must be a pure per-item function. All
+    /// *decisions* (what to keep, what to submit, when to stop) happen in
+    /// `merge`, which observes items strictly in submission order — so the
+    /// pipeline's observable behaviour is identical to running
+    /// `work`-then-`merge` inline per item, at every thread count. The only
+    /// things that vary with the schedule are wall times, surfaced as
+    /// [`PipelineCtx::waited`] (how long the merge stalled for the current
+    /// item's `work` result; with one thread this is the full work time,
+    /// since work runs inline).
+    ///
+    /// With `n` threads, `n - 1` workers generate while the caller merges;
+    /// one thread runs everything inline.
+    pub fn pipeline_ordered<T, R>(
+        &self,
+        seeds: Vec<T>,
+        work: impl Fn(&T) -> R + Sync,
+        mut merge: impl FnMut(T, R, &mut PipelineCtx<T>) -> ControlFlow<()>,
+    ) where
+        T: Clone + Send + Sync,
+        R: Send,
+    {
+        if self.is_sequential() {
+            let mut pending: VecDeque<T> = seeds.into();
+            while let Some(item) = pending.pop_front() {
+                let t0 = Instant::now();
+                let result = work(&item);
+                let mut ctx = PipelineCtx {
+                    emits: Vec::new(),
+                    waited: t0.elapsed(),
+                };
+                let flow = merge(item, result, &mut ctx);
+                pending.extend(ctx.emits);
+                if flow.is_break() {
+                    return;
+                }
+            }
+            return;
+        }
+
+        let shared = PipelineShared::<T, R> {
+            tasks: Mutex::new(TaskState {
+                queue: VecDeque::new(),
+                done: false,
+            }),
+            task_cv: Condvar::new(),
+            results: Mutex::new(HashMap::new()),
+            result_cv: Condvar::new(),
+            failed: AtomicBool::new(false),
+        };
+        // Items awaiting their merge, in submission order, paired with the
+        // sequence number their speculative result is filed under.
+        let mut pending: VecDeque<(usize, T)> = VecDeque::new();
+        let mut next_seq = 0usize;
+        {
+            let mut tasks = shared.lock_tasks();
+            for item in seeds {
+                tasks.queue.push_back((next_seq, item.clone()));
+                pending.push_back((next_seq, item));
+                next_seq += 1;
+            }
+        }
+
+        let workers = self.threads - 1;
+        let mut first_panic = None;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| scope.spawn(|| shared.run_worker(&work)))
+                .collect();
+            shared.task_cv.notify_all();
+
+            // The merge loop must not unwind past the scope without
+            // releasing the workers, or they would wait on the task queue
+            // forever and the scope would never join.
+            let merged = catch_unwind(AssertUnwindSafe(|| {
+                'merge: while let Some((seq, item)) = pending.pop_front() {
+                    let t0 = Instant::now();
+                    let result = {
+                        let mut results = shared.lock_results();
+                        loop {
+                            if shared.failed.load(Ordering::Acquire) {
+                                break 'merge;
+                            }
+                            if let Some(r) = results.remove(&seq) {
+                                break r;
+                            }
+                            results = shared
+                                .result_cv
+                                .wait(results)
+                                .unwrap_or_else(|e| e.into_inner());
+                        }
+                    };
+                    let mut ctx = PipelineCtx {
+                        emits: Vec::new(),
+                        waited: t0.elapsed(),
+                    };
+                    let flow = merge(item, result, &mut ctx);
+                    if !ctx.emits.is_empty() {
+                        let mut tasks = shared.lock_tasks();
+                        for item in ctx.emits {
+                            tasks.queue.push_back((next_seq, item.clone()));
+                            pending.push_back((next_seq, item));
+                            next_seq += 1;
+                            shared.task_cv.notify_one();
+                        }
+                    }
+                    if flow.is_break() {
+                        break;
+                    }
+                }
+            }));
+            shared.lock_tasks().done = true;
+            shared.task_cv.notify_all();
+            if let Err(payload) = merged {
+                first_panic.get_or_insert(payload);
+            }
+            for handle in handles {
+                let joined = handle.join().unwrap_or_else(Err);
+                if let Err(payload) = joined {
+                    first_panic.get_or_insert(payload);
+                }
+            }
+        });
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Merge-side handle of [`Executor::pipeline_ordered`]: lets the merge
+/// submit follow-up work and see how long it stalled for the current
+/// item's result.
+pub struct PipelineCtx<T> {
+    emits: Vec<T>,
+    waited: Duration,
+}
+
+impl<T> PipelineCtx<T> {
+    /// Submits a follow-up item to the back of the pipeline's queue.
+    pub fn submit(&mut self, item: T) {
+        self.emits.push(item);
+    }
+
+    /// How long the caller thread waited for the current item's stage-one
+    /// result (zero when speculation fully hid the work; the whole work
+    /// time when running inline on one thread).
+    pub fn waited(&self) -> Duration {
+        self.waited
+    }
+}
+
+struct TaskState<T> {
+    queue: VecDeque<(usize, T)>,
+    done: bool,
+}
+
+struct PipelineShared<T, R> {
+    tasks: Mutex<TaskState<T>>,
+    task_cv: Condvar,
+    results: Mutex<HashMap<usize, R>>,
+    result_cv: Condvar,
+    failed: AtomicBool,
+}
+
+impl<T, R> PipelineShared<T, R> {
+    fn lock_tasks(&self) -> std::sync::MutexGuard<'_, TaskState<T>> {
+        self.tasks.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_results(&self) -> std::sync::MutexGuard<'_, HashMap<usize, R>> {
+        self.results.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Worker loop: claim the oldest queued item, compute, file the result
+    /// under its sequence number. On panic the payload is captured for the
+    /// scope join and the merge thread is woken so it can stop waiting.
+    fn run_worker(&self, work: &(impl Fn(&T) -> R + Sync)) -> std::thread::Result<()> {
+        let out = catch_unwind(AssertUnwindSafe(|| loop {
+            let (seq, item) = {
+                let mut tasks = self.lock_tasks();
+                loop {
+                    if tasks.done {
+                        return;
+                    }
+                    if let Some(t) = tasks.queue.pop_front() {
+                        break t;
+                    }
+                    tasks = self.task_cv.wait(tasks).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            let result = work(&item);
+            self.lock_results().insert(seq, result);
+            self.result_cv.notify_all();
+        }));
+        if out.is_err() {
+            self.failed.store(true, Ordering::Release);
+            self.result_cv.notify_all();
+            self.task_cv.notify_all();
+        }
+        out
+    }
 }
 
 /// Chunk size for `n` items over `workers` workers: about four claims per
@@ -355,6 +567,128 @@ mod tests {
         let par = exec.map(&items, |&n| spin(n));
         let seq: Vec<u64> = items.iter().map(|&n| spin(n)).collect();
         assert_eq!(par, seq);
+    }
+
+    /// Runs a little breadth-first expansion over the pipeline: each value
+    /// below `limit` emits two children; the merge records visit order.
+    fn pipeline_bfs(exec: &Executor, limit: u64) -> Vec<u64> {
+        let mut order = Vec::new();
+        exec.pipeline_ordered(
+            vec![1u64],
+            |&x| x * 2,
+            |item, doubled, ctx| {
+                order.push(item);
+                if doubled < limit {
+                    ctx.submit(doubled);
+                    ctx.submit(doubled + 1);
+                }
+                ControlFlow::Continue(())
+            },
+        );
+        order
+    }
+
+    #[test]
+    fn pipeline_merges_in_submission_order_at_every_thread_count() {
+        let seq = pipeline_bfs(&Executor::sequential(), 64);
+        assert_eq!(&seq[..3], &[1, 2, 3]);
+        assert!(seq.len() > 20);
+        for threads in [2, 4, 9] {
+            assert_eq!(
+                pipeline_bfs(&Executor::with_threads(threads), 64),
+                seq,
+                "@{threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_break_stops_and_discards_speculation() {
+        for threads in [1, 2, 4] {
+            let exec = Executor::with_threads(threads);
+            let mut merged = Vec::new();
+            exec.pipeline_ordered(
+                (0..100u32).collect(),
+                |&x| x + 1,
+                |item, r, _ctx| {
+                    assert_eq!(r, item + 1);
+                    merged.push(item);
+                    if item == 9 {
+                        ControlFlow::Break(())
+                    } else {
+                        ControlFlow::Continue(())
+                    }
+                },
+            );
+            assert_eq!(merged, (0..10).collect::<Vec<_>>(), "@{threads}");
+        }
+    }
+
+    #[test]
+    fn pipeline_handles_empty_seeds() {
+        for threads in [1, 3] {
+            Executor::with_threads(threads).pipeline_ordered(
+                Vec::<u8>::new(),
+                |_| unreachable!("no items"),
+                |_, _: (), _| unreachable!("no items"),
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_worker_panic_propagates() {
+        for threads in [1, 4] {
+            let exec = Executor::with_threads(threads);
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                exec.pipeline_ordered(
+                    (0..64u32).collect(),
+                    |&x| {
+                        if x == 33 {
+                            panic!("pipeline boom at {x}");
+                        }
+                        x
+                    },
+                    |_, _, _| ControlFlow::Continue(()),
+                );
+            }));
+            let payload = caught.expect_err("panic must propagate");
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(msg.contains("pipeline boom at 33"), "@{threads}: {msg}");
+        }
+    }
+
+    #[test]
+    fn pipeline_merge_panic_releases_workers() {
+        let exec = Executor::with_threads(4);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            exec.pipeline_ordered(
+                (0..64u32).collect(),
+                |&x| x,
+                |item, _, _| {
+                    if item == 5 {
+                        panic!("merge boom");
+                    }
+                    ControlFlow::Continue(())
+                },
+            );
+        }));
+        assert!(caught.is_err(), "merge panic must propagate");
+    }
+
+    #[test]
+    fn pipeline_waited_is_work_time_when_sequential() {
+        let exec = Executor::sequential();
+        exec.pipeline_ordered(
+            vec![0u8],
+            |_| std::thread::sleep(Duration::from_millis(5)),
+            |_, _, ctx| {
+                assert!(ctx.waited() >= Duration::from_millis(5));
+                ControlFlow::Continue(())
+            },
+        );
     }
 
     #[test]

@@ -3,17 +3,21 @@
 //!
 //! # Parallel saturation
 //!
-//! The loop processes its FIFO work queue in *batches*: the piece
-//! rewritings (and their cores) of every queued query are generated
-//! speculatively on an [`Executor`]'s worker pool, then merged in exact
-//! queue order against the accumulated set. Subsumption checks,
-//! evictions, budget accounting and tracing all happen at merge time, so
-//! a parallel run makes the same decisions in the same order as the
-//! sequential loop: a FIFO queue enqueues descendants after everything
-//! already queued, hence one batch is exactly the window the sequential
-//! loop would drain before reaching any descendant, and dropping
-//! (uncounted) the candidates of items evicted earlier in the merge
-//! reproduces the sequential aliveness check verbatim.
+//! The loop runs on [`Executor::pipeline_ordered`]: the piece rewritings
+//! (and their cores) of every queued query are generated speculatively on
+//! the worker pool while the caller thread merges results in exact FIFO
+//! order against the accumulated set. Subsumption checks, evictions,
+//! budget accounting and tracing all happen at merge time, so a parallel
+//! run makes the same decisions in the same order as the sequential loop;
+//! dropping (uncounted) the candidates of items evicted earlier in the
+//! merge reproduces the sequential aliveness check verbatim. Because the
+//! FIFO queue enqueues descendants after everything already queued,
+//! generation for BFS window *i+1* starts as soon as its queries are
+//! accepted — overlapping with the merge of the rest of window *i* and
+//! hiding merge latency — without a barrier per window. A barrier variant
+//! ([`SaturationMode::Barrier`]) is kept for benchmarking; both engines
+//! share one merge core, so every counter in [`RewriteStats`] is
+//! identical across modes and thread counts.
 //!
 //! Accepted disjuncts are canonically renamed on acceptance: fresh
 //! variable names minted during unification embed a global counter that
@@ -23,12 +27,15 @@
 
 use std::collections::{HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
+use std::ops::ControlFlow;
+use std::time::{Duration, Instant};
 
 use qr_exec::Executor;
 use qr_hom::containment::{contains, covered_by, subsumed_by_any};
 use qr_hom::qcore::query_core;
 use qr_syntax::{ConjunctiveQuery, Pred, Symbol, Theory, Ucq, Var};
 
+use crate::stats::{RewriteStats, WindowStats};
 use crate::unify::piece_rewritings;
 
 /// Resource limits for the saturation loop.
@@ -38,8 +45,11 @@ pub struct RewriteBudget {
     pub max_queries: usize,
     /// Maximum number of candidate queries generated overall.
     pub max_generated: usize,
-    /// Candidates larger than this many atoms are discarded (counted as
-    /// budget pressure, since a complete rewriting may need them).
+    /// Candidates larger than this many atoms are discarded. Discards are
+    /// reported in [`Rewriting::oversized_discarded`] and make the outcome
+    /// [`RewriteOutcome::AtomCapped`] (not [`RewriteOutcome::Budget`]),
+    /// since a run whose only losses are atom-cap discards did saturate
+    /// everything under the cap.
     pub max_atoms: usize,
 }
 
@@ -60,8 +70,14 @@ pub enum RewriteOutcome {
     /// up to the containment pruning) — a witness of BDD behaviour of the
     /// theory on this query.
     Complete,
-    /// Budget exhausted (or candidates above `max_atoms` discarded): the
-    /// returned set is sound but possibly incomplete — divergence evidence.
+    /// Saturated except for candidates above `max_atoms`, which were
+    /// discarded without exploring their descendants: the set is complete
+    /// *modulo the atom cap* — typical for divergent theories whose
+    /// rewritings grow without bound, where no finite budget completes.
+    AtomCapped,
+    /// Budget exhausted (`max_generated` or `max_queries` hit with work
+    /// still queued): the returned set is sound but possibly incomplete —
+    /// divergence evidence.
     Budget,
 }
 
@@ -98,12 +114,18 @@ pub struct Rewriting {
     /// The rewriting set (each disjunct core-minimized; mutually
     /// incomparable under containment).
     pub ucq: Ucq,
-    /// Saturated or budget-limited.
+    /// Saturated, atom-capped, or budget-limited.
     pub outcome: RewriteOutcome,
     /// Number of candidate queries generated.
     pub generated: usize,
+    /// Candidates discarded for exceeding `max_atoms` (reported separately
+    /// from budget exhaustion so callers can tell "complete modulo the atom
+    /// cap" from "ran out of budget").
+    pub oversized_discarded: usize,
     /// Maximum rewriting-step depth reached.
     pub depth: usize,
+    /// Per-window saturation counters and wall splits.
+    pub stats: RewriteStats,
 }
 
 impl Rewriting {
@@ -294,26 +316,64 @@ enum Generated {
     Cand(ConjunctiveQuery),
 }
 
+/// How the saturation loop schedules generation against the merge.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SaturationMode {
+    /// Speculative pipelining on [`Executor::pipeline_ordered`]: window
+    /// *i+1* generates while window *i* merges. The default.
+    Pipelined,
+    /// One `Executor::map` per BFS window with a barrier before the merge
+    /// (the pre-pipelining engine, kept for benchmarking the overlap win).
+    Barrier,
+}
+
 /// Computes a UCQ rewriting of `query` under `theory` (see module docs).
 pub fn rewrite(
     theory: &Theory,
     query: &ConjunctiveQuery,
     budget: RewriteBudget,
 ) -> Result<Rewriting, RewriteError> {
-    saturate(theory, query, budget, &Executor::sequential(), |_, _| {})
+    saturate(
+        theory,
+        query,
+        budget,
+        &Executor::sequential(),
+        SaturationMode::Pipelined,
+        &mut |_, _| {},
+    )
 }
 
 /// [`rewrite`] with candidate generation and containment sweeps scheduled
 /// on `exec`'s worker pool. Deterministic: the result — disjuncts, their
-/// renderings, `generated`, `depth`, outcome — is identical to the
-/// sequential run for every thread count.
+/// renderings, `generated`, `depth`, outcome, every stats counter — is
+/// identical to the sequential run for every thread count.
 pub fn rewrite_with(
     theory: &Theory,
     query: &ConjunctiveQuery,
     budget: RewriteBudget,
     exec: &Executor,
 ) -> Result<Rewriting, RewriteError> {
-    saturate(theory, query, budget, exec, |_, _| {})
+    saturate(
+        theory,
+        query,
+        budget,
+        exec,
+        SaturationMode::Pipelined,
+        &mut |_, _| {},
+    )
+}
+
+/// [`rewrite_with`] with an explicit [`SaturationMode`] — the harness uses
+/// this to measure the pipelined engine against the barrier engine on the
+/// same workloads. Counters are mode-independent; only wall splits differ.
+pub fn rewrite_with_mode(
+    theory: &Theory,
+    query: &ConjunctiveQuery,
+    budget: RewriteBudget,
+    exec: &Executor,
+    mode: SaturationMode,
+) -> Result<Rewriting, RewriteError> {
+    saturate(theory, query, budget, exec, mode, &mut |_, _| {})
 }
 
 /// Like [`rewrite`], invoking `trace(depth, query)` for every query accepted
@@ -322,9 +382,211 @@ pub fn rewrite_with_trace(
     theory: &Theory,
     query: &ConjunctiveQuery,
     budget: RewriteBudget,
-    trace: impl FnMut(usize, &ConjunctiveQuery),
+    mut trace: impl FnMut(usize, &ConjunctiveQuery),
 ) -> Result<Rewriting, RewriteError> {
-    saturate(theory, query, budget, &Executor::sequential(), trace)
+    saturate(
+        theory,
+        query,
+        budget,
+        &Executor::sequential(),
+        SaturationMode::Pipelined,
+        &mut trace,
+    )
+}
+
+/// [`rewrite_with_trace`] on an explicit executor: the trace stream is
+/// byte-identical to the sequential one at every thread count (acceptances
+/// happen at merge time, in merge order).
+pub fn rewrite_with_trace_on(
+    theory: &Theory,
+    query: &ConjunctiveQuery,
+    budget: RewriteBudget,
+    exec: &Executor,
+    mut trace: impl FnMut(usize, &ConjunctiveQuery),
+) -> Result<Rewriting, RewriteError> {
+    saturate(
+        theory,
+        query,
+        budget,
+        exec,
+        SaturationMode::Pipelined,
+        &mut trace,
+    )
+}
+
+/// The merge core shared by both saturation modes: all kept-set decisions
+/// — aliveness, budget accounting, subsumption, eviction, acceptance,
+/// tracing, window bookkeeping — live here, so the pipelined and barrier
+/// engines are identical-by-construction in everything but scheduling.
+struct Merger<'a> {
+    budget: RewriteBudget,
+    exec: &'a Executor,
+    trace: &'a mut dyn FnMut(usize, &ConjunctiveQuery),
+    set: KeptSet,
+    generated: usize,
+    oversized: usize,
+    depth_reached: usize,
+    truncated: bool,
+    stats: RewriteStats,
+    cur: WindowStats,
+    /// Sequence number of the next item to merge (items are numbered in
+    /// submission order, exactly the pipeline's sequence numbers).
+    merge_seq: usize,
+    /// Items submitted so far (seed + every accepted candidate).
+    submitted: usize,
+    /// Last sequence number belonging to the window being merged.
+    window_last_seq: usize,
+}
+
+impl<'a> Merger<'a> {
+    fn new(
+        budget: RewriteBudget,
+        exec: &'a Executor,
+        trace: &'a mut dyn FnMut(usize, &ConjunctiveQuery),
+    ) -> Merger<'a> {
+        Merger {
+            budget,
+            exec,
+            trace,
+            set: KeptSet::new(),
+            generated: 0,
+            oversized: 0,
+            depth_reached: 0,
+            truncated: false,
+            stats: RewriteStats {
+                threads: exec.threads(),
+                windows: Vec::new(),
+            },
+            cur: WindowStats {
+                window: 0,
+                items: 1,
+                ..WindowStats::default()
+            },
+            merge_seq: 0,
+            submitted: 1,
+            window_last_seq: 0,
+        }
+    }
+
+    /// Closes the window being accumulated (records the kept-set size).
+    fn close_window(&mut self) {
+        self.cur.kept = self.set.len();
+        self.stats.windows.push(std::mem::take(&mut self.cur));
+    }
+
+    /// Merges one item's speculative generation results in submission
+    /// order. `Break` means a budget stop: the caller must stop merging.
+    /// Accepted candidates are appended to `out` for resubmission.
+    fn merge_item(
+        &mut self,
+        q: &ConjunctiveQuery,
+        depth: usize,
+        gens: &[Generated],
+        gen_wall: Duration,
+        waited: Duration,
+        out: &mut Vec<(ConjunctiveQuery, usize)>,
+    ) -> ControlFlow<()> {
+        let seq = self.merge_seq;
+        self.merge_seq += 1;
+        if seq > self.window_last_seq {
+            // First item of the next BFS window: everything submitted and
+            // not yet merged was queued together, exactly the batch a
+            // barrier engine would drain now.
+            self.close_window();
+            self.cur.window = self.stats.windows.len();
+            self.cur.items = self.submitted - seq;
+            self.window_last_seq = self.submitted - 1;
+        }
+        self.cur.gen_wall += gen_wall;
+        self.cur.wait_wall += waited;
+        let t0 = Instant::now();
+        let flow = self.merge_item_decisions(q, depth, gens, out);
+        self.cur.merge_wall += t0.elapsed();
+        self.submitted += out.len();
+        flow
+    }
+
+    fn merge_item_decisions(
+        &mut self,
+        q: &ConjunctiveQuery,
+        depth: usize,
+        gens: &[Generated],
+        out: &mut Vec<(ConjunctiveQuery, usize)>,
+    ) -> ControlFlow<()> {
+        // The query may have been evicted by a more general arrival; its
+        // speculative candidates are dropped uncounted, exactly as the
+        // historical sequential loop never generated for queries that
+        // failed its aliveness check.
+        if !self.set.contains_query(q) {
+            self.cur.dead_skipped += 1;
+            return ControlFlow::Continue(());
+        }
+        self.cur.merged += 1;
+        for g in gens {
+            self.generated += 1;
+            self.cur.generated += 1;
+            if self.generated > self.budget.max_generated {
+                self.truncated = true;
+                return ControlFlow::Break(());
+            }
+            let cand = match g {
+                Generated::Oversized => {
+                    self.oversized += 1;
+                    self.cur.oversized += 1;
+                    continue;
+                }
+                Generated::Cand(c) => c,
+            };
+            let sig = PredSig::of(cand);
+            // Subsumed: some kept query already covers it (whenever the
+            // candidate holds, the kept one does).
+            if subsumed_by_any(self.exec, cand, &self.set.possible_subsumers(&sig)) {
+                self.cur.subsumption_hits += 1;
+                continue;
+            }
+            // Evict kept queries covered by the candidate.
+            let dead: Vec<usize> = {
+                let victims = self.set.possible_victims(&sig);
+                let refs: Vec<&ConjunctiveQuery> = victims.iter().map(|(_, r)| *r).collect();
+                covered_by(self.exec, &refs, cand)
+                    .into_iter()
+                    .zip(&victims)
+                    .filter_map(|(covered, (idx, _))| covered.then_some(*idx))
+                    .collect()
+            };
+            let evicted = dead.len();
+            for idx in dead {
+                self.set.kill(idx);
+            }
+            self.cur.evictions += evicted;
+            if self.set.len() >= self.budget.max_queries {
+                self.truncated = true;
+                // Soundness at the truncation point: if this candidate
+                // evicted anything, it must replace the victims' coverage
+                // before we stop — breaking between the kills and the push
+                // would return a UCQ missing the evicted disjuncts with
+                // nothing standing in for them. (With the push guarded by
+                // `len >= max_queries`, the set can only be at capacity
+                // here with zero victims killed unless it was over
+                // capacity to begin with — but the rescue keeps the break
+                // sound for every budget, including `max_queries = 0`,
+                // where the unguarded seed push overflows.)
+                if evicted > 0 {
+                    self.depth_reached = self.depth_reached.max(depth + 1);
+                    (self.trace)(depth + 1, cand);
+                    self.set.push(cand.clone());
+                    self.cur.accepted += 1;
+                }
+                return ControlFlow::Break(());
+            }
+            self.depth_reached = self.depth_reached.max(depth + 1);
+            (self.trace)(depth + 1, cand);
+            self.set.push(cand.clone());
+            self.cur.accepted += 1;
+            out.push((cand.clone(), depth + 1));
+        }
+        ControlFlow::Continue(())
+    }
 }
 
 fn saturate(
@@ -332,7 +594,8 @@ fn saturate(
     query: &ConjunctiveQuery,
     budget: RewriteBudget,
     exec: &Executor,
-    mut trace: impl FnMut(usize, &ConjunctiveQuery),
+    mode: SaturationMode,
+    trace: &mut dyn FnMut(usize, &ConjunctiveQuery),
 ) -> Result<Rewriting, RewriteError> {
     for r in theory.rules() {
         if r.has_builtin_body() {
@@ -340,98 +603,82 @@ fn saturate(
         }
     }
 
-    let mut set = KeptSet::new();
-    let mut queue: VecDeque<(ConjunctiveQuery, usize)> = VecDeque::new();
-    let mut generated = 0usize;
-    let mut depth_reached = 0usize;
-    let mut truncated = false;
-
     let seed = canonical_named(&query_core(query));
     trace(0, &seed);
-    set.push(seed.clone());
-    queue.push_back((seed, 0));
+    let mut merger = Merger::new(budget, exec, trace);
+    merger.set.push(seed.clone());
 
-    'outer: while !queue.is_empty() {
-        let batch: Vec<(ConjunctiveQuery, usize)> = queue.drain(..).collect();
-        // Speculative generation: piece rewritings and cores for every
-        // batch item, on the worker pool. Candidates of items evicted
-        // mid-merge are dropped uncounted below, exactly as the
-        // sequential loop never generates for queries that fail its
-        // aliveness check.
-        let gens: Vec<Vec<Generated>> = exec.map(&batch, |(q, _)| {
-            let mut out = Vec::new();
-            for rule in theory.rules() {
-                for pu in piece_rewritings(q, rule) {
-                    if pu.result.size() > budget.max_atoms {
-                        out.push(Generated::Oversized);
-                    } else {
-                        out.push(Generated::Cand(canonical_named(&query_core(&pu.result))));
-                    }
+    // Speculative generation: piece rewritings and cores of one queued
+    // query, a pure per-item function scheduled on the worker pool.
+    let generate = |q: &ConjunctiveQuery| -> (Vec<Generated>, Duration) {
+        let t0 = Instant::now();
+        let mut out = Vec::new();
+        for rule in theory.rules() {
+            for pu in piece_rewritings(q, rule) {
+                if pu.result.size() > budget.max_atoms {
+                    out.push(Generated::Oversized);
+                } else {
+                    out.push(Generated::Cand(canonical_named(&query_core(&pu.result))));
                 }
             }
-            out
-        });
-        // Ordered merge: budget accounting, subsumption and eviction in
-        // exact queue order.
-        for (i, (q, depth)) in batch.iter().enumerate() {
-            // The query may have been evicted by a more general arrival.
-            if !set.contains_query(q) {
-                continue;
-            }
-            for g in &gens[i] {
-                generated += 1;
-                if generated > budget.max_generated {
-                    truncated = true;
-                    break 'outer;
-                }
-                let cand = match g {
-                    Generated::Oversized => {
-                        truncated = true;
-                        continue;
+        }
+        (out, t0.elapsed())
+    };
+
+    match mode {
+        SaturationMode::Pipelined => {
+            exec.pipeline_ordered(
+                vec![(seed, 0usize)],
+                |(q, _)| generate(q),
+                |(q, depth), (gens, gen_wall), ctx| {
+                    let mut out = Vec::new();
+                    let flow =
+                        merger.merge_item(&q, depth, &gens, gen_wall, ctx.waited(), &mut out);
+                    for item in out {
+                        ctx.submit(item);
                     }
-                    Generated::Cand(c) => c,
-                };
-                let sig = PredSig::of(cand);
-                // Subsumed: some kept query already covers it (whenever
-                // the candidate holds, the kept one does).
-                if subsumed_by_any(exec, cand, &set.possible_subsumers(&sig)) {
-                    continue;
+                    flow
+                },
+            );
+        }
+        SaturationMode::Barrier => {
+            let mut queue: VecDeque<(ConjunctiveQuery, usize)> = VecDeque::new();
+            queue.push_back((seed, 0));
+            'outer: while !queue.is_empty() {
+                let batch: Vec<(ConjunctiveQuery, usize)> = queue.drain(..).collect();
+                let t0 = Instant::now();
+                let gens = exec.map(&batch, |(q, _)| generate(q));
+                let gen_phase = t0.elapsed();
+                for (i, ((q, depth), (g, gen_wall))) in batch.iter().zip(&gens).enumerate() {
+                    // The merge sat out the whole generation phase before
+                    // its first item; charge that stall to the window.
+                    let waited = if i == 0 { gen_phase } else { Duration::ZERO };
+                    let mut out = Vec::new();
+                    let flow = merger.merge_item(q, *depth, g, *gen_wall, waited, &mut out);
+                    queue.extend(out);
+                    if flow.is_break() {
+                        break 'outer;
+                    }
                 }
-                // Evict kept queries covered by the candidate.
-                let dead: Vec<usize> = {
-                    let victims = set.possible_victims(&sig);
-                    let refs: Vec<&ConjunctiveQuery> = victims.iter().map(|(_, r)| *r).collect();
-                    covered_by(exec, &refs, cand)
-                        .into_iter()
-                        .zip(&victims)
-                        .filter_map(|(covered, (idx, _))| covered.then_some(*idx))
-                        .collect()
-                };
-                for idx in dead {
-                    set.kill(idx);
-                }
-                if set.len() >= budget.max_queries {
-                    truncated = true;
-                    break 'outer;
-                }
-                depth_reached = depth_reached.max(depth + 1);
-                trace(depth + 1, cand);
-                set.push(cand.clone());
-                queue.push_back((cand.clone(), depth + 1));
             }
         }
     }
+    merger.close_window();
 
-    let outcome = if truncated || !queue.is_empty() {
+    let outcome = if merger.truncated {
         RewriteOutcome::Budget
+    } else if merger.oversized > 0 {
+        RewriteOutcome::AtomCapped
     } else {
         RewriteOutcome::Complete
     };
     Ok(Rewriting {
-        ucq: Ucq::new(set.into_queries()),
+        ucq: Ucq::new(merger.set.into_queries()),
         outcome,
-        generated,
-        depth: depth_reached,
+        generated: merger.generated,
+        oversized_discarded: merger.oversized,
+        depth: merger.depth_reached,
+        stats: merger.stats,
     })
 }
 
@@ -700,6 +947,155 @@ mod tests {
                     "{label}: unexpected disjunct {}",
                     d.render()
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn atom_cap_only_losses_report_atom_capped() {
+        // Example 41's rule grows every rewriting by one atom, so with a
+        // generous generation budget the only losses are atom-cap
+        // discards: saturated modulo the cap, not out of budget.
+        let r = rewrite(
+            &parse_theory("e(X,Y,Z), r(X,Z) -> r(Y,Z).").unwrap(),
+            &parse_query("?(Y,Z) :- r(Y,Z).").unwrap(),
+            RewriteBudget {
+                max_queries: 512,
+                max_generated: 20_000,
+                max_atoms: 7,
+            },
+        )
+        .unwrap();
+        assert_eq!(r.outcome, RewriteOutcome::AtomCapped);
+        assert!(r.oversized_discarded > 0, "cap discards must be counted");
+        assert_eq!(r.stats.oversized(), r.oversized_discarded);
+        assert!(
+            !r.is_complete(),
+            "atom-capped runs are not complete rewritings"
+        );
+    }
+
+    #[test]
+    fn complete_runs_report_zero_oversized() {
+        let r = run("e(X,Y) -> e(Y,Z).", "?(A) :- e(A,B), e(B,C).");
+        assert_eq!(r.outcome, RewriteOutcome::Complete);
+        assert_eq!(r.oversized_discarded, 0);
+    }
+
+    /// Strips the schedule-dependent wall splits, keeping every
+    /// deterministic per-window counter.
+    #[allow(clippy::type_complexity)]
+    fn counter_rows(
+        s: &crate::stats::RewriteStats,
+    ) -> Vec<(
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+    )> {
+        s.windows
+            .iter()
+            .map(|w| {
+                (
+                    w.window,
+                    w.items,
+                    w.merged,
+                    w.dead_skipped,
+                    w.generated,
+                    w.subsumption_hits,
+                    w.evictions,
+                    w.oversized,
+                    w.accepted,
+                    w.kept,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stats_counters_identical_across_modes_and_threads() {
+        for (label, t, q, budget) in fixtures() {
+            let budget = if label == "tc-budget" {
+                RewriteBudget {
+                    max_queries: 24,
+                    max_generated: 300,
+                    max_atoms: 8,
+                }
+            } else {
+                budget
+            };
+            let theory = parse_theory(t).unwrap();
+            let query = parse_query(q).unwrap();
+            let seq = rewrite(&theory, &query, budget).unwrap();
+            // Totals reconcile with the run's headline numbers.
+            assert_eq!(seq.stats.generated(), seq.generated, "{label}");
+            assert_eq!(seq.stats.oversized(), seq.oversized_discarded, "{label}");
+            assert_eq!(
+                1 + seq.stats.accepted() - seq.stats.evictions(),
+                seq.ucq.len(),
+                "{label}: seed + accepted - evicted = surviving disjuncts"
+            );
+            assert_eq!(
+                seq.stats.windows.last().unwrap().kept,
+                seq.ucq.len(),
+                "{label}: final window records the surviving set size"
+            );
+            // Sequentially the merge waits out every generation in full.
+            assert_eq!(seq.stats.threads, 1, "{label}");
+            for w in &seq.stats.windows {
+                assert_eq!(w.overlap_wall(), Duration::ZERO, "{label}: no overlap @1");
+            }
+            let expect = counter_rows(&seq.stats);
+            for threads in [1, 2, 4] {
+                let exec = Executor::with_threads(threads);
+                for mode in [SaturationMode::Pipelined, SaturationMode::Barrier] {
+                    let r = rewrite_with_mode(&theory, &query, budget, &exec, mode).unwrap();
+                    assert_eq!(
+                        counter_rows(&r.stats),
+                        expect,
+                        "{label} @{threads} {mode:?}: window counters"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_stream_identical_across_thread_counts() {
+        for (label, t, q, budget) in fixtures() {
+            let budget = if label == "tc-budget" {
+                RewriteBudget {
+                    max_queries: 24,
+                    max_generated: 300,
+                    max_atoms: 8,
+                }
+            } else {
+                budget
+            };
+            let theory = parse_theory(t).unwrap();
+            let query = parse_query(q).unwrap();
+            let mut expect = Vec::new();
+            rewrite_with_trace(&theory, &query, budget, |d, cq| {
+                expect.push((d, cq.render()));
+            })
+            .unwrap();
+            for threads in [2, 4] {
+                let mut seen = Vec::new();
+                rewrite_with_trace_on(
+                    &theory,
+                    &query,
+                    budget,
+                    &Executor::with_threads(threads),
+                    |d, cq| seen.push((d, cq.render())),
+                )
+                .unwrap();
+                assert_eq!(seen, expect, "{label} @{threads}: trace stream");
             }
         }
     }

@@ -19,10 +19,12 @@
 //! such theories.
 
 pub mod engine;
+pub mod stats;
 pub mod unify;
 
 pub use engine::{
-    rewrite, rewrite_with, rewrite_with_trace, RewriteBudget, RewriteError, RewriteOutcome,
-    Rewriting,
+    rewrite, rewrite_with, rewrite_with_mode, rewrite_with_trace, rewrite_with_trace_on,
+    RewriteBudget, RewriteError, RewriteOutcome, Rewriting, SaturationMode,
 };
+pub use stats::{RewriteStats, WindowStats};
 pub use unify::{piece_rewritings, PieceUnifier};

@@ -1,0 +1,186 @@
+//! Per-window saturation observability, mirroring `qr-chase`'s
+//! `ChaseStats`.
+//!
+//! A *window* is one BFS generation of the saturation loop: the set of
+//! queries that were queued together before any of their descendants (the
+//! batch the barrier engine drains in one `queue.drain(..)`). The
+//! pipelined engine reproduces the same boundaries from submission
+//! sequence numbers, so window counters are identical across engines and
+//! thread counts; only the wall splits vary with the schedule.
+//!
+//! Wall-split semantics:
+//! * `gen_wall` — worker-side time generating piece rewritings + cores
+//!   for the window's items (summed per item, so it can exceed the
+//!   window's elapsed time when several workers overlap);
+//! * `merge_wall` — caller-thread time spent on merge decisions
+//!   (subsumption, eviction, budget accounting, tracing);
+//! * `wait_wall` — caller-thread time stalled waiting for an item's
+//!   speculative generation to arrive. Sequentially this equals
+//!   `gen_wall`; under pipelining, `gen_wall - wait_wall` is the
+//!   generation work hidden behind the merge ([`WindowStats::overlap_wall`]).
+
+use std::time::Duration;
+
+/// Counters and wall splits for one BFS window of the saturation loop.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Window index (0 = the seed query alone).
+    pub window: usize,
+    /// Queue depth at the window boundary: items submitted to this window.
+    pub items: usize,
+    /// Items of this window still alive when their merge turn came.
+    pub merged: usize,
+    /// Items skipped because an earlier arrival evicted them (their
+    /// speculative candidates are discarded uncounted).
+    pub dead_skipped: usize,
+    /// Candidates counted against `max_generated` during this window.
+    pub generated: usize,
+    /// Candidates dropped because a kept query already subsumed them.
+    pub subsumption_hits: usize,
+    /// Kept queries evicted by more general candidates of this window.
+    pub evictions: usize,
+    /// Candidates discarded for exceeding `max_atoms`.
+    pub oversized: usize,
+    /// Candidates accepted into the kept set.
+    pub accepted: usize,
+    /// Alive kept-set size when the window closed.
+    pub kept: usize,
+    /// Worker-side generation time for this window's items (summed).
+    pub gen_wall: Duration,
+    /// Caller-thread merge-decision time.
+    pub merge_wall: Duration,
+    /// Caller-thread stall waiting for speculative generation results.
+    pub wait_wall: Duration,
+}
+
+impl WindowStats {
+    /// Generation work hidden behind the merge: `gen_wall - wait_wall`
+    /// (saturating). Zero for a sequential run, where the caller waits out
+    /// every generation in full.
+    pub fn overlap_wall(&self) -> Duration {
+        self.gen_wall.saturating_sub(self.wait_wall)
+    }
+}
+
+/// Saturation-run statistics: the worker-pool width and one
+/// [`WindowStats`] per BFS window, in order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// Worker-pool width the run was configured with (wall times depend on
+    /// it; every counter is identical across thread counts).
+    pub threads: usize,
+    /// Per-window counters, in window order.
+    pub windows: Vec<WindowStats>,
+}
+
+impl RewriteStats {
+    /// Total candidates counted against `max_generated`.
+    pub fn generated(&self) -> usize {
+        self.windows.iter().map(|w| w.generated).sum()
+    }
+
+    /// Total items merged while alive.
+    pub fn merged(&self) -> usize {
+        self.windows.iter().map(|w| w.merged).sum()
+    }
+
+    /// Total items skipped as evicted before their merge turn.
+    pub fn dead_skipped(&self) -> usize {
+        self.windows.iter().map(|w| w.dead_skipped).sum()
+    }
+
+    /// Total candidates dropped by subsumption.
+    pub fn subsumption_hits(&self) -> usize {
+        self.windows.iter().map(|w| w.subsumption_hits).sum()
+    }
+
+    /// Total kept queries evicted.
+    pub fn evictions(&self) -> usize {
+        self.windows.iter().map(|w| w.evictions).sum()
+    }
+
+    /// Total candidates discarded for exceeding `max_atoms`.
+    pub fn oversized(&self) -> usize {
+        self.windows.iter().map(|w| w.oversized).sum()
+    }
+
+    /// Total candidates accepted into the kept set.
+    pub fn accepted(&self) -> usize {
+        self.windows.iter().map(|w| w.accepted).sum()
+    }
+
+    /// Total worker-side generation time.
+    pub fn gen_wall(&self) -> Duration {
+        self.windows.iter().map(|w| w.gen_wall).sum()
+    }
+
+    /// Total caller-thread merge-decision time.
+    pub fn merge_wall(&self) -> Duration {
+        self.windows.iter().map(|w| w.merge_wall).sum()
+    }
+
+    /// Total caller-thread stall waiting for generation results.
+    pub fn wait_wall(&self) -> Duration {
+        self.windows.iter().map(|w| w.wait_wall).sum()
+    }
+
+    /// Total generation work hidden behind merges (see
+    /// [`WindowStats::overlap_wall`]).
+    pub fn overlap_wall(&self) -> Duration {
+        self.windows.iter().map(|w| w.overlap_wall()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_over_windows() {
+        let stats = RewriteStats {
+            threads: 4,
+            windows: vec![
+                WindowStats {
+                    window: 0,
+                    items: 1,
+                    merged: 1,
+                    generated: 3,
+                    subsumption_hits: 1,
+                    accepted: 2,
+                    kept: 3,
+                    gen_wall: Duration::from_millis(10),
+                    merge_wall: Duration::from_millis(2),
+                    wait_wall: Duration::from_millis(4),
+                    ..WindowStats::default()
+                },
+                WindowStats {
+                    window: 1,
+                    items: 2,
+                    merged: 1,
+                    dead_skipped: 1,
+                    generated: 5,
+                    evictions: 1,
+                    oversized: 2,
+                    accepted: 1,
+                    kept: 3,
+                    gen_wall: Duration::from_millis(6),
+                    merge_wall: Duration::from_millis(1),
+                    wait_wall: Duration::from_millis(6),
+                    ..WindowStats::default()
+                },
+            ],
+        };
+        assert_eq!(stats.generated(), 8);
+        assert_eq!(stats.merged(), 2);
+        assert_eq!(stats.dead_skipped(), 1);
+        assert_eq!(stats.subsumption_hits(), 1);
+        assert_eq!(stats.evictions(), 1);
+        assert_eq!(stats.oversized(), 2);
+        assert_eq!(stats.accepted(), 3);
+        assert_eq!(stats.gen_wall(), Duration::from_millis(16));
+        assert_eq!(stats.merge_wall(), Duration::from_millis(3));
+        assert_eq!(stats.wait_wall(), Duration::from_millis(10));
+        // Window 0 hid 6ms of generation; window 1 hid none.
+        assert_eq!(stats.overlap_wall(), Duration::from_millis(6));
+    }
+}

@@ -8,6 +8,7 @@
 pub use qr_chase as chase;
 pub use qr_classes as classes;
 pub use qr_core as core;
+pub use qr_exec as exec;
 pub use qr_hom as hom;
 pub use qr_rewrite as rewrite;
 pub use qr_syntax as syntax;

@@ -92,7 +92,11 @@ fn example_41_bd_local_not_bdd() {
         },
     )
     .unwrap();
-    assert_eq!(r.outcome, RewriteOutcome::Budget);
+    // The generation budget is generous: the only losses are atom-cap
+    // discards, so the run is saturated modulo the cap — never Complete.
+    assert_eq!(r.outcome, RewriteOutcome::AtomCapped);
+    assert!(r.oversized_discarded > 0);
+    assert!(!r.is_complete());
 }
 
 #[test]
