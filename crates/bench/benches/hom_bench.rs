@@ -4,6 +4,7 @@
 use qr_bench::experiments::e11_chase_engine::random_graph;
 use qr_bench::microbench::{bench, group};
 use qr_hom::containment::contains;
+use qr_hom::kernel::HomKernel;
 use qr_hom::qcore::query_core;
 use qr_hom::{all_answers, holds};
 use qr_syntax::parse_query;
@@ -48,8 +49,26 @@ fn bench_query_core() {
     }
 }
 
+fn bench_kernel_caches() {
+    // Warm-kernel calls (freeze + plan caches hit) against a cold kernel
+    // built per call: the gap is what the caches buy a rewrite run.
+    group("hom/kernel");
+    let atoms: Vec<String> = (0..8).map(|i| format!("e(X{i}, X{})", i + 1)).collect();
+    let long = parse_query(&format!("?(X0) :- {}.", atoms.join(", "))).unwrap();
+    let short = parse_query("?(X0) :- e(X0, Y).").unwrap();
+    let warm = HomKernel::new();
+    warm.contains_queries(&long, &short);
+    bench("contains_warm_caches/chain8", || {
+        warm.contains_queries(&long, &short)
+    });
+    bench("contains_cold_kernel/chain8", || {
+        HomKernel::new().contains_queries(&long, &short)
+    });
+}
+
 fn main() {
     bench_evaluation();
     bench_containment();
     bench_query_core();
+    bench_kernel_caches();
 }

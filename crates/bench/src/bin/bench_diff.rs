@@ -3,7 +3,7 @@
 //! Usage: `bench_diff <baseline.json> <candidate.json>`
 //!
 //! Works on both `BENCH_chase.json` (schema `qr-bench/chase-v3`) and
-//! `BENCH_rewrite.json` (schema `qr-bench/rewrite-v1`) — each dump carries
+//! `BENCH_rewrite.json` (schema `qr-bench/rewrite-v2`) — each dump carries
 //! whichever run arrays it has. The chase engine's trigger/candidate/sweep
 //! counters are a pure function of (theory, instance, budget), and the
 //! rewrite engine's per-window counters a pure function of (theory, query,
@@ -11,8 +11,11 @@
 //! semantics intentionally changed. This tool diffs the per-workload
 //! totals, memory counters (`peak_facts` and the storage layer's logical
 //! byte accounting — deterministic by construction, see `qr-storage`),
-//! per-round chase counters, per-window rewrite counters, and the marked
-//! process's frontier counters, ignoring everything timing- or
+//! per-round chase counters, per-window rewrite counters, the marked
+//! process's frontier counters, and the homomorphism-kernel counters
+//! (schema v2: the cache tier is always present and deterministic; the
+//! search/core tier is emitted only by fully sequential workloads and
+//! gated whenever both sides carry it), ignoring everything timing- or
 //! machine-dependent (`wall_ms`, `barrier_wall_ms`, every `*_ms` split,
 //! `threads`, per-experiment timings). Exit code 0 means the counters
 //! match; 1 means drift (differences listed on stderr); 2 means usage or
@@ -325,10 +328,46 @@ const WINDOW_KEYS: [&str; 3] = ["window", "items", "kept"];
 /// Frontier counters of the marked-query process.
 const PROCESS_KEYS: [&str; 3] = ["steps", "max_frontier", "dropped"];
 
+/// Homomorphism-kernel counters (schema `rewrite-v2`). The first six form
+/// the cache tier — incremented at entry-acquisition and sequential
+/// prefilter points, so deterministic across thread counts — and are
+/// present in every `hom` object. The last five form the search/core tier,
+/// emitted only by fully sequential workloads; keys absent from both sides
+/// compare equal and cause no drift, so the gate adapts per run.
+const HOM_KEYS: [&str; 11] = [
+    "freezes",
+    "freeze_cache_hits",
+    "plan_compiles",
+    "plan_cache_hits",
+    "prefilter_rejects",
+    "components",
+    "searches",
+    "search_candidates",
+    "core_rounds",
+    "core_searches",
+    "core_cache_hits",
+];
+
+fn diff_hom(name: &str, base: &Value, cand: &Value, report: &mut String) {
+    match (base.get("hom"), cand.get("hom")) {
+        (None, None) => {}
+        (Some(_), None) => {
+            let _ = writeln!(report, "  \"{name}\": hom counters missing from candidate");
+        }
+        (None, Some(_)) => {
+            let _ = writeln!(report, "  \"{name}\": hom counters missing from baseline");
+        }
+        (Some(bh), Some(ch)) => {
+            diff_keys(&format!("\"{name}\" hom"), &HOM_KEYS, bh, ch, report);
+        }
+    }
+}
+
 /// Diffs the `rewrite_runs` of two dumps into `report`. Run-level shape
-/// fields (`outcome`, `disjuncts`, `rs`, ...), totals, per-window counters
-/// and marked-process counters are gated; every `*_ms` field, `threads`
-/// and `barrier_wall_ms` are machine-dependent and ignored.
+/// fields (`outcome`, `disjuncts`, `rs`, ...), totals, per-window counters,
+/// hom-kernel counters and marked-process counters are gated; every `*_ms`
+/// field, `threads` and `barrier_wall_ms` are machine-dependent and
+/// ignored.
 fn diff_rewrite_run(name: &str, b: &Value, c: &Value, report: &mut String) {
     for key in ["engine", "outcome"] {
         let bv = b.get(key).and_then(Value::as_str);
@@ -375,6 +414,7 @@ fn diff_rewrite_run(name: &str, b: &Value, c: &Value, report: &mut String) {
         diff_keys(&scope, &WINDOW_KEYS, bw, cw, report);
         diff_keys(&scope, &REWRITE_COUNTERS, bw, cw, report);
     }
+    diff_hom(name, b, c, report);
     match (b.get("process"), c.get("process")) {
         (None, None) => {}
         (Some(_), None) => {
@@ -621,13 +661,13 @@ mod tests {
 
     fn rewrite_run(workload: &str, generated: u64, accepted: u64) -> String {
         format!(
-            "{{\"workload\": \"{workload}\", \"engine\": \"saturation\", \"threads\": 4, \"wall_ms\": 5.5, \"barrier_wall_ms\": 8.8, \"outcome\": \"Complete\", \"disjuncts\": 3, \"rs\": 4, \"generated\": {generated}, \"oversized_discarded\": 0, \"depth\": 2, \"totals\": {{\"merged\": 4, \"dead_skipped\": 0, \"generated\": {generated}, \"subsumption_hits\": 2, \"evictions\": 1, \"oversized\": 0, \"accepted\": {accepted}, \"gen_ms\": 4.0, \"merge_ms\": 1.0, \"wait_ms\": 2.0, \"overlap_ms\": 2.0}}, \"windows\": [{{\"window\": 0, \"items\": 1, \"merged\": 1, \"dead_skipped\": 0, \"generated\": {generated}, \"subsumption_hits\": 2, \"evictions\": 1, \"oversized\": 0, \"accepted\": {accepted}, \"kept\": 3, \"gen_ms\": 4.0, \"merge_ms\": 1.0, \"wait_ms\": 2.0, \"overlap_ms\": 2.0}}]}}"
+            "{{\"workload\": \"{workload}\", \"engine\": \"saturation\", \"threads\": 4, \"wall_ms\": 5.5, \"barrier_wall_ms\": 8.8, \"outcome\": \"Complete\", \"disjuncts\": 3, \"rs\": 4, \"generated\": {generated}, \"oversized_discarded\": 0, \"depth\": 2, \"totals\": {{\"merged\": 4, \"dead_skipped\": 0, \"generated\": {generated}, \"subsumption_hits\": 2, \"evictions\": 1, \"oversized\": 0, \"accepted\": {accepted}, \"gen_ms\": 4.0, \"merge_ms\": 1.0, \"wait_ms\": 2.0, \"overlap_ms\": 2.0}}, \"windows\": [{{\"window\": 0, \"items\": 1, \"merged\": 1, \"dead_skipped\": 0, \"generated\": {generated}, \"subsumption_hits\": 2, \"evictions\": 1, \"oversized\": 0, \"accepted\": {accepted}, \"kept\": 3, \"gen_ms\": 4.0, \"merge_ms\": 1.0, \"wait_ms\": 2.0, \"overlap_ms\": 2.0}}], \"hom\": {{\"freezes\": 12, \"freeze_cache_hits\": 5, \"plan_compiles\": 6, \"plan_cache_hits\": 9, \"prefilter_rejects\": 3, \"components\": 14}}}}"
         )
     }
 
     fn rewrite_dump(runs: &[String]) -> Value {
         let src = format!(
-            "{{\"schema\": \"qr-bench/rewrite-v1\", \"rewrite_runs\": [{}]}}",
+            "{{\"schema\": \"qr-bench/rewrite-v2\", \"rewrite_runs\": [{}]}}",
             runs.join(",")
         );
         Parser::parse(&src).unwrap()
@@ -696,6 +736,63 @@ mod tests {
         let report = diff(&a, &b);
         assert!(report.contains("rewrite workload \"t_p\": missing from candidate"));
         assert!(report.contains("rewrite workload \"t_a\": missing from baseline"));
+    }
+
+    #[test]
+    fn hom_counter_drift_is_reported() {
+        let a = rewrite_dump(&[rewrite_run("t_p", 9, 3)]);
+        let b_src = rewrite_run("t_p", 9, 3)
+            .replace("\"freeze_cache_hits\": 5", "\"freeze_cache_hits\": 4")
+            .replace("\"prefilter_rejects\": 3", "\"prefilter_rejects\": 0");
+        let report = diff(&a, &rewrite_dump(&[b_src]));
+        assert!(
+            report.contains("\"t_p\" hom: freeze_cache_hits Some(5) -> Some(4)"),
+            "{report}"
+        );
+        assert!(
+            report.contains("\"t_p\" hom: prefilter_rejects Some(3) -> Some(0)"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn missing_hom_object_is_drift() {
+        // A v1 baseline (no "hom") against a v2 candidate must flag the
+        // one-sided hom block instead of silently skipping it.
+        let a_src = rewrite_run("t_p", 9, 3).replace(
+            ", \"hom\": {\"freezes\": 12, \"freeze_cache_hits\": 5, \"plan_compiles\": 6, \"plan_cache_hits\": 9, \"prefilter_rejects\": 3, \"components\": 14}",
+            "",
+        );
+        let a = rewrite_dump(&[a_src]);
+        let b = rewrite_dump(&[rewrite_run("t_p", 9, 3)]);
+        let report = diff(&a, &b);
+        assert!(
+            report.contains("\"t_p\": hom counters missing from baseline"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn hom_search_tier_gated_only_when_present() {
+        // The cache-tier-only fixture (parallel workloads omit the
+        // search/core tier) shows no drift against itself...
+        let a = rewrite_dump(&[rewrite_run("t_p", 9, 3)]);
+        assert!(diff(&a, &a).is_empty());
+        // ...but a sequential workload carrying the full tier gates it.
+        let full = |searches: u64| {
+            rewrite_run("t_p", 9, 3).replace(
+                "\"components\": 14}",
+                &format!(
+                    "\"components\": 14, \"searches\": {searches}, \"search_candidates\": 40, \"core_rounds\": 2, \"core_searches\": 6, \"core_cache_hits\": 1}}"
+                ),
+            )
+        };
+        assert!(diff(&rewrite_dump(&[full(20)]), &rewrite_dump(&[full(20)])).is_empty());
+        let report = diff(&rewrite_dump(&[full(20)]), &rewrite_dump(&[full(21)]));
+        assert!(
+            report.contains("\"t_p\" hom: searches Some(20) -> Some(21)"),
+            "{report}"
+        );
     }
 
     #[test]

@@ -8,9 +8,11 @@
 //! `--json`, per-experiment wall times plus the chase engine's per-round
 //! counters (the E11 workloads re-run under [`qr_chase::ChaseStats`]) are
 //! written to `BENCH_chase.json`, and the rewrite engine's per-window
-//! counters and wall splits (saturation fixtures + T_d marked-query runs,
-//! under [`qr_rewrite::RewriteStats`]) to `BENCH_rewrite.json`, both in
-//! the current directory. `--threads N` sizes the worker pool the parallel
+//! counters and wall splits (saturation fixtures + T_d marked-query runs
+//! under [`qr_rewrite::RewriteStats`], plus a deterministic `hom`
+//! microbench workload; every run also carries the homomorphism kernel's
+//! cache counters, schema `qr-bench/rewrite-v2`) to `BENCH_rewrite.json`,
+//! both in the current directory. `--threads N` sizes the worker pool the parallel
 //! engines run on: the count is plumbed into the [`Executor`] explicitly
 //! (the `QR_THREADS` env var is only read as a default, never written).
 //! Thread count never changes any counter or table value — only wall

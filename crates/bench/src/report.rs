@@ -11,6 +11,7 @@
 use std::fmt::Write as _;
 
 use qr_chase::ChaseStats;
+use qr_hom::HomStats;
 use qr_rewrite::RewriteStats;
 
 /// One measured chase run: a named workload plus the engine's own counters.
@@ -39,6 +40,18 @@ pub struct MarkedCounters {
     pub dropped: usize,
     /// Whether the rewriting contains the always-true disjunct.
     pub has_true: bool,
+}
+
+/// Homomorphism-kernel counters attached to a rewrite run.
+pub struct HomReport {
+    /// The kernel's counter snapshot for this run.
+    pub stats: HomStats,
+    /// `true` iff the run was fully sequential, making the search/core
+    /// tier of [`HomStats`] deterministic too. Only then are those
+    /// counters emitted; the cache/prefilter tier (`freezes` through
+    /// `components`) is deterministic at every thread count and is always
+    /// emitted.
+    pub full: bool,
 }
 
 /// One measured rewrite run. Saturation fixtures (`engine: "saturation"`)
@@ -72,6 +85,8 @@ pub struct RewriteRun {
     pub stats: Option<RewriteStats>,
     /// Process counters (marked runs).
     pub process: Option<MarkedCounters>,
+    /// Homomorphism-kernel counters (runs that exercise the kernel).
+    pub hom: Option<HomReport>,
 }
 
 /// Wall time of one whole experiment table.
@@ -168,16 +183,18 @@ pub fn render_json(experiments: &[ExperimentTiming], runs: &[ChaseRun]) -> Strin
     out
 }
 
-/// Renders `BENCH_rewrite.json` (schema `qr-bench/rewrite-v1`): one entry
+/// Renders `BENCH_rewrite.json` (schema `qr-bench/rewrite-v2`): one entry
 /// per rewrite run. Saturation runs carry a `totals` object and a
 /// `windows` array of per-window counters and wall splits; marked runs
-/// carry a `process` object. Every counter is deterministic across thread
-/// counts; only `*_ms` fields (and `threads`) vary between machines and
-/// schedules — `bench_diff` exempts exactly those.
+/// carry a `process` object; runs that exercise the homomorphism kernel
+/// carry a `hom` object (v2) whose search/core counters appear only for
+/// fully sequential runs. Every emitted counter is deterministic across
+/// thread counts; only `*_ms` fields (and `threads`) vary between machines
+/// and schedules — `bench_diff` exempts exactly those.
 pub fn render_rewrite_json(runs: &[RewriteRun]) -> String {
     let dur_ms = |d: std::time::Duration| ms(d.as_secs_f64() * 1e3);
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"qr-bench/rewrite-v1\",\n  \"rewrite_runs\": [\n");
+    out.push_str("{\n  \"schema\": \"qr-bench/rewrite-v2\",\n  \"rewrite_runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         let _ = write!(
             out,
@@ -245,6 +262,31 @@ pub fn render_rewrite_json(runs: &[RewriteRun]) -> String {
                 ",\n      \"process\": {{\"steps\": {}, \"max_frontier\": {}, \"dropped\": {}, \"has_true\": {}}}",
                 p.steps, p.max_frontier, p.dropped, p.has_true,
             );
+        }
+        if let Some(h) = &r.hom {
+            let s = &h.stats;
+            let _ = write!(
+                out,
+                ",\n      \"hom\": {{\"freezes\": {}, \"freeze_cache_hits\": {}, \"plan_compiles\": {}, \"plan_cache_hits\": {}, \"prefilter_rejects\": {}, \"components\": {}",
+                s.freezes,
+                s.freeze_cache_hits,
+                s.plan_compiles,
+                s.plan_cache_hits,
+                s.prefilter_rejects,
+                s.components,
+            );
+            if h.full {
+                let _ = write!(
+                    out,
+                    ", \"searches\": {}, \"search_candidates\": {}, \"core_rounds\": {}, \"core_searches\": {}, \"core_cache_hits\": {}",
+                    s.searches,
+                    s.search_candidates,
+                    s.core_rounds,
+                    s.core_searches,
+                    s.core_cache_hits,
+                );
+            }
+            out.push('}');
         }
         let _ = write!(
             out,
@@ -351,6 +393,22 @@ mod tests {
                     }],
                 }),
                 process: None,
+                hom: Some(HomReport {
+                    stats: HomStats {
+                        freezes: 12,
+                        freeze_cache_hits: 30,
+                        plan_compiles: 13,
+                        plan_cache_hits: 2,
+                        prefilter_rejects: 21,
+                        components: 14,
+                        searches: 99,
+                        search_candidates: 400,
+                        core_rounds: 9,
+                        core_searches: 17,
+                        core_cache_hits: 3,
+                    },
+                    full: false,
+                }),
             },
             RewriteRun {
                 workload: "T_d marked n=2".into(),
@@ -371,10 +429,26 @@ mod tests {
                     dropped: 2,
                     has_true: false,
                 }),
+                hom: Some(HomReport {
+                    stats: HomStats {
+                        freezes: 5,
+                        freeze_cache_hits: 35,
+                        plan_compiles: 5,
+                        plan_cache_hits: 1,
+                        prefilter_rejects: 8,
+                        components: 6,
+                        searches: 40,
+                        search_candidates: 123,
+                        core_rounds: 0,
+                        core_searches: 0,
+                        core_cache_hits: 0,
+                    },
+                    full: true,
+                }),
             },
         ];
         let json = render_rewrite_json(&runs);
-        assert!(json.contains("\"schema\": \"qr-bench/rewrite-v1\""));
+        assert!(json.contains("\"schema\": \"qr-bench/rewrite-v2\""));
         assert!(json.contains("\\\"wide\\\""));
         assert!(json.contains("\"barrier_wall_ms\": 20.250"));
         assert!(json.contains("\"subsumption_hits\": 30"));
@@ -383,6 +457,16 @@ mod tests {
         assert!(json.contains("\"overlap_ms\": 7.500"));
         assert!(json.contains(
             "\"process\": {\"steps\": 17, \"max_frontier\": 5, \"dropped\": 2, \"has_true\": false}"
+        ));
+        // Saturation hom object: cache tier only (parallel run).
+        assert!(json.contains("\"freeze_cache_hits\": 30"));
+        assert!(!json.contains("\"search_candidates\": 400"));
+        // Marked hom object: fully sequential, search tier included.
+        assert!(json.contains(
+            "\"hom\": {\"freezes\": 5, \"freeze_cache_hits\": 35, \"plan_compiles\": 5, \
+             \"plan_cache_hits\": 1, \"prefilter_rejects\": 8, \"components\": 6, \
+             \"searches\": 40, \"search_candidates\": 123, \"core_rounds\": 0, \
+             \"core_searches\": 0, \"core_cache_hits\": 0}"
         ));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

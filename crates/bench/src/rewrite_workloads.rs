@@ -11,15 +11,17 @@
 //! * **Marked-query runs** — `rewrite_td` on the paper's `φ_R^n` queries,
 //!   reporting the frontier counters of the marked process.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use qr_core::marked::rewrite_td;
 use qr_core::theories::phi_r_n;
 use qr_exec::Executor;
+use qr_hom::kernel::{HomKernel, QueryEntry};
 use qr_rewrite::{rewrite_with_mode, RewriteBudget, SaturationMode};
-use qr_syntax::{parse_query, parse_theory};
+use qr_syntax::{parse_query, parse_theory, ConjunctiveQuery};
 
-use crate::report::{MarkedCounters, RewriteRun};
+use crate::report::{HomReport, MarkedCounters, RewriteRun};
 
 /// The saturation fixtures: label, theory, query, budget. The first five
 /// are exactly the engine's pinned-fixture suite; `tc-wide` scales the
@@ -108,15 +110,39 @@ fn saturation_run(
         depth: r.depth,
         stats: Some(r.stats),
         process: None,
+        // The engine runs its own kernel; only the cache/prefilter tier is
+        // deterministic under the parallel sweeps, so `full` stays off.
+        hom: Some(HomReport {
+            stats: r.hom,
+            full: false,
+        }),
     }
 }
 
-/// Runs `rewrite_td` on `φ_R^n` and reports the process counters.
+/// Runs `rewrite_td` on `φ_R^n` and reports the process counters, plus a
+/// sequential pairwise containment sweep over the query and the produced
+/// disjuncts on a fresh [`HomKernel`] — the equivalence-assertion pattern
+/// of the `T_d` experiments, and fully sequential, so every kernel counter
+/// is deterministic and emitted.
 fn marked_run(n: usize) -> RewriteRun {
     let query = phi_r_n(n);
     let t0 = Instant::now();
     let mr = rewrite_td(&query, 10_000_000).expect("process terminates");
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let kernel = HomKernel::new();
+    let mut all: Vec<&ConjunctiveQuery> = vec![&query];
+    all.extend(
+        mr.disjuncts
+            .iter()
+            .filter(|d| d.answer_vars().len() == query.answer_vars().len()),
+    );
+    for (i, phi) in all.iter().enumerate() {
+        for (j, psi) in all.iter().enumerate() {
+            if i != j {
+                kernel.contains_queries(phi, psi);
+            }
+        }
+    }
     RewriteRun {
         workload: format!("T_d marked phi_R^{n}"),
         engine: "marked",
@@ -136,17 +162,94 @@ fn marked_run(n: usize) -> RewriteRun {
             dropped: mr.stats.dropped,
             has_true: mr.has_true_disjunct,
         }),
+        hom: Some(HomReport {
+            stats: kernel.stats(),
+            full: true,
+        }),
+    }
+}
+
+/// The `hom` microbench: a repeated subsumption sweep over a pinned
+/// kept-set on a fresh sequential kernel, so kernel regressions show up
+/// independently of saturation scheduling noise. The kept-set mirrors the
+/// transitive-closure shape (the ground edge `e(a,b)` plus anchored chains
+/// of every length up to 12); the extra probes pin the component plan
+/// cache and the core cache.
+pub fn hom_microbench() -> RewriteRun {
+    const CHAIN_MAX: usize = 12;
+    const ROUNDS: usize = 40;
+    let exec = Executor::sequential();
+    let kernel = HomKernel::new();
+    let mut kept: Vec<ConjunctiveQuery> = vec![parse_query("? :- e(a, b).").unwrap()];
+    for k in 2..=CHAIN_MAX {
+        let atoms: Vec<String> = (0..k)
+            .map(|i| {
+                let src = if i == 0 { "a".into() } else { format!("U{i}") };
+                let dst = if i + 1 == k {
+                    "b".into()
+                } else {
+                    format!("U{}", i + 1)
+                };
+                format!("e({src}, {dst})")
+            })
+            .collect();
+        kept.push(parse_query(&format!("? :- {}.", atoms.join(", "))).unwrap());
+    }
+    let t0 = Instant::now();
+    let entries: Vec<Arc<QueryEntry>> = kept.iter().map(|q| kernel.entry(q)).collect();
+    let refs: Vec<&Arc<QueryEntry>> = entries.iter().collect();
+    let mut subsumed = 0usize;
+    for _ in 0..ROUNDS {
+        for q in &kept {
+            let cand = kernel.entry(q);
+            if kernel.subsumed_by_any(&exec, &cand, &refs) {
+                subsumed += 1;
+            }
+        }
+    }
+    // Multi-component probes sharing one component shape: pins the
+    // cross-query plan cache.
+    let mc1 = parse_query("? :- e(X,Y), e(Y,Z), f(W,W).").unwrap();
+    let mc2 = parse_query("? :- e(X,Y), e(Y,Z), g(W,W).").unwrap();
+    kernel.contains_queries(&mc1, &mc2);
+    kernel.contains_queries(&mc2, &mc1);
+    // Repeated core of a redundant query: pins the core cache.
+    let redundant = parse_query("?(X) :- e(X,Y), e(X,Z).").unwrap();
+    let c1 = kernel.query_core(&redundant);
+    let c2 = kernel.query_core(&redundant);
+    assert_eq!(c1, c2, "core cache returns the cached core");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    RewriteRun {
+        workload: "hom kernel microbench".into(),
+        engine: "hom",
+        threads: 1,
+        wall_ms,
+        barrier_wall_ms: None,
+        outcome: "Complete".into(),
+        disjuncts: kept.len(),
+        rs: CHAIN_MAX,
+        generated: subsumed,
+        oversized_discarded: 0,
+        depth: 0,
+        stats: None,
+        process: None,
+        hom: Some(HomReport {
+            stats: kernel.stats(),
+            full: true,
+        }),
     }
 }
 
 /// All rewrite runs for `BENCH_rewrite.json`: every saturation fixture on
-/// `exec`'s pool, then the marked-query runs for `n = 1..=3`.
+/// `exec`'s pool, the marked-query runs for `n = 1..=3`, then the `hom`
+/// kernel microbench.
 pub fn stats_runs(exec: &Executor) -> Vec<RewriteRun> {
     let mut out: Vec<RewriteRun> = fixtures()
         .into_iter()
         .map(|(label, t, q, budget)| saturation_run(label, t, q, budget, exec))
         .collect();
     out.extend((1..=3).map(marked_run));
+    out.push(hom_microbench());
     out
 }
 
@@ -186,5 +289,80 @@ mod tests {
         let p = r.process.unwrap();
         assert!(p.steps > 0);
         assert!(p.max_frontier > 0);
+        // The pairwise containment sweep is fully sequential and must
+        // exercise the kernel's caches and prefilters (acceptance gate for
+        // the T_d marked workloads).
+        let h = r.hom.unwrap();
+        assert!(h.full);
+        assert!(h.stats.freezes > 0);
+        assert!(h.stats.freeze_cache_hits > 0, "entries are re-acquired");
+        assert!(
+            h.stats.prefilter_rejects > 0,
+            "g-only disjuncts cannot absorb the r/g query"
+        );
+    }
+
+    /// Acceptance gate for `tc-wide` (run here on the structurally
+    /// identical `tc-budget` shrink so debug-mode CI stays fast): the
+    /// saturation engine's kernel must report cache hits and prefilter
+    /// rejects, and the cache tier must be thread-invariant.
+    #[test]
+    fn saturation_runs_report_hom_cache_activity() {
+        let (label, t, q, budget) = fixtures().remove(4);
+        assert_eq!(label, "tc-budget");
+        let seq = saturation_run(label, t, q, budget, &Executor::sequential());
+        let h = seq.hom.as_ref().unwrap();
+        assert!(!h.full, "saturation sweeps may run on a pool");
+        assert!(h.stats.freezes > 0);
+        assert!(h.stats.freeze_cache_hits > 0, "{label}: cache hits");
+        assert!(
+            h.stats.prefilter_rejects > 0,
+            "{label}: the ground seed rejects chain candidates"
+        );
+        let par = saturation_run(label, t, q, budget, &Executor::with_threads(3));
+        let hp = par.hom.as_ref().unwrap();
+        assert_eq!(
+            (
+                h.stats.freezes,
+                h.stats.freeze_cache_hits,
+                h.stats.plan_compiles,
+                h.stats.plan_cache_hits,
+                h.stats.prefilter_rejects,
+                h.stats.components,
+            ),
+            (
+                hp.stats.freezes,
+                hp.stats.freeze_cache_hits,
+                hp.stats.plan_compiles,
+                hp.stats.plan_cache_hits,
+                hp.stats.prefilter_rejects,
+                hp.stats.components,
+            ),
+            "{label}: cache tier is thread-invariant"
+        );
+    }
+
+    #[test]
+    fn hom_microbench_exercises_every_cache() {
+        let r = hom_microbench();
+        assert_eq!(r.engine, "hom");
+        let h = r.hom.unwrap();
+        assert!(h.full, "the microbench is fully sequential");
+        let s = h.stats;
+        assert!(s.freezes > 0);
+        assert!(s.freeze_cache_hits > 0, "sweep re-acquires pinned entries");
+        assert!(s.plan_compiles > 0);
+        assert!(s.plan_cache_hits > 0, "shared component shape is reused");
+        assert!(
+            s.prefilter_rejects > 0,
+            "the ground edge rejects longer chains by anchored probe"
+        );
+        assert!(s.components > 0);
+        assert!(s.searches > 0);
+        assert!(s.core_cache_hits > 0, "repeated core hits the core cache");
+        // Deterministic end to end: a second run reports identical counters.
+        let r2 = hom_microbench();
+        assert_eq!(s, r2.hom.unwrap().stats);
+        assert_eq!(r.generated, r2.generated);
     }
 }

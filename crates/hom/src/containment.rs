@@ -6,32 +6,21 @@
 //! from `ψ(ȳ)` into `φ(ȳ)` (queries viewed as structures over their
 //! variables) that is the identity on the answer variables `ȳ`.
 
-use std::collections::HashMap;
-
 use qr_exec::Executor;
-use qr_syntax::query::{ConjunctiveQuery, Var};
-use qr_syntax::TermId;
+use qr_syntax::query::ConjunctiveQuery;
 
-use crate::matcher::exists_match;
+use crate::kernel::global_kernel;
 
 /// `true` iff `phi` contains `psi` in the paper's sense: every answer of
 /// `phi` is an answer of `psi` (so `phi` is the logically *stronger* query).
 /// Witnessed by a homomorphism from `psi` into `phi` fixing the answer
 /// variables positionally.
+///
+/// Delegates to the process-wide [`crate::kernel::HomKernel`], so repeated
+/// checks against the same queries reuse the frozen instance, the compiled
+/// component plans, and the prefilters.
 pub fn contains(phi: &ConjunctiveQuery, psi: &ConjunctiveQuery) -> bool {
-    assert_eq!(
-        phi.answer_vars().len(),
-        psi.answer_vars().len(),
-        "containment requires equal answer arity"
-    );
-    let (frozen, var_map): (qr_syntax::Instance, HashMap<Var, TermId>) = phi.freeze();
-    let fixed: Vec<(Var, TermId)> = psi
-        .answer_vars()
-        .iter()
-        .zip(phi.answer_vars())
-        .map(|(sv, gv)| (*sv, var_map[gv]))
-        .collect();
-    exists_match(psi.atoms(), psi.var_names().len(), &frozen, &fixed)
+    global_kernel().contains_queries(phi, psi)
 }
 
 /// `true` iff the two queries are equivalent (mutual containment).
@@ -52,7 +41,11 @@ pub fn subsumed_by_any(
     cand: &ConjunctiveQuery,
     kept: &[&ConjunctiveQuery],
 ) -> bool {
-    exec.any(kept, |r| contains(cand, r))
+    let k = global_kernel();
+    let cand_entry = k.entry(cand);
+    let entries: Vec<_> = kept.iter().map(|r| k.entry(r)).collect();
+    let refs: Vec<_> = entries.iter().collect();
+    k.subsumed_by_any(exec, &cand_entry, &refs)
 }
 
 /// Parallel disjunct-vs-set sweep: one flag per query in `kept`, `true`
@@ -65,7 +58,11 @@ pub fn covered_by(
     kept: &[&ConjunctiveQuery],
     cand: &ConjunctiveQuery,
 ) -> Vec<bool> {
-    exec.map(kept, |r| contains(r, cand))
+    let k = global_kernel();
+    let cand_entry = k.entry(cand);
+    let entries: Vec<_> = kept.iter().map(|r| k.entry(r)).collect();
+    let refs: Vec<_> = entries.iter().collect();
+    k.covered_by(exec, &refs, &cand_entry)
 }
 
 #[cfg(test)]

@@ -8,14 +8,16 @@
 //! [`qr_syntax::Instance`].
 
 pub mod containment;
+pub mod kernel;
 pub mod matcher;
 pub mod qcore;
 pub mod structure;
 
 pub use containment::{contains, covered_by, equivalent, subsumed_by_any};
+pub use kernel::{global_kernel, HomKernel, HomStats, QueryEntry};
 pub use matcher::{
-    all_answers, all_homs, exists_match, find_hom, holds, holds_ucq, holds_ucq_with, Assignment,
-    JoinPlan, MatchCounters,
+    all_answers, all_homs, exists_match, exists_match_excluding, find_hom, holds, holds_ucq,
+    holds_ucq_with, Assignment, JoinPlan, MatchCounters,
 };
 pub use qcore::query_core;
 pub use structure::{instance_hom, structure_core};

@@ -75,8 +75,10 @@ impl JoinPlan {
                         })
                         .count();
                     // Higher bound-position count first; tie-break on fewer
-                    // free positions, then original atom order.
-                    (ri, (usize::MAX - bound_positions, atoms[i].args.len(), i))
+                    // free (actually-unbound) positions, then original atom
+                    // order.
+                    let free_positions = atoms[i].args.len() - bound_positions;
+                    (ri, (usize::MAX - bound_positions, free_positions, i))
                 })
                 .min_by_key(|(_, key)| *key)
                 .expect("remaining is non-empty");
@@ -143,6 +145,7 @@ impl JoinPlan {
             &self.order,
             0,
             inst,
+            NO_BANNED_FACT,
             &mut asg,
             &mut trail,
             counters,
@@ -182,10 +185,58 @@ pub fn for_each_match(
         &order,
         0,
         inst,
+        NO_BANNED_FACT,
         &mut asg,
         &mut trail,
         &mut counters,
         &mut |asg, _| cb(asg),
+    )
+}
+
+/// Sentinel for [`search`]'s `banned` parameter: no fact is excluded.
+const NO_BANNED_FACT: usize = usize::MAX;
+
+/// `true` iff some homomorphism from `atoms` into `inst` extends `fixed`
+/// **without ever matching the fact at index `banned_fact`**. Scan work is
+/// accumulated into `counters`.
+///
+/// This is the core-finding fold's primitive: with `ψ` frozen into `inst`
+/// so that atom `i` became fact `i`, a match avoiding fact `k` is exactly a
+/// retraction of `ψ` onto `ψ ∖ {atom k}` (the identity embeds the smaller
+/// query back, so no reverse check is needed). `atoms` must not mention the
+/// builtin `dom` predicate — `dom` sweeps the instance's full domain, which
+/// a banned fact cannot be removed from.
+pub fn exists_match_excluding(
+    atoms: &[QAtom],
+    nvars: usize,
+    inst: &Instance,
+    fixed: &[(Var, TermId)],
+    banned_fact: usize,
+    counters: &mut MatchCounters,
+) -> bool {
+    debug_assert!(
+        atoms.iter().all(|a| !a.pred.is_dom()),
+        "exists_match_excluding does not support dom atoms"
+    );
+    let mut asg: Assignment = vec![None; nvars];
+    for (v, t) in fixed {
+        match asg[v.index()] {
+            Some(prev) if prev != *t => return false, // inconsistent fixing
+            _ => asg[v.index()] = Some(*t),
+        }
+    }
+    let order = plan(atoms, &asg, inst);
+    let mut trail: Vec<(usize, usize)> = Vec::with_capacity(atoms.len());
+    !search(
+        atoms,
+        &order,
+        0,
+        inst,
+        banned_fact,
+        &mut asg,
+        &mut trail,
+        counters,
+        &mut |_, _| false,
     )
 }
 
@@ -235,6 +286,7 @@ fn search(
     order: &[usize],
     depth: usize,
     inst: &Instance,
+    banned: usize,
     asg: &mut Assignment,
     trail: &mut Vec<(usize, usize)>,
     counters: &mut MatchCounters,
@@ -251,21 +303,51 @@ fn search(
                 // A ground dom atom: holds iff the constant is in the domain.
                 let t = TermId::constant(c);
                 if inst.contains_term(t) {
-                    return search(atoms, order, depth + 1, inst, asg, trail, counters, cb);
+                    return search(
+                        atoms,
+                        order,
+                        depth + 1,
+                        inst,
+                        banned,
+                        asg,
+                        trail,
+                        counters,
+                        cb,
+                    );
                 }
                 return true;
             }
         };
         if let Some(t) = asg[v.index()] {
             if inst.contains_term(t) {
-                return search(atoms, order, depth + 1, inst, asg, trail, counters, cb);
+                return search(
+                    atoms,
+                    order,
+                    depth + 1,
+                    inst,
+                    banned,
+                    asg,
+                    trail,
+                    counters,
+                    cb,
+                );
             }
             return true;
         }
         for &t in inst.domain() {
             counters.candidates += 1;
             asg[v.index()] = Some(t);
-            if !search(atoms, order, depth + 1, inst, asg, trail, counters, cb) {
+            if !search(
+                atoms,
+                order,
+                depth + 1,
+                inst,
+                banned,
+                asg,
+                trail,
+                counters,
+                cb,
+            ) {
                 asg[v.index()] = None;
                 return false;
             }
@@ -292,6 +374,9 @@ fn search(
 
     for &fidx in candidates {
         let fidx = fidx as usize;
+        if fidx == banned {
+            continue;
+        }
         counters.candidates += 1;
         let fact = inst.fact(fidx);
         let mut newly_bound: Vec<Var> = Vec::new();
@@ -320,7 +405,17 @@ fn search(
         }
         if ok {
             trail.push((atom_idx, fidx));
-            let keep_going = search(atoms, order, depth + 1, inst, asg, trail, counters, cb);
+            let keep_going = search(
+                atoms,
+                order,
+                depth + 1,
+                inst,
+                banned,
+                asg,
+                trail,
+                counters,
+                cb,
+            );
             trail.pop();
             if !keep_going {
                 for v in newly_bound {
@@ -387,14 +482,19 @@ fn nvars_of(q: &ConjunctiveQuery) -> usize {
 pub fn all_answers(q: &ConjunctiveQuery, inst: &Instance, limit: usize) -> Vec<Vec<TermId>> {
     let mut seen: HashSet<Vec<TermId>> = HashSet::new();
     let mut out = Vec::new();
+    // The scratch tuple is reused across matches: a duplicate hit costs a
+    // hash lookup and nothing else — no per-match allocation.
+    let mut scratch: Vec<TermId> = Vec::with_capacity(q.answer_vars().len());
     for_each_match(q.atoms(), nvars_of(q), inst, &[], |asg| {
-        let tuple: Vec<TermId> = q
-            .answer_vars()
-            .iter()
-            .map(|v| asg[v.index()].expect("answer variable bound by a complete match"))
-            .collect();
-        if seen.insert(tuple.clone()) {
-            out.push(tuple);
+        scratch.clear();
+        scratch.extend(
+            q.answer_vars()
+                .iter()
+                .map(|v| asg[v.index()].expect("answer variable bound by a complete match")),
+        );
+        if !seen.contains(&scratch) {
+            seen.insert(scratch.clone());
+            out.push(scratch.clone());
         }
         limit == 0 || out.len() < limit
     });
@@ -421,19 +521,13 @@ pub fn holds_ucq_with(
 }
 
 /// `true` iff `inst ⊨ q(ans)`.
+///
+/// Delegates to the process-wide [`crate::kernel::HomKernel`]: the query's
+/// compiled component plans are cached across calls, and cheap prefilters
+/// (predicate presence, anchored-position postings) refute hopeless checks
+/// before any backtracking.
 pub fn holds(q: &ConjunctiveQuery, inst: &Instance, ans: &[TermId]) -> bool {
-    assert_eq!(
-        ans.len(),
-        q.answer_vars().len(),
-        "answer tuple arity mismatch"
-    );
-    let fixed: Vec<(Var, TermId)> = q
-        .answer_vars()
-        .iter()
-        .copied()
-        .zip(ans.iter().copied())
-        .collect();
-    exists_match(q.atoms(), nvars_of(q), inst, &fixed)
+    crate::kernel::global_kernel().holds(q, inst, ans)
 }
 
 #[cfg(test)]
@@ -587,5 +681,46 @@ mod tests {
             .unwrap();
         let plan = JoinPlan::compile(q.atoms().to_vec(), q.var_names().len(), &[x]);
         assert_eq!(plan.order[0], 1, "the X-anchored atom runs first");
+    }
+
+    #[test]
+    fn compile_tie_break_prefers_fewer_free_positions() {
+        // Both atoms bind exactly one position (X); the tie must break on
+        // the number of actually-unbound positions, so the binary atom
+        // (one free position) runs before the ternary one (two free
+        // positions), regardless of declaration order.
+        let q = parse_query("? :- t(X,Y,Z), b(X,W).").unwrap();
+        let x = q
+            .var_names()
+            .iter()
+            .position(|n| n.as_str() == "X")
+            .map(|i| Var(i as u32))
+            .unwrap();
+        let plan = JoinPlan::compile(q.atoms().to_vec(), q.var_names().len(), &[x]);
+        assert_eq!(plan.order, vec![1, 0], "fewer free positions first");
+        // Declared the other way around, the order is the same pair of
+        // atoms (declaration order is only the final tie-break).
+        let q = parse_query("? :- b(X,W), t(X,Y,Z).").unwrap();
+        let x = q
+            .var_names()
+            .iter()
+            .position(|n| n.as_str() == "X")
+            .map(|i| Var(i as u32))
+            .unwrap();
+        let plan = JoinPlan::compile(q.atoms().to_vec(), q.var_names().len(), &[x]);
+        assert_eq!(plan.order, vec![0, 1], "fewer free positions first");
+    }
+
+    #[test]
+    fn all_answers_deduplicates_and_respects_limit() {
+        // The 1-step reachability pairs out of `a` appear through two
+        // distinct matches each (via b and via c); duplicates must be
+        // dropped and the limit counts distinct tuples.
+        let inst = parse_instance("e(a,b). e(a,c). e(b,d). e(c,d).").unwrap();
+        let q = parse_query("?(X,Z) :- e(X,Y), e(Y,Z).").unwrap();
+        let ans = all_answers(&q, &inst, 0);
+        assert_eq!(ans, vec![vec![c("a"), c("d")]]);
+        let ans = all_answers(&q, &inst, 1);
+        assert_eq!(ans.len(), 1);
     }
 }

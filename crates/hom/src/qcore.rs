@@ -7,54 +7,23 @@
 
 use qr_syntax::query::ConjunctiveQuery;
 
-use crate::containment::equivalent;
+use crate::kernel::global_kernel;
 
 /// Returns an equivalent subquery from which no atom can be dropped without
 /// changing the semantics (a core of `q`).
 ///
-/// Greedy: repeatedly tries to drop one atom and checks equivalence of the
-/// remainder; quadratic in the number of atoms times the cost of a
-/// containment check.
+/// Delegates to the process-wide [`crate::kernel::HomKernel`], which finds
+/// the core by searching directly for retraction endomorphisms on the
+/// frozen instance — one search per drop attempt instead of a full
+/// `equivalent` round-trip — and caches results per canonical form.
 pub fn query_core(q: &ConjunctiveQuery) -> ConjunctiveQuery {
-    let mut current = q.canonical();
-    'outer: loop {
-        if current.size() <= 1 {
-            return current;
-        }
-        for skip in 0..current.size() {
-            let atoms: Vec<_> = current
-                .atoms()
-                .iter()
-                .enumerate()
-                .filter(|&(i, _a)| i != skip)
-                .map(|(_i, a)| a.clone())
-                .collect();
-            // Dropping an atom may orphan an answer variable; such removals
-            // cannot preserve equivalence, so skip them.
-            if !current
-                .answer_vars()
-                .iter()
-                .all(|v| atoms.iter().any(|a| a.mentions(*v)))
-            {
-                continue;
-            }
-            let candidate = ConjunctiveQuery::new(
-                current.answer_vars().to_vec(),
-                atoms,
-                current.var_names().to_vec(),
-            );
-            if equivalent(&current, &candidate) {
-                current = candidate.canonical();
-                continue 'outer;
-            }
-        }
-        return current;
-    }
+    global_kernel().query_core(q)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::containment::equivalent;
     use qr_syntax::parser::parse_query;
 
     #[test]

@@ -23,6 +23,13 @@ pub fn instance_hom(
     if src.is_empty() {
         return Some(fixed.clone());
     }
+    // Necessary condition before building the query and searching: every
+    // predicate used by `src` must occur in `dst`.
+    for f in src.iter() {
+        if !f.pred.is_dom() && dst.with_pred(f.pred).is_empty() {
+            return None;
+        }
+    }
     let q = ConjunctiveQuery::of_instance(src, src.domain());
     // `of_instance` numbers the free variables in the order of `src.domain()`.
     let fixed_vars: Vec<(Var, TermId)> = src

@@ -26,14 +26,14 @@
 //! counts even though the sets are isomorphic.
 
 use std::collections::{HashSet, VecDeque};
-use std::hash::{Hash, Hasher};
 use std::ops::ControlFlow;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use qr_exec::Executor;
-use qr_hom::containment::{contains, covered_by, subsumed_by_any};
-use qr_hom::qcore::query_core;
-use qr_syntax::{ConjunctiveQuery, Pred, Symbol, Theory, Ucq, Var};
+use qr_hom::containment::contains;
+use qr_hom::kernel::{HomKernel, HomStats, QueryEntry};
+use qr_syntax::{ConjunctiveQuery, Symbol, Theory, Ucq, Var};
 
 use crate::stats::{RewriteStats, WindowStats};
 use crate::unify::piece_rewritings;
@@ -126,6 +126,13 @@ pub struct Rewriting {
     pub depth: usize,
     /// Per-window saturation counters and wall splits.
     pub stats: RewriteStats,
+    /// Homomorphism-kernel counters for this run (the run uses a private
+    /// [`HomKernel`], so the numbers describe exactly this saturation).
+    /// The cache/prefilter counters (`freezes` through `components`) are
+    /// deterministic across thread counts and modes; the search and core
+    /// counters depend on scheduling (early-exiting parallel sweeps) and
+    /// are only meaningful for sequential runs.
+    pub hom: HomStats,
 }
 
 impl Rewriting {
@@ -156,52 +163,14 @@ impl Rewriting {
     }
 }
 
-/// The predicate *signature* of a query: the sorted, deduplicated set of
-/// body predicates plus a 64-bit occupancy mask over their hashes.
-///
-/// A homomorphism from `src` into `tgt` maps every `src` atom onto a
-/// `tgt` atom over the same predicate, so `preds(src) ⊆ preds(tgt)` is a
-/// necessary condition for [`contains`]`(tgt, src)`. Note the *set*
-/// comparison: a homomorphism may collapse several atoms onto one, so the
-/// source can use a predicate more often than the target and multiset
-/// inclusion over occurrence counts would wrongly prune genuine
-/// homomorphisms.
-#[derive(Clone, Debug)]
-struct PredSig {
-    mask: u64,
-    preds: Vec<Pred>,
-}
-
-impl PredSig {
-    fn of(q: &ConjunctiveQuery) -> PredSig {
-        let mut preds: Vec<Pred> = q.atoms().iter().map(|a| a.pred).collect();
-        preds.sort();
-        preds.dedup();
-        let mask = preds.iter().fold(0u64, |m, p| m | pred_bit(p));
-        PredSig { mask, preds }
-    }
-
-    fn subset_of(&self, other: &PredSig) -> bool {
-        if self.mask & !other.mask != 0 {
-            return false;
-        }
-        // Merge-style subset test over the sorted signatures.
-        let mut it = other.preds.iter();
-        self.preds.iter().all(|p| it.by_ref().any(|q| q == p))
-    }
-}
-
-fn pred_bit(p: &Pred) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    p.hash(&mut h);
-    1 << (h.finish() % 64)
-}
-
-/// The accumulated rewriting set, indexed by [`PredSig`] so subsumption
-/// and eviction sweeps only run containment checks against entries whose
-/// signature makes a homomorphism possible. Entries are tombstoned rather
-/// than removed so the surviving queries keep their insertion order — the
-/// order the previous linear-scan implementation produced.
+/// The accumulated rewriting set. Every kept query carries its cached
+/// [`QueryEntry`] (frozen instance, compiled component plans, prefilter
+/// profile), so the subsumption and eviction sweeps pay no per-check
+/// setup — the kernel's predicate-set and anchored-position prefilters
+/// replace the engine-local signature index this set used to maintain.
+/// Entries are tombstoned rather than removed so the surviving queries
+/// keep their insertion order — the order the historical linear-scan
+/// implementation produced.
 struct KeptSet {
     entries: Vec<KeptEntry>,
     alive: usize,
@@ -209,7 +178,7 @@ struct KeptSet {
 
 struct KeptEntry {
     query: ConjunctiveQuery,
-    sig: PredSig,
+    entry: Arc<QueryEntry>,
     alive: bool,
 }
 
@@ -225,11 +194,10 @@ impl KeptSet {
         self.alive
     }
 
-    fn push(&mut self, query: ConjunctiveQuery) {
-        let sig = PredSig::of(&query);
+    fn push(&mut self, query: ConjunctiveQuery, entry: Arc<QueryEntry>) {
         self.entries.push(KeptEntry {
             query,
-            sig,
+            entry,
             alive: true,
         });
         self.alive += 1;
@@ -239,25 +207,27 @@ impl KeptSet {
         self.entries.iter().any(|e| e.alive && e.query == *q)
     }
 
-    /// Alive entries whose signature is a subset of `sig` — the only
-    /// entries that can subsume a candidate with that signature.
-    fn possible_subsumers(&self, sig: &PredSig) -> Vec<&ConjunctiveQuery> {
+    /// The alive entries' kernel handles, in insertion order.
+    fn alive_entries(&self) -> Vec<&Arc<QueryEntry>> {
         self.entries
             .iter()
-            .filter(|e| e.alive && e.sig.subset_of(sig))
-            .map(|e| &e.query)
+            .filter(|e| e.alive)
+            .map(|e| &e.entry)
             .collect()
     }
 
-    /// Alive entries whose signature is a superset of `sig` — the only
-    /// entries a candidate with that signature can evict.
-    fn possible_victims(&self, sig: &PredSig) -> Vec<(usize, &ConjunctiveQuery)> {
-        self.entries
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.alive && sig.subset_of(&e.sig))
-            .map(|(i, e)| (i, &e.query))
-            .collect()
+    /// The alive entries' kernel handles with their slot indices, in
+    /// insertion order (for eviction sweeps that must kill by index).
+    fn alive_indexed(&self) -> (Vec<usize>, Vec<&Arc<QueryEntry>>) {
+        let mut idxs = Vec::with_capacity(self.alive);
+        let mut refs = Vec::with_capacity(self.alive);
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.alive {
+                idxs.push(i);
+                refs.push(&e.entry);
+            }
+        }
+        (idxs, refs)
     }
 
     fn kill(&mut self, idx: usize) {
@@ -421,6 +391,7 @@ pub fn rewrite_with_trace_on(
 struct Merger<'a> {
     budget: RewriteBudget,
     exec: &'a Executor,
+    kernel: &'a HomKernel,
     trace: &'a mut dyn FnMut(usize, &ConjunctiveQuery),
     set: KeptSet,
     generated: usize,
@@ -442,11 +413,13 @@ impl<'a> Merger<'a> {
     fn new(
         budget: RewriteBudget,
         exec: &'a Executor,
+        kernel: &'a HomKernel,
         trace: &'a mut dyn FnMut(usize, &ConjunctiveQuery),
     ) -> Merger<'a> {
         Merger {
             budget,
             exec,
+            kernel,
             trace,
             set: KeptSet::new(),
             generated: 0,
@@ -537,21 +510,29 @@ impl<'a> Merger<'a> {
                 }
                 Generated::Cand(c) => c,
             };
-            let sig = PredSig::of(cand);
+            // The candidate's kernel entry: frozen once here on the merge
+            // thread (or fetched from the freeze cache — structurally
+            // repeated candidates are common), then shared by the
+            // subsumption sweep, the eviction sweep, and the kept set.
+            let cand_entry = self.kernel.entry(cand);
             // Subsumed: some kept query already covers it (whenever the
-            // candidate holds, the kept one does).
-            if subsumed_by_any(self.exec, cand, &self.set.possible_subsumers(&sig)) {
+            // candidate holds, the kept one does). The kernel prefilters
+            // the kept entries before the parallel sweep.
+            if self
+                .kernel
+                .subsumed_by_any(self.exec, &cand_entry, &self.set.alive_entries())
+            {
                 self.cur.subsumption_hits += 1;
                 continue;
             }
             // Evict kept queries covered by the candidate.
             let dead: Vec<usize> = {
-                let victims = self.set.possible_victims(&sig);
-                let refs: Vec<&ConjunctiveQuery> = victims.iter().map(|(_, r)| *r).collect();
-                covered_by(self.exec, &refs, cand)
+                let (idxs, refs) = self.set.alive_indexed();
+                self.kernel
+                    .covered_by(self.exec, &refs, &cand_entry)
                     .into_iter()
-                    .zip(&victims)
-                    .filter_map(|(covered, (idx, _))| covered.then_some(*idx))
+                    .zip(&idxs)
+                    .filter_map(|(covered, idx)| covered.then_some(*idx))
                     .collect()
             };
             let evicted = dead.len();
@@ -574,14 +555,14 @@ impl<'a> Merger<'a> {
                 if evicted > 0 {
                     self.depth_reached = self.depth_reached.max(depth + 1);
                     (self.trace)(depth + 1, cand);
-                    self.set.push(cand.clone());
+                    self.set.push(cand.clone(), cand_entry);
                     self.cur.accepted += 1;
                 }
                 return ControlFlow::Break(());
             }
             self.depth_reached = self.depth_reached.max(depth + 1);
             (self.trace)(depth + 1, cand);
-            self.set.push(cand.clone());
+            self.set.push(cand.clone(), cand_entry);
             self.cur.accepted += 1;
             out.push((cand.clone(), depth + 1));
         }
@@ -603,13 +584,20 @@ fn saturate(
         }
     }
 
-    let seed = canonical_named(&query_core(query));
+    // One private kernel per run: the caches warm up on this saturation's
+    // own queries and the counters describe exactly this run.
+    let kernel = HomKernel::new();
+    let seed = canonical_named(&kernel.query_core(query));
     trace(0, &seed);
-    let mut merger = Merger::new(budget, exec, trace);
-    merger.set.push(seed.clone());
+    let seed_entry = kernel.entry(&seed);
+    let mut merger = Merger::new(budget, exec, &kernel, trace);
+    merger.set.push(seed.clone(), seed_entry);
 
     // Speculative generation: piece rewritings and cores of one queued
-    // query, a pure per-item function scheduled on the worker pool.
+    // query, a pure per-item function scheduled on the worker pool. Core
+    // minimization shares the kernel's core cache across workers (the
+    // fold touches no entry-cache counters, so the deterministic stats
+    // stay schedule-independent).
     let generate = |q: &ConjunctiveQuery| -> (Vec<Generated>, Duration) {
         let t0 = Instant::now();
         let mut out = Vec::new();
@@ -618,7 +606,9 @@ fn saturate(
                 if pu.result.size() > budget.max_atoms {
                     out.push(Generated::Oversized);
                 } else {
-                    out.push(Generated::Cand(canonical_named(&query_core(&pu.result))));
+                    out.push(Generated::Cand(canonical_named(
+                        &kernel.query_core(&pu.result),
+                    )));
                 }
             }
         }
@@ -672,13 +662,22 @@ fn saturate(
     } else {
         RewriteOutcome::Complete
     };
+    let Merger {
+        set,
+        generated,
+        oversized,
+        depth_reached,
+        stats,
+        ..
+    } = merger;
     Ok(Rewriting {
-        ucq: Ucq::new(merger.set.into_queries()),
+        ucq: Ucq::new(set.into_queries()),
         outcome,
-        generated: merger.generated,
-        oversized_discarded: merger.oversized,
-        depth: merger.depth_reached,
-        stats: merger.stats,
+        generated,
+        oversized_discarded: oversized,
+        depth: depth_reached,
+        stats,
+        hom: kernel.stats(),
     })
 }
 
@@ -1104,20 +1103,67 @@ mod tests {
     fn signature_is_a_set_not_a_multiset() {
         // A homomorphism may collapse atoms: the 2-path maps into the
         // self-loop, even though the source uses `e` twice and the target
-        // once. The signature prefilter must not prune this.
+        // once. The kernel prefilter (which replaced the engine-local
+        // signature index) must not prune this.
+        let k = HomKernel::new();
         let path = parse_query("? :- e(X,Y), e(Y,Z).").unwrap();
         let selfloop = parse_query("? :- e(A,A).").unwrap();
         assert!(contains(&selfloop, &path));
-        assert!(PredSig::of(&path).subset_of(&PredSig::of(&selfloop)));
-        assert!(PredSig::of(&selfloop).subset_of(&PredSig::of(&path)));
+        assert!(!k.prefilter_rejects_pair(&selfloop, &path));
+        assert!(!k.prefilter_rejects_pair(&path, &selfloop));
         // Disjoint predicates are pruned in both directions.
         let other = parse_query("? :- f(X,Y).").unwrap();
-        assert!(!PredSig::of(&other).subset_of(&PredSig::of(&path)));
-        assert!(!PredSig::of(&path).subset_of(&PredSig::of(&other)));
+        assert!(k.prefilter_rejects_pair(&path, &other));
+        assert!(k.prefilter_rejects_pair(&other, &path));
         // Strict subset works one way only.
         let mixed = parse_query("? :- e(X,Y), f(Y,Z).").unwrap();
-        assert!(PredSig::of(&path).subset_of(&PredSig::of(&mixed)));
-        assert!(!PredSig::of(&mixed).subset_of(&PredSig::of(&path)));
+        assert!(!k.prefilter_rejects_pair(&mixed, &path));
+        assert!(k.prefilter_rejects_pair(&path, &mixed));
+    }
+
+    /// The cache/prefilter tier of [`HomStats`] is incremented only at
+    /// merge-thread points (entry acquisition, sequential prefilter
+    /// passes), so it must be identical across thread counts and both
+    /// saturation modes — these counters are gated in CI.
+    #[test]
+    fn hom_cache_counters_identical_across_modes_and_threads() {
+        fn cache_tier(h: &qr_hom::HomStats) -> (u64, u64, u64, u64, u64, u64) {
+            (
+                h.freezes,
+                h.freeze_cache_hits,
+                h.plan_compiles,
+                h.plan_cache_hits,
+                h.prefilter_rejects,
+                h.components,
+            )
+        }
+        for (label, t, q, budget) in fixtures() {
+            let budget = if label == "tc-budget" {
+                RewriteBudget {
+                    max_queries: 24,
+                    max_generated: 300,
+                    max_atoms: 8,
+                }
+            } else {
+                budget
+            };
+            let theory = parse_theory(t).unwrap();
+            let query = parse_query(q).unwrap();
+            let seq = rewrite(&theory, &query, budget).unwrap();
+            assert!(seq.hom.freezes > 0, "{label}: the kernel froze something");
+            let expect = cache_tier(&seq.hom);
+            for threads in [1, 2, 4] {
+                let exec = Executor::with_threads(threads);
+                for mode in [SaturationMode::Pipelined, SaturationMode::Barrier] {
+                    let r = rewrite_with_mode(&theory, &query, budget, &exec, mode).unwrap();
+                    assert_eq!(
+                        cache_tier(&r.hom),
+                        expect,
+                        "{label} @{threads} {mode:?}: hom cache counters"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -196,14 +196,40 @@ impl ConjunctiveQuery {
     /// hold (full CQ isomorphism is graph isomorphism), so callers that need
     /// semantic deduplication must additionally use containment checks.
     pub fn canonical(&self) -> ConjunctiveQuery {
-        let mut atoms = self.atoms.clone();
+        self.canonical_with_map().0
+    }
+
+    /// [`canonical`](Self::canonical), additionally returning, for every
+    /// atom of `self` (by position), the index of the canonical atom it
+    /// became. Atoms merged by deduplication map to the same index. The
+    /// core-finding fold uses this to carry per-atom annotations across
+    /// re-canonicalization.
+    pub fn canonical_with_map(&self) -> (ConjunctiveQuery, Vec<usize>) {
+        // Each atom drags its set of origin positions through the sort /
+        // dedup / renumber rounds.
+        let mut tagged: Vec<(QAtom, Vec<usize>)> = self
+            .atoms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.clone(), vec![i]))
+            .collect();
+        let sort_dedup = |tagged: &mut Vec<(QAtom, Vec<usize>)>| {
+            tagged.sort_by(|x, y| x.0.cmp(&y.0));
+            let mut merged: Vec<(QAtom, Vec<usize>)> = Vec::with_capacity(tagged.len());
+            for (a, origins) in tagged.drain(..) {
+                match merged.last_mut() {
+                    Some((prev, prev_origins)) if *prev == a => prev_origins.extend(origins),
+                    _ => merged.push((a, origins)),
+                }
+            }
+            *tagged = merged;
+        };
         // Two renumber/sort rounds make the representative independent of
         // most incidental atom orderings.
         let mut answer = self.answer.clone();
         let mut names = self.var_names.clone();
         for _ in 0..2 {
-            atoms.sort();
-            atoms.dedup();
+            sort_dedup(&mut tagged);
             let mut remap: HashMap<Var, Var> = HashMap::new();
             let mut new_names = Vec::new();
             let touch = |v: Var, remap: &mut HashMap<Var, Var>, new_names: &mut Vec<Symbol>| {
@@ -216,24 +242,36 @@ impl ConjunctiveQuery {
             for v in &answer {
                 touch(*v, &mut remap, &mut new_names);
             }
-            for a in &atoms {
+            for (a, _) in &tagged {
                 for v in a.vars() {
                     touch(v, &mut remap, &mut new_names);
                 }
             }
             let subst: HashMap<Var, QTerm> =
                 remap.iter().map(|(k, v)| (*k, QTerm::Var(*v))).collect();
-            atoms = atoms.iter().map(|a| a.apply(&subst)).collect();
+            for (a, _) in tagged.iter_mut() {
+                *a = a.apply(&subst);
+            }
             answer = answer.iter().map(|v| remap[v]).collect();
             names = new_names;
         }
-        atoms.sort();
-        atoms.dedup();
-        ConjunctiveQuery {
-            answer,
-            atoms,
-            var_names: names,
+        sort_dedup(&mut tagged);
+        let mut map = vec![0usize; self.atoms.len()];
+        let mut atoms = Vec::with_capacity(tagged.len());
+        for (new_idx, (a, origins)) in tagged.into_iter().enumerate() {
+            for o in origins {
+                map[o] = new_idx;
+            }
+            atoms.push(a);
         }
+        (
+            ConjunctiveQuery {
+                answer,
+                atoms,
+                var_names: names,
+            },
+            map,
+        )
     }
 
     /// Applies a substitution to every atom, keeping the same answer tuple
@@ -472,6 +510,42 @@ mod tests {
         );
         let q2 = ConjunctiveQuery::new(vec![], vec![atom("e", &[y, z]), atom("e", &[x, y])], names);
         assert_eq!(q1.canonical(), q2.canonical());
+    }
+
+    #[test]
+    fn canonical_with_map_tracks_atom_origins() {
+        let mut pool = VarPool::new();
+        let x = pool.var("X");
+        let y = pool.var("Y");
+        let z = pool.var("Z");
+        let names = pool.into_names();
+        // Includes a duplicate atom (indices 0 and 2 merge after
+        // renaming): the map must send both to the same canonical index.
+        let q = ConjunctiveQuery::new(
+            vec![x],
+            vec![
+                atom("e", &[y, z]),
+                atom("e", &[x, y]),
+                atom("e", &[y, z]),
+                atom("f", &[z, z]),
+            ],
+            names,
+        );
+        let (canon, map) = q.canonical_with_map();
+        assert_eq!(canon, q.canonical());
+        assert_eq!(map.len(), q.size());
+        assert_eq!(map[0], map[2], "duplicate atoms share a canonical slot");
+        // Each original atom equals its canonical image under the
+        // canonical substitution: check predicates and shared-variable
+        // structure survive (predicates are renaming-invariant).
+        for (orig, &ni) in q.atoms().iter().zip(&map) {
+            assert_eq!(orig.pred, canon.atoms()[ni].pred);
+            assert_eq!(orig.args.len(), canon.atoms()[ni].args.len());
+        }
+        // Every canonical atom is hit by at least one original.
+        for ni in 0..canon.size() {
+            assert!(map.contains(&ni));
+        }
     }
 
     #[test]
