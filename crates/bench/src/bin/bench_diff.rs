@@ -3,7 +3,7 @@
 //! Usage: `bench_diff <baseline.json> <candidate.json>`
 //!
 //! Works on both `BENCH_chase.json` (schema `qr-bench/chase-v3`) and
-//! `BENCH_rewrite.json` (schema `qr-bench/rewrite-v2`) — each dump carries
+//! `BENCH_rewrite.json` (schema `qr-bench/rewrite-v3`) — each dump carries
 //! whichever run arrays it has. The chase engine's trigger/candidate/sweep
 //! counters are a pure function of (theory, instance, budget), and the
 //! rewrite engine's per-window counters a pure function of (theory, query,
@@ -312,14 +312,23 @@ fn diff_counters(scope: &str, base: &Value, cand: &Value, report: &mut String) {
 }
 
 /// Per-window (and totals-level) rewrite counters, all deterministic.
-const REWRITE_COUNTERS: [&str; 7] = [
+/// Schema `rewrite-v3` adds the generation-side dedup and prefilter
+/// counters (`dedup_hits`, `unifier_*`, `trie_*`); like the hom search
+/// tier, keys absent from both sides compare equal, so a v2 baseline
+/// still diffs cleanly on the shared counters.
+const REWRITE_COUNTERS: [&str; 12] = [
     "merged",
     "dead_skipped",
     "generated",
+    "dedup_hits",
     "subsumption_hits",
     "evictions",
     "oversized",
     "accepted",
+    "unifier_probes",
+    "unifier_skipped",
+    "trie_probes",
+    "trie_skipped",
 ];
 
 /// Window-identity and capacity counters gated on top of the shared ones.
@@ -661,13 +670,13 @@ mod tests {
 
     fn rewrite_run(workload: &str, generated: u64, accepted: u64) -> String {
         format!(
-            "{{\"workload\": \"{workload}\", \"engine\": \"saturation\", \"threads\": 4, \"wall_ms\": 5.5, \"barrier_wall_ms\": 8.8, \"outcome\": \"Complete\", \"disjuncts\": 3, \"rs\": 4, \"generated\": {generated}, \"oversized_discarded\": 0, \"depth\": 2, \"totals\": {{\"merged\": 4, \"dead_skipped\": 0, \"generated\": {generated}, \"subsumption_hits\": 2, \"evictions\": 1, \"oversized\": 0, \"accepted\": {accepted}, \"gen_ms\": 4.0, \"merge_ms\": 1.0, \"wait_ms\": 2.0, \"overlap_ms\": 2.0}}, \"windows\": [{{\"window\": 0, \"items\": 1, \"merged\": 1, \"dead_skipped\": 0, \"generated\": {generated}, \"subsumption_hits\": 2, \"evictions\": 1, \"oversized\": 0, \"accepted\": {accepted}, \"kept\": 3, \"gen_ms\": 4.0, \"merge_ms\": 1.0, \"wait_ms\": 2.0, \"overlap_ms\": 2.0}}], \"hom\": {{\"freezes\": 12, \"freeze_cache_hits\": 5, \"plan_compiles\": 6, \"plan_cache_hits\": 9, \"prefilter_rejects\": 3, \"components\": 14}}}}"
+            "{{\"workload\": \"{workload}\", \"engine\": \"saturation\", \"threads\": 4, \"wall_ms\": 5.5, \"barrier_wall_ms\": 8.8, \"outcome\": \"Complete\", \"disjuncts\": 3, \"rs\": 4, \"generated\": {generated}, \"oversized_discarded\": 0, \"depth\": 2, \"totals\": {{\"merged\": 4, \"dead_skipped\": 0, \"generated\": {generated}, \"dedup_hits\": 3, \"subsumption_hits\": 2, \"evictions\": 1, \"oversized\": 0, \"accepted\": {accepted}, \"unifier_probes\": 30, \"unifier_skipped\": 12, \"trie_probes\": 8, \"trie_skipped\": 5, \"gen_ms\": 4.0, \"merge_ms\": 1.0, \"wait_ms\": 2.0, \"overlap_ms\": 2.0}}, \"windows\": [{{\"window\": 0, \"items\": 1, \"merged\": 1, \"dead_skipped\": 0, \"generated\": {generated}, \"dedup_hits\": 3, \"subsumption_hits\": 2, \"evictions\": 1, \"oversized\": 0, \"accepted\": {accepted}, \"kept\": 3, \"unifier_probes\": 30, \"unifier_skipped\": 12, \"trie_probes\": 8, \"trie_skipped\": 5, \"gen_ms\": 4.0, \"merge_ms\": 1.0, \"wait_ms\": 2.0, \"overlap_ms\": 2.0}}], \"hom\": {{\"freezes\": 12, \"freeze_cache_hits\": 5, \"plan_compiles\": 6, \"plan_cache_hits\": 9, \"prefilter_rejects\": 3, \"components\": 14}}}}"
         )
     }
 
     fn rewrite_dump(runs: &[String]) -> Value {
         let src = format!(
-            "{{\"schema\": \"qr-bench/rewrite-v2\", \"rewrite_runs\": [{}]}}",
+            "{{\"schema\": \"qr-bench/rewrite-v3\", \"rewrite_runs\": [{}]}}",
             runs.join(",")
         );
         Parser::parse(&src).unwrap()
@@ -702,6 +711,36 @@ mod tests {
             report.contains("\"t_p\" window 0: generated Some(9) -> Some(11)"),
             "{report}"
         );
+    }
+
+    #[test]
+    fn v3_dedup_and_prefilter_counters_are_gated() {
+        let a = rewrite_dump(&[rewrite_run("t_p", 9, 3)]);
+        let b_src = rewrite_run("t_p", 9, 3)
+            .replace("\"dedup_hits\": 3", "\"dedup_hits\": 0")
+            .replace("\"unifier_skipped\": 12", "\"unifier_skipped\": 7")
+            .replace("\"trie_probes\": 8", "\"trie_probes\": 9");
+        let report = diff(&a, &rewrite_dump(&[b_src]));
+        assert!(
+            report.contains("\"t_p\" totals: dedup_hits Some(3) -> Some(0)"),
+            "{report}"
+        );
+        assert!(
+            report.contains("\"t_p\" window 0: unifier_skipped Some(12) -> Some(7)"),
+            "{report}"
+        );
+        assert!(
+            report.contains("\"t_p\" window 0: trie_probes Some(8) -> Some(9)"),
+            "{report}"
+        );
+        // A v2 baseline (no v3 counters on either side) still diffs clean.
+        let strip = |s: String| {
+            s.replace("\"dedup_hits\": 3, ", "")
+                .replace("\"unifier_probes\": 30, \"unifier_skipped\": 12, ", "")
+                .replace("\"trie_probes\": 8, \"trie_skipped\": 5, ", "")
+        };
+        let v2 = rewrite_dump(&[strip(rewrite_run("t_p", 9, 3))]);
+        assert!(diff(&v2, &v2).is_empty());
     }
 
     #[test]

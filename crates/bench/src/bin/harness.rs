@@ -11,7 +11,7 @@
 //! counters and wall splits (saturation fixtures + T_d marked-query runs
 //! under [`qr_rewrite::RewriteStats`], plus a deterministic `hom`
 //! microbench workload; every run also carries the homomorphism kernel's
-//! cache counters, schema `qr-bench/rewrite-v2`) to `BENCH_rewrite.json`,
+//! cache counters, schema `qr-bench/rewrite-v3`) to `BENCH_rewrite.json`,
 //! both in the current directory. `--threads N` sizes the worker pool the parallel
 //! engines run on: the count is plumbed into the [`Executor`] explicitly
 //! (the `QR_THREADS` env var is only read as a default, never written).

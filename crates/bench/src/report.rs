@@ -183,18 +183,21 @@ pub fn render_json(experiments: &[ExperimentTiming], runs: &[ChaseRun]) -> Strin
     out
 }
 
-/// Renders `BENCH_rewrite.json` (schema `qr-bench/rewrite-v2`): one entry
+/// Renders `BENCH_rewrite.json` (schema `qr-bench/rewrite-v3`): one entry
 /// per rewrite run. Saturation runs carry a `totals` object and a
 /// `windows` array of per-window counters and wall splits; marked runs
 /// carry a `process` object; runs that exercise the homomorphism kernel
-/// carry a `hom` object (v2) whose search/core counters appear only for
-/// fully sequential runs. Every emitted counter is deterministic across
-/// thread counts; only `*_ms` fields (and `threads`) vary between machines
-/// and schedules — `bench_diff` exempts exactly those.
+/// carry a `hom` object whose search/core counters appear only for
+/// fully sequential runs. v3 adds the generation-side dedup and prefilter
+/// counters (`dedup_hits`, `unifier_probes`, `unifier_skipped`,
+/// `trie_probes`, `trie_skipped`) to totals and windows. Every emitted
+/// counter is deterministic across thread counts; only `*_ms` fields (and
+/// `threads`) vary between machines and schedules — `bench_diff` exempts
+/// exactly those.
 pub fn render_rewrite_json(runs: &[RewriteRun]) -> String {
     let dur_ms = |d: std::time::Duration| ms(d.as_secs_f64() * 1e3);
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"qr-bench/rewrite-v2\",\n  \"rewrite_runs\": [\n");
+    out.push_str("{\n  \"schema\": \"qr-bench/rewrite-v3\",\n  \"rewrite_runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         let _ = write!(
             out,
@@ -220,14 +223,19 @@ pub fn render_rewrite_json(runs: &[RewriteRun]) -> String {
         if let Some(s) = &r.stats {
             let _ = write!(
                 out,
-                ",\n      \"totals\": {{\"merged\": {}, \"dead_skipped\": {}, \"generated\": {}, \"subsumption_hits\": {}, \"evictions\": {}, \"oversized\": {}, \"accepted\": {}, \"gen_ms\": {}, \"merge_ms\": {}, \"wait_ms\": {}, \"overlap_ms\": {}}},\n      \"windows\": [\n",
+                ",\n      \"totals\": {{\"merged\": {}, \"dead_skipped\": {}, \"generated\": {}, \"dedup_hits\": {}, \"subsumption_hits\": {}, \"evictions\": {}, \"oversized\": {}, \"accepted\": {}, \"unifier_probes\": {}, \"unifier_skipped\": {}, \"trie_probes\": {}, \"trie_skipped\": {}, \"gen_ms\": {}, \"merge_ms\": {}, \"wait_ms\": {}, \"overlap_ms\": {}}},\n      \"windows\": [\n",
                 s.merged(),
                 s.dead_skipped(),
                 s.generated(),
+                s.dedup_hits(),
                 s.subsumption_hits(),
                 s.evictions(),
                 s.oversized(),
                 s.accepted(),
+                s.unifier_probes(),
+                s.unifier_skipped(),
+                s.trie_probes(),
+                s.trie_skipped(),
                 dur_ms(s.gen_wall()),
                 dur_ms(s.merge_wall()),
                 dur_ms(s.wait_wall()),
@@ -236,21 +244,26 @@ pub fn render_rewrite_json(runs: &[RewriteRun]) -> String {
             for (j, w) in s.windows.iter().enumerate() {
                 let _ = writeln!(
                     out,
-                    "        {{\"window\": {}, \"items\": {}, \"merged\": {}, \"dead_skipped\": {}, \"generated\": {}, \"subsumption_hits\": {}, \"evictions\": {}, \"oversized\": {}, \"accepted\": {}, \"kept\": {}, \"gen_ms\": {}, \"merge_ms\": {}, \"wait_ms\": {}, \"overlap_ms\": {}}}{}",
+                    "        {{\"window\": {}, \"items\": {}, \"merged\": {}, \"dead_skipped\": {}, \"generated\": {}, \"dedup_hits\": {}, \"subsumption_hits\": {}, \"evictions\": {}, \"oversized\": {}, \"accepted\": {}, \"kept\": {}, \"unifier_probes\": {}, \"unifier_skipped\": {}, \"trie_probes\": {}, \"trie_skipped\": {}, \"gen_ms\": {}, \"merge_ms\": {}, \"wait_ms\": {}, \"overlap_ms\": {}}}{}",
                     w.window,
                     w.items,
                     w.merged,
                     w.dead_skipped,
                     w.generated,
+                    w.dedup_hits,
                     w.subsumption_hits,
                     w.evictions,
                     w.oversized,
                     w.accepted,
                     w.kept,
+                    w.unifier_probes,
+                    w.unifier_skipped,
+                    w.trie_probes,
+                    w.trie_skipped,
                     dur_ms(w.gen_wall),
                     dur_ms(w.merge_wall),
                     dur_ms(w.wait_wall),
-                    dur_ms(w.overlap_wall()),
+                    dur_ms(w.overlap_wall),
                     if j + 1 < s.windows.len() { "," } else { "" }
                 );
             }
@@ -381,14 +394,20 @@ mod tests {
                         items: 1,
                         merged: 1,
                         generated: 41,
+                        dedup_hits: 11,
                         subsumption_hits: 30,
                         evictions: 1,
                         oversized: 3,
                         accepted: 7,
                         kept: 7,
+                        unifier_probes: 120,
+                        unifier_skipped: 80,
+                        trie_probes: 25,
+                        trie_skipped: 60,
                         gen_wall: Duration::from_micros(9000),
                         merge_wall: Duration::from_micros(2000),
                         wait_wall: Duration::from_micros(1500),
+                        overlap_wall: Duration::from_micros(7500),
                         ..WindowStats::default()
                     }],
                 }),
@@ -448,10 +467,15 @@ mod tests {
             },
         ];
         let json = render_rewrite_json(&runs);
-        assert!(json.contains("\"schema\": \"qr-bench/rewrite-v2\""));
+        assert!(json.contains("\"schema\": \"qr-bench/rewrite-v3\""));
         assert!(json.contains("\\\"wide\\\""));
         assert!(json.contains("\"barrier_wall_ms\": 20.250"));
         assert!(json.contains("\"subsumption_hits\": 30"));
+        assert!(json.contains("\"dedup_hits\": 11"));
+        assert!(json.contains("\"unifier_probes\": 120"));
+        assert!(json.contains("\"unifier_skipped\": 80"));
+        assert!(json.contains("\"trie_probes\": 25"));
+        assert!(json.contains("\"trie_skipped\": 60"));
         assert!(json.contains("\"gen_ms\": 9.000"));
         // 9ms of generation, 1.5ms of it waited out: 7.5ms overlapped.
         assert!(json.contains("\"overlap_ms\": 7.500"));

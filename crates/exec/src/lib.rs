@@ -236,9 +236,12 @@ impl Executor {
     /// pipeline's observable behaviour is identical to running
     /// `work`-then-`merge` inline per item, at every thread count. The only
     /// things that vary with the schedule are wall times, surfaced as
-    /// [`PipelineCtx::waited`] (how long the merge stalled for the current
+    /// [`PipelineCtx::waited`] (how long the merge was without the current
     /// item's `work` result; with one thread this is the full work time,
-    /// since work runs inline).
+    /// since work runs inline) and [`PipelineCtx::helped`] (how much of
+    /// that interval was spent computing the result inline — the merge
+    /// thread steals the task it is waiting on when no worker has claimed
+    /// it yet, rather than sleeping through a cross-thread round trip).
     ///
     /// With `n` threads, `n - 1` workers generate while the caller merges;
     /// one thread runs everything inline.
@@ -256,9 +259,11 @@ impl Executor {
             while let Some(item) = pending.pop_front() {
                 let t0 = Instant::now();
                 let result = work(&item);
+                let waited = t0.elapsed();
                 let mut ctx = PipelineCtx {
                     emits: Vec::new(),
-                    waited: t0.elapsed(),
+                    waited,
+                    helped: waited,
                 };
                 let flow = merge(item, result, &mut ctx);
                 pending.extend(ctx.emits);
@@ -306,33 +311,79 @@ impl Executor {
             let merged = catch_unwind(AssertUnwindSafe(|| {
                 'merge: while let Some((seq, item)) = pending.pop_front() {
                     let t0 = Instant::now();
-                    let result = {
-                        let mut results = shared.lock_results();
+                    let mut helped = Duration::ZERO;
+                    let result = 'result: {
                         loop {
                             if shared.failed.load(Ordering::Acquire) {
                                 break 'merge;
                             }
-                            if let Some(r) = results.remove(&seq) {
-                                break r;
+                            if let Some(r) = shared.lock_results().remove(&seq) {
+                                break 'result r;
                             }
-                            results = shared
-                                .result_cv
-                                .wait(results)
-                                .unwrap_or_else(|e| e.into_inner());
+                            // Head-of-line steal: if no worker has claimed
+                            // this item's task yet, run it inline instead of
+                            // sleeping on it. On chain-shaped frontiers
+                            // (every window one item) this degenerates the
+                            // pipeline into the sequential inline loop
+                            // rather than paying a cross-thread round trip
+                            // per item; with real fan-out it only fires when
+                            // every worker is busy on later speculative
+                            // items, where it strictly cuts the head
+                            // latency. Removal under the tasks lock means a
+                            // task runs exactly once, and since `work` is
+                            // pure, where it runs is unobservable.
+                            let stolen = {
+                                let mut tasks = shared.lock_tasks();
+                                tasks
+                                    .queue
+                                    .iter()
+                                    .position(|(s, _)| *s == seq)
+                                    .and_then(|pos| tasks.queue.remove(pos))
+                            };
+                            if let Some((_, task)) = stolen {
+                                let h0 = Instant::now();
+                                let r = work(&task);
+                                helped = h0.elapsed();
+                                break 'result r;
+                            }
+                            let mut results = shared.lock_results();
+                            if let Some(r) = results.remove(&seq) {
+                                break 'result r;
+                            }
+                            drop(
+                                shared
+                                    .result_cv
+                                    .wait(results)
+                                    .unwrap_or_else(|e| e.into_inner()),
+                            );
                         }
                     };
                     let mut ctx = PipelineCtx {
                         emits: Vec::new(),
                         waited: t0.elapsed(),
+                        helped,
                     };
                     let flow = merge(item, result, &mut ctx);
                     if !ctx.emits.is_empty() {
+                        // When the merge has nothing pending, the first
+                        // emitted item is the very next one it will merge —
+                        // reserve it (skip its wakeup) so the head-of-line
+                        // steal below wins the race instead of paying a
+                        // worker round trip per item on chain-shaped
+                        // frontiers. Parked workers are only skipped for
+                        // that one task; busy workers pop the queue without
+                        // needing a notification, and the merge is
+                        // guaranteed to reach the reserved task's steal
+                        // check because it is the head of `pending`.
+                        let reserve_head = pending.is_empty();
                         let mut tasks = shared.lock_tasks();
-                        for item in ctx.emits {
+                        for (j, item) in ctx.emits.into_iter().enumerate() {
                             tasks.queue.push_back((next_seq, item.clone()));
                             pending.push_back((next_seq, item));
                             next_seq += 1;
-                            shared.task_cv.notify_one();
+                            if !(reserve_head && j == 0) {
+                                shared.task_cv.notify_one();
+                            }
                         }
                     }
                     if flow.is_break() {
@@ -364,6 +415,7 @@ impl Executor {
 pub struct PipelineCtx<T> {
     emits: Vec<T>,
     waited: Duration,
+    helped: Duration,
 }
 
 impl<T> PipelineCtx<T> {
@@ -372,11 +424,22 @@ impl<T> PipelineCtx<T> {
         self.emits.push(item);
     }
 
-    /// How long the caller thread waited for the current item's stage-one
-    /// result (zero when speculation fully hid the work; the whole work
-    /// time when running inline on one thread).
+    /// How long the caller thread spent between becoming ready for the
+    /// current item and having its stage-one result in hand (zero when
+    /// speculation fully hid the work; the whole work time when running
+    /// inline on one thread). [`PipelineCtx::helped`] is the sub-interval
+    /// that was inline work rather than idle blocking, so
+    /// `waited - helped` is the pure stall.
     pub fn waited(&self) -> Duration {
         self.waited
+    }
+
+    /// How much of [`PipelineCtx::waited`] the caller thread spent running
+    /// the item's own stage-one work inline — the whole work time on one
+    /// thread, the head-of-line steal time otherwise, zero when a worker
+    /// computed the result.
+    pub fn helped(&self) -> Duration {
+        self.helped
     }
 }
 
@@ -686,9 +749,40 @@ mod tests {
             |_| std::thread::sleep(Duration::from_millis(5)),
             |_, _, ctx| {
                 assert!(ctx.waited() >= Duration::from_millis(5));
+                // Inline work is all help, no idle stall.
+                assert_eq!(ctx.helped(), ctx.waited());
                 ControlFlow::Continue(())
             },
         );
+    }
+
+    #[test]
+    fn pipeline_helped_never_exceeds_waited() {
+        // Whether a worker computes an item or the merge steals it is a
+        // schedule race; what must hold on every schedule is that the
+        // inline-help interval is within the overall wait interval and
+        // that a steal never duplicates or reorders work.
+        for threads in [2, 4] {
+            let exec = Executor::with_threads(threads);
+            let mut merged = Vec::new();
+            exec.pipeline_ordered(
+                vec![0u32],
+                |&x| {
+                    std::thread::sleep(Duration::from_millis(1));
+                    x + 1
+                },
+                |item, r, ctx| {
+                    assert_eq!(r, item + 1);
+                    assert!(ctx.helped() <= ctx.waited(), "@{threads}");
+                    merged.push(item);
+                    if item < 16 {
+                        ctx.submit(item + 1);
+                    }
+                    ControlFlow::Continue(())
+                },
+            );
+            assert_eq!(merged, (0..17).collect::<Vec<_>>(), "@{threads}");
+        }
     }
 
     #[test]

@@ -83,6 +83,30 @@ enum KeyTerm {
     Const(Symbol),
 }
 
+/// A query's name-independent structural key, exposed as an opaque,
+/// hashable value: the same [`FreezeKey`] the entry cache is keyed by.
+/// Equal keys imply isomorphic queries fixing answer positions
+/// identically, so two key-equal queries give the same boolean in every
+/// containment-style check. The rewrite engine's generation-side dedup
+/// keeps a seen-set of these to drop isomorphic re-generations before any
+/// homomorphism search.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct CanonicalKey(FreezeKey);
+
+/// Computes the [`CanonicalKey`] of `q`. Pure: touches no cache, bumps no
+/// counter — cheap enough to run on the generation side for every
+/// candidate.
+pub fn canonical_key(q: &ConjunctiveQuery) -> CanonicalKey {
+    CanonicalKey(freeze_key(q))
+}
+
+/// The bit the kernel's 64-bit predicate-occupancy prefilter assigns to
+/// `p`. Exposed so `qr-rewrite`'s piece-unifier index builds rule-head and
+/// query masks that agree with the kernel's.
+pub fn pred_mask_bit(p: &Pred) -> u64 {
+    pred_bit(p)
+}
+
 fn freeze_key(q: &ConjunctiveQuery) -> FreezeKey {
     let mut atoms: Vec<(Pred, Box<[KeyTerm]>)> = q
         .atoms()
@@ -215,6 +239,14 @@ impl QueryEntry {
     pub fn component_count(&self) -> usize {
         self.components.len()
     }
+
+    /// The sorted, deduplicated non-`dom` body predicates — the pred-set
+    /// the kernel's set-inclusion prefilter compares. Exposed so callers
+    /// can organize entries by predicate set (the rewrite engine's
+    /// subsumption trie) without recomputing it.
+    pub fn pred_set(&self) -> impl Iterator<Item = Pred> + '_ {
+        self.preds.iter().map(|(p, _)| *p)
+    }
 }
 
 fn pred_bit(p: &Pred) -> u64 {
@@ -315,7 +347,15 @@ impl HomKernel {
     /// The cached entry for `q`, freezing and compiling on first sight of
     /// its structural key.
     pub fn entry(&self, q: &ConjunctiveQuery) -> Arc<QueryEntry> {
-        let key = freeze_key(q);
+        self.entry_with_key(canonical_key(q), q)
+    }
+
+    /// [`entry`](Self::entry) when the caller already holds `q`'s
+    /// [`CanonicalKey`] (the rewrite engine's dedup path computes it for
+    /// every candidate anyway, so the key is not recomputed here). `key`
+    /// must be `canonical_key(q)`.
+    pub fn entry_with_key(&self, key: CanonicalKey, q: &ConjunctiveQuery) -> Arc<QueryEntry> {
+        let CanonicalKey(key) = key;
         {
             let cache = self.entries.lock().unwrap();
             if let Some(e) = cache.get(&key) {

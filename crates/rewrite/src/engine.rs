@@ -24,19 +24,58 @@
 //! parallel generation advances in schedule-dependent order, so without
 //! the renaming, saturation output would differ textually between thread
 //! counts even though the sets are isomorphic.
+//!
+//! # Generation-side dedup
+//!
+//! On workloads like transitive closure, almost every candidate is an
+//! isomorphic re-generation of one already processed (tc-wide: 99.8%
+//! died to subsumption, each paying a freeze plus a homomorphism sweep).
+//! The merge therefore rejects doomed candidates *before* any kernel
+//! search, in three layers:
+//!
+//! * **Structural-key dedup** — every candidate carries its
+//!   name-independent [`CanonicalKey`]; a seen-set per saturation drops
+//!   re-generations at birth (`dedup_hits`). Sound because a key-equal
+//!   candidate was already either kept (so it is subsumed now) or dropped
+//!   in favour of something that entails it — entailment is transitive
+//!   through any later evictions, so the old engine's subsumption sweep
+//!   would have returned `true`; only the counter attribution moves from
+//!   `subsumption_hits` to `dedup_hits`.
+//! * **Piece-unifier index** — per-rule head-predicate lists plus a
+//!   64-bit mask prefilter ([`TheoryIndex`]) so a queued item attempts
+//!   only predicate-compatible unifications, and a per-item generation
+//!   cap (`max_generated + 1 - generated-at-submission`) stops workers
+//!   from enumerating candidates the budget can never consume. The cap
+//!   is invisible to the merge: `generated` only grows between
+//!   submission and merge, so the budget break fires at or before the
+//!   capped item's last emitted candidate.
+//! * **Predicate-set trie** — the kept set files entries by sorted
+//!   predicate set ([`crate::trie::PredSetTrie`]); subsumption probes
+//!   only subset-compatible entries, eviction only superset-compatible
+//!   ones (the kernel's own pred-set prefilter condition, answered
+//!   set-wide instead of per pair).
+//!
+//! Novel candidates sweep the kept set as their *raw* (uncored) entry —
+//! subsumption and eviction booleans are invariant under equivalence, and
+//! `raw ≡ core(raw)` — so the expensive core fold runs only on *accepted*
+//! candidates (plus speculatively on the worker pool, gated off when the
+//! trailing window's dedup+subsumption hit rate says speculation is
+//! wasted). Outputs, traces, and every gated counter are unchanged.
 
 use std::collections::{HashSet, VecDeque};
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use qr_exec::Executor;
 use qr_hom::containment::contains;
-use qr_hom::kernel::{HomKernel, HomStats, QueryEntry};
-use qr_syntax::{ConjunctiveQuery, Symbol, Theory, Ucq, Var};
+use qr_hom::kernel::{canonical_key, CanonicalKey, HomKernel, HomStats, QueryEntry};
+use qr_syntax::{ConjunctiveQuery, Pred, Symbol, Theory, Ucq, Var};
 
 use crate::stats::{RewriteStats, WindowStats};
-use crate::unify::piece_rewritings;
+use crate::trie::PredSetTrie;
+use crate::unify::{piece_rewritings_indexed, query_pred_mask, TheoryIndex, UnifyCounters};
 
 /// Resource limits for the saturation loop.
 #[derive(Clone, Copy, Debug)]
@@ -166,19 +205,25 @@ impl Rewriting {
 /// The accumulated rewriting set. Every kept query carries its cached
 /// [`QueryEntry`] (frozen instance, compiled component plans, prefilter
 /// profile), so the subsumption and eviction sweeps pay no per-check
-/// setup — the kernel's predicate-set and anchored-position prefilters
-/// replace the engine-local signature index this set used to maintain.
-/// Entries are tombstoned rather than removed so the surviving queries
-/// keep their insertion order — the order the historical linear-scan
-/// implementation produced.
+/// setup, and is filed under its sorted predicate set in a
+/// [`PredSetTrie`], so a candidate probes only pred-set-compatible
+/// entries instead of prefiltering every alive pair. Entries are
+/// tombstoned rather than removed so the surviving queries keep their
+/// insertion order — the order the historical linear-scan implementation
+/// produced; a tombstoned entry also leaves the trie, so probes never
+/// surface it.
 struct KeptSet {
     entries: Vec<KeptEntry>,
     alive: usize,
+    trie: PredSetTrie,
 }
 
 struct KeptEntry {
     query: ConjunctiveQuery,
     entry: Arc<QueryEntry>,
+    /// The entry's sorted predicate set — its path in the trie, kept for
+    /// removal on eviction.
+    preds: Vec<Pred>,
     alive: bool,
 }
 
@@ -187,6 +232,7 @@ impl KeptSet {
         KeptSet {
             entries: Vec::new(),
             alive: 0,
+            trie: PredSetTrie::default(),
         }
     }
 
@@ -195,9 +241,12 @@ impl KeptSet {
     }
 
     fn push(&mut self, query: ConjunctiveQuery, entry: Arc<QueryEntry>) {
+        let preds: Vec<Pred> = entry.pred_set().collect();
+        self.trie.insert(&preds, self.entries.len());
         self.entries.push(KeptEntry {
             query,
             entry,
+            preds,
             alive: true,
         });
         self.alive += 1;
@@ -207,32 +256,33 @@ impl KeptSet {
         self.entries.iter().any(|e| e.alive && e.query == *q)
     }
 
-    /// The alive entries' kernel handles, in insertion order.
-    fn alive_entries(&self) -> Vec<&Arc<QueryEntry>> {
-        self.entries
-            .iter()
-            .filter(|e| e.alive)
-            .map(|e| &e.entry)
-            .collect()
+    /// Alive slots whose predicate set is a subset of `preds`, ascending —
+    /// the only entries that can subsume a candidate with that pred set.
+    fn subset_slots(&self, preds: &[Pred]) -> Vec<usize> {
+        let mut slots = Vec::new();
+        self.trie.subsets_into(preds, &mut slots);
+        slots.sort_unstable();
+        slots
     }
 
-    /// The alive entries' kernel handles with their slot indices, in
-    /// insertion order (for eviction sweeps that must kill by index).
-    fn alive_indexed(&self) -> (Vec<usize>, Vec<&Arc<QueryEntry>>) {
-        let mut idxs = Vec::with_capacity(self.alive);
-        let mut refs = Vec::with_capacity(self.alive);
-        for (i, e) in self.entries.iter().enumerate() {
-            if e.alive {
-                idxs.push(i);
-                refs.push(&e.entry);
-            }
-        }
-        (idxs, refs)
+    /// Alive slots whose predicate set is a superset of `preds`,
+    /// ascending — the only entries a candidate with that pred set can
+    /// evict.
+    fn superset_slots(&self, preds: &[Pred]) -> Vec<usize> {
+        let mut slots = Vec::new();
+        self.trie.supersets_into(preds, &mut slots);
+        slots.sort_unstable();
+        slots
+    }
+
+    fn entry_refs(&self, slots: &[usize]) -> Vec<&Arc<QueryEntry>> {
+        slots.iter().map(|&i| &self.entries[i].entry).collect()
     }
 
     fn kill(&mut self, idx: usize) {
         if std::mem::take(&mut self.entries[idx].alive) {
             self.alive -= 1;
+            self.trie.remove(&self.entries[idx].preds, idx);
         }
     }
 
@@ -282,9 +332,29 @@ enum Generated {
     /// at merge time, never core-minimized (matching the sequential loop,
     /// which skips the core for oversized candidates).
     Oversized,
-    /// Core-minimized, canonically renamed candidate.
-    Cand(ConjunctiveQuery),
+    /// A candidate under the atom cap.
+    Cand {
+        /// The raw piece rewriting (not core-minimized).
+        raw: ConjunctiveQuery,
+        /// `raw`'s name-independent structural key, computed on the
+        /// worker: the merge dedups on it before touching the kernel.
+        key: CanonicalKey,
+        /// The core-minimized, canonically renamed form, computed
+        /// speculatively when the gate was on at generation time; `None`
+        /// otherwise (the merge computes it lazily, only on acceptance).
+        /// Either way the value is the same deterministic function of
+        /// `raw`, so where it is computed never shows in any output.
+        core: Option<ConjunctiveQuery>,
+    },
 }
+
+/// Windows generating at least this many candidates update the
+/// speculation gate at their close.
+const SPECULATION_MIN_WINDOW: usize = 64;
+/// Speculative core computation is switched off while the trailing
+/// window's dedup + subsumption hit rate is at or above this percentage
+/// (nearly every core would be thrown away), and back on below it.
+const SPECULATION_HIT_PCT: usize = 90;
 
 /// How the saturation loop schedules generation against the merge.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -394,6 +464,12 @@ struct Merger<'a> {
     kernel: &'a HomKernel,
     trace: &'a mut dyn FnMut(usize, &ConjunctiveQuery),
     set: KeptSet,
+    /// Structural keys of every candidate processed this run (plus the
+    /// seed and accepted cores): the generation-side dedup's seen-set.
+    seen: HashSet<CanonicalKey>,
+    /// The speculation gate shared with the generation closure: cleared
+    /// when speculative cores are being thrown away wholesale.
+    speculate: &'a AtomicBool,
     generated: usize,
     oversized: usize,
     depth_reached: usize,
@@ -409,11 +485,18 @@ struct Merger<'a> {
     window_last_seq: usize,
 }
 
+/// A queued saturation item: the query, its rewriting depth, and the
+/// generation cap in force when it was submitted (`max_generated + 1 -
+/// generated-at-submission` — the most candidates the merge could ever
+/// consume from it before the budget break fires).
+type Item = (ConjunctiveQuery, usize, usize);
+
 impl<'a> Merger<'a> {
     fn new(
         budget: RewriteBudget,
         exec: &'a Executor,
         kernel: &'a HomKernel,
+        speculate: &'a AtomicBool,
         trace: &'a mut dyn FnMut(usize, &ConjunctiveQuery),
     ) -> Merger<'a> {
         Merger {
@@ -422,6 +505,8 @@ impl<'a> Merger<'a> {
             kernel,
             trace,
             set: KeptSet::new(),
+            seen: HashSet::new(),
+            speculate,
             generated: 0,
             oversized: 0,
             depth_reached: 0,
@@ -441,9 +526,26 @@ impl<'a> Merger<'a> {
         }
     }
 
-    /// Closes the window being accumulated (records the kept-set size).
+    /// The generation cap for an item submitted right now.
+    fn submission_cap(&self) -> usize {
+        self.budget.max_generated.saturating_add(1) - self.generated
+    }
+
+    /// Closes the window being accumulated (records the kept-set size)
+    /// and updates the speculation gate from the closing window's hit
+    /// rate. The gate only moves *where* cores are computed (worker pool
+    /// vs. merge thread on acceptance), never *what* is computed, so its
+    /// schedule-dependent timing is invisible to every counter and
+    /// output.
     fn close_window(&mut self) {
         self.cur.kept = self.set.len();
+        if self.cur.generated >= SPECULATION_MIN_WINDOW {
+            let doomed = self.cur.dedup_hits + self.cur.subsumption_hits;
+            self.speculate.store(
+                doomed * 100 < self.cur.generated * SPECULATION_HIT_PCT,
+                Relaxed,
+            );
+        }
         self.stats.windows.push(std::mem::take(&mut self.cur));
     }
 
@@ -455,9 +557,11 @@ impl<'a> Merger<'a> {
         q: &ConjunctiveQuery,
         depth: usize,
         gens: &[Generated],
+        uc: UnifyCounters,
         gen_wall: Duration,
         waited: Duration,
-        out: &mut Vec<(ConjunctiveQuery, usize)>,
+        helped: Duration,
+        out: &mut Vec<Item>,
     ) -> ControlFlow<()> {
         let seq = self.merge_seq;
         self.merge_seq += 1;
@@ -471,9 +575,26 @@ impl<'a> Merger<'a> {
             self.window_last_seq = self.submitted - 1;
         }
         self.cur.gen_wall += gen_wall;
-        self.cur.wait_wall += waited;
+        // `waited` is a *stall* only where generation ran on a worker; the
+        // `helped` sub-interval ran inline on this thread — a sequential
+        // executor generates everything inline, and the parallel pipeline
+        // steals the head task when no worker has claimed it. Inline work
+        // is already charged to `gen_wall`, not waiting (the historical
+        // accounting double-counted it, reporting `wait ≈ gen` at one
+        // thread). Overlap is the generation work neither the stall nor
+        // the steal exposed: what ran while this thread was busy merging.
+        let (stall, overlap) = if self.exec.is_sequential() {
+            (Duration::ZERO, Duration::ZERO)
+        } else {
+            (
+                waited.saturating_sub(helped),
+                gen_wall.saturating_sub(waited),
+            )
+        };
+        self.cur.wait_wall += stall;
+        self.cur.overlap_wall += overlap;
         let t0 = Instant::now();
-        let flow = self.merge_item_decisions(q, depth, gens, out);
+        let flow = self.merge_item_decisions(q, depth, gens, uc, out);
         self.cur.merge_wall += t0.elapsed();
         self.submitted += out.len();
         flow
@@ -484,17 +605,21 @@ impl<'a> Merger<'a> {
         q: &ConjunctiveQuery,
         depth: usize,
         gens: &[Generated],
-        out: &mut Vec<(ConjunctiveQuery, usize)>,
+        uc: UnifyCounters,
+        out: &mut Vec<Item>,
     ) -> ControlFlow<()> {
         // The query may have been evicted by a more general arrival; its
         // speculative candidates are dropped uncounted, exactly as the
         // historical sequential loop never generated for queries that
-        // failed its aliveness check.
+        // failed its aliveness check. (Its unifier counters are discarded
+        // with them, keeping those deterministic across modes too.)
         if !self.set.contains_query(q) {
             self.cur.dead_skipped += 1;
             return ControlFlow::Continue(());
         }
         self.cur.merged += 1;
+        self.cur.unifier_probes += uc.probes;
+        self.cur.unifier_skipped += uc.skipped;
         for g in gens {
             self.generated += 1;
             self.cur.generated += 1;
@@ -502,44 +627,68 @@ impl<'a> Merger<'a> {
                 self.truncated = true;
                 return ControlFlow::Break(());
             }
-            let cand = match g {
+            let (raw, key, spec_core) = match g {
                 Generated::Oversized => {
                     self.oversized += 1;
                     self.cur.oversized += 1;
                     continue;
                 }
-                Generated::Cand(c) => c,
+                Generated::Cand { raw, key, core } => (raw, key, core),
             };
-            // The candidate's kernel entry: frozen once here on the merge
-            // thread (or fetched from the freeze cache — structurally
-            // repeated candidates are common), then shared by the
-            // subsumption sweep, the eviction sweep, and the kept set.
-            let cand_entry = self.kernel.entry(cand);
+            // Dedup at birth: a key-equal candidate was already processed,
+            // so an alive kept query entails this one (directly, or
+            // transitively through evictions) — the subsumption sweep
+            // would return `true`; skip it and the entry acquisition.
+            if !self.seen.insert(key.clone()) {
+                self.cur.dedup_hits += 1;
+                continue;
+            }
+            // The raw candidate's kernel entry. The sweeps run on the raw
+            // form: their booleans are invariant under equivalence and
+            // `raw ≡ core(raw)`, so the core fold can wait until the
+            // candidate is actually accepted.
+            let raw_entry = self.kernel.entry_with_key(key.clone(), raw);
+            let raw_preds: Vec<Pred> = raw_entry.pred_set().collect();
             // Subsumed: some kept query already covers it (whenever the
-            // candidate holds, the kept one does). The kernel prefilters
-            // the kept entries before the parallel sweep.
+            // candidate holds, the kept one does). The trie narrows the
+            // sweep to pred-set-compatible entries; the kernel's
+            // remaining prefilters run inside.
+            let sub = self.set.subset_slots(&raw_preds);
+            self.cur.trie_probes += sub.len();
+            self.cur.trie_skipped += self.set.len() - sub.len();
             if self
                 .kernel
-                .subsumed_by_any(self.exec, &cand_entry, &self.set.alive_entries())
+                .subsumed_by_any(self.exec, &raw_entry, &self.set.entry_refs(&sub))
             {
                 self.cur.subsumption_hits += 1;
                 continue;
             }
             // Evict kept queries covered by the candidate.
-            let dead: Vec<usize> = {
-                let (idxs, refs) = self.set.alive_indexed();
-                self.kernel
-                    .covered_by(self.exec, &refs, &cand_entry)
-                    .into_iter()
-                    .zip(&idxs)
-                    .filter_map(|(covered, idx)| covered.then_some(*idx))
-                    .collect()
-            };
+            let sup = self.set.superset_slots(&raw_preds);
+            self.cur.trie_probes += sup.len();
+            self.cur.trie_skipped += self.set.len() - sup.len();
+            let dead: Vec<usize> = self
+                .kernel
+                .covered_by(self.exec, &self.set.entry_refs(&sup), &raw_entry)
+                .into_iter()
+                .zip(&sup)
+                .filter_map(|(covered, idx)| covered.then_some(*idx))
+                .collect();
             let evicted = dead.len();
             for idx in dead {
                 self.set.kill(idx);
             }
             self.cur.evictions += evicted;
+            // Accepted (possibly via the capacity rescue below): only now
+            // is the core needed — take the speculative one if the gate
+            // had it computed, else fold it here. Identical value either
+            // way.
+            let cand = match spec_core {
+                Some(c) => c.clone(),
+                None => canonical_named(&self.kernel.query_core(raw)),
+            };
+            self.seen.insert(canonical_key(&cand));
+            let cand_entry = self.kernel.entry(&cand);
             if self.set.len() >= self.budget.max_queries {
                 self.truncated = true;
                 // Soundness at the truncation point: if this candidate
@@ -554,17 +703,18 @@ impl<'a> Merger<'a> {
                 // where the unguarded seed push overflows.)
                 if evicted > 0 {
                     self.depth_reached = self.depth_reached.max(depth + 1);
-                    (self.trace)(depth + 1, cand);
-                    self.set.push(cand.clone(), cand_entry);
+                    (self.trace)(depth + 1, &cand);
+                    self.set.push(cand, cand_entry);
                     self.cur.accepted += 1;
                 }
                 return ControlFlow::Break(());
             }
             self.depth_reached = self.depth_reached.max(depth + 1);
-            (self.trace)(depth + 1, cand);
-            self.set.push(cand.clone(), cand_entry);
+            (self.trace)(depth + 1, &cand);
+            let cap = self.submission_cap();
+            out.push((cand.clone(), depth + 1, cap));
+            self.set.push(cand, cand_entry);
             self.cur.accepted += 1;
-            out.push((cand.clone(), depth + 1));
         }
         ControlFlow::Continue(())
     }
@@ -590,40 +740,73 @@ fn saturate(
     let seed = canonical_named(&kernel.query_core(query));
     trace(0, &seed);
     let seed_entry = kernel.entry(&seed);
-    let mut merger = Merger::new(budget, exec, &kernel, trace);
+    // Speculation gate: workers read it before folding cores; the merge
+    // thread updates it at window boundaries from the trailing window's
+    // doomed-candidate rate.
+    let speculate = AtomicBool::new(true);
+    let mut merger = Merger::new(budget, exec, &kernel, &speculate, trace);
+    merger.seen.insert(canonical_key(&seed));
     merger.set.push(seed.clone(), seed_entry);
+    let tindex = TheoryIndex::new(theory);
 
-    // Speculative generation: piece rewritings and cores of one queued
-    // query, a pure per-item function scheduled on the worker pool. Core
-    // minimization shares the kernel's core cache across workers (the
-    // fold touches no entry-cache counters, so the deterministic stats
-    // stay schedule-independent).
-    let generate = |q: &ConjunctiveQuery| -> (Vec<Generated>, Duration) {
+    // Speculative generation: piece rewritings (and, when the gate is
+    // open, cores) of one queued query, a pure per-item function
+    // scheduled on the worker pool. `cap` bounds the number of `Generated`
+    // the item may still contribute before the run's generation budget is
+    // spent — fixed at submission time, so it is identical across modes
+    // and schedules, and never smaller than what the merge will actually
+    // count (generated only grows between submission and merge).
+    let generate = |q: &ConjunctiveQuery, cap: usize| -> (Vec<Generated>, UnifyCounters, Duration) {
         let t0 = Instant::now();
+        let qmask = query_pred_mask(q);
+        let spec = speculate.load(Relaxed);
+        let mut uc = UnifyCounters::default();
         let mut out = Vec::new();
-        for rule in theory.rules() {
-            for pu in piece_rewritings(q, rule) {
+        for (rule, ridx) in theory.rules().iter().zip(tindex.rules()) {
+            if out.len() >= cap {
+                break;
+            }
+            if ridx.mask() & qmask == 0 {
+                // No head predicate occurs in the query: every (query
+                // atom × head atom) pairing is pruned by the rule mask.
+                uc.skipped += q.atoms().len() * ridx.head_len();
+                continue;
+            }
+            for pu in piece_rewritings_indexed(q, rule, ridx, cap - out.len(), &mut uc) {
                 if pu.result.size() > budget.max_atoms {
                     out.push(Generated::Oversized);
                 } else {
-                    out.push(Generated::Cand(canonical_named(
-                        &kernel.query_core(&pu.result),
-                    )));
+                    let key = canonical_key(&pu.result);
+                    let core = spec
+                        .then(|| canonical_named(&kernel.query_core(&pu.result)));
+                    out.push(Generated::Cand {
+                        raw: pu.result,
+                        key,
+                        core,
+                    });
                 }
             }
         }
-        (out, t0.elapsed())
+        (out, uc, t0.elapsed())
     };
 
     match mode {
         SaturationMode::Pipelined => {
             exec.pipeline_ordered(
-                vec![(seed, 0usize)],
-                |(q, _)| generate(q),
-                |(q, depth), (gens, gen_wall), ctx| {
+                vec![(seed, 0usize, budget.max_generated.saturating_add(1))],
+                |(q, _, cap)| generate(q, *cap),
+                |(q, depth, _), (gens, uc, gen_wall), ctx| {
                     let mut out = Vec::new();
-                    let flow =
-                        merger.merge_item(&q, depth, &gens, gen_wall, ctx.waited(), &mut out);
+                    let flow = merger.merge_item(
+                        &q,
+                        depth,
+                        &gens,
+                        uc,
+                        gen_wall,
+                        ctx.waited(),
+                        ctx.helped(),
+                        &mut out,
+                    );
                     for item in out {
                         ctx.submit(item);
                     }
@@ -632,19 +815,25 @@ fn saturate(
             );
         }
         SaturationMode::Barrier => {
-            let mut queue: VecDeque<(ConjunctiveQuery, usize)> = VecDeque::new();
-            queue.push_back((seed, 0));
+            let mut queue: VecDeque<Item> = VecDeque::new();
+            queue.push_back((seed, 0, budget.max_generated.saturating_add(1)));
             'outer: while !queue.is_empty() {
-                let batch: Vec<(ConjunctiveQuery, usize)> = queue.drain(..).collect();
+                let batch: Vec<Item> = queue.drain(..).collect();
                 let t0 = Instant::now();
-                let gens = exec.map(&batch, |(q, _)| generate(q));
+                let gens = exec.map(&batch, |(q, _, cap)| generate(q, *cap));
                 let gen_phase = t0.elapsed();
-                for (i, ((q, depth), (g, gen_wall))) in batch.iter().zip(&gens).enumerate() {
+                // `Executor::map` runs single-item batches inline on this
+                // thread; that generation phase is then inline work, not a
+                // stall (mirrors the map's own inline condition).
+                let inline_map = batch.len() <= 1;
+                for (i, ((q, depth, _), (g, uc, gen_wall))) in batch.iter().zip(&gens).enumerate() {
                     // The merge sat out the whole generation phase before
                     // its first item; charge that stall to the window.
                     let waited = if i == 0 { gen_phase } else { Duration::ZERO };
+                    let helped = if i == 0 && inline_map { gen_phase } else { Duration::ZERO };
                     let mut out = Vec::new();
-                    let flow = merger.merge_item(q, *depth, g, *gen_wall, waited, &mut out);
+                    let flow =
+                        merger.merge_item(q, *depth, g, *uc, *gen_wall, waited, helped, &mut out);
                     queue.extend(out);
                     if flow.is_break() {
                         break 'outer;
@@ -824,6 +1013,16 @@ mod tests {
                     max_atoms: 12,
                 },
             ),
+            // The first rule's candidate (q(a) ∧ b(a)) is accepted and
+            // requeued, then evicted by the second rule's more general
+            // q(a) inside the same window — its requeued item must be
+            // dead-skipped, not merged.
+            (
+                "evict-requeue",
+                "q(X), b(X) -> p(X).\nq(X) -> p(X).",
+                "? :- p(a).",
+                RewriteBudget::default(),
+            ),
         ]
     }
 
@@ -914,6 +1113,13 @@ mod tests {
                 11,
                 vec![], // pinned by shape below: chains of length 1..=12
             ),
+            (
+                "evict-requeue",
+                RewriteOutcome::Complete,
+                2,
+                1,
+                vec!["? :- p(a).", "? :- q(a)."],
+            ),
         ];
         for ((label, t, q, budget), (elabel, outcome, generated, depth, disjuncts)) in
             fixtures().into_iter().zip(expected)
@@ -986,33 +1192,27 @@ mod tests {
     #[allow(clippy::type_complexity)]
     fn counter_rows(
         s: &crate::stats::RewriteStats,
-    ) -> Vec<(
-        usize,
-        usize,
-        usize,
-        usize,
-        usize,
-        usize,
-        usize,
-        usize,
-        usize,
-        usize,
-    )> {
+    ) -> Vec<[usize; 15]> {
         s.windows
             .iter()
             .map(|w| {
-                (
+                [
                     w.window,
                     w.items,
                     w.merged,
                     w.dead_skipped,
                     w.generated,
+                    w.dedup_hits,
                     w.subsumption_hits,
                     w.evictions,
                     w.oversized,
                     w.accepted,
                     w.kept,
-                )
+                    w.unifier_probes,
+                    w.unifier_skipped,
+                    w.trie_probes,
+                    w.trie_skipped,
+                ]
             })
             .collect()
     }
@@ -1045,10 +1245,12 @@ mod tests {
                 seq.ucq.len(),
                 "{label}: final window records the surviving set size"
             );
-            // Sequentially the merge waits out every generation in full.
+            // Sequentially, generation runs inline on the merge thread:
+            // nothing stalls and nothing overlaps.
             assert_eq!(seq.stats.threads, 1, "{label}");
             for w in &seq.stats.windows {
-                assert_eq!(w.overlap_wall(), Duration::ZERO, "{label}: no overlap @1");
+                assert_eq!(w.wait_wall, Duration::ZERO, "{label}: no stall @1");
+                assert_eq!(w.overlap_wall, Duration::ZERO, "{label}: no overlap @1");
             }
             let expect = counter_rows(&seq.stats);
             for threads in [1, 2, 4] {
@@ -1189,5 +1391,125 @@ mod tests {
         .unwrap();
         assert!(seen.len() >= r.ucq.len());
         assert_eq!(seen[0].0, 0);
+    }
+
+    /// Satellite of the wait-accounting fix: at one thread, generation
+    /// runs inline on the merge thread, so no window may report a stall
+    /// (the old pipeline charged the full inline generation time to
+    /// `wait_wall`, making `wait_ms ≈ gen_ms` at one thread) or any
+    /// overlap, in either saturation mode.
+    #[test]
+    fn inline_generation_reports_zero_wait_and_overlap() {
+        let exec = Executor::with_threads(1);
+        for (label, t, q, budget) in fixtures() {
+            let theory = parse_theory(t).unwrap();
+            let query = parse_query(q).unwrap();
+            for mode in [SaturationMode::Pipelined, SaturationMode::Barrier] {
+                let r = rewrite_with_mode(&theory, &query, budget, &exec, mode).unwrap();
+                assert_eq!(r.stats.wait_wall(), Duration::ZERO, "{label} {mode:?}");
+                assert_eq!(r.stats.overlap_wall(), Duration::ZERO, "{label} {mode:?}");
+                assert!(r.stats.gen_wall() > Duration::ZERO, "{label} {mode:?}");
+            }
+        }
+    }
+
+    /// The evict-requeue fixture pins the eviction-to-dead-skip path: the
+    /// first rule's accepted candidate is evicted by the second rule's
+    /// more general one before its requeued item is merged, so exactly
+    /// one item must be dead-skipped — on every schedule.
+    #[test]
+    fn eviction_of_requeued_item_fires_dead_skip() {
+        let (_, t, q, budget) = fixtures().pop().unwrap();
+        let theory = parse_theory(t).unwrap();
+        let query = parse_query(q).unwrap();
+        for threads in [1, 2, 4] {
+            let exec = Executor::with_threads(threads);
+            for mode in [SaturationMode::Pipelined, SaturationMode::Barrier] {
+                let r = rewrite_with_mode(&theory, &query, budget, &exec, mode).unwrap();
+                assert_eq!(r.stats.dead_skipped(), 1, "@{threads} {mode:?}");
+                assert_eq!(r.stats.evictions(), 1, "@{threads} {mode:?}");
+                assert_eq!(r.stats.accepted(), 2, "@{threads} {mode:?}");
+            }
+        }
+    }
+
+    /// Generation-side dedup on the transitive-closure fixture: chain
+    /// candidates are re-derived along many resolution orders, so most
+    /// generations must die at the seen-set and the kernel must see far
+    /// fewer distinct queries than there are generations.
+    #[test]
+    fn dedup_prunes_most_regenerations_on_transitive_closure() {
+        let r = rewrite(
+            &parse_theory("e(X,Y), e(Y,Z) -> e(X,Z).").unwrap(),
+            &parse_query("? :- e(a, b).").unwrap(),
+            RewriteBudget {
+                max_queries: 64,
+                max_generated: 2_000,
+                max_atoms: 12,
+            },
+        )
+        .unwrap();
+        assert!(
+            r.stats.dedup_hits() * 2 > r.generated,
+            "most generations must die at birth ({} dedup / {})",
+            r.stats.dedup_hits(),
+            r.generated
+        );
+        let entries = r.hom.freezes + r.hom.freeze_cache_hits;
+        assert!(
+            entries * 3 < r.generated as u64,
+            "kernel entry acquisitions ({entries}) should be a small \
+             fraction of generations ({})",
+            r.generated
+        );
+        assert!(r.stats.unifier_probes() > 0, "attempts are still counted");
+    }
+
+    /// On a multi-predicate theory, both prefilters earn their keep: the
+    /// piece-unifier index prunes predicate-mismatched pairings and the
+    /// trie keeps pred-set-incompatible kept entries away from the
+    /// kernel. (The transitive-closure fixture can't show this — with a
+    /// single predicate, nothing is ever incompatible.)
+    #[test]
+    fn index_and_trie_prune_on_multi_predicate_theories() {
+        let r = run("p(X), e(X,Y) -> p(Y).\nq(X) -> p(X).", "? :- p(A).");
+        assert!(r.stats.unifier_skipped() > 0, "index must prune pairings");
+        assert!(r.stats.trie_skipped() > 0, "trie must prune kept entries");
+        assert!(r.stats.trie_probes() > 0);
+    }
+
+    /// The speculation gate never changes what is generated: pipelined
+    /// runs submit exactly the items barrier runs queue, so `generated`
+    /// is identical (the ≤ regression bound of the issue, pinned to
+    /// equality by counter determinism).
+    #[test]
+    fn pipelined_generates_no_more_than_barrier() {
+        for (label, t, q, budget) in fixtures() {
+            let budget = if label == "tc-budget" {
+                RewriteBudget {
+                    max_queries: 24,
+                    max_generated: 300,
+                    max_atoms: 8,
+                }
+            } else {
+                budget
+            };
+            let theory = parse_theory(t).unwrap();
+            let query = parse_query(q).unwrap();
+            for threads in [1, 2, 4] {
+                let exec = Executor::with_threads(threads);
+                let b =
+                    rewrite_with_mode(&theory, &query, budget, &exec, SaturationMode::Barrier)
+                        .unwrap();
+                let p =
+                    rewrite_with_mode(&theory, &query, budget, &exec, SaturationMode::Pipelined)
+                        .unwrap();
+                assert!(
+                    p.generated <= b.generated,
+                    "{label} @{threads}: pipelined regenerated more"
+                );
+                assert_eq!(p.generated, b.generated, "{label} @{threads}");
+            }
+        }
     }
 }

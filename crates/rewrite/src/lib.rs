@@ -20,6 +20,7 @@
 
 pub mod engine;
 pub mod stats;
+mod trie;
 pub mod unify;
 
 pub use engine::{
@@ -27,4 +28,7 @@ pub use engine::{
     RewriteBudget, RewriteError, RewriteOutcome, Rewriting, SaturationMode,
 };
 pub use stats::{RewriteStats, WindowStats};
-pub use unify::{piece_rewritings, PieceUnifier};
+pub use unify::{
+    piece_rewritings, piece_rewritings_indexed, query_pred_mask, PieceUnifier, RuleIndex,
+    TheoryIndex, UnifyCounters,
+};

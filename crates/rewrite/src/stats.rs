@@ -9,15 +9,19 @@
 //! thread counts; only the wall splits vary with the schedule.
 //!
 //! Wall-split semantics:
-//! * `gen_wall` — worker-side time generating piece rewritings + cores
-//!   for the window's items (summed per item, so it can exceed the
-//!   window's elapsed time when several workers overlap);
-//! * `merge_wall` — caller-thread time spent on merge decisions
-//!   (subsumption, eviction, budget accounting, tracing);
-//! * `wait_wall` — caller-thread time stalled waiting for an item's
-//!   speculative generation to arrive. Sequentially this equals
-//!   `gen_wall`; under pipelining, `gen_wall - wait_wall` is the
-//!   generation work hidden behind the merge ([`WindowStats::overlap_wall`]).
+//! * `gen_wall` — worker-side time generating piece rewritings (+
+//!   speculative cores) for the window's items (summed per item, so it
+//!   can exceed the window's elapsed time when several workers overlap);
+//! * `merge_wall` — caller-thread time spent on merge decisions (dedup,
+//!   subsumption, eviction, budget accounting, tracing);
+//! * `wait_wall` — caller-thread time *stalled* waiting for an item's
+//!   speculative generation to arrive from a worker. Zero for sequential
+//!   runs: inline generation is charged to `gen_wall` only (it is work,
+//!   not a stall — an earlier accounting bug double-counted it here, so
+//!   1-thread runs reported `wait_ms ≈ gen_ms`);
+//! * `overlap_wall` — generation work hidden behind the merge: per item,
+//!   `gen_wall - wait_wall` (saturating), summed. Zero for sequential
+//!   runs, where nothing overlaps.
 
 use std::time::Duration;
 
@@ -35,6 +39,10 @@ pub struct WindowStats {
     pub dead_skipped: usize,
     /// Candidates counted against `max_generated` during this window.
     pub generated: usize,
+    /// Candidates dropped at birth by the generation-side dedup: their
+    /// name-independent structural key was already processed this run, so
+    /// no kernel entry is acquired and no homomorphism sweep runs.
+    pub dedup_hits: usize,
     /// Candidates dropped because a kept query already subsumed them.
     pub subsumption_hits: usize,
     /// Kept queries evicted by more general candidates of this window.
@@ -45,21 +53,30 @@ pub struct WindowStats {
     pub accepted: usize,
     /// Alive kept-set size when the window closed.
     pub kept: usize,
+    /// (query atom × head atom) unification attempts made by the
+    /// piece-unifier enumeration for this window's merged items.
+    pub unifier_probes: usize,
+    /// (query atom × head atom) pairings pruned statically by the
+    /// piece-unifier index — predicate-mismatched pairs and whole rules
+    /// skipped by the 64-bit mask prefilter — for this window's merged
+    /// items.
+    pub unifier_skipped: usize,
+    /// Kept entries returned by the predicate-set trie as compatible with
+    /// a candidate (subsumption: subset probes; eviction: superset
+    /// probes). These are the only entries that reach the kernel.
+    pub trie_probes: usize,
+    /// Kept entries the trie pruned before any kernel call (alive entries
+    /// minus probes, summed over both sweeps of every candidate).
+    pub trie_skipped: usize,
     /// Worker-side generation time for this window's items (summed).
     pub gen_wall: Duration,
     /// Caller-thread merge-decision time.
     pub merge_wall: Duration,
-    /// Caller-thread stall waiting for speculative generation results.
+    /// Caller-thread stall waiting for speculative generation results
+    /// (zero when generation runs inline on the caller thread).
     pub wait_wall: Duration,
-}
-
-impl WindowStats {
-    /// Generation work hidden behind the merge: `gen_wall - wait_wall`
-    /// (saturating). Zero for a sequential run, where the caller waits out
-    /// every generation in full.
-    pub fn overlap_wall(&self) -> Duration {
-        self.gen_wall.saturating_sub(self.wait_wall)
-    }
+    /// Generation work hidden behind the merge (zero for sequential runs).
+    pub overlap_wall: Duration,
 }
 
 /// Saturation-run statistics: the worker-pool width and one
@@ -89,6 +106,11 @@ impl RewriteStats {
         self.windows.iter().map(|w| w.dead_skipped).sum()
     }
 
+    /// Total candidates dropped at birth by the structural-key dedup.
+    pub fn dedup_hits(&self) -> usize {
+        self.windows.iter().map(|w| w.dedup_hits).sum()
+    }
+
     /// Total candidates dropped by subsumption.
     pub fn subsumption_hits(&self) -> usize {
         self.windows.iter().map(|w| w.subsumption_hits).sum()
@@ -109,6 +131,26 @@ impl RewriteStats {
         self.windows.iter().map(|w| w.accepted).sum()
     }
 
+    /// Total piece-unifier unification attempts.
+    pub fn unifier_probes(&self) -> usize {
+        self.windows.iter().map(|w| w.unifier_probes).sum()
+    }
+
+    /// Total pairings pruned by the piece-unifier index.
+    pub fn unifier_skipped(&self) -> usize {
+        self.windows.iter().map(|w| w.unifier_skipped).sum()
+    }
+
+    /// Total kept entries the trie passed to the kernel.
+    pub fn trie_probes(&self) -> usize {
+        self.windows.iter().map(|w| w.trie_probes).sum()
+    }
+
+    /// Total kept entries the trie pruned before any kernel call.
+    pub fn trie_skipped(&self) -> usize {
+        self.windows.iter().map(|w| w.trie_skipped).sum()
+    }
+
     /// Total worker-side generation time.
     pub fn gen_wall(&self) -> Duration {
         self.windows.iter().map(|w| w.gen_wall).sum()
@@ -127,7 +169,7 @@ impl RewriteStats {
     /// Total generation work hidden behind merges (see
     /// [`WindowStats::overlap_wall`]).
     pub fn overlap_wall(&self) -> Duration {
-        self.windows.iter().map(|w| w.overlap_wall()).sum()
+        self.windows.iter().map(|w| w.overlap_wall).sum()
     }
 }
 
@@ -145,12 +187,18 @@ mod tests {
                     items: 1,
                     merged: 1,
                     generated: 3,
+                    dedup_hits: 1,
                     subsumption_hits: 1,
-                    accepted: 2,
-                    kept: 3,
+                    accepted: 1,
+                    kept: 2,
+                    unifier_probes: 9,
+                    unifier_skipped: 3,
+                    trie_probes: 2,
+                    trie_skipped: 1,
                     gen_wall: Duration::from_millis(10),
                     merge_wall: Duration::from_millis(2),
                     wait_wall: Duration::from_millis(4),
+                    overlap_wall: Duration::from_millis(6),
                     ..WindowStats::default()
                 },
                 WindowStats {
@@ -162,10 +210,15 @@ mod tests {
                     evictions: 1,
                     oversized: 2,
                     accepted: 1,
-                    kept: 3,
+                    kept: 2,
+                    unifier_probes: 4,
+                    unifier_skipped: 8,
+                    trie_probes: 1,
+                    trie_skipped: 2,
                     gen_wall: Duration::from_millis(6),
                     merge_wall: Duration::from_millis(1),
                     wait_wall: Duration::from_millis(6),
+                    overlap_wall: Duration::ZERO,
                     ..WindowStats::default()
                 },
             ],
@@ -173,14 +226,18 @@ mod tests {
         assert_eq!(stats.generated(), 8);
         assert_eq!(stats.merged(), 2);
         assert_eq!(stats.dead_skipped(), 1);
+        assert_eq!(stats.dedup_hits(), 1);
         assert_eq!(stats.subsumption_hits(), 1);
         assert_eq!(stats.evictions(), 1);
         assert_eq!(stats.oversized(), 2);
-        assert_eq!(stats.accepted(), 3);
+        assert_eq!(stats.accepted(), 2);
+        assert_eq!(stats.unifier_probes(), 13);
+        assert_eq!(stats.unifier_skipped(), 11);
+        assert_eq!(stats.trie_probes(), 3);
+        assert_eq!(stats.trie_skipped(), 3);
         assert_eq!(stats.gen_wall(), Duration::from_millis(16));
         assert_eq!(stats.merge_wall(), Duration::from_millis(3));
         assert_eq!(stats.wait_wall(), Duration::from_millis(10));
-        // Window 0 hid 6ms of generation; window 1 hid none.
         assert_eq!(stats.overlap_wall(), Duration::from_millis(6));
     }
 }

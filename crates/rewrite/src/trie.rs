@@ -1,0 +1,209 @@
+//! A set-trie over sorted predicate sets, organizing the kept rewriting
+//! set for the subsumption and eviction sweeps.
+//!
+//! The kernel's pred-set prefilter is a *necessary* condition for a
+//! homomorphism `ψ → freeze(φ)`: `preds(ψ) ⊆ preds(φ)` (as sets — a
+//! homomorphism may collapse atoms but never invents a predicate). The
+//! sweeps therefore only need kept entries whose predicate set is a
+//! subset (subsumption: some kept `r` with `preds(r) ⊆ preds(cand)` may
+//! subsume `cand`) or a superset (eviction: only `r` with
+//! `preds(r) ⊇ preds(cand)` can be covered by `cand`) of the candidate's.
+//! Instead of issuing a per-pair kernel prefilter call for every alive
+//! entry, the kept set files each entry under its sorted predicate set in
+//! this trie and answers both probes by lattice descent: a candidate
+//! touches only compatible entries.
+//!
+//! Nodes hold the slots of entries whose predicate set equals the path
+//! from the root; children are kept sorted by predicate so subset probes
+//! advance a two-pointer over the (sorted) query set and superset probes
+//! can stop at the first child beyond the query's next element.
+
+use qr_syntax::Pred;
+
+/// The trie. Slots are caller-defined indices (the kept set's entry
+/// slots); removal is by exact (path, slot) pair, so tombstoned entries
+/// simply leave the trie and never surface in a probe again.
+#[derive(Default)]
+pub(crate) struct PredSetTrie {
+    root: Node,
+}
+
+#[derive(Default)]
+struct Node {
+    /// Slots filed exactly at this path.
+    slots: Vec<usize>,
+    /// Children sorted by predicate.
+    children: Vec<(Pred, Node)>,
+}
+
+impl PredSetTrie {
+    /// Files `slot` under the sorted, deduplicated predicate set `preds`.
+    pub(crate) fn insert(&mut self, preds: &[Pred], slot: usize) {
+        debug_assert!(preds.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+        let mut node = &mut self.root;
+        for p in preds {
+            let i = match node.children.binary_search_by(|(q, _)| q.cmp(p)) {
+                Ok(i) => i,
+                Err(i) => {
+                    node.children.insert(i, (*p, Node::default()));
+                    i
+                }
+            };
+            node = &mut node.children[i].1;
+        }
+        node.slots.push(slot);
+    }
+
+    /// Removes `slot` from under `preds`. Empty nodes are left in place
+    /// (predicate alphabets are small; probes skip them for free).
+    pub(crate) fn remove(&mut self, preds: &[Pred], slot: usize) {
+        let mut node = &mut self.root;
+        for p in preds {
+            let Ok(i) = node.children.binary_search_by(|(q, _)| q.cmp(p)) else {
+                return;
+            };
+            node = &mut node.children[i].1;
+        }
+        node.slots.retain(|&s| s != slot);
+    }
+
+    /// Appends the slots of every entry whose predicate set is a *subset*
+    /// of the sorted `query` set.
+    pub(crate) fn subsets_into(&self, query: &[Pred], out: &mut Vec<usize>) {
+        subsets(&self.root, query, out);
+    }
+
+    /// Appends the slots of every entry whose predicate set is a
+    /// *superset* of the sorted `query` set.
+    pub(crate) fn supersets_into(&self, query: &[Pred], out: &mut Vec<usize>) {
+        supersets(&self.root, query, out);
+    }
+}
+
+fn subsets(node: &Node, query: &[Pred], out: &mut Vec<usize>) {
+    out.extend_from_slice(&node.slots);
+    let mut qi = 0;
+    for (p, child) in &node.children {
+        while qi < query.len() && query[qi] < *p {
+            qi += 1;
+        }
+        if qi == query.len() {
+            break;
+        }
+        if query[qi] == *p {
+            subsets(child, &query[qi + 1..], out);
+        }
+    }
+}
+
+fn supersets(node: &Node, query: &[Pred], out: &mut Vec<usize>) {
+    let Some(q0) = query.first() else {
+        // Everything below extends a superset of the (exhausted) query.
+        collect(node, out);
+        return;
+    };
+    for (p, child) in &node.children {
+        if p < q0 {
+            supersets(child, query, out);
+        } else if p == q0 {
+            supersets(child, &query[1..], out);
+        } else {
+            break;
+        }
+    }
+}
+
+fn collect(node: &Node, out: &mut Vec<usize>) {
+    out.extend_from_slice(&node.slots);
+    for (_, child) in &node.children {
+        collect(child, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr_syntax::Symbol;
+
+    fn p(name: &str) -> Pred {
+        Pred::new(Symbol::intern(name), 1)
+    }
+
+    fn sorted(mut preds: Vec<Pred>) -> Vec<Pred> {
+        preds.sort();
+        preds.dedup();
+        preds
+    }
+
+    /// Slot sets as a reference model would compute them.
+    fn probe(trie: &PredSetTrie, query: &[Pred], subset: bool) -> Vec<usize> {
+        let mut out = Vec::new();
+        if subset {
+            trie.subsets_into(query, &mut out);
+        } else {
+            trie.supersets_into(query, &mut out);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn subset_and_superset_probes() {
+        let sets: Vec<Vec<Pred>> = vec![
+            sorted(vec![p("e")]),
+            sorted(vec![p("e"), p("f")]),
+            sorted(vec![p("f")]),
+            sorted(vec![p("e"), p("f"), p("g")]),
+            vec![],
+        ];
+        let mut trie = PredSetTrie::default();
+        for (i, s) in sets.iter().enumerate() {
+            trie.insert(s, i);
+        }
+        let is_subset = |a: &[Pred], b: &[Pred]| a.iter().all(|x| b.contains(x));
+        for query in [
+            vec![],
+            sorted(vec![p("e")]),
+            sorted(vec![p("e"), p("f")]),
+            sorted(vec![p("e"), p("g")]),
+            sorted(vec![p("e"), p("f"), p("g")]),
+            sorted(vec![p("h")]),
+        ] {
+            let want_sub: Vec<usize> = (0..sets.len())
+                .filter(|&i| is_subset(&sets[i], &query))
+                .collect();
+            let want_sup: Vec<usize> = (0..sets.len())
+                .filter(|&i| is_subset(&query, &sets[i]))
+                .collect();
+            assert_eq!(probe(&trie, &query, true), want_sub, "subsets of {query:?}");
+            assert_eq!(
+                probe(&trie, &query, false),
+                want_sup,
+                "supersets of {query:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn removal_hides_slots() {
+        let mut trie = PredSetTrie::default();
+        let ef = sorted(vec![p("e"), p("f")]);
+        trie.insert(&ef, 0);
+        trie.insert(&ef, 1);
+        trie.remove(&ef, 0);
+        assert_eq!(probe(&trie, &ef, true), vec![1]);
+        trie.remove(&ef, 1);
+        assert_eq!(probe(&trie, &ef, true), Vec::<usize>::new());
+        // Removing an absent path is a no-op.
+        trie.remove(&sorted(vec![p("g")]), 7);
+    }
+
+    #[test]
+    fn duplicate_pred_sets_share_a_node() {
+        let mut trie = PredSetTrie::default();
+        trie.insert(&sorted(vec![p("e")]), 3);
+        trie.insert(&sorted(vec![p("e")]), 5);
+        assert_eq!(probe(&trie, &sorted(vec![p("e"), p("f")]), true), vec![3, 5]);
+        assert_eq!(probe(&trie, &[], false), vec![3, 5]);
+    }
+}

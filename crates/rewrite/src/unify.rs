@@ -21,8 +21,9 @@
 
 use std::collections::{HashMap, HashSet};
 
+use qr_hom::kernel::pred_mask_bit;
 use qr_syntax::query::{ConjunctiveQuery, QAtom, QTerm, Var};
-use qr_syntax::{Symbol, Tgd};
+use qr_syntax::{Pred, Symbol, Tgd, Theory};
 
 /// A successful piece unification, carrying the rewritten query.
 #[derive(Clone, Debug)]
@@ -31,6 +32,91 @@ pub struct PieceUnifier {
     pub piece: Vec<usize>,
     /// The rewritten query (canonicalized).
     pub result: ConjunctiveQuery,
+}
+
+/// Per-rule piece-unifier index: the head's 64-bit predicate mask (the
+/// same bit assignment as the homomorphism kernel's prefilter) and, per
+/// head predicate, the head-atom indices carrying it (in head order, so
+/// enumeration order is unchanged). Built once per saturation via
+/// [`TheoryIndex::new`]; a query atom then consults only same-predicate
+/// head atoms instead of scanning the whole head, and a whole rule is
+/// skipped when its head mask shares no bit with the query's mask.
+pub struct RuleIndex {
+    mask: u64,
+    head_len: usize,
+    by_pred: HashMap<Pred, Vec<usize>>,
+}
+
+impl RuleIndex {
+    /// Indexes one rule's head.
+    pub fn new(rule: &Tgd) -> RuleIndex {
+        let mut mask = 0u64;
+        let mut by_pred: HashMap<Pred, Vec<usize>> = HashMap::new();
+        for (i, h) in rule.head().iter().enumerate() {
+            mask |= pred_mask_bit(&h.pred);
+            by_pred.entry(h.pred).or_default().push(i);
+        }
+        RuleIndex {
+            mask,
+            head_len: rule.head().len(),
+            by_pred,
+        }
+    }
+
+    /// The head's predicate-occupancy mask.
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// Number of head atoms (for accounting skipped pairings).
+    pub fn head_len(&self) -> usize {
+        self.head_len
+    }
+}
+
+/// One [`RuleIndex`] per rule of a theory, in rule order.
+pub struct TheoryIndex {
+    rules: Vec<RuleIndex>,
+}
+
+impl TheoryIndex {
+    /// Indexes every rule head of `theory`.
+    pub fn new(theory: &Theory) -> TheoryIndex {
+        TheoryIndex {
+            rules: theory.rules().iter().map(RuleIndex::new).collect(),
+        }
+    }
+
+    /// The index of rule `i` (theory rule order).
+    pub fn rule(&self, i: usize) -> &RuleIndex {
+        &self.rules[i]
+    }
+
+    /// The per-rule indexes, in theory rule order.
+    pub fn rules(&self) -> &[RuleIndex] {
+        &self.rules
+    }
+}
+
+/// The query-side counterpart of [`RuleIndex::mask`]: the predicate
+/// occupancy mask over the query's atoms.
+pub fn query_pred_mask(q: &ConjunctiveQuery) -> u64 {
+    q.atoms()
+        .iter()
+        .fold(0u64, |m, a| m | pred_mask_bit(&a.pred))
+}
+
+/// What the piece-unifier index did for one enumeration: `probes` counts
+/// (query atom × head atom) unification attempts actually made, `skipped`
+/// counts pairings pruned statically — predicate-mismatched pairs within a
+/// consulted rule, plus the full cross-product of rules the mask prefilter
+/// skipped outright.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UnifyCounters {
+    /// Unification attempts made at descend branch points.
+    pub probes: usize,
+    /// Pairings never attempted thanks to the index.
+    pub skipped: usize,
 }
 
 /// A small union–find over dense indices.
@@ -155,11 +241,42 @@ impl<'a> Space<'a> {
 /// returns the rewritten queries. Rules with builtin (`true`/`dom`) bodies
 /// must be filtered out by the caller.
 pub fn piece_rewritings(q: &ConjunctiveQuery, rule: &Tgd) -> Vec<PieceUnifier> {
-    let space = Space::new(q, rule);
+    piece_rewritings_indexed(
+        q,
+        rule,
+        &RuleIndex::new(rule),
+        usize::MAX,
+        &mut UnifyCounters::default(),
+    )
+}
+
+/// [`piece_rewritings`] with a prebuilt [`RuleIndex`], a result cap, and
+/// counter accumulation. At most `cap` unifiers are returned; enumeration
+/// stops the moment the cap is reached (deterministic: the exploration
+/// order is fixed, so equal caps give equal prefixes of the uncapped
+/// result list). `ridx` must index `rule`.
+pub fn piece_rewritings_indexed(
+    q: &ConjunctiveQuery,
+    rule: &Tgd,
+    ridx: &RuleIndex,
+    cap: usize,
+    counters: &mut UnifyCounters,
+) -> Vec<PieceUnifier> {
+    // Static pairings the per-predicate head lists prune: for each query
+    // atom, the head atoms of a different predicate are never attempted.
+    for a in q.atoms() {
+        counters.skipped += ridx.head_len - ridx.by_pred.get(&a.pred).map_or(0, |h| h.len());
+    }
     let mut out: Vec<PieceUnifier> = Vec::new();
+    if cap == 0 {
+        return out;
+    }
+    let space = Space::new(q, rule);
     let mut seen: HashSet<ConjunctiveQuery> = HashSet::new();
     let uf = Uf::new(space.total());
-    descend(&space, 0, Vec::new(), uf, &mut |piece, uf| {
+    let mut probes = 0usize;
+    descend(&space, 0, Vec::new(), uf, ridx, &mut probes, &mut |piece,
+                                                                uf| {
         if let Some(result) = finish(&space, piece, uf.clone()) {
             if seen.insert(result.canonical()) {
                 out.push(PieceUnifier {
@@ -168,33 +285,52 @@ pub fn piece_rewritings(q: &ConjunctiveQuery, rule: &Tgd) -> Vec<PieceUnifier> {
                 });
             }
         }
+        out.len() < cap
     });
+    counters.probes += probes;
     out
 }
 
 /// Recursively decides, per query atom, whether to skip it or unify it with
-/// one of the head atoms, pruning on hard constant clashes.
+/// one of the same-predicate head atoms (from the index's per-predicate
+/// lists), pruning on hard constant clashes. `emit` returns `false` to
+/// stop the enumeration (the result cap was reached); the return value
+/// propagates that stop.
 fn descend(
     space: &Space<'_>,
     atom_idx: usize,
     piece: Vec<usize>,
     uf: Uf,
-    emit: &mut impl FnMut(&[usize], &Uf),
-) {
+    ridx: &RuleIndex,
+    probes: &mut usize,
+    emit: &mut impl FnMut(&[usize], &Uf) -> bool,
+) -> bool {
     if atom_idx == space.q.atoms().len() {
         if !piece.is_empty() {
-            emit(&piece, &uf);
+            return emit(&piece, &uf);
         }
-        return;
+        return true;
     }
     // Option 1: the atom is not part of the piece.
-    descend(space, atom_idx + 1, piece.clone(), uf.clone(), emit);
+    if !descend(
+        space,
+        atom_idx + 1,
+        piece.clone(),
+        uf.clone(),
+        ridx,
+        probes,
+        emit,
+    ) {
+        return false;
+    }
     // Option 2: unify it with each same-predicate head atom.
     let qatom = &space.q.atoms()[atom_idx];
-    for hatom in space.rule.head() {
-        if hatom.pred != qatom.pred {
-            continue;
-        }
+    let Some(heads) = ridx.by_pred.get(&qatom.pred) else {
+        return true;
+    };
+    for &hi in heads {
+        let hatom = &space.rule.head()[hi];
+        *probes += 1;
         let mut uf2 = uf.clone();
         let mut ok = true;
         for (qt, ht) in qatom.args.iter().zip(hatom.args.iter()) {
@@ -214,9 +350,12 @@ fn descend(
         if ok {
             let mut piece2 = piece.clone();
             piece2.push(atom_idx);
-            descend(space, atom_idx + 1, piece2, uf2, emit);
+            if !descend(space, atom_idx + 1, piece2, uf2, ridx, probes, emit) {
+                return false;
+            }
         }
     }
+    true
 }
 
 /// Validates the partition and builds the rewritten query.
@@ -470,6 +609,98 @@ mod tests {
         let rs = piece_rewritings(&q, &t.rules()[0]);
         assert_eq!(rs.len(), 1);
         assert_eq!(rs[0].result.size(), 2);
+    }
+
+    #[test]
+    fn indexed_enumeration_matches_unindexed() {
+        let t = parse_theory("p(X) -> r(X,Z), g(X,Z).").unwrap();
+        let q = parse_query("? :- r(U,V), g(U,V), s(U).").unwrap();
+        let rule = &t.rules()[0];
+        let full: Vec<String> = piece_rewritings(&q, rule)
+            .iter()
+            .map(|p| p.result.render())
+            .collect();
+        let ridx = RuleIndex::new(rule);
+        let mut c = UnifyCounters::default();
+        let indexed: Vec<String> = piece_rewritings_indexed(&q, rule, &ridx, usize::MAX, &mut c)
+            .iter()
+            .map(|p| p.result.render())
+            .collect();
+        assert_eq!(indexed, full, "same unifiers in the same order");
+        assert!(c.probes > 0, "attempts are counted");
+        // s(U) never meets either head atom (2 pairings); the r-atom skips
+        // the g-head and vice versa (1 each).
+        assert_eq!(c.skipped, 4);
+    }
+
+    /// Render with every variable renamed to its order of first
+    /// appearance: the enumeration mints globally fresh names per call,
+    /// so raw renders differ across otherwise identical runs.
+    fn normalized(pu: &PieceUnifier) -> String {
+        fn flush(tok: &mut String, out: &mut String, map: &mut Vec<String>) {
+            if tok.is_empty() {
+                return;
+            }
+            if tok.chars().next().unwrap().is_uppercase() {
+                let i = match map.iter().position(|t| t == tok.as_str()) {
+                    Some(i) => i,
+                    None => {
+                        map.push(tok.clone());
+                        map.len() - 1
+                    }
+                };
+                out.push('V');
+                out.push_str(&i.to_string());
+            } else {
+                out.push_str(tok);
+            }
+            tok.clear();
+        }
+        let mut map = Vec::new();
+        let mut out = String::new();
+        let mut tok = String::new();
+        for ch in pu.result.render().chars() {
+            if ch.is_alphanumeric() || ch == '_' {
+                tok.push(ch);
+            } else {
+                flush(&mut tok, &mut out, &mut map);
+                out.push(ch);
+            }
+        }
+        flush(&mut tok, &mut out, &mut map);
+        out
+    }
+
+    #[test]
+    fn cap_truncates_to_a_prefix() {
+        // A datalog head (no existentials), so each query atom rewrites on
+        // its own: two unifiers (the both-atoms piece dies on the a=b
+        // constant clash).
+        let t = parse_theory("e(X,Y), e(Y,Z) -> e(X,Z).").unwrap();
+        let q = parse_query("? :- e(a,b), e(b,c).").unwrap();
+        let rule = &t.rules()[0];
+        let ridx = RuleIndex::new(rule);
+        let full: Vec<String> = piece_rewritings(&q, rule).iter().map(normalized).collect();
+        assert!(full.len() >= 2);
+        for cap in 0..=full.len() {
+            let mut c = UnifyCounters::default();
+            let capped: Vec<String> = piece_rewritings_indexed(&q, rule, &ridx, cap, &mut c)
+                .iter()
+                .map(normalized)
+                .collect();
+            assert_eq!(capped, full[..cap], "cap {cap} is an exact prefix");
+        }
+    }
+
+    #[test]
+    fn rule_mask_prefilters_disjoint_queries() {
+        let t = parse_theory("p(X) -> r(X,Y).").unwrap();
+        let ridx = RuleIndex::new(&t.rules()[0]);
+        assert_eq!(ridx.head_len(), 1);
+        let disjoint = parse_query("? :- s(U).").unwrap();
+        assert_eq!(ridx.mask() & query_pred_mask(&disjoint), 0);
+        let touching = parse_query("? :- r(U,V), s(U).").unwrap();
+        assert_ne!(ridx.mask() & query_pred_mask(&touching), 0);
     }
 
     #[test]
