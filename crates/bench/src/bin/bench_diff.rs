@@ -2,8 +2,9 @@
 //!
 //! Usage: `bench_diff <baseline.json> <candidate.json>`
 //!
-//! Works on both `BENCH_chase.json` (schema `qr-bench/chase-v3`) and
-//! `BENCH_rewrite.json` (schema `qr-bench/rewrite-v3`) — each dump carries
+//! Works on `BENCH_chase.json` (schema `qr-bench/chase-v3`),
+//! `BENCH_rewrite.json` (schema `qr-bench/rewrite-v3`) and
+//! `BENCH_serve.json` (schema `qr-bench/serve-v1`) — each dump carries
 //! whichever run arrays it has. The chase engine's trigger/candidate/sweep
 //! counters are a pure function of (theory, instance, budget), and the
 //! rewrite engine's per-window counters a pure function of (theory, query,
@@ -12,12 +13,14 @@
 //! totals, memory counters (`peak_facts` and the storage layer's logical
 //! byte accounting — deterministic by construction, see `qr-storage`),
 //! per-round chase counters, per-window rewrite counters, the marked
-//! process's frontier counters, and the homomorphism-kernel counters
+//! process's frontier counters, the homomorphism-kernel counters
 //! (schema v2: the cache tier is always present and deterministic; the
 //! search/core tier is emitted only by fully sequential workloads and
-//! gated whenever both sides carry it), ignoring everything timing- or
-//! machine-dependent (`wall_ms`, `barrier_wall_ms`, every `*_ms` split,
-//! `threads`, per-experiment timings). Exit code 0 means the counters
+//! gated whenever both sides carry it), and the serve engine's request
+//! counters, per-segment cache outcomes and response-trace hash, ignoring
+//! everything timing- or machine-dependent (`wall_ms`, `barrier_wall_ms`,
+//! every `*_ms` split, latency percentiles, `threads`, per-experiment
+//! timings). Exit code 0 means the counters
 //! match; 1 means drift (differences listed on stderr); 2 means usage or
 //! parse errors.
 //!
@@ -455,6 +458,90 @@ fn diff_rewrite_run(name: &str, b: &Value, c: &Value, report: &mut String) {
     }
 }
 
+/// The serve engine's deterministic counters (schema `serve-v1`): every
+/// field of `ServeCounters`. All are pure functions of (tenants, request
+/// stream, engine config) — updated only at the engine's ordered merge
+/// point — so they gate at any worker-pool width. `wall_ms` and the
+/// `p50_ms`/`p95_ms`/`p99_ms` latency percentiles are machine-dependent
+/// and deliberately absent.
+const SERVE_COUNTERS: [&str; 15] = [
+    "requests",
+    "answered",
+    "rejected",
+    "hits",
+    "misses",
+    "evictions",
+    "plan_compiles",
+    "plan_reuses",
+    "incomplete",
+    "truncated",
+    "answers_emitted",
+    "match_candidates",
+    "rewrite_generated",
+    "cache_bytes",
+    "peak_cache_bytes",
+];
+
+/// Per-segment cache outcomes of a serve run.
+const SERVE_SEGMENT_KEYS: [&str; 3] = ["requests", "hits", "misses"];
+
+/// Diffs one serve run: the `trace_fnv` determinism pin (a hex string —
+/// any response-stream drift lands here even if every counter happens to
+/// agree), the counters object, and segments matched by name.
+fn diff_serve_run(name: &str, b: &Value, c: &Value, report: &mut String) {
+    let bf = b.get("trace_fnv").and_then(Value::as_str);
+    let cf = c.get("trace_fnv").and_then(Value::as_str);
+    if bf != cf {
+        let _ = writeln!(report, "  \"{name}\": trace_fnv {bf:?} -> {cf:?}");
+    }
+    match (b.get("counters"), c.get("counters")) {
+        (None, None) => {}
+        (Some(_), None) => {
+            let _ = writeln!(report, "  \"{name}\": counters missing from candidate");
+        }
+        (None, Some(_)) => {
+            let _ = writeln!(report, "  \"{name}\": counters missing from baseline");
+        }
+        (Some(bc), Some(cc)) => {
+            diff_keys(&format!("\"{name}\""), &SERVE_COUNTERS, bc, cc, report);
+        }
+    }
+    let seg_name = |s: &Value| {
+        s.get("name")
+            .and_then(Value::as_str)
+            .unwrap_or("<unnamed>")
+            .to_owned()
+    };
+    let bsegs = b.get("segments").map(Value::as_arr).unwrap_or_default();
+    let csegs = c.get("segments").map(Value::as_arr).unwrap_or_default();
+    for bs in bsegs {
+        let sname = seg_name(bs);
+        let Some(cs) = csegs.iter().find(|s| seg_name(s) == sname) else {
+            let _ = writeln!(
+                report,
+                "  \"{name}\": segment \"{sname}\" missing from candidate"
+            );
+            continue;
+        };
+        diff_keys(
+            &format!("\"{name}\" segment \"{sname}\""),
+            &SERVE_SEGMENT_KEYS,
+            bs,
+            cs,
+            report,
+        );
+    }
+    for cs in csegs {
+        let sname = seg_name(cs);
+        if !bsegs.iter().any(|s| seg_name(s) == sname) {
+            let _ = writeln!(
+                report,
+                "  \"{name}\": segment \"{sname}\" missing from baseline"
+            );
+        }
+    }
+}
+
 /// Diffs two parsed dumps; returns a human-readable drift report (empty
 /// when the deterministic counters agree).
 fn diff(base: &Value, cand: &Value) -> String {
@@ -537,6 +624,31 @@ fn diff(base: &Value, cand: &Value) -> String {
                 report,
                 "  rewrite workload \"{name}\": missing from baseline"
             );
+        }
+    }
+    let base_sv = base
+        .get("serve_runs")
+        .map(Value::as_arr)
+        .unwrap_or_default();
+    let cand_sv = cand
+        .get("serve_runs")
+        .map(Value::as_arr)
+        .unwrap_or_default();
+    for b in base_sv {
+        let name = workload(b);
+        let Some(c) = cand_sv.iter().find(|r| workload(r) == name) else {
+            let _ = writeln!(
+                report,
+                "  serve workload \"{name}\": missing from candidate"
+            );
+            continue;
+        };
+        diff_serve_run(&name, b, c, &mut report);
+    }
+    for c in cand_sv {
+        let name = workload(c);
+        if !base_sv.iter().any(|b| workload(b) == name) {
+            let _ = writeln!(report, "  serve workload \"{name}\": missing from baseline");
         }
     }
     report
@@ -830,6 +942,77 @@ mod tests {
         let report = diff(&rewrite_dump(&[full(20)]), &rewrite_dump(&[full(21)]));
         assert!(
             report.contains("\"t_p\" hom: searches Some(20) -> Some(21)"),
+            "{report}"
+        );
+    }
+
+    fn serve_run(workload: &str, hits: u64, fnv: &str) -> String {
+        format!(
+            "{{\"workload\": \"{workload}\", \"threads\": 8, \"wall_ms\": 31.2, \"p50_ms\": 0.010, \"p95_ms\": 0.900, \"p99_ms\": 2.100, \"trace_fnv\": \"{fnv}\", \"counters\": {{\"requests\": 1200, \"answered\": 1200, \"rejected\": 0, \"hits\": {hits}, \"misses\": 150, \"evictions\": 0, \"plan_compiles\": 290, \"plan_reuses\": 2030, \"incomplete\": 41, \"truncated\": 6, \"answers_emitted\": 8120, \"match_candidates\": 40100, \"rewrite_generated\": 7300, \"cache_bytes\": 51200, \"peak_cache_bytes\": 51200}}, \"segments\": [{{\"name\": \"cold\", \"requests\": 116, \"hits\": 0, \"misses\": 116}}, {{\"name\": \"iso\", \"requests\": 704, \"hits\": 688, \"misses\": 16}}]}}"
+        )
+    }
+
+    fn serve_dump(runs: &[String]) -> Value {
+        let src = format!(
+            "{{\"schema\": \"qr-bench/serve-v1\", \"serve_runs\": [{}]}}",
+            runs.join(",")
+        );
+        Parser::parse(&src).unwrap()
+    }
+
+    #[test]
+    fn serve_wall_and_percentiles_are_ignored() {
+        let a = serve_dump(&[serve_run("serve-mixed", 1050, "0x00ff")]);
+        let b_src = serve_run("serve-mixed", 1050, "0x00ff")
+            .replace("\"threads\": 8", "\"threads\": 1")
+            .replace("\"wall_ms\": 31.2", "\"wall_ms\": 900.0")
+            .replace("\"p95_ms\": 0.900", "\"p95_ms\": 44.0");
+        assert!(diff(&a, &serve_dump(&[b_src])).is_empty());
+    }
+
+    #[test]
+    fn serve_counter_and_segment_drift_is_reported() {
+        let a = serve_dump(&[serve_run("serve-mixed", 1050, "0x00ff")]);
+        let b_src = serve_run("serve-mixed", 1049, "0x00ff").replace(
+            "\"iso\", \"requests\": 704, \"hits\": 688",
+            "\"iso\", \"requests\": 704, \"hits\": 687",
+        );
+        let report = diff(&a, &serve_dump(&[b_src]));
+        assert!(
+            report.contains("\"serve-mixed\": hits Some(1050) -> Some(1049)"),
+            "{report}"
+        );
+        assert!(
+            report.contains("\"serve-mixed\" segment \"iso\": hits Some(688) -> Some(687)"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn serve_trace_hash_drift_is_reported() {
+        let a = serve_dump(&[serve_run("serve-mixed", 1050, "0x00ff")]);
+        let b = serve_dump(&[serve_run("serve-mixed", 1050, "0x0100")]);
+        let report = diff(&a, &b);
+        assert!(
+            report.contains("trace_fnv Some(\"0x00ff\") -> Some(\"0x0100\")"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn missing_serve_workloads_and_segments_are_reported() {
+        let a = serve_dump(&[serve_run("serve-mixed", 1050, "0x00ff")]);
+        let b = serve_dump(&[serve_run("serve-churn", 60, "0xbeef")]);
+        let report = diff(&a, &b);
+        assert!(report.contains("serve workload \"serve-mixed\": missing from candidate"));
+        assert!(report.contains("serve workload \"serve-churn\": missing from baseline"));
+        let c_src = serve_run("serve-mixed", 1050, "0x00ff").replace(
+            ", {\"name\": \"iso\", \"requests\": 704, \"hits\": 688, \"misses\": 16}",
+            "",
+        );
+        let report = diff(&a, &serve_dump(&[c_src]));
+        assert!(
+            report.contains("\"serve-mixed\": segment \"iso\" missing from candidate"),
             "{report}"
         );
     }

@@ -2,7 +2,7 @@
 //! it completes.
 //!
 //! Usage: `cargo run -p qr-bench --release --bin harness [--json]
-//! [--threads N] [--list] [e01 e07 ...]`
+//! [--threads N] [--serve] [--list] [e01 e07 serve-mixed ...]`
 //!
 //! With no experiment arguments all experiments run in order. With
 //! `--json`, per-experiment wall times plus the chase engine's per-round
@@ -16,10 +16,15 @@
 //! engines run on: the count is plumbed into the [`Executor`] explicitly
 //! (the `QR_THREADS` env var is only read as a default, never written).
 //! Thread count never changes any counter or table value — only wall
-//! times. `--list` prints the available experiment ids and exits. Unknown
-//! options and unknown experiment ids are rejected (a misspelled
-//! `--thread 4` used to silently run everything single-threaded as two
-//! never-matching experiment filters).
+//! times. `--serve` replays the pinned serving workloads through the
+//! `qr-serve` engine and prints a per-workload cache summary; with
+//! `--json` the runs are also written to `BENCH_serve.json` (schema
+//! `qr-bench/serve-v1`). Individual serve workloads can be selected by
+//! listing their ids (`serve-mixed`, `serve-churn`) — naming one implies
+//! `--serve`. `--list` prints the available experiment and serve-workload
+//! ids and exits. Unknown options and unknown ids are rejected (a
+//! misspelled `--thread 4` used to silently run everything
+//! single-threaded as two never-matching experiment filters).
 
 use qr_bench::experiments;
 use qr_bench::report::{self, ExperimentTiming};
@@ -27,30 +32,41 @@ use qr_exec::Executor;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness [--json] [--threads N] [--list] [EXPERIMENT_ID ...]\n\
+        "usage: harness [--json] [--threads N] [--serve] [--list] [ID ...]\n\
          \n\
          options:\n\
-         \x20 --json       also write BENCH_chase.json and BENCH_rewrite.json\n\
+         \x20 --json       also write BENCH_chase.json, BENCH_rewrite.json\n\
+         \x20              (and BENCH_serve.json when serving workloads run)\n\
          \x20 --threads N  size the worker pool (default: QR_THREADS or all cores)\n\
-         \x20 --list       print available experiment ids and exit\n\
+         \x20 --serve      replay the pinned serving workloads (qr-serve)\n\
+         \x20 --list       print available experiment and serve-workload ids\n\
          \n\
-         with no EXPERIMENT_ID arguments, all experiments run in order"
+         IDs select experiments (e01 ...) and/or serve workloads\n\
+         (serve-mixed, serve-churn; naming one implies --serve); with no\n\
+         IDs, all experiments run in order"
     );
     std::process::exit(2);
 }
 
 fn main() {
     let known_ids: Vec<&str> = experiments::all().iter().map(|(id, _)| *id).collect();
+    let known_serve = qr_bench::serve_workloads::workload_labels();
     let mut filters: Vec<String> = Vec::new();
+    let mut serve_filters: Vec<String> = Vec::new();
     let mut json = false;
+    let mut serve = false;
     let mut threads: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let lower = arg.to_ascii_lowercase();
         match lower.as_str() {
             "--json" => json = true,
+            "--serve" => serve = true,
             "--list" => {
                 for id in &known_ids {
+                    println!("{id}");
+                }
+                for id in &known_serve {
                     println!("{id}");
                 }
                 return;
@@ -72,11 +88,15 @@ fn main() {
                 usage();
             }
             id => {
-                if !known_ids.contains(&id) {
-                    eprintln!("harness: unknown experiment id '{arg}' (try --list)");
+                if known_ids.contains(&id) {
+                    filters.push(lower);
+                } else if known_serve.contains(&id) {
+                    serve = true;
+                    serve_filters.push(lower);
+                } else {
+                    eprintln!("harness: unknown id '{arg}' (try --list)");
                     std::process::exit(2);
                 }
-                filters.push(lower);
             }
         }
     }
@@ -87,22 +107,28 @@ fn main() {
     };
     eprintln!("worker pool: {} thread(s)", exec.threads());
 
+    // Serve-only invocations (`--serve` / serve ids without experiment
+    // ids) skip the experiment tables and their JSON dumps entirely.
+    let run_experiments = !filters.is_empty() || !serve;
+
     let mut timings: Vec<ExperimentTiming> = Vec::new();
-    for (id, build) in experiments::all() {
-        if !filters.is_empty() && !filters.iter().any(|f| f == id) {
-            continue;
+    if run_experiments {
+        for (id, build) in experiments::all() {
+            if !filters.is_empty() && !filters.iter().any(|f| f == id) {
+                continue;
+            }
+            let t0 = std::time::Instant::now();
+            let table = build(&exec);
+            let wall = t0.elapsed();
+            println!("{table}   [{id} total {wall:?}]\n");
+            timings.push(ExperimentTiming {
+                id: id.to_owned(),
+                wall_ms: wall.as_secs_f64() * 1e3,
+            });
         }
-        let t0 = std::time::Instant::now();
-        let table = build(&exec);
-        let wall = t0.elapsed();
-        println!("{table}   [{id} total {wall:?}]\n");
-        timings.push(ExperimentTiming {
-            id: id.to_owned(),
-            wall_ms: wall.as_secs_f64() * 1e3,
-        });
     }
 
-    if json {
+    if json && run_experiments {
         let runs = experiments::e11_chase_engine::stats_runs(&exec);
         let rendered = report::render_json(&timings, &runs);
         let path = "BENCH_chase.json";
@@ -121,6 +147,44 @@ fn main() {
             Err(e) => {
                 eprintln!("failed to write {path}: {e}");
                 std::process::exit(1);
+            }
+        }
+    }
+
+    if serve {
+        let sruns = qr_bench::serve_workloads::stats_runs(exec.threads(), &serve_filters);
+        for r in &sruns {
+            let c = &r.counters;
+            println!(
+                "{}: {} requests in {:.1} ms — {} hits / {} misses / {} evictions, \
+                 {} answers, p50 {:.3} ms p95 {:.3} ms p99 {:.3} ms",
+                r.workload,
+                c.requests,
+                r.wall_ms,
+                c.hits,
+                c.misses,
+                c.evictions,
+                c.answers_emitted,
+                r.p50_ms,
+                r.p95_ms,
+                r.p99_ms,
+            );
+            for s in &r.segments {
+                println!(
+                    "  segment {}: {} requests, {} hits, {} misses",
+                    s.name, s.requests, s.hits, s.misses
+                );
+            }
+        }
+        if json {
+            let rendered = report::render_serve_json(&sruns);
+            let path = "BENCH_serve.json";
+            match std::fs::write(path, rendered) {
+                Ok(()) => println!("wrote {path} ({} serve runs)", sruns.len()),
+                Err(e) => {
+                    eprintln!("failed to write {path}: {e}");
+                    std::process::exit(1);
+                }
             }
         }
     }

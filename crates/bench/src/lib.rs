@@ -10,6 +10,7 @@ pub mod experiments;
 pub mod microbench;
 pub mod report;
 pub mod rewrite_workloads;
+pub mod serve_workloads;
 pub mod table;
 
 pub use table::Table;

@@ -89,6 +89,45 @@ pub struct RewriteRun {
     pub hom: Option<HomReport>,
 }
 
+/// Per-segment cache outcome of one serve run. Requests/hits/misses are
+/// deterministic (the engine decides tiers at its ordered merge point), so
+/// all three are drift-gated.
+pub struct ServeSegment {
+    /// Segment tag (`"cold"`, `"iso"`, `"hot"`, ...).
+    pub name: String,
+    /// Requests carrying this tag.
+    pub requests: u64,
+    /// Rewriting-cache hits within the segment.
+    pub hits: u64,
+    /// Rewriting-cache misses within the segment.
+    pub misses: u64,
+}
+
+/// One measured serve-workload replay: the engine's deterministic
+/// [`ServeCounters`](qr_serve::ServeCounters), per-segment cache outcomes,
+/// and an FNV-1a hash of the full response trace. Only `wall_ms` and the
+/// latency percentiles are machine-dependent.
+pub struct ServeRun {
+    /// Workload label (`"serve-mixed"`, ...).
+    pub workload: String,
+    /// Worker-pool width the engine ran with.
+    pub threads: usize,
+    /// End-to-end wall time of the replay, ms.
+    pub wall_ms: f64,
+    /// The engine's deterministic counter snapshot.
+    pub counters: qr_serve::ServeCounters,
+    /// Per-segment cache outcomes, sorted by name.
+    pub segments: Vec<ServeSegment>,
+    /// FNV-1a of the rendered response trace (thread-invariant).
+    pub trace_fnv: u64,
+    /// Median per-request service time, ms (reported, never gated).
+    pub p50_ms: f64,
+    /// 95th-percentile per-request service time, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile per-request service time, ms.
+    pub p99_ms: f64,
+}
+
 /// Wall time of one whole experiment table.
 pub struct ExperimentTiming {
     /// Experiment id (`"e11"`, ...).
@@ -311,6 +350,65 @@ pub fn render_rewrite_json(runs: &[RewriteRun]) -> String {
     out
 }
 
+/// Renders `BENCH_serve.json` (schema `qr-bench/serve-v1`): one entry per
+/// serve-workload replay. The `counters` object carries every field of
+/// [`ServeCounters`](qr_serve::ServeCounters) — all deterministic, all
+/// drift-gated — plus the per-segment cache outcomes and the trace hash
+/// (emitted as a hex string so the 64-bit value survives f64-based JSON
+/// parsers). `wall_ms`, `p50_ms`/`p95_ms`/`p99_ms` and `threads` are
+/// machine-dependent; `bench_diff` exempts exactly those.
+pub fn render_serve_json(runs: &[ServeRun]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"qr-bench/serve-v1\",\n  \"serve_runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let c = &r.counters;
+        let _ = write!(
+            out,
+            "    {{\n      \"workload\": \"{}\",\n      \"threads\": {},\n      \"wall_ms\": {},\n      \"p50_ms\": {},\n      \"p95_ms\": {},\n      \"p99_ms\": {},\n      \"trace_fnv\": \"{:#018x}\",\n      \"counters\": {{\"requests\": {}, \"answered\": {}, \"rejected\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"plan_compiles\": {}, \"plan_reuses\": {}, \"incomplete\": {}, \"truncated\": {}, \"answers_emitted\": {}, \"match_candidates\": {}, \"rewrite_generated\": {}, \"cache_bytes\": {}, \"peak_cache_bytes\": {}}},\n      \"segments\": [\n",
+            escape(&r.workload),
+            r.threads,
+            ms(r.wall_ms),
+            ms(r.p50_ms),
+            ms(r.p95_ms),
+            ms(r.p99_ms),
+            r.trace_fnv,
+            c.requests,
+            c.answered,
+            c.rejected,
+            c.hits,
+            c.misses,
+            c.evictions,
+            c.plan_compiles,
+            c.plan_reuses,
+            c.incomplete,
+            c.truncated,
+            c.answers_emitted,
+            c.match_candidates,
+            c.rewrite_generated,
+            c.cache_bytes,
+            c.peak_cache_bytes,
+        );
+        for (j, s) in r.segments.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "        {{\"name\": \"{}\", \"requests\": {}, \"hits\": {}, \"misses\": {}}}{}",
+                escape(&s.name),
+                s.requests,
+                s.hits,
+                s.misses,
+                if j + 1 < r.segments.len() { "," } else { "" }
+            );
+        }
+        let _ = write!(
+            out,
+            "      ]\n    }}{}\n",
+            if i + 1 < runs.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -492,6 +590,65 @@ mod tests {
              \"searches\": 40, \"search_candidates\": 123, \"core_rounds\": 0, \
              \"core_searches\": 0, \"core_cache_hits\": 0}"
         ));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n  ]"));
+        assert!(!json.contains(",\n      ]"));
+    }
+
+    #[test]
+    fn renders_serve_runs_well_formed() {
+        use qr_serve::ServeCounters;
+        let runs = vec![ServeRun {
+            workload: "serve-\"mixed\"".into(),
+            threads: 4,
+            wall_ms: 42.125,
+            counters: ServeCounters {
+                requests: 1200,
+                answered: 1200,
+                rejected: 0,
+                hits: 1050,
+                misses: 150,
+                evictions: 3,
+                plan_compiles: 300,
+                plan_reuses: 2100,
+                incomplete: 40,
+                truncated: 5,
+                answers_emitted: 9000,
+                match_candidates: 44000,
+                rewrite_generated: 8000,
+                cache_bytes: 52000,
+                peak_cache_bytes: 53000,
+            },
+            segments: vec![
+                ServeSegment {
+                    name: "cold".into(),
+                    requests: 116,
+                    hits: 0,
+                    misses: 116,
+                },
+                ServeSegment {
+                    name: "iso".into(),
+                    requests: 704,
+                    hits: 690,
+                    misses: 14,
+                },
+            ],
+            trace_fnv: 0x00ab_cdef_0123_4567,
+            p50_ms: 0.011,
+            p95_ms: 0.5,
+            p99_ms: 1.25,
+        }];
+        let json = render_serve_json(&runs);
+        assert!(json.contains("\"schema\": \"qr-bench/serve-v1\""));
+        assert!(json.contains("serve-\\\"mixed\\\""));
+        assert!(json.contains("\"trace_fnv\": \"0x00abcdef01234567\""));
+        assert!(json.contains("\"hits\": 1050"));
+        assert!(json.contains("\"peak_cache_bytes\": 53000"));
+        assert!(
+            json.contains("{\"name\": \"iso\", \"requests\": 704, \"hits\": 690, \"misses\": 14}")
+        );
+        assert!(json.contains("\"p95_ms\": 0.500"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(!json.contains(",\n  ]"));

@@ -105,12 +105,11 @@ fn saturation_run(
     // second sample; the first barrier run doubles as process warmup).
     let time_mode = |mode: SaturationMode| {
         let t0 = Instant::now();
-        let first = rewrite_with_mode(&theory, &query, budget, exec, mode)
-            .expect("no builtin bodies");
+        let first =
+            rewrite_with_mode(&theory, &query, budget, exec, mode).expect("no builtin bodies");
         let first_ms = t0.elapsed().as_secs_f64() * 1e3;
         let t1 = Instant::now();
-        let r = rewrite_with_mode(&theory, &query, budget, exec, mode)
-            .expect("no builtin bodies");
+        let r = rewrite_with_mode(&theory, &query, budget, exec, mode).expect("no builtin bodies");
         let wall_ms = (t1.elapsed().as_secs_f64() * 1e3).min(first_ms);
         assert_eq!(first.outcome, r.outcome, "{label}: reruns disagree");
         (r, wall_ms)

@@ -84,7 +84,7 @@ enum KeyTerm {
 }
 
 /// A query's name-independent structural key, exposed as an opaque,
-/// hashable value: the same [`FreezeKey`] the entry cache is keyed by.
+/// hashable value: the same `FreezeKey` the entry cache is keyed by.
 /// Equal keys imply isomorphic queries fixing answer positions
 /// identically, so two key-equal queries give the same boolean in every
 /// containment-style check. The rewrite engine's generation-side dedup

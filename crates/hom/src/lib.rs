@@ -14,7 +14,7 @@ pub mod qcore;
 pub mod structure;
 
 pub use containment::{contains, covered_by, equivalent, subsumed_by_any};
-pub use kernel::{global_kernel, HomKernel, HomStats, QueryEntry};
+pub use kernel::{canonical_key, global_kernel, CanonicalKey, HomKernel, HomStats, QueryEntry};
 pub use matcher::{
     all_answers, all_homs, exists_match, exists_match_excluding, find_hom, holds, holds_ucq,
     holds_ucq_with, Assignment, JoinPlan, MatchCounters,

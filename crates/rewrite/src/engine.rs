@@ -50,7 +50,7 @@
 //!   submission and merge, so the budget break fires at or before the
 //!   capped item's last emitted candidate.
 //! * **Predicate-set trie** — the kept set files entries by sorted
-//!   predicate set ([`crate::trie::PredSetTrie`]); subsumption probes
+//!   predicate set (`PredSetTrie` in `trie.rs`); subsumption probes
 //!   only subset-compatible entries, eviction only superset-compatible
 //!   ones (the kernel's own pred-set prefilter condition, answered
 //!   set-wide instead of per pair).
@@ -552,6 +552,7 @@ impl<'a> Merger<'a> {
     /// Merges one item's speculative generation results in submission
     /// order. `Break` means a budget stop: the caller must stop merging.
     /// Accepted candidates are appended to `out` for resubmission.
+    #[allow(clippy::too_many_arguments)]
     fn merge_item(
         &mut self,
         q: &ConjunctiveQuery,
@@ -756,39 +757,39 @@ fn saturate(
     // spent — fixed at submission time, so it is identical across modes
     // and schedules, and never smaller than what the merge will actually
     // count (generated only grows between submission and merge).
-    let generate = |q: &ConjunctiveQuery, cap: usize| -> (Vec<Generated>, UnifyCounters, Duration) {
-        let t0 = Instant::now();
-        let qmask = query_pred_mask(q);
-        let spec = speculate.load(Relaxed);
-        let mut uc = UnifyCounters::default();
-        let mut out = Vec::new();
-        for (rule, ridx) in theory.rules().iter().zip(tindex.rules()) {
-            if out.len() >= cap {
-                break;
-            }
-            if ridx.mask() & qmask == 0 {
-                // No head predicate occurs in the query: every (query
-                // atom × head atom) pairing is pruned by the rule mask.
-                uc.skipped += q.atoms().len() * ridx.head_len();
-                continue;
-            }
-            for pu in piece_rewritings_indexed(q, rule, ridx, cap - out.len(), &mut uc) {
-                if pu.result.size() > budget.max_atoms {
-                    out.push(Generated::Oversized);
-                } else {
-                    let key = canonical_key(&pu.result);
-                    let core = spec
-                        .then(|| canonical_named(&kernel.query_core(&pu.result)));
-                    out.push(Generated::Cand {
-                        raw: pu.result,
-                        key,
-                        core,
-                    });
+    let generate =
+        |q: &ConjunctiveQuery, cap: usize| -> (Vec<Generated>, UnifyCounters, Duration) {
+            let t0 = Instant::now();
+            let qmask = query_pred_mask(q);
+            let spec = speculate.load(Relaxed);
+            let mut uc = UnifyCounters::default();
+            let mut out = Vec::new();
+            for (rule, ridx) in theory.rules().iter().zip(tindex.rules()) {
+                if out.len() >= cap {
+                    break;
+                }
+                if ridx.mask() & qmask == 0 {
+                    // No head predicate occurs in the query: every (query
+                    // atom × head atom) pairing is pruned by the rule mask.
+                    uc.skipped += q.atoms().len() * ridx.head_len();
+                    continue;
+                }
+                for pu in piece_rewritings_indexed(q, rule, ridx, cap - out.len(), &mut uc) {
+                    if pu.result.size() > budget.max_atoms {
+                        out.push(Generated::Oversized);
+                    } else {
+                        let key = canonical_key(&pu.result);
+                        let core = spec.then(|| canonical_named(&kernel.query_core(&pu.result)));
+                        out.push(Generated::Cand {
+                            raw: pu.result,
+                            key,
+                            core,
+                        });
+                    }
                 }
             }
-        }
-        (out, uc, t0.elapsed())
-    };
+            (out, uc, t0.elapsed())
+        };
 
     match mode {
         SaturationMode::Pipelined => {
@@ -830,7 +831,11 @@ fn saturate(
                     // The merge sat out the whole generation phase before
                     // its first item; charge that stall to the window.
                     let waited = if i == 0 { gen_phase } else { Duration::ZERO };
-                    let helped = if i == 0 && inline_map { gen_phase } else { Duration::ZERO };
+                    let helped = if i == 0 && inline_map {
+                        gen_phase
+                    } else {
+                        Duration::ZERO
+                    };
                     let mut out = Vec::new();
                     let flow =
                         merger.merge_item(q, *depth, g, *uc, *gen_wall, waited, helped, &mut out);
@@ -1190,9 +1195,7 @@ mod tests {
     /// Strips the schedule-dependent wall splits, keeping every
     /// deterministic per-window counter.
     #[allow(clippy::type_complexity)]
-    fn counter_rows(
-        s: &crate::stats::RewriteStats,
-    ) -> Vec<[usize; 15]> {
+    fn counter_rows(s: &crate::stats::RewriteStats) -> Vec<[usize; 15]> {
         s.windows
             .iter()
             .map(|w| {
@@ -1498,9 +1501,8 @@ mod tests {
             let query = parse_query(q).unwrap();
             for threads in [1, 2, 4] {
                 let exec = Executor::with_threads(threads);
-                let b =
-                    rewrite_with_mode(&theory, &query, budget, &exec, SaturationMode::Barrier)
-                        .unwrap();
+                let b = rewrite_with_mode(&theory, &query, budget, &exec, SaturationMode::Barrier)
+                    .unwrap();
                 let p =
                     rewrite_with_mode(&theory, &query, budget, &exec, SaturationMode::Pipelined)
                         .unwrap();

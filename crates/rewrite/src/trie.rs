@@ -203,7 +203,10 @@ mod tests {
         let mut trie = PredSetTrie::default();
         trie.insert(&sorted(vec![p("e")]), 3);
         trie.insert(&sorted(vec![p("e")]), 5);
-        assert_eq!(probe(&trie, &sorted(vec![p("e"), p("f")]), true), vec![3, 5]);
+        assert_eq!(
+            probe(&trie, &sorted(vec![p("e"), p("f")]), true),
+            vec![3, 5]
+        );
         assert_eq!(probe(&trie, &[], false), vec![3, 5]);
     }
 }

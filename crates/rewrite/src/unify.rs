@@ -275,18 +275,25 @@ pub fn piece_rewritings_indexed(
     let mut seen: HashSet<ConjunctiveQuery> = HashSet::new();
     let uf = Uf::new(space.total());
     let mut probes = 0usize;
-    descend(&space, 0, Vec::new(), uf, ridx, &mut probes, &mut |piece,
-                                                                uf| {
-        if let Some(result) = finish(&space, piece, uf.clone()) {
-            if seen.insert(result.canonical()) {
-                out.push(PieceUnifier {
-                    piece: piece.to_vec(),
-                    result,
-                });
+    descend(
+        &space,
+        0,
+        Vec::new(),
+        uf,
+        ridx,
+        &mut probes,
+        &mut |piece, uf| {
+            if let Some(result) = finish(&space, piece, uf.clone()) {
+                if seen.insert(result.canonical()) {
+                    out.push(PieceUnifier {
+                        piece: piece.to_vec(),
+                        result,
+                    });
+                }
             }
-        }
-        out.len() < cap
-    });
+            out.len() < cap
+        },
+    );
     counters.probes += probes;
     out
 }

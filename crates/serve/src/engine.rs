@@ -1,0 +1,604 @@
+//! The serve loop: pipelined request answering over the rewriting cache.
+//!
+//! A batch of requests flows through [`qr_exec::Executor::pipeline_ordered`]:
+//! workers *prepare* requests speculatively (parse, compute the freeze key,
+//! and — when the key is not resident — run the cold rewrite and compile
+//! its plans), while the caller thread *finishes* them strictly in
+//! submission order: the authoritative cache lookup, LRU bookkeeping,
+//! eviction, plan execution, and counter updates all happen at the merge
+//! point. A speculative rewrite that loses the race to an earlier
+//! isomorphic request is discarded; a missing one (the entry was resident
+//! at prepare time but evicted before merge) is recomputed inline. Either
+//! way the installed entry is the same value — rewriting is a pure
+//! function of (theory, query) — so responses, traces, and every counter
+//! in [`ServeCounters`](crate::ServeCounters) are identical at any
+//! worker-pool width.
+
+use std::collections::HashSet;
+use std::ops::ControlFlow;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use qr_exec::Executor;
+use qr_hom::{canonical_key, MatchCounters};
+use qr_rewrite::{rewrite_with_mode, RewriteBudget, SaturationMode};
+use qr_syntax::{parse_query, ConjunctiveQuery, Instance, TermId, Theory};
+
+use crate::cache::{CacheEntry, CacheKey, RewriteCache};
+use crate::stats::ServeStats;
+
+/// Engine configuration. The worker-pool width is explicit — the crate
+/// never reads `QR_THREADS`; size the pool where you construct the config.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker-pool width, plumbed into [`Executor::with_threads`].
+    /// 1 runs the whole pipeline inline on the calling thread.
+    pub threads: usize,
+    /// LRU byte budget of the rewriting cache (logical bytes, see
+    /// [`crate::cache`]).
+    pub cache_bytes: usize,
+    /// Budget handed to every cold rewrite.
+    pub rewrite_budget: RewriteBudget,
+    /// Per-request cap on emitted answer tuples; 0 means unlimited.
+    pub answer_limit: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            threads: 1,
+            cache_bytes: 1 << 20,
+            rewrite_budget: RewriteBudget::default(),
+            answer_limit: 0,
+        }
+    }
+}
+
+/// One query request: a registered theory id plus CQ text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CqRequest {
+    /// Which registered theory to answer against.
+    pub theory: String,
+    /// The conjunctive query, in the repo's text format.
+    pub query: String,
+}
+
+/// Which cache tier answered the request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tier {
+    /// The freeze key was resident: cached UCQ + compiled plans reused.
+    Hit,
+    /// Cold path: the rewriting was computed (or recomputed) and cached.
+    Miss,
+}
+
+/// Per-request outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResponseStatus {
+    /// The request was answered through a rewriting.
+    Answered {
+        /// Hit or miss on the rewriting cache.
+        tier: Tier,
+        /// `true` iff the rewriting saturated; `false` means the answers
+        /// are sound but possibly incomplete (budget-capped rewriting).
+        complete: bool,
+        /// `true` iff the answer enumeration stopped at
+        /// [`EngineConfig::answer_limit`].
+        truncated: bool,
+        /// Disjuncts in the executed UCQ.
+        disjuncts: usize,
+        /// Matcher scan work for this request (deterministic).
+        candidates: u64,
+        /// Answer tuples, rendered (constants by name), in deterministic
+        /// enumeration order. A boolean query answers with one empty
+        /// tuple for *true* and none for *false*.
+        answers: Vec<Vec<String>>,
+    },
+    /// The request never reached a rewriting.
+    Rejected {
+        /// Why (unknown theory, parse error).
+        reason: String,
+    },
+}
+
+/// One answered (or rejected) request.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Engine-lifetime sequence number (submission order).
+    pub seq: u64,
+    /// The theory id the request named.
+    pub theory: String,
+    /// Outcome.
+    pub status: ResponseStatus,
+    /// Merge-side service time. Wall-clock: excluded from trace lines and
+    /// never drift-gated.
+    pub wall: Duration,
+}
+
+impl Response {
+    /// `true` iff the request was answered from the rewriting cache.
+    pub fn is_hit(&self) -> bool {
+        matches!(
+            self.status,
+            ResponseStatus::Answered {
+                tier: Tier::Hit,
+                ..
+            }
+        )
+    }
+
+    /// Renders the deterministic trace record for this response — stable
+    /// bytes at any thread count, pinned by the replay tests.
+    pub fn trace_line(&self) -> String {
+        match &self.status {
+            ResponseStatus::Rejected { reason } => {
+                format!("[{}] {} rejected: {}", self.seq, self.theory, reason)
+            }
+            ResponseStatus::Answered {
+                tier,
+                complete,
+                truncated,
+                disjuncts,
+                candidates,
+                answers,
+            } => {
+                let tier = match tier {
+                    Tier::Hit => "hit",
+                    Tier::Miss => "miss",
+                };
+                let mut line = format!(
+                    "[{}] {} ok tier={} complete={} disjuncts={} candidates={} answers={}",
+                    self.seq,
+                    self.theory,
+                    tier,
+                    complete,
+                    disjuncts,
+                    candidates,
+                    answers.len()
+                );
+                for tuple in answers {
+                    line.push_str(" (");
+                    line.push_str(&tuple.join(","));
+                    line.push(')');
+                }
+                if *truncated {
+                    line.push_str(" truncated");
+                }
+                line
+            }
+        }
+    }
+}
+
+struct Tenant {
+    id: String,
+    theory: Theory,
+    data: Instance,
+}
+
+/// The long-lived answering engine. See the crate docs for the design.
+pub struct Engine {
+    config: EngineConfig,
+    exec: Executor,
+    tenants: Vec<Tenant>,
+    cache: Mutex<RewriteCache>,
+    stats: ServeStats,
+    next_seq: u64,
+}
+
+/// Worker-side result: everything computable without touching engine
+/// state authoritatively.
+struct Prepared {
+    parsed: Result<ParsedReq, String>,
+}
+
+struct ParsedReq {
+    tenant: usize,
+    query: ConjunctiveQuery,
+    key: CacheKey,
+    speculative: Option<Arc<CacheEntry>>,
+}
+
+impl Engine {
+    /// Builds an engine with an explicitly-sized worker pool.
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine {
+            exec: Executor::with_threads(config.threads.max(1)),
+            cache: Mutex::new(RewriteCache::new(config.cache_bytes)),
+            config,
+            tenants: Vec::new(),
+            stats: ServeStats::default(),
+            next_seq: 0,
+        }
+    }
+
+    /// Registers a theory and its shared instance from text.
+    pub fn register(&mut self, id: &str, theory_src: &str, data_src: &str) -> Result<(), String> {
+        let theory = qr_syntax::parse_theory(theory_src).map_err(|e| format!("theory: {e}"))?;
+        let data = qr_syntax::parse_instance(data_src).map_err(|e| format!("instance: {e}"))?;
+        self.register_parsed(id, theory, data)
+    }
+
+    /// Registers an already-parsed theory and instance under `id`.
+    ///
+    /// Theories with builtin (`dom`) bodies are rejected here so that the
+    /// serve path's rewrites cannot fail.
+    pub fn register_parsed(
+        &mut self,
+        id: &str,
+        theory: Theory,
+        data: Instance,
+    ) -> Result<(), String> {
+        if self.tenants.iter().any(|t| t.id == id) {
+            return Err(format!("theory '{id}' is already registered"));
+        }
+        if theory.has_builtin_bodies() {
+            return Err(format!("theory '{id}' has builtin-predicate bodies"));
+        }
+        self.tenants.push(Tenant {
+            id: id.to_owned(),
+            theory,
+            data,
+        });
+        Ok(())
+    }
+
+    /// Registered theory ids, in registration order.
+    pub fn theories(&self) -> Vec<&str> {
+        self.tenants.iter().map(|t| t.id.as_str()).collect()
+    }
+
+    /// The engine's worker-pool width.
+    pub fn threads(&self) -> usize {
+        self.exec.threads()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Resident rewriting-cache entries.
+    pub fn cached_rewritings(&self) -> usize {
+        self.cache.lock().expect("serve cache poisoned").len()
+    }
+
+    /// Answers a single request inline.
+    pub fn submit(&mut self, request: CqRequest) -> Response {
+        self.run(vec![request])
+            .pop()
+            .expect("one request yields one response")
+    }
+
+    /// Answers a batch: cold rewrites run speculatively on the pool while
+    /// the caller thread finishes responses strictly in submission order.
+    pub fn run(&mut self, requests: Vec<CqRequest>) -> Vec<Response> {
+        let first_seq = self.next_seq;
+        self.next_seq += requests.len() as u64;
+        let seeds: Vec<(u64, CqRequest)> = requests
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (first_seq + i as u64, r))
+            .collect();
+        let mut responses: Vec<Response> = Vec::with_capacity(seeds.len());
+        let exec = self.exec;
+        let Engine {
+            ref tenants,
+            ref cache,
+            ref config,
+            ref mut stats,
+            ..
+        } = *self;
+        exec.pipeline_ordered(
+            seeds,
+            |(_, req)| prepare(tenants, cache, config, req),
+            |(seq, req), prep, _ctx| {
+                responses.push(finish(tenants, cache, config, stats, seq, req.theory, prep));
+                ControlFlow::Continue(())
+            },
+        );
+        responses
+    }
+
+    /// Parses a replay file (see [`crate::replay`]) and runs it.
+    pub fn replay(&mut self, src: &str) -> Result<Vec<Response>, String> {
+        Ok(self.run(crate::replay::parse_replay(src)?))
+    }
+}
+
+/// Worker stage: parse, key, and — if the key is not resident — compute
+/// the rewriting speculatively. Pure per-request work; no counters.
+fn prepare(
+    tenants: &[Tenant],
+    cache: &Mutex<RewriteCache>,
+    config: &EngineConfig,
+    req: &CqRequest,
+) -> Prepared {
+    let parsed = (|| {
+        let tenant = tenants
+            .iter()
+            .position(|t| t.id == req.theory)
+            .ok_or_else(|| format!("unknown theory '{}'", req.theory))?;
+        let query = parse_query(&req.query).map_err(|e| format!("parse error: {e}"))?;
+        let key = CacheKey {
+            tenant: tenant as u32,
+            key: canonical_key(&query),
+        };
+        let resident = cache.lock().expect("serve cache poisoned").contains(&key);
+        let speculative = if resident {
+            None
+        } else {
+            Some(build_entry(&tenants[tenant].theory, &query, config))
+        };
+        Ok(ParsedReq {
+            tenant,
+            query,
+            key,
+            speculative,
+        })
+    })();
+    Prepared { parsed }
+}
+
+/// The cold path: rewrite and compile. Runs the saturation engine
+/// sequentially — batch concurrency comes from pipelining across
+/// requests, not from nesting pools inside a worker.
+fn build_entry(
+    theory: &Theory,
+    query: &ConjunctiveQuery,
+    config: &EngineConfig,
+) -> Arc<CacheEntry> {
+    let r = rewrite_with_mode(
+        theory,
+        query,
+        config.rewrite_budget,
+        &Executor::sequential(),
+        SaturationMode::Pipelined,
+    )
+    .expect("builtin-body theories are rejected at registration");
+    CacheEntry::from_rewriting(r)
+}
+
+/// Merge stage: authoritative cache decision, execution, counters. Runs on
+/// the caller thread in submission order — the only place engine state
+/// mutates.
+fn finish(
+    tenants: &[Tenant],
+    cache: &Mutex<RewriteCache>,
+    config: &EngineConfig,
+    stats: &mut ServeStats,
+    seq: u64,
+    theory_id: String,
+    prep: Prepared,
+) -> Response {
+    let t0 = Instant::now();
+    stats.counters.requests += 1;
+    let status = match prep.parsed {
+        Err(reason) => {
+            stats.counters.rejected += 1;
+            ResponseStatus::Rejected { reason }
+        }
+        Ok(p) => {
+            let mut c = cache.lock().expect("serve cache poisoned");
+            let (entry, tier) = match c.get(&p.key) {
+                Some(entry) => {
+                    stats.counters.hits += 1;
+                    stats.counters.plan_reuses += entry.plans.len() as u64;
+                    (entry, Tier::Hit)
+                }
+                None => {
+                    let entry = p.speculative.unwrap_or_else(|| {
+                        // Resident at prepare time, evicted since: the
+                        // rewrite is recomputed inline — same pure value.
+                        build_entry(&tenants[p.tenant].theory, &p.query, config)
+                    });
+                    stats.counters.misses += 1;
+                    stats.counters.plan_compiles += entry.plans.len() as u64;
+                    stats.counters.rewrite_generated += entry.generated as u64;
+                    stats.counters.evictions += c.insert(p.key, Arc::clone(&entry));
+                    (entry, Tier::Miss)
+                }
+            };
+            stats.counters.cache_bytes = c.bytes() as u64;
+            stats.counters.peak_cache_bytes = c.peak_bytes() as u64;
+            drop(c);
+            let (answers, candidates, truncated) =
+                execute(&entry, &tenants[p.tenant].data, config.answer_limit);
+            stats.counters.answered += 1;
+            if !entry.complete {
+                stats.counters.incomplete += 1;
+            }
+            if truncated {
+                stats.counters.truncated += 1;
+            }
+            stats.counters.answers_emitted += answers.len() as u64;
+            stats.counters.match_candidates += candidates;
+            ResponseStatus::Answered {
+                tier,
+                complete: entry.complete,
+                truncated,
+                disjuncts: entry.plans.len(),
+                candidates,
+                answers: answers
+                    .iter()
+                    .map(|tuple| tuple.iter().map(|t| t.to_string()).collect())
+                    .collect(),
+            }
+        }
+    };
+    let wall = t0.elapsed();
+    stats.record_latency(wall);
+    Response {
+        seq,
+        theory: theory_id,
+        status,
+        wall,
+    }
+}
+
+/// Executes a cached entry over an instance: every disjunct's compiled
+/// plan enumerates matches, answer variables project to tuples, and the
+/// union dedups in first-seen order. Fully sequential per request, so
+/// answer order and `candidates` are deterministic.
+fn execute(entry: &CacheEntry, inst: &Instance, limit: usize) -> (Vec<Vec<TermId>>, u64, bool) {
+    let mut counters = MatchCounters::default();
+    let mut seen: HashSet<Vec<TermId>> = HashSet::new();
+    let mut out: Vec<Vec<TermId>> = Vec::new();
+    let mut truncated = false;
+    for dp in &entry.plans {
+        let completed = dp.plan.for_each_match(inst, &[], &mut counters, |asg| {
+            let tuple: Vec<TermId> = dp
+                .answer_vars
+                .iter()
+                .map(|v| asg[v.index()].expect("answer variables are bound by query safety"))
+                .collect();
+            if seen.insert(tuple.clone()) {
+                out.push(tuple);
+            }
+            limit == 0 || out.len() < limit
+        });
+        if !completed {
+            truncated = true;
+            break;
+        }
+    }
+    (out, counters.candidates, truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_engine(threads: usize) -> Engine {
+        let mut e = Engine::new(EngineConfig {
+            threads,
+            ..EngineConfig::default()
+        });
+        e.register(
+            "path",
+            "e(X,Y) -> e(Y,Z).",
+            "e(a,b). e(b,c). e(c,d). e(x,y).",
+        )
+        .unwrap();
+        e
+    }
+
+    fn req(theory: &str, query: &str) -> CqRequest {
+        CqRequest {
+            theory: theory.into(),
+            query: query.into(),
+        }
+    }
+
+    #[test]
+    fn answers_reach_through_the_theory() {
+        // ?(A) :- e(A,B), e(B,C): under e(X,Y) -> e(Y,Z) every node touching
+        // an edge (either end) certainly heads a 2-path, so the certain
+        // answers are all edge endpoints.
+        let mut e = path_engine(1);
+        let r = e.submit(req("path", "?(A) :- e(A,B), e(B,C)."));
+        let ResponseStatus::Answered {
+            tier,
+            complete,
+            answers,
+            ..
+        } = &r.status
+        else {
+            panic!("expected an answer, got {:?}", r.status);
+        };
+        assert_eq!(*tier, Tier::Miss);
+        assert!(complete);
+        let flat: Vec<&str> = answers.iter().map(|t| t[0].as_str()).collect();
+        assert_eq!(
+            flat,
+            ["a", "b", "c", "x", "d", "y"],
+            "answers are certain answers"
+        );
+    }
+
+    #[test]
+    fn isomorphic_requests_hit_the_cache() {
+        let mut e = path_engine(1);
+        let cold = e.submit(req("path", "?(A) :- e(A,B), e(B,C)."));
+        let warm = e.submit(req("path", "?(Src) :- e(Mid,Last), e(Src,Mid)."));
+        assert!(!cold.is_hit());
+        assert!(warm.is_hit(), "renamed/permuted query shares the key");
+        let (
+            ResponseStatus::Answered { answers: a, .. },
+            ResponseStatus::Answered { answers: b, .. },
+        ) = (&cold.status, &warm.status)
+        else {
+            panic!("both answered");
+        };
+        assert_eq!(a, b, "hit answers are byte-identical to the cold run");
+        assert_eq!(e.stats().counters.hits, 1);
+        assert_eq!(e.stats().counters.misses, 1);
+        assert_eq!(e.cached_rewritings(), 1);
+    }
+
+    #[test]
+    fn rejections_are_reported_not_panicked() {
+        let mut e = path_engine(1);
+        let unknown = e.submit(req("nope", "? :- e(a,b)."));
+        assert!(matches!(unknown.status, ResponseStatus::Rejected { .. }));
+        let garbled = e.submit(req("path", "this is not a query"));
+        assert!(matches!(garbled.status, ResponseStatus::Rejected { .. }));
+        assert_eq!(e.stats().counters.rejected, 2);
+        assert_eq!(e.stats().counters.requests, 2);
+    }
+
+    #[test]
+    fn batches_answer_in_submission_order_at_any_width() {
+        let requests: Vec<CqRequest> = (0..12)
+            .map(|i| match i % 3 {
+                0 => req("path", "?(A) :- e(A,B)."),
+                1 => req("path", "?(Z) :- e(Z,W)."),
+                _ => req("path", "? :- e(a,Q)."),
+            })
+            .collect();
+        let baseline: Vec<String> = path_engine(1)
+            .run(requests.clone())
+            .iter()
+            .map(Response::trace_line)
+            .collect();
+        for threads in [2, 4] {
+            let got: Vec<String> = path_engine(threads)
+                .run(requests.clone())
+                .iter()
+                .map(Response::trace_line)
+                .collect();
+            assert_eq!(baseline, got, "trace stable at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn answer_limit_truncates_and_flags() {
+        let mut e = Engine::new(EngineConfig {
+            answer_limit: 2,
+            ..EngineConfig::default()
+        });
+        e.register("path", "e(X,Y) -> e(Y,Z).", "e(a,b). e(b,c). e(c,d).")
+            .unwrap();
+        let r = e.submit(req("path", "?(A) :- e(A,B)."));
+        let ResponseStatus::Answered {
+            answers, truncated, ..
+        } = &r.status
+        else {
+            panic!("answered");
+        };
+        assert_eq!(answers.len(), 2);
+        assert!(truncated);
+        assert_eq!(e.stats().counters.truncated, 1);
+    }
+
+    #[test]
+    fn builtin_body_theories_rejected_at_registration() {
+        let mut e = Engine::new(EngineConfig::default());
+        let err = e
+            .register("bad", "dom(X) -> p(X).", "p(a).")
+            .expect_err("builtin bodies must not register");
+        assert!(err.contains("builtin"), "{err}");
+        assert!(e.register("dup", "q(X) -> p(X).", "q(a).").is_ok());
+        assert!(e.register("dup", "q(X) -> p(X).", "").is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Replay files: pinned request streams and their deterministic traces.
+//!
+//! A replay file is plain text, one request per line:
+//!
+//! ```text
+//! # comment
+//! path   ?(A) :- e(A,B), e(B,C).
+//! family ? :- mother(ann, X).
+//! ```
+//!
+//! The first whitespace-separated token is the registered theory id; the
+//! rest of the line is the CQ text. Blank lines and `#` comments are
+//! skipped. Running a replay through [`Engine::replay`](crate::Engine::replay)
+//! and rendering the responses with [`render_trace`] yields bytes that are
+//! identical at any worker-pool width — the repo's pinning convention
+//! applied to server behavior (golden traces live under
+//! `crates/serve/tests/replays/`).
+
+use crate::engine::{CqRequest, Response};
+
+/// Parses a replay file into requests. Errors name the offending line.
+pub fn parse_replay(src: &str) -> Result<Vec<CqRequest>, String> {
+    let mut out = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((theory, query)) = line.split_once(char::is_whitespace) else {
+            return Err(format!(
+                "replay line {}: expected '<theory> <query>', got '{line}'",
+                idx + 1
+            ));
+        };
+        out.push(CqRequest {
+            theory: theory.to_owned(),
+            query: query.trim().to_owned(),
+        });
+    }
+    Ok(out)
+}
+
+/// Renders requests back into the replay format (round-trips through
+/// [`parse_replay`]).
+pub fn render_replay(requests: &[CqRequest]) -> String {
+    let mut out = String::new();
+    for r in requests {
+        out.push_str(&r.theory);
+        out.push(' ');
+        out.push_str(&r.query);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a response stream as its deterministic trace: one
+/// [`Response::trace_line`] per line.
+pub fn render_trace(responses: &[Response]) -> String {
+    let mut out = String::new();
+    for r in responses {
+        out.push_str(&r.trace_line());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_skips_comments_and_round_trips() {
+        let src = "# a comment\n\npath ?(A) :- e(A,B).\nfamily   ? :- human(ann).\n";
+        let reqs = parse_replay(src).unwrap();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].theory, "path");
+        assert_eq!(reqs[0].query, "?(A) :- e(A,B).");
+        assert_eq!(reqs[1].theory, "family");
+        assert_eq!(reqs[1].query, "? :- human(ann).");
+        let rendered = render_replay(&reqs);
+        assert_eq!(parse_replay(&rendered).unwrap(), reqs);
+    }
+
+    #[test]
+    fn parse_reports_malformed_lines() {
+        let err = parse_replay("justonetoken\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+}

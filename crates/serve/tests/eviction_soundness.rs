@@ -1,0 +1,66 @@
+//! Eviction soundness: forcing the LRU to drop a rewriting and then
+//! re-submitting the evicted query recomputes the rewriting and returns
+//! the identical answer set — the cache is an accelerator, never an
+//! oracle.
+
+use qr_serve::{CqRequest, Engine, EngineConfig, Response, ResponseStatus, Tier};
+
+fn req(query: &str) -> CqRequest {
+    CqRequest {
+        theory: "path".to_owned(),
+        query: query.to_owned(),
+    }
+}
+
+fn answered(r: &Response) -> (Tier, Vec<Vec<String>>) {
+    match &r.status {
+        ResponseStatus::Answered { tier, answers, .. } => (*tier, answers.clone()),
+        ResponseStatus::Rejected { reason } => panic!("rejected: {reason}"),
+    }
+}
+
+#[test]
+fn evicted_query_recomputes_to_identical_answers() {
+    // A budget of one entry: every insertion evicts the previous resident.
+    let mut engine = Engine::new(EngineConfig {
+        cache_bytes: 1,
+        ..EngineConfig::default()
+    });
+    engine
+        .register(
+            "path",
+            "e(X,Y) -> e(Y,Z).",
+            "e(a,b). e(b,c). e(c,d). e(x,y).",
+        )
+        .unwrap();
+
+    let q1 = "?(A) :- e(A,B), e(B,C).";
+    let q2 = "?(X) :- e(X, Y).";
+
+    let (t, first) = answered(&engine.submit(req(q1)));
+    assert_eq!(t, Tier::Miss);
+    assert!(!first.is_empty(), "q1 has certain answers");
+
+    // q2 lands in the cache and pushes q1 out.
+    let (t, _) = answered(&engine.submit(req(q2)));
+    assert_eq!(t, Tier::Miss);
+    assert!(
+        engine.stats().counters.evictions >= 1,
+        "a one-entry budget must evict q1 when q2 arrives"
+    );
+    assert_eq!(engine.cached_rewritings(), 1, "only q2 is resident");
+
+    // Re-submitting q1 is a miss again — and the recomputed rewriting
+    // serves exactly the answers the first (now evicted) one did.
+    let (t, recomputed) = answered(&engine.submit(req(q1)));
+    assert_eq!(t, Tier::Miss, "q1 was evicted, so it must recompute");
+    assert_eq!(
+        recomputed, first,
+        "recomputed answers diverge from the originals"
+    );
+
+    // And now q1 is resident again: one more submission hits.
+    let (t, hit) = answered(&engine.submit(req(q1)));
+    assert_eq!(t, Tier::Hit);
+    assert_eq!(hit, first);
+}
