@@ -3,9 +3,10 @@
 //! Usage: `bench_diff <baseline.json> <candidate.json>`
 //!
 //! Works on `BENCH_chase.json` (schema `qr-bench/chase-v3`),
-//! `BENCH_rewrite.json` (schema `qr-bench/rewrite-v3`) and
-//! `BENCH_serve.json` (schema `qr-bench/serve-v1`) — each dump carries
-//! whichever run arrays it has. The chase engine's trigger/candidate/sweep
+//! `BENCH_rewrite.json` (schema `qr-bench/rewrite-v3`),
+//! `BENCH_serve.json` (schema `qr-bench/serve-v1`) and `BENCH_check.json`
+//! (schema `qr-bench/check-v1`) — each dump carries whichever run arrays
+//! it has. The chase engine's trigger/candidate/sweep
 //! counters are a pure function of (theory, instance, budget), and the
 //! rewrite engine's per-window counters a pure function of (theory, query,
 //! budget) — they must not drift across commits unless the engine
@@ -17,7 +18,9 @@
 //! (schema v2: the cache tier is always present and deterministic; the
 //! search/core tier is emitted only by fully sequential workloads and
 //! gated whenever both sides carry it), and the serve engine's request
-//! counters, per-segment cache outcomes and response-trace hash, ignoring
+//! counters, per-segment cache outcomes and response-trace hash, and the
+//! checker's certificate counts, encoded sizes, kernel-search pin and
+//! failure lists, ignoring
 //! everything timing- or machine-dependent (`wall_ms`, `barrier_wall_ms`,
 //! every `*_ms` split, latency percentiles, `threads`, per-experiment
 //! timings). Exit code 0 means the counters
@@ -542,6 +545,41 @@ fn diff_serve_run(name: &str, b: &Value, c: &Value, report: &mut String) {
     }
 }
 
+/// The checker's deterministic counters (schema `check-v1`): certificate
+/// counts and encoded bundle sizes are pure functions of the workload, and
+/// `kernel_searches` is the checker's no-search contract pinned at zero.
+/// Only `wall_ms` is machine-dependent and exempt.
+const CHECK_KEYS: [&str; 3] = ["certs", "cert_bytes", "kernel_searches"];
+
+/// Diffs one check run: the `kind` tag, the counter keys, and the
+/// `failures` array compared element-wise (a baseline certifies cleanly,
+/// so any appearing failure string is drift by construction).
+fn diff_check_run(name: &str, b: &Value, c: &Value, report: &mut String) {
+    let bk = b.get("kind").and_then(Value::as_str);
+    let ck = c.get("kind").and_then(Value::as_str);
+    if bk != ck {
+        let _ = writeln!(report, "  \"{name}\": kind {bk:?} -> {ck:?}");
+    }
+    diff_keys(&format!("\"{name}\""), &CHECK_KEYS, b, c, report);
+    let bf = b.get("failures").map(Value::as_arr).unwrap_or_default();
+    let cf = c.get("failures").map(Value::as_arr).unwrap_or_default();
+    if bf.len() != cf.len() {
+        let _ = writeln!(
+            report,
+            "  \"{name}\": failure count {} -> {}",
+            bf.len(),
+            cf.len()
+        );
+    }
+    for (i, (be, ce)) in bf.iter().zip(cf).enumerate() {
+        let bs = be.as_str();
+        let cs = ce.as_str();
+        if bs != cs {
+            let _ = writeln!(report, "  \"{name}\": failure {i} {bs:?} -> {cs:?}");
+        }
+    }
+}
+
 /// Diffs two parsed dumps; returns a human-readable drift report (empty
 /// when the deterministic counters agree).
 fn diff(base: &Value, cand: &Value) -> String {
@@ -649,6 +687,31 @@ fn diff(base: &Value, cand: &Value) -> String {
         let name = workload(c);
         if !base_sv.iter().any(|b| workload(b) == name) {
             let _ = writeln!(report, "  serve workload \"{name}\": missing from baseline");
+        }
+    }
+    let base_ck = base
+        .get("check_runs")
+        .map(Value::as_arr)
+        .unwrap_or_default();
+    let cand_ck = cand
+        .get("check_runs")
+        .map(Value::as_arr)
+        .unwrap_or_default();
+    for b in base_ck {
+        let name = workload(b);
+        let Some(c) = cand_ck.iter().find(|r| workload(r) == name) else {
+            let _ = writeln!(
+                report,
+                "  check workload \"{name}\": missing from candidate"
+            );
+            continue;
+        };
+        diff_check_run(&name, b, c, &mut report);
+    }
+    for c in cand_ck {
+        let name = workload(c);
+        if !base_ck.iter().any(|b| workload(b) == name) {
+            let _ = writeln!(report, "  check workload \"{name}\": missing from baseline");
         }
     }
     report
@@ -1015,6 +1078,64 @@ mod tests {
             report.contains("\"serve-mixed\": segment \"iso\" missing from candidate"),
             "{report}"
         );
+    }
+
+    fn check_run(workload: &str, certs: u64, searches: u64, failures: &str) -> String {
+        format!(
+            "{{\"workload\": \"{workload}\", \"kind\": \"rewrite\", \"wall_ms\": 0.7, \"certs\": {certs}, \"cert_bytes\": 2048, \"kernel_searches\": {searches}, \"failures\": [{failures}]}}"
+        )
+    }
+
+    fn check_dump(runs: &[String]) -> Value {
+        let src = format!(
+            "{{\"schema\": \"qr-bench/check-v1\", \"check_runs\": [{}]}}",
+            runs.join(",")
+        );
+        Parser::parse(&src).unwrap()
+    }
+
+    #[test]
+    fn check_wall_times_are_ignored() {
+        let a = check_dump(&[check_run("t_p", 9, 0, "")]);
+        let b_src = check_run("t_p", 9, 0, "").replace("\"wall_ms\": 0.7", "\"wall_ms\": 99.9");
+        assert!(diff(&a, &check_dump(&[b_src])).is_empty());
+    }
+
+    #[test]
+    fn check_counter_and_failure_drift_is_reported() {
+        let a = check_dump(&[check_run("t_p", 9, 0, "")]);
+        let b = check_dump(&[check_run(
+            "t_p",
+            8,
+            1,
+            "\"certificate 3: unifier rejected\"",
+        )]);
+        let report = diff(&a, &b);
+        assert!(
+            report.contains("\"t_p\": certs Some(9) -> Some(8)"),
+            "{report}"
+        );
+        assert!(
+            report.contains("\"t_p\": kernel_searches Some(0) -> Some(1)"),
+            "{report}"
+        );
+        assert!(report.contains("\"t_p\": failure count 0 -> 1"), "{report}");
+        let c_src =
+            check_run("t_p", 9, 0, "").replace("\"kind\": \"rewrite\"", "\"kind\": \"chase\"");
+        let report = diff(&a, &check_dump(&[c_src]));
+        assert!(
+            report.contains("\"t_p\": kind Some(\"rewrite\") -> Some(\"chase\")"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn missing_check_workloads_are_reported() {
+        let a = check_dump(&[check_run("t_p", 9, 0, "")]);
+        let b = check_dump(&[check_run("t_a", 9, 0, "")]);
+        let report = diff(&a, &b);
+        assert!(report.contains("check workload \"t_p\": missing from candidate"));
+        assert!(report.contains("check workload \"t_a\": missing from baseline"));
     }
 
     #[test]

@@ -21,10 +21,15 @@
 //! `--json` the runs are also written to `BENCH_serve.json` (schema
 //! `qr-bench/serve-v1`). Individual serve workloads can be selected by
 //! listing their ids (`serve-mixed`, `serve-churn`) — naming one implies
-//! `--serve`. `--list` prints the available experiment and serve-workload
-//! ids and exits. Unknown options and unknown ids are rejected (a
-//! misspelled `--thread 4` used to silently run everything
-//! single-threaded as two never-matching experiment filters).
+//! `--serve`. `--check` certifies every pinned rewrite fixture and the
+//! E11 chase workload through `qr-check` (engine → codec → linear
+//! replay, zero homomorphism searches) and prints a per-workload
+//! summary; with `--json` the runs are written to `BENCH_check.json`
+//! (schema `qr-bench/check-v1`). `--list` prints the available
+//! experiment and serve-workload ids and exits. Unknown options and
+//! unknown ids are rejected (a misspelled `--thread 4` used to silently
+//! run everything single-threaded as two never-matching experiment
+//! filters).
 
 use qr_bench::experiments;
 use qr_bench::report::{self, ExperimentTiming};
@@ -32,13 +37,14 @@ use qr_exec::Executor;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness [--json] [--threads N] [--serve] [--list] [ID ...]\n\
+        "usage: harness [--json] [--threads N] [--serve] [--check] [--list] [ID ...]\n\
          \n\
          options:\n\
          \x20 --json       also write BENCH_chase.json, BENCH_rewrite.json\n\
-         \x20              (and BENCH_serve.json when serving workloads run)\n\
+         \x20              (BENCH_serve.json / BENCH_check.json when those modes run)\n\
          \x20 --threads N  size the worker pool (default: QR_THREADS or all cores)\n\
          \x20 --serve      replay the pinned serving workloads (qr-serve)\n\
+         \x20 --check      certify the pinned workloads' certificates (qr-check)\n\
          \x20 --list       print available experiment and serve-workload ids\n\
          \n\
          IDs select experiments (e01 ...) and/or serve workloads\n\
@@ -55,6 +61,7 @@ fn main() {
     let mut serve_filters: Vec<String> = Vec::new();
     let mut json = false;
     let mut serve = false;
+    let mut check = false;
     let mut threads: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -62,6 +69,7 @@ fn main() {
         match lower.as_str() {
             "--json" => json = true,
             "--serve" => serve = true,
+            "--check" => check = true,
             "--list" => {
                 for id in &known_ids {
                     println!("{id}");
@@ -107,9 +115,10 @@ fn main() {
     };
     eprintln!("worker pool: {} thread(s)", exec.threads());
 
-    // Serve-only invocations (`--serve` / serve ids without experiment
-    // ids) skip the experiment tables and their JSON dumps entirely.
-    let run_experiments = !filters.is_empty() || !serve;
+    // Serve-/check-only invocations (`--serve` / `--check` / serve ids
+    // without experiment ids) skip the experiment tables and their JSON
+    // dumps entirely.
+    let run_experiments = !filters.is_empty() || (!serve && !check);
 
     let mut timings: Vec<ExperimentTiming> = Vec::new();
     if run_experiments {
@@ -186,6 +195,40 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+        }
+    }
+
+    if check {
+        let cruns = qr_bench::check_workloads::stats_runs(&exec);
+        let mut failed = false;
+        for r in &cruns {
+            println!(
+                "{} [{}]: {} certificates, {} bytes, {} failures in {:.1} ms",
+                r.workload,
+                r.kind,
+                r.certs,
+                r.cert_bytes,
+                r.failures.len(),
+                r.wall_ms,
+            );
+            for f in &r.failures {
+                eprintln!("  FAILED: {f}");
+                failed = true;
+            }
+        }
+        if json {
+            let rendered = report::render_check_json(&cruns);
+            let path = "BENCH_check.json";
+            match std::fs::write(path, rendered) {
+                Ok(()) => println!("wrote {path} ({} check runs)", cruns.len()),
+                Err(e) => {
+                    eprintln!("failed to write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if failed {
+            std::process::exit(1);
         }
     }
 }

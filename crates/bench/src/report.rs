@@ -128,6 +128,30 @@ pub struct ServeRun {
     pub p99_ms: f64,
 }
 
+/// One certification replay (the harness's `--check` mode): a workload's
+/// certificates pushed through the codec and re-verified by `qr-check`.
+/// Everything but `wall_ms` is deterministic — certificate counts and
+/// encoded sizes are pure functions of (theory, query/instance, budget),
+/// `kernel_searches` is pinned to zero (the checker never searches), and
+/// `failures` is pinned empty.
+pub struct CheckRun {
+    /// Workload label (matches the rewrite fixture / E11 chase labels).
+    pub workload: String,
+    /// Which certificate family replayed (`"rewrite"` / `"chase"`).
+    pub kind: &'static str,
+    /// Wall time of the decode+replay span, ms (reported, never gated).
+    pub wall_ms: f64,
+    /// Certificates replayed successfully.
+    pub certs: usize,
+    /// Encoded bundle size, bytes.
+    pub cert_bytes: usize,
+    /// Homomorphism-kernel searches during the replay — zero by the
+    /// checker's no-search contract, and drift-gated at zero.
+    pub kernel_searches: u64,
+    /// Rendered located errors; empty on a fully certified run.
+    pub failures: Vec<String>,
+}
+
 /// Wall time of one whole experiment table.
 pub struct ExperimentTiming {
     /// Experiment id (`"e11"`, ...).
@@ -409,6 +433,37 @@ pub fn render_serve_json(runs: &[ServeRun]) -> String {
     out
 }
 
+/// Renders `BENCH_check.json` (schema `qr-bench/check-v1`): one entry per
+/// certification replay. `certs`, `cert_bytes`, `kernel_searches` and the
+/// `failures` array are deterministic and drift-gated; only `wall_ms` is
+/// machine-dependent — `bench_diff` exempts exactly that.
+pub fn render_check_json(runs: &[CheckRun]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"qr-bench/check-v1\",\n  \"check_runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let failures = r
+            .failures
+            .iter()
+            .map(|f| format!("\"{}\"", escape(f)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = write!(
+            out,
+            "    {{\n      \"workload\": \"{}\",\n      \"kind\": \"{}\",\n      \"wall_ms\": {},\n      \"certs\": {},\n      \"cert_bytes\": {},\n      \"kernel_searches\": {},\n      \"failures\": [{}]\n    }}{}\n",
+            escape(&r.workload),
+            escape(r.kind),
+            ms(r.wall_ms),
+            r.certs,
+            r.cert_bytes,
+            r.kernel_searches,
+            failures,
+            if i + 1 < runs.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -649,6 +704,44 @@ mod tests {
             json.contains("{\"name\": \"iso\", \"requests\": 704, \"hits\": 690, \"misses\": 14}")
         );
         assert!(json.contains("\"p95_ms\": 0.500"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n  ]"));
+        assert!(!json.contains(",\n      ]"));
+    }
+
+    #[test]
+    fn renders_check_runs_well_formed() {
+        let runs = vec![
+            CheckRun {
+                workload: "tc-\"wide\"".into(),
+                kind: "rewrite",
+                wall_ms: 0.75,
+                certs: 41,
+                cert_bytes: 2048,
+                kernel_searches: 0,
+                failures: Vec::new(),
+            },
+            CheckRun {
+                workload: "TC on G(60,120)".into(),
+                kind: "chase",
+                wall_ms: 3.5,
+                certs: 900,
+                cert_bytes: 12000,
+                kernel_searches: 0,
+                failures: vec!["certificate 7: trigger 0 not earlier".into()],
+            },
+        ];
+        let json = render_check_json(&runs);
+        assert!(json.contains("\"schema\": \"qr-bench/check-v1\""));
+        assert!(json.contains("tc-\\\"wide\\\""));
+        assert!(json.contains("\"kind\": \"rewrite\""));
+        assert!(json.contains("\"certs\": 41"));
+        assert!(json.contains("\"cert_bytes\": 2048"));
+        assert!(json.contains("\"kernel_searches\": 0"));
+        assert!(json.contains("\"wall_ms\": 0.750"));
+        assert!(json.contains("\"failures\": []"));
+        assert!(json.contains("\"failures\": [\"certificate 7: trigger 0 not earlier\"]"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(!json.contains(",\n  ]"));

@@ -9,6 +9,7 @@
 //! [`ChaseBudget`] and reports whether a fixpoint was reached or the budget
 //! was exhausted.
 
+pub mod cert;
 pub mod core_term;
 pub mod engine;
 pub mod model;
@@ -16,6 +17,7 @@ pub mod provenance;
 pub mod skolem;
 pub mod stats;
 
+pub use cert::{emit_chase_certs, ChaseCert, ChaseCertBundle};
 pub use core_term::{
     all_instances_termination, core_of, core_termination, CoreTermBudget, CoreTermination,
 };

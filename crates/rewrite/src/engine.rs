@@ -73,6 +73,7 @@ use qr_hom::containment::contains;
 use qr_hom::kernel::{canonical_key, CanonicalKey, HomKernel, HomStats, QueryEntry};
 use qr_syntax::{ConjunctiveQuery, Pred, Symbol, Theory, Ucq, Var};
 
+use crate::cert::{CertBuilder, RewriteCertBundle};
 use crate::stats::{RewriteStats, WindowStats};
 use crate::trie::PredSetTrie;
 use crate::unify::{piece_rewritings_indexed, query_pred_mask, TheoryIndex, UnifyCounters};
@@ -224,6 +225,8 @@ struct KeptEntry {
     /// The entry's sorted predicate set — its path in the trie, kept for
     /// removal on eviction.
     preds: Vec<Pred>,
+    /// Certificate node of this disjunct (0 when not certifying).
+    node: u32,
     alive: bool,
 }
 
@@ -240,13 +243,14 @@ impl KeptSet {
         self.alive
     }
 
-    fn push(&mut self, query: ConjunctiveQuery, entry: Arc<QueryEntry>) {
+    fn push(&mut self, query: ConjunctiveQuery, entry: Arc<QueryEntry>, node: u32) {
         let preds: Vec<Pred> = entry.pred_set().collect();
         self.trie.insert(&preds, self.entries.len());
         self.entries.push(KeptEntry {
             query,
             entry,
             preds,
+            node,
             alive: true,
         });
         self.alive += 1;
@@ -332,20 +336,31 @@ enum Generated {
     /// at merge time, never core-minimized (matching the sequential loop,
     /// which skips the core for oversized candidates).
     Oversized,
-    /// A candidate under the atom cap.
-    Cand {
-        /// The raw piece rewriting (not core-minimized).
-        raw: ConjunctiveQuery,
-        /// `raw`'s name-independent structural key, computed on the
-        /// worker: the merge dedups on it before touching the kernel.
-        key: CanonicalKey,
-        /// The core-minimized, canonically renamed form, computed
-        /// speculatively when the gate was on at generation time; `None`
-        /// otherwise (the merge computes it lazily, only on acceptance).
-        /// Either way the value is the same deterministic function of
-        /// `raw`, so where it is computed never shows in any output.
-        core: Option<ConjunctiveQuery>,
-    },
+    /// A candidate under the atom cap (boxed: the payload dwarfs the
+    /// dataless `Oversized` variant, and candidates are moved through the
+    /// pipeline queue).
+    Cand(Box<Candidate>),
+}
+
+/// Payload of [`Generated::Cand`].
+struct Candidate {
+    /// The raw piece rewriting (not core-minimized).
+    raw: ConjunctiveQuery,
+    /// `raw`'s name-independent structural key, computed on the
+    /// worker: the merge dedups on it before touching the kernel.
+    key: CanonicalKey,
+    /// The core-minimized, canonically renamed form, computed
+    /// speculatively when the gate was on at generation time; `None`
+    /// otherwise (the merge computes it lazily, only on acceptance).
+    /// Either way the value is the same deterministic function of
+    /// `raw`, so where it is computed never shows in any output.
+    core: Option<ConjunctiveQuery>,
+    /// Rule index that generated `raw` — certificate provenance,
+    /// carried identically whether or not the run certifies.
+    rule: u32,
+    /// The piece unifier's `(query atom, head atom)` pairs (see
+    /// [`crate::unify::PieceUnifier::unified`]).
+    unified: Vec<(u32, u32)>,
 }
 
 /// Windows generating at least this many candidates update the
@@ -380,6 +395,7 @@ pub fn rewrite(
         &Executor::sequential(),
         SaturationMode::Pipelined,
         &mut |_, _| {},
+        None,
     )
 }
 
@@ -400,6 +416,7 @@ pub fn rewrite_with(
         exec,
         SaturationMode::Pipelined,
         &mut |_, _| {},
+        None,
     )
 }
 
@@ -413,7 +430,35 @@ pub fn rewrite_with_mode(
     exec: &Executor,
     mode: SaturationMode,
 ) -> Result<Rewriting, RewriteError> {
-    saturate(theory, query, budget, exec, mode, &mut |_, _| {})
+    saturate(theory, query, budget, exec, mode, &mut |_, _| {}, None)
+}
+
+/// [`rewrite_with_mode`] with certificate emission: alongside the
+/// rewriting, returns a [`RewriteCertBundle`] holding one replayable
+/// [`crate::cert::RewriteCert`] per accepted disjunct (node 0 is the
+/// seed). The rewriting itself — disjuncts, outcome, `generated`, every
+/// drift-gated counter — is byte-identical to the uncertified run at
+/// every thread count and in both modes: recording happens strictly
+/// after each acceptance decision, on the merge thread, with a private
+/// kernel-free matcher.
+pub fn rewrite_certified(
+    theory: &Theory,
+    query: &ConjunctiveQuery,
+    budget: RewriteBudget,
+    exec: &Executor,
+    mode: SaturationMode,
+) -> Result<(Rewriting, RewriteCertBundle), RewriteError> {
+    let mut cb = CertBuilder::new();
+    let r = saturate(
+        theory,
+        query,
+        budget,
+        exec,
+        mode,
+        &mut |_, _| {},
+        Some(&mut cb),
+    )?;
+    Ok((r, cb.into_bundle()))
 }
 
 /// Like [`rewrite`], invoking `trace(depth, query)` for every query accepted
@@ -431,6 +476,7 @@ pub fn rewrite_with_trace(
         &Executor::sequential(),
         SaturationMode::Pipelined,
         &mut trace,
+        None,
     )
 }
 
@@ -451,6 +497,7 @@ pub fn rewrite_with_trace_on(
         exec,
         SaturationMode::Pipelined,
         &mut trace,
+        None,
     )
 }
 
@@ -467,6 +514,10 @@ struct Merger<'a> {
     /// Structural keys of every candidate processed this run (plus the
     /// seed and accepted cores): the generation-side dedup's seen-set.
     seen: HashSet<CanonicalKey>,
+    /// Certificate recorder; `None` on uncertified runs. Recording
+    /// happens only at acceptance points on the merge thread, so the
+    /// engine's decisions and counters are identical either way.
+    certs: Option<&'a mut CertBuilder>,
     /// The speculation gate shared with the generation closure: cleared
     /// when speculative cores are being thrown away wholesale.
     speculate: &'a AtomicBool,
@@ -485,11 +536,12 @@ struct Merger<'a> {
     window_last_seq: usize,
 }
 
-/// A queued saturation item: the query, its rewriting depth, and the
+/// A queued saturation item: the query, its rewriting depth, the
 /// generation cap in force when it was submitted (`max_generated + 1 -
 /// generated-at-submission` — the most candidates the merge could ever
-/// consume from it before the budget break fires).
-type Item = (ConjunctiveQuery, usize, usize);
+/// consume from it before the budget break fires), and the query's
+/// certificate node (0 on uncertified runs).
+type Item = (ConjunctiveQuery, usize, usize, u32);
 
 impl<'a> Merger<'a> {
     fn new(
@@ -498,6 +550,7 @@ impl<'a> Merger<'a> {
         kernel: &'a HomKernel,
         speculate: &'a AtomicBool,
         trace: &'a mut dyn FnMut(usize, &ConjunctiveQuery),
+        certs: Option<&'a mut CertBuilder>,
     ) -> Merger<'a> {
         Merger {
             budget,
@@ -506,6 +559,7 @@ impl<'a> Merger<'a> {
             trace,
             set: KeptSet::new(),
             seen: HashSet::new(),
+            certs,
             speculate,
             generated: 0,
             oversized: 0,
@@ -557,6 +611,7 @@ impl<'a> Merger<'a> {
         &mut self,
         q: &ConjunctiveQuery,
         depth: usize,
+        node: u32,
         gens: &[Generated],
         uc: UnifyCounters,
         gen_wall: Duration,
@@ -595,7 +650,7 @@ impl<'a> Merger<'a> {
         self.cur.wait_wall += stall;
         self.cur.overlap_wall += overlap;
         let t0 = Instant::now();
-        let flow = self.merge_item_decisions(q, depth, gens, uc, out);
+        let flow = self.merge_item_decisions(q, depth, node, gens, uc, out);
         self.cur.merge_wall += t0.elapsed();
         self.submitted += out.len();
         flow
@@ -605,6 +660,7 @@ impl<'a> Merger<'a> {
         &mut self,
         q: &ConjunctiveQuery,
         depth: usize,
+        node: u32,
         gens: &[Generated],
         uc: UnifyCounters,
         out: &mut Vec<Item>,
@@ -628,13 +684,13 @@ impl<'a> Merger<'a> {
                 self.truncated = true;
                 return ControlFlow::Break(());
             }
-            let (raw, key, spec_core) = match g {
+            let (raw, key, spec_core, rule, unified) = match g {
                 Generated::Oversized => {
                     self.oversized += 1;
                     self.cur.oversized += 1;
                     continue;
                 }
-                Generated::Cand { raw, key, core } => (raw, key, core),
+                Generated::Cand(c) => (&c.raw, &c.key, &c.core, c.rule, &c.unified),
             };
             // Dedup at birth: a key-equal candidate was already processed,
             // so an alive kept query entails this one (directly, or
@@ -705,16 +761,26 @@ impl<'a> Merger<'a> {
                 if evicted > 0 {
                     self.depth_reached = self.depth_reached.max(depth + 1);
                     (self.trace)(depth + 1, &cand);
-                    self.set.push(cand, cand_entry);
+                    // The certificate records exactly the accepted nodes,
+                    // so it is cut only when the push actually happens.
+                    let cn = match self.certs.as_deref_mut() {
+                        Some(cb) => cb.record_accept(node, rule, unified, raw, &cand),
+                        None => 0,
+                    };
+                    self.set.push(cand, cand_entry, cn);
                     self.cur.accepted += 1;
                 }
                 return ControlFlow::Break(());
             }
             self.depth_reached = self.depth_reached.max(depth + 1);
             (self.trace)(depth + 1, &cand);
+            let cn = match self.certs.as_deref_mut() {
+                Some(cb) => cb.record_accept(node, rule, unified, raw, &cand),
+                None => 0,
+            };
             let cap = self.submission_cap();
-            out.push((cand.clone(), depth + 1, cap));
-            self.set.push(cand, cand_entry);
+            out.push((cand.clone(), depth + 1, cap, cn));
+            self.set.push(cand, cand_entry, cn);
             self.cur.accepted += 1;
         }
         ControlFlow::Continue(())
@@ -728,6 +794,7 @@ fn saturate(
     exec: &Executor,
     mode: SaturationMode,
     trace: &mut dyn FnMut(usize, &ConjunctiveQuery),
+    mut certs: Option<&mut CertBuilder>,
 ) -> Result<Rewriting, RewriteError> {
     for r in theory.rules() {
         if r.has_builtin_body() {
@@ -740,14 +807,17 @@ fn saturate(
     let kernel = HomKernel::new();
     let seed = canonical_named(&kernel.query_core(query));
     trace(0, &seed);
+    if let Some(cb) = certs.as_deref_mut() {
+        cb.record_seed(query, &seed);
+    }
     let seed_entry = kernel.entry(&seed);
     // Speculation gate: workers read it before folding cores; the merge
     // thread updates it at window boundaries from the trailing window's
     // doomed-candidate rate.
     let speculate = AtomicBool::new(true);
-    let mut merger = Merger::new(budget, exec, &kernel, &speculate, trace);
+    let mut merger = Merger::new(budget, exec, &kernel, &speculate, trace, certs);
     merger.seen.insert(canonical_key(&seed));
-    merger.set.push(seed.clone(), seed_entry);
+    merger.set.push(seed.clone(), seed_entry, 0);
     let tindex = TheoryIndex::new(theory);
 
     // Speculative generation: piece rewritings (and, when the gate is
@@ -764,7 +834,7 @@ fn saturate(
             let spec = speculate.load(Relaxed);
             let mut uc = UnifyCounters::default();
             let mut out = Vec::new();
-            for (rule, ridx) in theory.rules().iter().zip(tindex.rules()) {
+            for (ri, (rule, ridx)) in theory.rules().iter().zip(tindex.rules()).enumerate() {
                 if out.len() >= cap {
                     break;
                 }
@@ -780,11 +850,17 @@ fn saturate(
                     } else {
                         let key = canonical_key(&pu.result);
                         let core = spec.then(|| canonical_named(&kernel.query_core(&pu.result)));
-                        out.push(Generated::Cand {
+                        out.push(Generated::Cand(Box::new(Candidate {
                             raw: pu.result,
                             key,
                             core,
-                        });
+                            rule: ri as u32,
+                            unified: pu
+                                .unified
+                                .iter()
+                                .map(|&(a, h)| (a as u32, h as u32))
+                                .collect(),
+                        })));
                     }
                 }
             }
@@ -794,13 +870,14 @@ fn saturate(
     match mode {
         SaturationMode::Pipelined => {
             exec.pipeline_ordered(
-                vec![(seed, 0usize, budget.max_generated.saturating_add(1))],
-                |(q, _, cap)| generate(q, *cap),
-                |(q, depth, _), (gens, uc, gen_wall), ctx| {
+                vec![(seed, 0usize, budget.max_generated.saturating_add(1), 0u32)],
+                |(q, _, cap, _)| generate(q, *cap),
+                |(q, depth, _, node), (gens, uc, gen_wall), ctx| {
                     let mut out = Vec::new();
                     let flow = merger.merge_item(
                         &q,
                         depth,
+                        node,
                         &gens,
                         uc,
                         gen_wall,
@@ -817,17 +894,19 @@ fn saturate(
         }
         SaturationMode::Barrier => {
             let mut queue: VecDeque<Item> = VecDeque::new();
-            queue.push_back((seed, 0, budget.max_generated.saturating_add(1)));
+            queue.push_back((seed, 0, budget.max_generated.saturating_add(1), 0));
             'outer: while !queue.is_empty() {
                 let batch: Vec<Item> = queue.drain(..).collect();
                 let t0 = Instant::now();
-                let gens = exec.map(&batch, |(q, _, cap)| generate(q, *cap));
+                let gens = exec.map(&batch, |(q, _, cap, _)| generate(q, *cap));
                 let gen_phase = t0.elapsed();
                 // `Executor::map` runs single-item batches inline on this
                 // thread; that generation phase is then inline work, not a
                 // stall (mirrors the map's own inline condition).
                 let inline_map = batch.len() <= 1;
-                for (i, ((q, depth, _), (g, uc, gen_wall))) in batch.iter().zip(&gens).enumerate() {
+                for (i, ((q, depth, _, node), (g, uc, gen_wall))) in
+                    batch.iter().zip(&gens).enumerate()
+                {
                     // The merge sat out the whole generation phase before
                     // its first item; charge that stall to the window.
                     let waited = if i == 0 { gen_phase } else { Duration::ZERO };
@@ -837,8 +916,9 @@ fn saturate(
                         Duration::ZERO
                     };
                     let mut out = Vec::new();
-                    let flow =
-                        merger.merge_item(q, *depth, g, *uc, *gen_wall, waited, helped, &mut out);
+                    let flow = merger.merge_item(
+                        q, *depth, *node, g, *uc, *gen_wall, waited, helped, &mut out,
+                    );
                     queue.extend(out);
                     if flow.is_break() {
                         break 'outer;
@@ -848,6 +928,18 @@ fn saturate(
         }
     }
     merger.close_window();
+    if let Some(cb) = merger.certs.as_deref_mut() {
+        // `into_queries` keeps alive entries in insertion order, so this
+        // is exactly the final UCQ's disjunct order.
+        let finals: Vec<u32> = merger
+            .set
+            .entries
+            .iter()
+            .filter(|e| e.alive)
+            .map(|e| e.node)
+            .collect();
+        cb.set_finals(finals);
+    }
 
     let outcome = if merger.truncated {
         RewriteOutcome::Budget
@@ -1511,6 +1603,58 @@ mod tests {
                     "{label} @{threads}: pipelined regenerated more"
                 );
                 assert_eq!(p.generated, b.generated, "{label} @{threads}");
+            }
+        }
+    }
+
+    /// A certified run yields a bundle whose finals are exactly the UCQ's
+    /// disjuncts (verbatim clones, in disjunct order), whose chains ground
+    /// out at the seed, and whose steps replay to the recorded raw forms.
+    #[test]
+    fn certified_bundle_aligns_with_the_rewriting() {
+        use crate::unify::apply_piece_unifier;
+        for (label, t, q, budget) in fixtures() {
+            let theory = parse_theory(t).unwrap();
+            let query = parse_query(q).unwrap();
+            let exec = Executor::sequential();
+            let plain =
+                rewrite_with_mode(&theory, &query, budget, &exec, SaturationMode::Pipelined)
+                    .unwrap();
+            let (r, bundle) =
+                rewrite_certified(&theory, &query, budget, &exec, SaturationMode::Pipelined)
+                    .unwrap();
+            // Certification is invisible to the rewriting itself.
+            assert_eq!(r.ucq, plain.ucq, "{label}");
+            assert_eq!(r.generated, plain.generated, "{label}");
+            assert_eq!(
+                counter_rows(&r.stats),
+                counter_rows(&plain.stats),
+                "{label}"
+            );
+            // Finals ↔ disjuncts, verbatim and in order.
+            assert_eq!(bundle.final_disjuncts.len(), r.ucq.len(), "{label}");
+            for (d, &node) in r.ucq.disjuncts().iter().zip(&bundle.final_disjuncts) {
+                assert_eq!(*d, bundle.certs[node as usize].query, "{label}");
+            }
+            // Chains are well-founded and every step replays.
+            assert!(bundle.certs[0].step.is_none(), "{label}: node 0 is seed");
+            for (i, cert) in bundle.certs.iter().enumerate().skip(1) {
+                let step = cert.step.as_ref().expect("non-seed nodes record a step");
+                assert!((step.parent as usize) < i, "{label}: parent before child");
+                let parent = &bundle.certs[step.parent as usize].query;
+                let rule = &theory.rules()[step.rule as usize];
+                let pairs: Vec<(usize, usize)> = step
+                    .unified
+                    .iter()
+                    .map(|&(a, h)| (a as usize, h as usize))
+                    .collect();
+                let raw = apply_piece_unifier(parent, rule, &pairs)
+                    .unwrap_or_else(|| panic!("{label}: node {i} must replay"));
+                assert_eq!(
+                    cert.to_query.len(),
+                    raw.var_names().len(),
+                    "{label}: to_query spans the raw variables"
+                );
             }
         }
     }

@@ -18,17 +18,19 @@
 //! process* (Sections 10–11, implemented in `qr-core`) to rewrite against
 //! such theories.
 
+pub mod cert;
 pub mod engine;
 pub mod stats;
 mod trie;
 pub mod unify;
 
+pub use cert::{CertBuilder, RewriteCert, RewriteCertBundle, RewriteStep};
 pub use engine::{
-    rewrite, rewrite_with, rewrite_with_mode, rewrite_with_trace, rewrite_with_trace_on,
-    RewriteBudget, RewriteError, RewriteOutcome, Rewriting, SaturationMode,
+    rewrite, rewrite_certified, rewrite_with, rewrite_with_mode, rewrite_with_trace,
+    rewrite_with_trace_on, RewriteBudget, RewriteError, RewriteOutcome, Rewriting, SaturationMode,
 };
 pub use stats::{RewriteStats, WindowStats};
 pub use unify::{
-    piece_rewritings, piece_rewritings_indexed, query_pred_mask, PieceUnifier, RuleIndex,
-    TheoryIndex, UnifyCounters,
+    apply_piece_unifier, piece_rewritings, piece_rewritings_indexed, query_pred_mask, PieceUnifier,
+    RuleIndex, TheoryIndex, UnifyCounters,
 };

@@ -30,6 +30,12 @@ use qr_syntax::{Pred, Symbol, Tgd, Theory};
 pub struct PieceUnifier {
     /// Indices (into the input query's atom list) of the unified piece.
     pub piece: Vec<usize>,
+    /// The unification choices behind `piece`: for each piece atom (in
+    /// ascending query-atom order) the index of the head atom it unified
+    /// with. Replaying these pairs through [`apply_piece_unifier`]
+    /// rebuilds `result` exactly (same atoms, same variable indices) —
+    /// the replayable witness a rewriting certificate records.
+    pub unified: Vec<(usize, usize)>,
     /// The rewritten query (canonicalized).
     pub result: ConjunctiveQuery,
 }
@@ -286,7 +292,8 @@ pub fn piece_rewritings_indexed(
             if let Some(result) = finish(&space, piece, uf.clone()) {
                 if seen.insert(result.canonical()) {
                     out.push(PieceUnifier {
-                        piece: piece.to_vec(),
+                        piece: piece.iter().map(|&(ai, _)| ai).collect(),
+                        unified: piece.to_vec(),
                         result,
                     });
                 }
@@ -306,11 +313,11 @@ pub fn piece_rewritings_indexed(
 fn descend(
     space: &Space<'_>,
     atom_idx: usize,
-    piece: Vec<usize>,
+    piece: Vec<(usize, usize)>,
     uf: Uf,
     ridx: &RuleIndex,
     probes: &mut usize,
-    emit: &mut impl FnMut(&[usize], &Uf) -> bool,
+    emit: &mut impl FnMut(&[(usize, usize)], &Uf) -> bool,
 ) -> bool {
     if atom_idx == space.q.atoms().len() {
         if !piece.is_empty() {
@@ -356,7 +363,7 @@ fn descend(
         }
         if ok {
             let mut piece2 = piece.clone();
-            piece2.push(atom_idx);
+            piece2.push((atom_idx, hi));
             if !descend(space, atom_idx + 1, piece2, uf2, ridx, probes, emit) {
                 return false;
             }
@@ -365,9 +372,50 @@ fn descend(
     true
 }
 
+/// Replays a recorded piece unification: unions exactly the
+/// `(query atom, head atom)` pairs of `unified` and runs the same
+/// admissibility validation and query construction as the enumeration.
+/// Zero search — the pairs *are* the derivation witness. Returns `None`
+/// when the pairs are out of range, not strictly ascending in the query
+/// atom (the enumeration's shape), predicate-mismatched, or fail
+/// admissibility. The result is structurally identical to the
+/// enumerated [`PieceUnifier::result`] for the same pairs: same atoms,
+/// same answer tuple, same variable indices (only the fresh display
+/// names differ).
+pub fn apply_piece_unifier(
+    q: &ConjunctiveQuery,
+    rule: &Tgd,
+    unified: &[(usize, usize)],
+) -> Option<ConjunctiveQuery> {
+    if unified.is_empty() {
+        return None;
+    }
+    let space = Space::new(q, rule);
+    let mut uf = Uf::new(space.total());
+    let mut last: Option<usize> = None;
+    for &(ai, hi) in unified {
+        if ai >= q.atoms().len() || hi >= rule.head().len() {
+            return None;
+        }
+        if last.is_some_and(|l| ai <= l) {
+            return None;
+        }
+        last = Some(ai);
+        let qatom = &q.atoms()[ai];
+        let hatom = &rule.head()[hi];
+        if qatom.pred != hatom.pred {
+            return None;
+        }
+        for (qt, ht) in qatom.args.iter().zip(hatom.args.iter()) {
+            uf.union(space.id_of_q(qt), space.id_of_r(ht));
+        }
+    }
+    finish(&space, unified, uf)
+}
+
 /// Validates the partition and builds the rewritten query.
-fn finish(space: &Space<'_>, piece: &[usize], mut uf: Uf) -> Option<ConjunctiveQuery> {
-    let piece_set: HashSet<usize> = piece.iter().copied().collect();
+fn finish(space: &Space<'_>, piece: &[(usize, usize)], mut uf: Uf) -> Option<ConjunctiveQuery> {
+    let piece_set: HashSet<usize> = piece.iter().map(|&(ai, _)| ai).collect();
     // Group members by class root.
     let mut classes: HashMap<usize, Vec<Node>> = HashMap::new();
     for id in 0..space.total() {
@@ -708,6 +756,53 @@ mod tests {
         assert_eq!(ridx.mask() & query_pred_mask(&disjoint), 0);
         let touching = parse_query("? :- r(U,V), s(U).").unwrap();
         assert_ne!(ridx.mask() & query_pred_mask(&touching), 0);
+    }
+
+    #[test]
+    fn replaying_recorded_pairs_rebuilds_each_result() {
+        let cases = [
+            ("p(X) -> r(X,Z), g(X,Z).", "? :- r(U,V), g(U,V), s(U)."),
+            ("e(X,Y), e(Y,Z) -> e(X,Z).", "? :- e(a,b), e(b,c)."),
+            ("human(X) -> mother(X,Y).", "?(A) :- mother(A,B)."),
+            ("p(X) -> r(X,X).", "? :- r(U,V), s(U), s(V)."),
+        ];
+        for (tsrc, qsrc) in cases {
+            let t = parse_theory(tsrc).unwrap();
+            let q = parse_query(qsrc).unwrap();
+            let rule = &t.rules()[0];
+            let pus = piece_rewritings(&q, rule);
+            assert!(!pus.is_empty(), "{qsrc}");
+            for pu in pus {
+                let replayed =
+                    apply_piece_unifier(&q, rule, &pu.unified).expect("recorded pairs replay");
+                assert_eq!(replayed.atoms(), pu.result.atoms(), "{qsrc}");
+                assert_eq!(replayed.answer_vars(), pu.result.answer_vars(), "{qsrc}");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_rejects_malformed_pairs() {
+        let t = parse_theory("human(X) -> mother(X,Y).").unwrap();
+        let q = parse_query("?(A) :- mother(A,B), human(C).").unwrap();
+        let rule = &t.rules()[0];
+        assert!(apply_piece_unifier(&q, rule, &[]).is_none(), "empty piece");
+        assert!(
+            apply_piece_unifier(&q, rule, &[(7, 0)]).is_none(),
+            "atom out of range"
+        );
+        assert!(
+            apply_piece_unifier(&q, rule, &[(0, 5)]).is_none(),
+            "head out of range"
+        );
+        assert!(
+            apply_piece_unifier(&q, rule, &[(0, 0), (0, 0)]).is_none(),
+            "non-ascending piece"
+        );
+        assert!(
+            apply_piece_unifier(&q, rule, &[(1, 0)]).is_none(),
+            "predicate mismatch"
+        );
     }
 
     #[test]

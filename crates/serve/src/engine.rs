@@ -304,6 +304,63 @@ impl Engine {
     pub fn replay(&mut self, src: &str) -> Result<Vec<Response>, String> {
         Ok(self.run(crate::replay::parse_replay(src)?))
     }
+
+    /// Certifies the rewriting behind every answerable request of a
+    /// replay stream: each distinct (tenant, freeze-key) pair — the same
+    /// identity the serving cache uses — is re-derived once through the
+    /// certificate-emitting engine entry point, round-tripped through the
+    /// `QRRC` codec, and replayed by the independent checker
+    /// ([`qr_check::check_rewrite`]). Requests that would be rejected
+    /// (unknown theory, parse error) have no rewriting and are skipped.
+    ///
+    /// This runs entirely off the serving fast path: `&self`, a private
+    /// sequential executor, no cache or counter traffic — so certified
+    /// and uncertified serving stay byte-identical.
+    pub fn certify_replay(&self, src: &str) -> Result<qr_check::CheckReport, String> {
+        let requests = crate::replay::parse_replay(src)?;
+        let mut report = qr_check::CheckReport::new();
+        let mut seen: HashSet<CacheKey> = HashSet::new();
+        for req in &requests {
+            let Some(tenant) = self.tenants.iter().position(|t| t.id == req.theory) else {
+                continue;
+            };
+            let Ok(query) = parse_query(&req.query) else {
+                continue;
+            };
+            let key = CacheKey {
+                tenant: tenant as u32,
+                key: canonical_key(&query),
+            };
+            if !seen.insert(key) {
+                continue;
+            }
+            let label = format!("{} {}", req.theory, req.query.trim());
+            let theory = &self.tenants[tenant].theory;
+            match qr_rewrite::rewrite_certified(
+                theory,
+                &query,
+                self.config.rewrite_budget,
+                &Executor::sequential(),
+                SaturationMode::Pipelined,
+            ) {
+                Ok((r, bundle)) => {
+                    let bytes = qr_check::encode_rewrite_certs(&bundle);
+                    report.cert_bytes += bytes.len();
+                    match qr_check::decode_rewrite_certs(&bytes) {
+                        Ok(decoded) => {
+                            match qr_check::check_rewrite(theory, &query, &r.ucq, &decoded) {
+                                Ok(n) => report.rewrite_certs += n,
+                                Err(e) => report.fail(&label, e),
+                            }
+                        }
+                        Err(e) => report.fail(&label, e),
+                    }
+                }
+                Err(e) => report.fail(&label, format!("rewrite failed: {e:?}")),
+            }
+        }
+        Ok(report)
+    }
 }
 
 /// Worker stage: parse, key, and — if the key is not resident — compute

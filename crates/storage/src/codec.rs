@@ -2,13 +2,19 @@
 //!
 //! Unsigned integers are LEB128 varints; strings are length-prefixed
 //! UTF-8. `qr-syntax` builds the instance checkpoint format on top of
-//! this (magic + version header, predicate/term tables, fact stream).
+//! this (magic + version header, predicate/term tables, fact stream),
+//! and `qr-check` builds the certificate bundle formats the same way.
+//!
+//! Decode failures are structured: every [`DecodeError`] carries the
+//! byte offset at which the offending value *starts* plus a
+//! [`DecodeErrorKind`], so callers can point at the exact corrupt spot
+//! instead of re-parsing an opaque message.
 
 use std::fmt;
 
-/// Error decoding a checkpoint byte stream.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum DecodeError {
+/// What went wrong while decoding a byte stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeErrorKind {
     /// The stream ended before a complete value was read.
     UnexpectedEof,
     /// The stream does not start with the expected magic bytes.
@@ -19,15 +25,36 @@ pub enum DecodeError {
     Malformed(&'static str),
 }
 
+/// Error decoding a checkpoint byte stream: a [`DecodeErrorKind`]
+/// located at the byte offset where the offending value starts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset (into the decoded slice) of the value that failed.
+    pub offset: usize,
+    /// What went wrong there.
+    pub kind: DecodeErrorKind,
+}
+
+impl DecodeError {
+    /// An error of `kind` located at byte `offset`.
+    pub fn at(offset: usize, kind: DecodeErrorKind) -> DecodeError {
+        DecodeError { offset, kind }
+    }
+}
+
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            DecodeError::UnexpectedEof => write!(f, "unexpected end of checkpoint stream"),
-            DecodeError::BadMagic => write!(f, "bad checkpoint magic"),
-            DecodeError::UnsupportedVersion(v) => {
-                write!(f, "unsupported checkpoint version {v}")
+        match self.kind {
+            DecodeErrorKind::UnexpectedEof => {
+                write!(f, "unexpected end of stream at byte {}", self.offset)
             }
-            DecodeError::Malformed(what) => write!(f, "malformed checkpoint: {what}"),
+            DecodeErrorKind::BadMagic => write!(f, "bad magic at byte {}", self.offset),
+            DecodeErrorKind::UnsupportedVersion(v) => {
+                write!(f, "unsupported version {v} at byte {}", self.offset)
+            }
+            DecodeErrorKind::Malformed(what) => {
+                write!(f, "malformed stream at byte {}: {what}", self.offset)
+            }
         }
     }
 }
@@ -89,15 +116,25 @@ impl<'a> ByteReader<'a> {
         ByteReader { buf, pos: 0 }
     }
 
+    /// The current byte offset — where the next read will start.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
     /// `true` iff every byte has been consumed.
     pub fn is_at_end(&self) -> bool {
         self.pos == self.buf.len()
     }
 
+    /// A [`DecodeError`] of `kind` located at the current offset.
+    pub fn error(&self, kind: DecodeErrorKind) -> DecodeError {
+        DecodeError::at(self.pos, kind)
+    }
+
     /// Reads exactly `n` raw bytes.
     pub fn raw(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         if self.buf.len() - self.pos < n {
-            return Err(DecodeError::UnexpectedEof);
+            return Err(self.error(DecodeErrorKind::UnexpectedEof));
         }
         let out = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -106,13 +143,20 @@ impl<'a> ByteReader<'a> {
 
     /// Reads a LEB128 varint.
     pub fn varint(&mut self) -> Result<u64, DecodeError> {
+        let start = self.pos;
         let mut v: u64 = 0;
         let mut shift = 0;
         loop {
-            let byte = *self.buf.get(self.pos).ok_or(DecodeError::UnexpectedEof)?;
+            let byte = *self
+                .buf
+                .get(self.pos)
+                .ok_or(DecodeError::at(start, DecodeErrorKind::UnexpectedEof))?;
             self.pos += 1;
             if shift >= 64 || (shift == 63 && byte > 1) {
-                return Err(DecodeError::Malformed("varint overflows u64"));
+                return Err(DecodeError::at(
+                    start,
+                    DecodeErrorKind::Malformed("varint overflows u64"),
+                ));
             }
             v |= ((byte & 0x7f) as u64) << shift;
             if byte & 0x80 == 0 {
@@ -124,9 +168,14 @@ impl<'a> ByteReader<'a> {
 
     /// Reads a length-prefixed UTF-8 string.
     pub fn str(&mut self) -> Result<&'a str, DecodeError> {
+        let start = self.pos;
         let len = self.varint()? as usize;
-        let bytes = self.raw(len)?;
-        std::str::from_utf8(bytes).map_err(|_| DecodeError::Malformed("invalid UTF-8"))
+        let bytes = self.raw(len).map_err(|e| {
+            // Locate a short string at its length prefix, not past it.
+            DecodeError::at(start, e.kind)
+        })?;
+        std::str::from_utf8(bytes)
+            .map_err(|_| DecodeError::at(start, DecodeErrorKind::Malformed("invalid UTF-8")))
     }
 }
 
@@ -158,21 +207,37 @@ mod tests {
         let bytes = w.into_vec();
         let mut r = ByteReader::new(&bytes);
         assert_eq!(r.raw(4), Ok(&b"QRCK"[..]));
+        assert_eq!(r.pos(), 4);
         assert_eq!(r.str(), Ok("mother"));
         assert_eq!(r.str(), Ok(""));
         assert!(r.is_at_end());
     }
 
     #[test]
-    fn truncated_stream_errors() {
+    fn truncated_stream_errors_carry_the_offset() {
         let mut w = ByteWriter::new();
         w.str("hello");
         let bytes = w.into_vec();
+        // The string starts at offset 0; truncating its payload still
+        // locates the error at the value start.
         let mut r = ByteReader::new(&bytes[..3]);
-        assert_eq!(r.str(), Err(DecodeError::UnexpectedEof));
+        assert_eq!(
+            r.str(),
+            Err(DecodeError::at(0, DecodeErrorKind::UnexpectedEof))
+        );
         assert_eq!(
             ByteReader::new(&[0x80]).varint(),
-            Err(DecodeError::UnexpectedEof)
+            Err(DecodeError::at(0, DecodeErrorKind::UnexpectedEof))
+        );
+        // A failing read after a successful one is located past it.
+        let mut w = ByteWriter::new();
+        w.varint(7);
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes);
+        r.varint().unwrap();
+        assert_eq!(
+            r.varint(),
+            Err(DecodeError::at(1, DecodeErrorKind::UnexpectedEof))
         );
     }
 
@@ -184,7 +249,37 @@ mod tests {
         ];
         assert_eq!(
             ByteReader::new(&bytes).varint(),
-            Err(DecodeError::Malformed("varint overflows u64"))
+            Err(DecodeError::at(
+                0,
+                DecodeErrorKind::Malformed("varint overflows u64")
+            ))
         );
+    }
+
+    #[test]
+    fn bad_utf8_is_malformed_at_the_string_start() {
+        let mut w = ByteWriter::new();
+        w.varint(1);
+        w.raw(&[0xff]);
+        let bytes = w.into_vec();
+        assert_eq!(
+            ByteReader::new(&bytes).str(),
+            Err(DecodeError::at(
+                0,
+                DecodeErrorKind::Malformed("invalid UTF-8")
+            ))
+        );
+    }
+
+    #[test]
+    fn display_names_offset_and_kind() {
+        let e = DecodeError::at(12, DecodeErrorKind::UnsupportedVersion(9));
+        assert_eq!(e.to_string(), "unsupported version 9 at byte 12");
+        let e = DecodeError::at(0, DecodeErrorKind::BadMagic);
+        assert_eq!(e.to_string(), "bad magic at byte 0");
+        let e = DecodeError::at(3, DecodeErrorKind::Malformed("trailing bytes"));
+        assert_eq!(e.to_string(), "malformed stream at byte 3: trailing bytes");
+        let e = DecodeError::at(5, DecodeErrorKind::UnexpectedEof);
+        assert_eq!(e.to_string(), "unexpected end of stream at byte 5");
     }
 }

@@ -27,5 +27,5 @@
 pub mod codec;
 mod store;
 
-pub use codec::{ByteReader, ByteWriter, DecodeError};
+pub use codec::{ByteReader, ByteWriter, DecodeError, DecodeErrorKind};
 pub use store::{FactStore, PredId, Snapshot, StorageStats, TupleId};

@@ -20,7 +20,9 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
-use qr_storage::{ByteReader, ByteWriter, DecodeError, FactStore, PredId, Snapshot};
+use qr_storage::{
+    ByteReader, ByteWriter, DecodeError, DecodeErrorKind, FactStore, PredId, Snapshot,
+};
 
 use crate::atom::{Fact, Pred};
 use crate::symbol::Symbol;
@@ -429,24 +431,30 @@ impl Instance {
     pub fn from_bytes(bytes: &[u8]) -> Result<Instance, DecodeError> {
         let mut r = ByteReader::new(bytes);
         if r.raw(CHECKPOINT_MAGIC.len())? != CHECKPOINT_MAGIC {
-            return Err(DecodeError::BadMagic);
+            return Err(DecodeError::at(0, DecodeErrorKind::BadMagic));
         }
+        let at = r.pos();
         let version = r.varint()?;
         if version != CHECKPOINT_VERSION {
-            return Err(DecodeError::UnsupportedVersion(version));
+            return Err(DecodeError::at(
+                at,
+                DecodeErrorKind::UnsupportedVersion(version),
+            ));
         }
         let pred_count = r.varint()? as usize;
         let mut preds: Vec<Pred> = Vec::with_capacity(pred_count);
         for _ in 0..pred_count {
             let name = r.str()?;
+            let at = r.pos();
             let arity = r.varint()?;
-            let arity =
-                u32::try_from(arity).map_err(|_| DecodeError::Malformed("arity overflow"))?;
+            let arity = u32::try_from(arity)
+                .map_err(|_| DecodeError::at(at, DecodeErrorKind::Malformed("arity overflow")))?;
             preds.push(Pred::new(Symbol::intern(name), arity));
         }
         let term_count = r.varint()? as usize;
         let mut terms: Vec<TermId> = Vec::with_capacity(term_count);
         for _ in 0..term_count {
+            let at = r.pos();
             match r.varint()? {
                 0 => terms.push(TermId::constant(Symbol::intern(r.str()?))),
                 1 => {
@@ -454,39 +462,53 @@ impl Instance {
                     let argc = r.varint()? as usize;
                     let mut args = Vec::with_capacity(argc);
                     for _ in 0..argc {
+                        let at = r.pos();
                         let a = r.varint()? as usize;
-                        let &t = terms
-                            .get(a)
-                            .ok_or(DecodeError::Malformed("forward term reference"))?;
+                        let &t = terms.get(a).ok_or(DecodeError::at(
+                            at,
+                            DecodeErrorKind::Malformed("forward term reference"),
+                        ))?;
                         args.push(t);
                     }
                     let f = SkolemFn::intern(tag, argc as u32);
                     terms.push(TermId::skolem(f, &args));
                 }
-                _ => return Err(DecodeError::Malformed("unknown term tag")),
+                _ => {
+                    return Err(DecodeError::at(
+                        at,
+                        DecodeErrorKind::Malformed("unknown term tag"),
+                    ))
+                }
             }
         }
         let fact_count = r.varint()? as usize;
         let mut inst = Instance::new();
         for _ in 0..fact_count {
+            let at = r.pos();
             let p = r.varint()? as usize;
-            let pred = *preds
-                .get(p)
-                .ok_or(DecodeError::Malformed("predicate id out of range"))?;
+            let pred = *preds.get(p).ok_or(DecodeError::at(
+                at,
+                DecodeErrorKind::Malformed("predicate id out of range"),
+            ))?;
             let mut args = Vec::with_capacity(pred.arity() as usize);
             for _ in 0..pred.arity() {
+                let at = r.pos();
                 let a = r.varint()? as usize;
-                let &t = terms
-                    .get(a)
-                    .ok_or(DecodeError::Malformed("term id out of range"))?;
+                let &t = terms.get(a).ok_or(DecodeError::at(
+                    at,
+                    DecodeErrorKind::Malformed("term id out of range"),
+                ))?;
                 args.push(t);
             }
             if inst.insert(Fact::new(pred, args)).is_none() {
-                return Err(DecodeError::Malformed("duplicate fact in stream"));
+                return Err(DecodeError::at(
+                    at,
+                    DecodeErrorKind::Malformed("duplicate fact in stream"),
+                ));
             }
         }
         if !r.is_at_end() {
-            return Err(DecodeError::Malformed("trailing bytes"));
+            return Err(r.error(DecodeErrorKind::Malformed("trailing bytes")));
         }
         Ok(inst)
     }
@@ -678,23 +700,30 @@ mod tests {
 
     #[test]
     fn checkpoint_decode_rejects_garbage() {
-        assert_eq!(Instance::from_bytes(b"nope"), Err(DecodeError::BadMagic));
+        assert_eq!(
+            Instance::from_bytes(b"nope"),
+            Err(DecodeError::at(0, DecodeErrorKind::BadMagic))
+        );
         assert_eq!(
             Instance::from_bytes(b"QRI"),
-            Err(DecodeError::UnexpectedEof)
+            Err(DecodeError::at(0, DecodeErrorKind::UnexpectedEof))
         );
         let mut bytes = Instance::from_facts([e("a", "b")]).to_bytes();
+        let end = bytes.len();
         bytes.push(0);
         assert_eq!(
             Instance::from_bytes(&bytes),
-            Err(DecodeError::Malformed("trailing bytes"))
+            Err(DecodeError::at(
+                end,
+                DecodeErrorKind::Malformed("trailing bytes")
+            ))
         );
         // Bump the version byte (right after the 4-byte magic).
         let mut vbytes = Instance::new().to_bytes();
         vbytes[4] = 9;
         assert_eq!(
             Instance::from_bytes(&vbytes),
-            Err(DecodeError::UnsupportedVersion(9))
+            Err(DecodeError::at(4, DecodeErrorKind::UnsupportedVersion(9)))
         );
     }
 }
