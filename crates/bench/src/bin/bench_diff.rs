@@ -2,9 +2,9 @@
 //!
 //! Usage: `bench_diff <baseline.json> <candidate.json>`
 //!
-//! Works on `BENCH_chase.json` (schema `qr-bench/chase-v3`),
+//! Works on `BENCH_chase.json` (schema `qr-bench/chase-v4`),
 //! `BENCH_rewrite.json` (schema `qr-bench/rewrite-v3`),
-//! `BENCH_serve.json` (schema `qr-bench/serve-v1`) and `BENCH_check.json`
+//! `BENCH_serve.json` (schema `qr-bench/serve-v2`) and `BENCH_check.json`
 //! (schema `qr-bench/check-v1`) — each dump carries whichever run arrays
 //! it has. The chase engine's trigger/candidate/sweep
 //! counters are a pure function of (theory, instance, budget), and the
@@ -20,7 +20,10 @@
 //! gated whenever both sides carry it), and the serve engine's request
 //! counters, per-segment cache outcomes and response-trace hash, and the
 //! checker's certificate counts, encoded sizes, kernel-search pin and
-//! failure lists, ignoring
+//! failure lists, and the incremental-maintenance runs' batch modes,
+//! replay/rederive/cone counters and candidate totals (schema chase-v4;
+//! a run array present on only one side is drift, so dropping `--incr`
+//! from the pinned invocation cannot pass silently), ignoring
 //! everything timing- or machine-dependent (`wall_ms`, `barrier_wall_ms`,
 //! every `*_ms` split, latency percentiles, `threads`, per-experiment
 //! timings). Exit code 0 means the counters
@@ -317,6 +320,69 @@ fn diff_counters(scope: &str, base: &Value, cand: &Value, report: &mut String) {
     diff_keys(scope, &COUNTERS, base, cand, report);
 }
 
+/// The incremental-maintenance runs' batch-mode tallies (schema chase-v4).
+const INCR_MODE_KEYS: [&str; 4] = ["noops", "seeded_inserts", "truncated_retracts", "rechases"];
+
+/// The incremental runs' replay/rederive/cone counters and the
+/// deterministic incremental-vs-cold candidate comparison. Every `*_ms`
+/// field (`wall_ms`, `batch_ms`, `rechase_ms`) and `threads` are
+/// machine-dependent and deliberately absent.
+const INCR_COUNTER_KEYS: [&str; 5] = [
+    "replayed_facts",
+    "rederived_facts",
+    "cone_facts",
+    "candidates_incr",
+    "candidates_cold",
+];
+
+/// Diffs one incremental-maintenance run: batch count, final shape, the
+/// mode tallies and the counter object.
+fn diff_incr_run(name: &str, b: &Value, c: &Value, report: &mut String) {
+    diff_keys(
+        &format!("\"{name}\""),
+        &["batches", "facts_out", "rounds_run"],
+        b,
+        c,
+        report,
+    );
+    match (b.get("modes"), c.get("modes")) {
+        (None, None) => {}
+        (Some(_), None) => {
+            let _ = writeln!(report, "  \"{name}\": mode tallies missing from candidate");
+        }
+        (None, Some(_)) => {
+            let _ = writeln!(report, "  \"{name}\": mode tallies missing from baseline");
+        }
+        (Some(bm), Some(cm)) => {
+            diff_keys(
+                &format!("\"{name}\" modes"),
+                &INCR_MODE_KEYS,
+                bm,
+                cm,
+                report,
+            );
+        }
+    }
+    match (b.get("counters"), c.get("counters")) {
+        (None, None) => {}
+        (Some(_), None) => {
+            let _ = writeln!(report, "  \"{name}\": incr counters missing from candidate");
+        }
+        (None, Some(_)) => {
+            let _ = writeln!(report, "  \"{name}\": incr counters missing from baseline");
+        }
+        (Some(bc), Some(cc)) => {
+            diff_keys(
+                &format!("\"{name}\" counters"),
+                &INCR_COUNTER_KEYS,
+                bc,
+                cc,
+                report,
+            );
+        }
+    }
+}
+
 /// Per-window (and totals-level) rewrite counters, all deterministic.
 /// Schema `rewrite-v3` adds the generation-side dedup and prefilter
 /// counters (`dedup_hits`, `unifier_*`, `trie_*`); like the hom search
@@ -461,13 +527,15 @@ fn diff_rewrite_run(name: &str, b: &Value, c: &Value, report: &mut String) {
     }
 }
 
-/// The serve engine's deterministic counters (schema `serve-v1`): every
-/// field of `ServeCounters`. All are pure functions of (tenants, request
-/// stream, engine config) — updated only at the engine's ordered merge
-/// point — so they gate at any worker-pool width. `wall_ms` and the
-/// `p50_ms`/`p95_ms`/`p99_ms` latency percentiles are machine-dependent
-/// and deliberately absent.
-const SERVE_COUNTERS: [&str; 15] = [
+/// The serve engine's deterministic counters (schema `serve-v2`, which
+/// adds the write-path counters): every field of `ServeCounters`. All are
+/// pure functions of (tenants, request stream, engine config) — updated
+/// only at the engine's ordered merge point — so they gate at any
+/// worker-pool width. Keys absent from both sides compare equal, so a
+/// serve-v1 baseline still diffs cleanly on the shared counters. `wall_ms`
+/// and the `p50_ms`/`p95_ms`/`p99_ms` latency percentiles are
+/// machine-dependent and deliberately absent.
+const SERVE_COUNTERS: [&str; 19] = [
     "requests",
     "answered",
     "rejected",
@@ -483,6 +551,10 @@ const SERVE_COUNTERS: [&str; 15] = [
     "rewrite_generated",
     "cache_bytes",
     "peak_cache_bytes",
+    "writes",
+    "facts_inserted",
+    "facts_retracted",
+    "cache_invalidations",
 ];
 
 /// Per-segment cache outcomes of a serve run.
@@ -634,6 +706,22 @@ fn diff(base: &Value, cand: &Value) -> String {
         let name = workload(c);
         if !base_runs.iter().any(|b| workload(b) == name) {
             let _ = writeln!(report, "  workload \"{name}\": missing from baseline");
+        }
+    }
+    let base_incr = base.get("incr_runs").map(Value::as_arr).unwrap_or_default();
+    let cand_incr = cand.get("incr_runs").map(Value::as_arr).unwrap_or_default();
+    for b in base_incr {
+        let name = workload(b);
+        let Some(c) = cand_incr.iter().find(|r| workload(r) == name) else {
+            let _ = writeln!(report, "  incr workload \"{name}\": missing from candidate");
+            continue;
+        };
+        diff_incr_run(&name, b, c, &mut report);
+    }
+    for c in cand_incr {
+        let name = workload(c);
+        if !base_incr.iter().any(|b| workload(b) == name) {
+            let _ = writeln!(report, "  incr workload \"{name}\": missing from baseline");
         }
     }
     let base_rw = base
@@ -843,6 +931,115 @@ mod tests {
         assert!(report.contains("\"T_a\": missing from baseline"));
     }
 
+    fn incr_run(workload: &str, seeded: u64, rederived: u64) -> String {
+        format!(
+            "{{\"workload\": \"{workload}\", \"threads\": 1, \"batches\": 9, \"wall_ms\": 4.2, \"batch_ms\": 0.5, \"rechase_ms\": 1.1, \"facts_out\": 50, \"rounds_run\": 3, \"modes\": {{\"noops\": 0, \"seeded_inserts\": {seeded}, \"truncated_retracts\": 0, \"rechases\": 1}}, \"counters\": {{\"replayed_facts\": 8, \"rederived_facts\": {rederived}, \"cone_facts\": 6, \"candidates_incr\": 120, \"candidates_cold\": 400}}}}"
+        )
+    }
+
+    fn incr_dump(runs: &[String]) -> Value {
+        let src = format!(
+            "{{\"schema\": \"qr-bench/chase-v4\", \"experiments\": [], \"chase_runs\": [], \"incr_runs\": [{}]}}",
+            runs.join(",")
+        );
+        Parser::parse(&src).unwrap()
+    }
+
+    #[test]
+    fn incr_wall_times_and_threads_are_ignored() {
+        let a = incr_dump(&[incr_run("TC incr", 8, 40)]);
+        let b_src = incr_run("TC incr", 8, 40)
+            .replace("\"threads\": 1", "\"threads\": 4")
+            .replace("\"wall_ms\": 4.2", "\"wall_ms\": 99.9")
+            .replace("\"batch_ms\": 0.5", "\"batch_ms\": 11.0")
+            .replace("\"rechase_ms\": 1.1", "\"rechase_ms\": 77.0");
+        let b = incr_dump(&[b_src]);
+        assert!(diff(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn incr_mode_and_counter_drift_is_reported() {
+        let a = incr_dump(&[incr_run("TC incr", 8, 40)]);
+        let b_src = incr_run("TC incr", 7, 44)
+            .replace("\"rechases\": 1", "\"rechases\": 2")
+            .replace("\"candidates_incr\": 120", "\"candidates_incr\": 150");
+        let report = diff(&a, &incr_dump(&[b_src]));
+        assert!(
+            report.contains("\"TC incr\" modes: seeded_inserts Some(8) -> Some(7)"),
+            "{report}"
+        );
+        assert!(
+            report.contains("\"TC incr\" modes: rechases Some(1) -> Some(2)"),
+            "{report}"
+        );
+        assert!(
+            report.contains("\"TC incr\" counters: rederived_facts Some(40) -> Some(44)"),
+            "{report}"
+        );
+        assert!(
+            report.contains("\"TC incr\" counters: candidates_incr Some(120) -> Some(150)"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn incr_shape_drift_is_reported() {
+        let a = incr_dump(&[incr_run("TC incr", 8, 40)]);
+        let b_src = incr_run("TC incr", 8, 40)
+            .replace("\"facts_out\": 50", "\"facts_out\": 51")
+            .replace("\"batches\": 9", "\"batches\": 10");
+        let report = diff(&a, &incr_dump(&[b_src]));
+        assert!(
+            report.contains("\"TC incr\": batches Some(9) -> Some(10)"),
+            "{report}"
+        );
+        assert!(
+            report.contains("\"TC incr\": facts_out Some(50) -> Some(51)"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn missing_incr_workloads_are_reported_both_ways() {
+        // A chase-v3 baseline (no incr_runs at all) against a chase-v4
+        // candidate with runs must flag every run as one-sided — dropping
+        // `--incr` from the pinned invocation cannot pass silently.
+        let a = dump(&[run("TC", 7, &[(1, 4)])]);
+        let b = Parser::parse(&format!(
+            "{{\"schema\": \"qr-bench/chase-v4\", \"experiments\": [], \"chase_runs\": [{}], \"incr_runs\": [{}]}}",
+            run("TC", 7, &[(1, 4)]),
+            incr_run("TC incr", 8, 40)
+        ))
+        .unwrap();
+        let report = diff(&a, &b);
+        assert!(
+            report.contains("incr workload \"TC incr\": missing from baseline"),
+            "{report}"
+        );
+        let report_rev = diff(&b, &a);
+        assert!(
+            report_rev.contains("incr workload \"TC incr\": missing from candidate"),
+            "{report_rev}"
+        );
+    }
+
+    #[test]
+    fn serve_write_counters_are_gated() {
+        let a = serve_dump(&[serve_run("mixed", 120, "aa")]);
+        let b_src = serve_run("mixed", 120, "aa")
+            .replace("\"writes\": 6", "\"writes\": 7")
+            .replace("\"cache_invalidations\": 4", "\"cache_invalidations\": 9");
+        let report = diff(&a, &serve_dump(&[b_src]));
+        assert!(
+            report.contains("\"mixed\": writes Some(6) -> Some(7)"),
+            "{report}"
+        );
+        assert!(
+            report.contains("\"mixed\": cache_invalidations Some(4) -> Some(9)"),
+            "{report}"
+        );
+    }
+
     fn rewrite_run(workload: &str, generated: u64, accepted: u64) -> String {
         format!(
             "{{\"workload\": \"{workload}\", \"engine\": \"saturation\", \"threads\": 4, \"wall_ms\": 5.5, \"barrier_wall_ms\": 8.8, \"outcome\": \"Complete\", \"disjuncts\": 3, \"rs\": 4, \"generated\": {generated}, \"oversized_discarded\": 0, \"depth\": 2, \"totals\": {{\"merged\": 4, \"dead_skipped\": 0, \"generated\": {generated}, \"dedup_hits\": 3, \"subsumption_hits\": 2, \"evictions\": 1, \"oversized\": 0, \"accepted\": {accepted}, \"unifier_probes\": 30, \"unifier_skipped\": 12, \"trie_probes\": 8, \"trie_skipped\": 5, \"gen_ms\": 4.0, \"merge_ms\": 1.0, \"wait_ms\": 2.0, \"overlap_ms\": 2.0}}, \"windows\": [{{\"window\": 0, \"items\": 1, \"merged\": 1, \"dead_skipped\": 0, \"generated\": {generated}, \"dedup_hits\": 3, \"subsumption_hits\": 2, \"evictions\": 1, \"oversized\": 0, \"accepted\": {accepted}, \"kept\": 3, \"unifier_probes\": 30, \"unifier_skipped\": 12, \"trie_probes\": 8, \"trie_skipped\": 5, \"gen_ms\": 4.0, \"merge_ms\": 1.0, \"wait_ms\": 2.0, \"overlap_ms\": 2.0}}], \"hom\": {{\"freezes\": 12, \"freeze_cache_hits\": 5, \"plan_compiles\": 6, \"plan_cache_hits\": 9, \"prefilter_rejects\": 3, \"components\": 14}}}}"
@@ -1011,13 +1208,13 @@ mod tests {
 
     fn serve_run(workload: &str, hits: u64, fnv: &str) -> String {
         format!(
-            "{{\"workload\": \"{workload}\", \"threads\": 8, \"wall_ms\": 31.2, \"p50_ms\": 0.010, \"p95_ms\": 0.900, \"p99_ms\": 2.100, \"trace_fnv\": \"{fnv}\", \"counters\": {{\"requests\": 1200, \"answered\": 1200, \"rejected\": 0, \"hits\": {hits}, \"misses\": 150, \"evictions\": 0, \"plan_compiles\": 290, \"plan_reuses\": 2030, \"incomplete\": 41, \"truncated\": 6, \"answers_emitted\": 8120, \"match_candidates\": 40100, \"rewrite_generated\": 7300, \"cache_bytes\": 51200, \"peak_cache_bytes\": 51200}}, \"segments\": [{{\"name\": \"cold\", \"requests\": 116, \"hits\": 0, \"misses\": 116}}, {{\"name\": \"iso\", \"requests\": 704, \"hits\": 688, \"misses\": 16}}]}}"
+            "{{\"workload\": \"{workload}\", \"threads\": 8, \"wall_ms\": 31.2, \"p50_ms\": 0.010, \"p95_ms\": 0.900, \"p99_ms\": 2.100, \"trace_fnv\": \"{fnv}\", \"counters\": {{\"requests\": 1200, \"answered\": 1200, \"rejected\": 0, \"hits\": {hits}, \"misses\": 150, \"evictions\": 0, \"plan_compiles\": 290, \"plan_reuses\": 2030, \"incomplete\": 41, \"truncated\": 6, \"answers_emitted\": 8120, \"match_candidates\": 40100, \"rewrite_generated\": 7300, \"cache_bytes\": 51200, \"peak_cache_bytes\": 51200, \"writes\": 6, \"facts_inserted\": 5, \"facts_retracted\": 2, \"cache_invalidations\": 4}}, \"segments\": [{{\"name\": \"cold\", \"requests\": 116, \"hits\": 0, \"misses\": 116}}, {{\"name\": \"iso\", \"requests\": 704, \"hits\": 688, \"misses\": 16}}]}}"
         )
     }
 
     fn serve_dump(runs: &[String]) -> Value {
         let src = format!(
-            "{{\"schema\": \"qr-bench/serve-v1\", \"serve_runs\": [{}]}}",
+            "{{\"schema\": \"qr-bench/serve-v2\", \"serve_runs\": [{}]}}",
             runs.join(",")
         );
         Parser::parse(&src).unwrap()

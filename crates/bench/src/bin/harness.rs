@@ -19,13 +19,18 @@
 //! times. `--serve` replays the pinned serving workloads through the
 //! `qr-serve` engine and prints a per-workload cache summary; with
 //! `--json` the runs are also written to `BENCH_serve.json` (schema
-//! `qr-bench/serve-v1`). Individual serve workloads can be selected by
+//! `qr-bench/serve-v2`). Individual serve workloads can be selected by
 //! listing their ids (`serve-mixed`, `serve-churn`) — naming one implies
 //! `--serve`. `--check` certifies every pinned rewrite fixture and the
 //! E11 chase workload through `qr-check` (engine → codec → linear
 //! replay, zero homomorphism searches) and prints a per-workload
 //! summary; with `--json` the runs are written to `BENCH_check.json`
-//! (schema `qr-bench/check-v1`). `--list` prints the available
+//! (schema `qr-bench/check-v1`). `--incr` (or the `chase-incr` id)
+//! measures the pinned incremental-maintenance workloads — write batches
+//! absorbed by `qr_chase::IncrementalChase` on the E11-scale TC
+//! instances, against a full-re-chase baseline — and, with `--json`,
+//! records them in `BENCH_chase.json`'s `incr_runs` array (schema
+//! `qr-bench/chase-v4`). `--list` prints the available
 //! experiment and serve-workload ids and exits. Unknown options and
 //! unknown ids are rejected (a misspelled `--thread 4` used to silently
 //! run everything single-threaded as two never-matching experiment
@@ -37,7 +42,7 @@ use qr_exec::Executor;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness [--json] [--threads N] [--serve] [--check] [--list] [ID ...]\n\
+        "usage: harness [--json] [--threads N] [--serve] [--check] [--incr] [--list] [ID ...]\n\
          \n\
          options:\n\
          \x20 --json       also write BENCH_chase.json, BENCH_rewrite.json\n\
@@ -45,11 +50,13 @@ fn usage() -> ! {
          \x20 --threads N  size the worker pool (default: QR_THREADS or all cores)\n\
          \x20 --serve      replay the pinned serving workloads (qr-serve)\n\
          \x20 --check      certify the pinned workloads' certificates (qr-check)\n\
+         \x20 --incr       measure the incremental chase-maintenance workloads\n\
          \x20 --list       print available experiment and serve-workload ids\n\
          \n\
          IDs select experiments (e01 ...) and/or serve workloads\n\
-         (serve-mixed, serve-churn; naming one implies --serve); with no\n\
-         IDs, all experiments run in order"
+         (serve-mixed, serve-churn; naming one implies --serve); the\n\
+         chase-incr id implies --incr; with no IDs, all experiments run\n\
+         in order"
     );
     std::process::exit(2);
 }
@@ -62,6 +69,7 @@ fn main() {
     let mut json = false;
     let mut serve = false;
     let mut check = false;
+    let mut incr = false;
     let mut threads: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -70,6 +78,7 @@ fn main() {
             "--json" => json = true,
             "--serve" => serve = true,
             "--check" => check = true,
+            "--incr" => incr = true,
             "--list" => {
                 for id in &known_ids {
                     println!("{id}");
@@ -77,6 +86,7 @@ fn main() {
                 for id in &known_serve {
                     println!("{id}");
                 }
+                println!("chase-incr");
                 return;
             }
             "--threads" => {
@@ -101,6 +111,8 @@ fn main() {
                 } else if known_serve.contains(&id) {
                     serve = true;
                     serve_filters.push(lower);
+                } else if id == "chase-incr" {
+                    incr = true;
                 } else {
                     eprintln!("harness: unknown id '{arg}' (try --list)");
                     std::process::exit(2);
@@ -118,7 +130,7 @@ fn main() {
     // Serve-/check-only invocations (`--serve` / `--check` / serve ids
     // without experiment ids) skip the experiment tables and their JSON
     // dumps entirely.
-    let run_experiments = !filters.is_empty() || (!serve && !check);
+    let run_experiments = !filters.is_empty() || (!serve && !check && !incr);
 
     let mut timings: Vec<ExperimentTiming> = Vec::new();
     if run_experiments {
@@ -137,12 +149,43 @@ fn main() {
         }
     }
 
+    let incr_runs = if incr {
+        let runs = qr_bench::incr_workloads::stats_runs(&exec);
+        for r in &runs {
+            let c = &r.counters;
+            println!(
+                "{}: {} batches in {:.1} ms ({:.3} ms/batch amortized, full re-chase {:.3} ms) — \
+                 {} seeded, {} truncated, {} re-chased, {} rederived facts, cone {}, \
+                 candidates {} incr vs {} cold",
+                r.workload,
+                r.batches,
+                r.wall_ms,
+                r.batch_ms,
+                r.rechase_ms,
+                c.seeded_inserts,
+                c.truncated_retracts,
+                c.rechases,
+                c.rederived_facts,
+                c.cone_facts,
+                r.candidates_incr,
+                r.candidates_cold,
+            );
+        }
+        runs
+    } else {
+        Vec::new()
+    };
+
     if json && run_experiments {
         let runs = experiments::e11_chase_engine::stats_runs(&exec);
-        let rendered = report::render_json(&timings, &runs);
+        let rendered = report::render_json(&timings, &runs, &incr_runs);
         let path = "BENCH_chase.json";
         match std::fs::write(path, rendered) {
-            Ok(()) => println!("wrote {path} ({} chase runs)", runs.len()),
+            Ok(()) => println!(
+                "wrote {path} ({} chase runs, {} incr runs)",
+                runs.len(),
+                incr_runs.len()
+            ),
             Err(e) => {
                 eprintln!("failed to write {path}: {e}");
                 std::process::exit(1);

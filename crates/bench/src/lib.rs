@@ -8,6 +8,7 @@
 
 pub mod check_workloads;
 pub mod experiments;
+pub mod incr_workloads;
 pub mod microbench;
 pub mod report;
 pub mod rewrite_workloads;

@@ -10,7 +10,7 @@
 
 use std::fmt::Write as _;
 
-use qr_chase::ChaseStats;
+use qr_chase::{ChaseStats, IncrementalStats};
 use qr_hom::HomStats;
 use qr_rewrite::RewriteStats;
 
@@ -28,6 +28,38 @@ pub struct ChaseRun {
     pub rounds_run: usize,
     /// Per-round engine counters.
     pub stats: ChaseStats,
+}
+
+/// One measured incremental-maintenance run (the harness's `--incr`
+/// mode): a pinned write-batch sequence absorbed by
+/// [`qr_chase::IncrementalChase`], plus a cold re-chase of the final base
+/// as the per-batch baseline. The mode/replay/cone counters and both
+/// candidate totals are deterministic and drift-gated; every `*_ms` field
+/// and `threads` are machine-dependent.
+pub struct IncrRun {
+    /// Workload label (`"TC incr on G(24,40)"`, ...).
+    pub workload: String,
+    /// Worker-pool width the run used.
+    pub threads: usize,
+    /// Write batches absorbed (inserts plus the final retraction).
+    pub batches: usize,
+    /// Total incremental-maintenance wall time, ms.
+    pub wall_ms: f64,
+    /// Amortized wall time per batch, ms.
+    pub batch_ms: f64,
+    /// Wall time of one cold chase of the final base, ms — what each
+    /// batch would cost if writes re-chased the world.
+    pub rechase_ms: f64,
+    /// Facts in the final maintained instance.
+    pub facts_out: usize,
+    /// Completed rounds of the final maintained chase.
+    pub rounds_run: usize,
+    /// Cumulative batch-mode and replay/rederive/cone counters.
+    pub counters: IncrementalStats,
+    /// Matcher candidates enumerated across the insert batches.
+    pub candidates_incr: u64,
+    /// Matcher candidates of the one cold chase of the final base.
+    pub candidates_cold: u64,
 }
 
 /// Frontier counters of one marked-query process run (`T_d` / `T_d^k`).
@@ -180,12 +212,19 @@ fn ms(v: f64) -> String {
     format!("{v:.3}")
 }
 
-/// Renders `BENCH_chase.json`: schema tag, per-experiment wall times, and
-/// one entry per chase run with totals, memory counters (schema v3: the
-/// storage layer's deterministic byte accounting), and per-round counters.
-pub fn render_json(experiments: &[ExperimentTiming], runs: &[ChaseRun]) -> String {
+/// Renders `BENCH_chase.json`: schema tag, per-experiment wall times, one
+/// entry per chase run with totals, memory counters (schema v3: the
+/// storage layer's deterministic byte accounting) and per-round counters,
+/// and one entry per incremental-maintenance run (schema v4: the `--incr`
+/// workloads' batch modes, replay/rederive/cone counters and the
+/// incremental-vs-cold candidate comparison).
+pub fn render_json(
+    experiments: &[ExperimentTiming],
+    runs: &[ChaseRun],
+    incr: &[IncrRun],
+) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"qr-bench/chase-v3\",\n  \"experiments\": [\n");
+    out.push_str("{\n  \"schema\": \"qr-bench/chase-v4\",\n  \"experiments\": [\n");
     for (i, e) in experiments.iter().enumerate() {
         let _ = writeln!(
             out,
@@ -240,6 +279,32 @@ pub fn render_json(experiments: &[ExperimentTiming], runs: &[ChaseRun]) -> Strin
             out,
             "      ]\n    }}{}\n",
             if i + 1 < runs.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n  \"incr_runs\": [\n");
+    for (i, r) in incr.iter().enumerate() {
+        let c = &r.counters;
+        let _ = write!(
+            out,
+            "    {{\n      \"workload\": \"{}\",\n      \"threads\": {},\n      \"batches\": {},\n      \"wall_ms\": {},\n      \"batch_ms\": {},\n      \"rechase_ms\": {},\n      \"facts_out\": {},\n      \"rounds_run\": {},\n      \"modes\": {{\"noops\": {}, \"seeded_inserts\": {}, \"truncated_retracts\": {}, \"rechases\": {}}},\n      \"counters\": {{\"replayed_facts\": {}, \"rederived_facts\": {}, \"cone_facts\": {}, \"candidates_incr\": {}, \"candidates_cold\": {}}}\n    }}{}\n",
+            escape(&r.workload),
+            r.threads,
+            r.batches,
+            ms(r.wall_ms),
+            ms(r.batch_ms),
+            ms(r.rechase_ms),
+            r.facts_out,
+            r.rounds_run,
+            c.noops,
+            c.seeded_inserts,
+            c.truncated_retracts,
+            c.rechases,
+            c.replayed_facts,
+            c.rederived_facts,
+            c.cone_facts,
+            r.candidates_incr,
+            r.candidates_cold,
+            if i + 1 < incr.len() { "," } else { "" }
         );
     }
     out.push_str("  ]\n}\n");
@@ -374,7 +439,9 @@ pub fn render_rewrite_json(runs: &[RewriteRun]) -> String {
     out
 }
 
-/// Renders `BENCH_serve.json` (schema `qr-bench/serve-v1`): one entry per
+/// Renders `BENCH_serve.json` (schema `qr-bench/serve-v2`, which adds the
+/// write-path counters `writes`/`facts_inserted`/`facts_retracted`/
+/// `cache_invalidations`): one entry per
 /// serve-workload replay. The `counters` object carries every field of
 /// [`ServeCounters`](qr_serve::ServeCounters) — all deterministic, all
 /// drift-gated — plus the per-segment cache outcomes and the trace hash
@@ -383,12 +450,12 @@ pub fn render_rewrite_json(runs: &[RewriteRun]) -> String {
 /// machine-dependent; `bench_diff` exempts exactly those.
 pub fn render_serve_json(runs: &[ServeRun]) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"qr-bench/serve-v1\",\n  \"serve_runs\": [\n");
+    out.push_str("{\n  \"schema\": \"qr-bench/serve-v2\",\n  \"serve_runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         let c = &r.counters;
         let _ = write!(
             out,
-            "    {{\n      \"workload\": \"{}\",\n      \"threads\": {},\n      \"wall_ms\": {},\n      \"p50_ms\": {},\n      \"p95_ms\": {},\n      \"p99_ms\": {},\n      \"trace_fnv\": \"{:#018x}\",\n      \"counters\": {{\"requests\": {}, \"answered\": {}, \"rejected\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"plan_compiles\": {}, \"plan_reuses\": {}, \"incomplete\": {}, \"truncated\": {}, \"answers_emitted\": {}, \"match_candidates\": {}, \"rewrite_generated\": {}, \"cache_bytes\": {}, \"peak_cache_bytes\": {}}},\n      \"segments\": [\n",
+            "    {{\n      \"workload\": \"{}\",\n      \"threads\": {},\n      \"wall_ms\": {},\n      \"p50_ms\": {},\n      \"p95_ms\": {},\n      \"p99_ms\": {},\n      \"trace_fnv\": \"{:#018x}\",\n      \"counters\": {{\"requests\": {}, \"answered\": {}, \"rejected\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \"plan_compiles\": {}, \"plan_reuses\": {}, \"incomplete\": {}, \"truncated\": {}, \"answers_emitted\": {}, \"match_candidates\": {}, \"rewrite_generated\": {}, \"cache_bytes\": {}, \"peak_cache_bytes\": {}, \"writes\": {}, \"facts_inserted\": {}, \"facts_retracted\": {}, \"cache_invalidations\": {}}},\n      \"segments\": [\n",
             escape(&r.workload),
             r.threads,
             ms(r.wall_ms),
@@ -411,6 +478,10 @@ pub fn render_serve_json(runs: &[ServeRun]) -> String {
             c.rewrite_generated,
             c.cache_bytes,
             c.peak_cache_bytes,
+            c.writes,
+            c.facts_inserted,
+            c.facts_retracted,
+            c.cache_invalidations,
         );
         for (j, s) in r.segments.iter().enumerate() {
             let _ = writeln!(
@@ -502,8 +573,9 @@ mod tests {
             id: "e11".into(),
             wall_ms: 10.0,
         }];
-        let json = render_json(&timings, &runs);
-        assert!(json.contains("\"schema\": \"qr-bench/chase-v3\""));
+        let json = render_json(&timings, &runs, &[]);
+        assert!(json.contains("\"schema\": \"qr-bench/chase-v4\""));
+        assert!(json.contains("\"incr_runs\": [\n  ]"));
         assert!(json.contains(
             "\"memory\": {\"peak_facts\": 4, \"bytes_facts\": 32, \"bytes_index\": 120, \"bytes_tuples\": 60}"
         ));
@@ -520,6 +592,47 @@ mod tests {
         assert_eq!(opens, closes);
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         // No trailing commas before closers.
+        assert!(!json.contains(",\n  ]"));
+        assert!(!json.contains(",\n      ]"));
+    }
+
+    #[test]
+    fn renders_incr_runs_well_formed() {
+        let incr = vec![IncrRun {
+            workload: "TC incr on \"G(24,40)\"".into(),
+            threads: 4,
+            batches: 9,
+            wall_ms: 5.25,
+            batch_ms: 0.583,
+            rechase_ms: 2.5,
+            facts_out: 321,
+            rounds_run: 7,
+            counters: IncrementalStats {
+                batches: 9,
+                noops: 0,
+                seeded_inserts: 8,
+                truncated_retracts: 0,
+                rechases: 1,
+                replayed_facts: 0,
+                rederived_facts: 250,
+                cone_facts: 17,
+            },
+            candidates_incr: 900,
+            candidates_cold: 4000,
+        }];
+        let json = render_json(&[], &[], &incr);
+        assert!(json.contains("\"schema\": \"qr-bench/chase-v4\""));
+        assert!(json.contains("TC incr on \\\"G(24,40)\\\""));
+        assert!(json.contains(
+            "\"modes\": {\"noops\": 0, \"seeded_inserts\": 8, \"truncated_retracts\": 0, \"rechases\": 1}"
+        ));
+        assert!(json.contains(
+            "\"counters\": {\"replayed_facts\": 0, \"rederived_facts\": 250, \"cone_facts\": 17, \"candidates_incr\": 900, \"candidates_cold\": 4000}"
+        ));
+        assert!(json.contains("\"batch_ms\": 0.583"));
+        assert!(json.contains("\"rechase_ms\": 2.500"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(!json.contains(",\n  ]"));
         assert!(!json.contains(",\n      ]"));
     }
@@ -674,6 +787,10 @@ mod tests {
                 rewrite_generated: 8000,
                 cache_bytes: 52000,
                 peak_cache_bytes: 53000,
+                writes: 12,
+                facts_inserted: 9,
+                facts_retracted: 4,
+                cache_invalidations: 7,
             },
             segments: vec![
                 ServeSegment {
@@ -695,11 +812,13 @@ mod tests {
             p99_ms: 1.25,
         }];
         let json = render_serve_json(&runs);
-        assert!(json.contains("\"schema\": \"qr-bench/serve-v1\""));
+        assert!(json.contains("\"schema\": \"qr-bench/serve-v2\""));
         assert!(json.contains("serve-\\\"mixed\\\""));
         assert!(json.contains("\"trace_fnv\": \"0x00abcdef01234567\""));
         assert!(json.contains("\"hits\": 1050"));
         assert!(json.contains("\"peak_cache_bytes\": 53000"));
+        assert!(json.contains("\"writes\": 12"));
+        assert!(json.contains("\"cache_invalidations\": 7"));
         assert!(
             json.contains("{\"name\": \"iso\", \"requests\": 704, \"hits\": 690, \"misses\": 14}")
         );

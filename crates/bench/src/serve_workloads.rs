@@ -303,7 +303,7 @@ pub fn run_workload(w: &ServeWorkload, threads: usize) -> ServeRun {
             ResponseStatus::Answered {
                 tier: Tier::Miss, ..
             } => seg.misses += 1,
-            ResponseStatus::Rejected { .. } => {}
+            ResponseStatus::Rejected { .. } | ResponseStatus::Written { .. } => {}
         }
     }
     segments.sort_by(|a, b| a.name.cmp(&b.name));

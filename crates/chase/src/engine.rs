@@ -134,13 +134,26 @@ impl Chase {
         self.instance.truncated(&self.round_snapshots[n])
     }
 
-    /// Facts first appearing in round `n`.
+    /// Facts first appearing in round `n`. Rounds own contiguous index
+    /// ranges delimited by the end-of-round snapshots, so this slices
+    /// directly — O(|delta|), not a full instance scan.
     pub fn delta(&self, n: usize) -> Vec<FactRef<'_>> {
-        self.instance
-            .iter()
-            .enumerate()
-            .filter_map(|(i, f)| (self.round_of[i] == n).then_some(f))
-            .collect()
+        let Some(range) = self.delta_range(n) else {
+            return Vec::new();
+        };
+        range.map(|i| self.instance.fact(i)).collect()
+    }
+
+    /// The contiguous fact-index range of round `n`'s delta (`None` past
+    /// the last completed round). Round 0 is the loaded input.
+    pub fn delta_range(&self, n: usize) -> Option<Range<FactIdx>> {
+        let end = self.round_snapshots.get(n)?.facts();
+        let start = if n == 0 {
+            0
+        } else {
+            self.round_snapshots[n - 1].facts()
+        };
+        Some(start..end)
     }
 
     /// `true` iff the chase reached a fixpoint within budget.
@@ -150,16 +163,20 @@ impl Chase {
 
     /// The round in which each term first entered the active domain
     /// (0 for input constants) — the clock behind Exercise 17's `n_at`.
+    /// The domain is append-only and recorded in first-occurrence order,
+    /// so the end-of-round snapshot domain boundaries partition it by
+    /// first round: one pass over the domain, no per-fact rescan.
     pub fn first_round_of_terms(&self) -> HashMap<TermId, usize> {
-        let mut out: HashMap<TermId, usize> = HashMap::new();
-        for (i, f) in self.instance.iter().enumerate() {
-            for t in f.terms() {
-                let r = self.round_of[i];
-                out.entry(t)
-                    .and_modify(|cur| *cur = (*cur).min(r))
-                    .or_insert(r);
+        let domain = self.instance.domain();
+        let mut out: HashMap<TermId, usize> = HashMap::with_capacity(domain.len());
+        let mut lo = 0;
+        for (round, snap) in self.round_snapshots.iter().enumerate() {
+            for &t in &domain[lo..snap.terms()] {
+                out.insert(t, round);
             }
+            lo = snap.terms();
         }
+        debug_assert_eq!(lo, domain.len(), "snapshots cover the whole domain");
         out
     }
 }
@@ -167,13 +184,13 @@ impl Chase {
 /// A rule compiled for the chase loop: Skolemization, the split of the
 /// body into regular / `dom` atoms, and one pre-compiled [`JoinPlan`] per
 /// semi-naive enumeration path (built once per run, not once per trigger).
-struct RulePlan<'a> {
-    rule: &'a qr_syntax::Tgd,
-    skolemized: SkolemizedRule,
+pub(crate) struct RulePlan<'a> {
+    pub(crate) rule: &'a qr_syntax::Tgd,
+    pub(crate) skolemized: SkolemizedRule,
     /// Indices of non-dom body atoms.
-    regular: Vec<usize>,
+    pub(crate) regular: Vec<usize>,
     /// `dom` atoms whose argument is a variable: `(body index, var)`.
-    dom_var: Vec<(usize, Var)>,
+    pub(crate) dom_var: Vec<(usize, Var)>,
     /// Per dom-var atom: every `(pred, position)` at which that variable
     /// also occurs in a regular body atom. A new term can only match the
     /// sweep if it occurs at all of these positions within the fact delta
@@ -181,23 +198,23 @@ struct RulePlan<'a> {
     /// index prunes the term sweep without changing which triggers exist.
     dom_var_keys: Vec<Vec<(Pred, u32)>>,
     /// Ground `dom` atoms: `(body index, constant term)`.
-    dom_ground: Vec<(usize, TermId)>,
+    pub(crate) dom_ground: Vec<(usize, TermId)>,
     /// For each body index, its position in `regular` (None for dom atoms);
     /// maps match-trail entries to trigger slots.
-    reg_pos: Vec<Option<usize>>,
+    pub(crate) reg_pos: Vec<Option<usize>>,
     /// The whole body (naive mode; empty-body rules).
     full: JoinPlan,
     /// Per regular atom `k`: the body minus atom `k`, compiled with atom
     /// `k`'s variables assumed bound (they come from the forced delta fact).
-    by_regular: Vec<JoinPlan>,
+    pub(crate) by_regular: Vec<JoinPlan>,
     /// Per dom-var atom: the body minus that atom, with its variable bound.
-    by_dom_var: Vec<JoinPlan>,
+    pub(crate) by_dom_var: Vec<JoinPlan>,
     /// Per ground-dom atom: the body minus that atom (the constant's
     /// delta-ness is checked outside the matcher).
-    by_dom_ground: Vec<JoinPlan>,
+    pub(crate) by_dom_ground: Vec<JoinPlan>,
 }
 
-fn plans(theory: &Theory) -> Vec<RulePlan<'_>> {
+pub(crate) fn plans(theory: &Theory) -> Vec<RulePlan<'_>> {
     theory
         .rules()
         .iter()
@@ -274,7 +291,11 @@ fn plans(theory: &Theory) -> Vec<RulePlan<'_>> {
 
 /// Attempts to unify body atom `atom` with ground fact `fact`, extending
 /// `out` with variable bindings. Returns `false` on clash.
-fn unify_atom_fact(atom: &QAtom, fact: FactRef<'_>, out: &mut Vec<(Var, TermId)>) -> bool {
+pub(crate) fn unify_atom_fact(
+    atom: &QAtom,
+    fact: FactRef<'_>,
+    out: &mut Vec<(Var, TermId)>,
+) -> bool {
     let start = out.len();
     for (pos, t) in atom.args.iter().enumerate() {
         let ft = fact.args[pos];
@@ -1310,6 +1331,58 @@ mod tests {
 
     fn qr_core_like_pins() -> Theory {
         parse_theory("dom(X) -> r(X, Z).").unwrap()
+    }
+
+    #[test]
+    fn delta_slicing_matches_round_of_scan() {
+        // Multi-round chase with fresh terms and several predicates; the
+        // snapshot-sliced delta must equal the old full O(n) scan on every
+        // round (and be empty past the last).
+        let t = parse_theory(
+            "e(X,Y) -> e(Y,Z).\n\
+             e(X,Y), e(Y,Z) -> f(X,Z).\n\
+             f(X,Y) -> g(Y).",
+        )
+        .unwrap();
+        let d = parse_instance("e(a,b). e(b,c).").unwrap();
+        let ch = chase(&t, &d, ChaseBudget::rounds(4));
+        assert!(ch.rounds >= 3);
+        for n in 0..=ch.rounds + 1 {
+            let scanned: Vec<FactRef<'_>> = ch
+                .instance
+                .iter()
+                .enumerate()
+                .filter_map(|(i, f)| (ch.round_of[i] == n).then_some(f))
+                .collect();
+            assert_eq!(ch.delta(n), scanned, "round {n} delta differs");
+        }
+        assert_eq!(ch.delta_range(0), Some(0..d.len()));
+        assert_eq!(ch.delta_range(ch.rounds + 1), None);
+    }
+
+    #[test]
+    fn first_round_of_terms_matches_fact_scan() {
+        // Existential rules invent terms in later rounds; the snapshot
+        // domain boundaries must reproduce the old per-fact min-fold.
+        let t = parse_theory(
+            "e(X,Y) -> e(Y,Z).\n\
+             e(X,Y), e(Y,Z) -> f(X,Z).",
+        )
+        .unwrap();
+        let d = parse_instance("e(a,b). e(b,c).").unwrap();
+        let ch = chase(&t, &d, ChaseBudget::rounds(4));
+        let mut scanned: HashMap<TermId, usize> = HashMap::new();
+        for (i, f) in ch.instance.iter().enumerate() {
+            for t in f.terms() {
+                let r = ch.round_of[i];
+                scanned
+                    .entry(t)
+                    .and_modify(|cur| *cur = (*cur).min(r))
+                    .or_insert(r);
+            }
+        }
+        assert_eq!(ch.first_round_of_terms(), scanned);
+        assert!(scanned.values().any(|&r| r > 0), "fresh terms exercised");
     }
 
     #[test]

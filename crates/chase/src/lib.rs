@@ -12,6 +12,7 @@
 pub mod cert;
 pub mod core_term;
 pub mod engine;
+pub mod incremental;
 pub mod model;
 pub mod provenance;
 pub mod skolem;
@@ -24,6 +25,9 @@ pub use core_term::{
 pub use engine::{
     chase, chase_all, chase_all_with, chase_naive, chase_naive_with, chase_with, Chase,
     ChaseBudget, ChaseOutcome, Derivation,
+};
+pub use incremental::{
+    chase_incremental, BatchMode, BatchStats, IncrementalChase, IncrementalStats, WriteBatch,
 };
 pub use model::is_model;
 pub use provenance::{minimal_subset, minimal_support, Provenance};

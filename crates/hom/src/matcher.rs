@@ -99,6 +99,17 @@ impl JoinPlan {
         &self.atoms
     }
 
+    /// The compiled execution order, as indices into [`atoms`](Self::atoms).
+    /// The order is static per plan; candidate facts are drawn from
+    /// ascending-index postings and unbound `dom` sweeps walk the domain in
+    /// first-occurrence order, so matches are enumerated in lexicographic
+    /// order of (fact index, domain index) along this order — the chase's
+    /// incremental replay relies on this to reconstruct event order without
+    /// re-running joins.
+    pub fn execution_order(&self) -> &[usize] {
+        &self.order
+    }
+
     /// The variable-table size the plan was compiled for.
     pub fn nvars(&self) -> usize {
         self.nvars

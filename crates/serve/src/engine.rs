@@ -19,12 +19,14 @@ use std::ops::ControlFlow;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use qr_chase::WriteBatch;
 use qr_exec::Executor;
 use qr_hom::{canonical_key, MatchCounters};
 use qr_rewrite::{rewrite_with_mode, RewriteBudget, SaturationMode};
 use qr_syntax::{parse_query, ConjunctiveQuery, Instance, TermId, Theory};
 
 use crate::cache::{CacheEntry, CacheKey, RewriteCache};
+use crate::replay::ReplayError;
 use crate::stats::ServeStats;
 
 /// Engine configuration. The worker-pool width is explicit — the crate
@@ -63,6 +65,50 @@ pub struct CqRequest {
     pub query: String,
 }
 
+/// A base-fact write against one tenant's instance. Writes ride the same
+/// ordered request stream as queries: the batch is applied (and the
+/// tenant's cache entries invalidated) at the merge point, in submission
+/// order, so every later query sees the updated instance and every counter
+/// stays deterministic at any worker-pool width.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FactWrite {
+    /// Which registered theory's instance to write.
+    pub theory: String,
+    /// The facts to insert and retract.
+    pub batch: WriteBatch,
+}
+
+/// One item of a mixed request stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Answer a conjunctive query.
+    Query(CqRequest),
+    /// Apply a base-fact write batch.
+    Write(FactWrite),
+}
+
+impl From<CqRequest> for Request {
+    fn from(r: CqRequest) -> Request {
+        Request::Query(r)
+    }
+}
+
+impl From<FactWrite> for Request {
+    fn from(w: FactWrite) -> Request {
+        Request::Write(w)
+    }
+}
+
+impl Request {
+    /// The theory id the request names.
+    pub fn theory(&self) -> &str {
+        match self {
+            Request::Query(q) => &q.theory,
+            Request::Write(w) => &w.theory,
+        }
+    }
+}
+
 /// Which cache tier answered the request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Tier {
@@ -93,6 +139,18 @@ pub enum ResponseStatus {
         /// enumeration order. A boolean query answers with one empty
         /// tuple for *true* and none for *false*.
         answers: Vec<Vec<String>>,
+    },
+    /// A fact write was applied to the tenant's instance.
+    Written {
+        /// Base facts actually added (inserts already present are not
+        /// counted).
+        inserted: u64,
+        /// Base facts actually removed (absent retractions are not
+        /// counted).
+        retracted: u64,
+        /// Rewriting-cache entries dropped by the per-tenant
+        /// invalidation; 0 when the write changed nothing.
+        invalidated: u64,
     },
     /// The request never reached a rewriting.
     Rejected {
@@ -134,6 +192,14 @@ impl Response {
             ResponseStatus::Rejected { reason } => {
                 format!("[{}] {} rejected: {}", self.seq, self.theory, reason)
             }
+            ResponseStatus::Written {
+                inserted,
+                retracted,
+                invalidated,
+            } => format!(
+                "[{}] {} write inserted={} retracted={} invalidated={}",
+                self.seq, self.theory, inserted, retracted, invalidated
+            ),
             ResponseStatus::Answered {
                 tier,
                 complete,
@@ -173,7 +239,11 @@ impl Response {
 struct Tenant {
     id: String,
     theory: Theory,
-    data: Instance,
+    /// The live base instance. Workers never touch it — queries read it
+    /// and writes replace it only at the ordered merge point — but the
+    /// pipeline shares `&Tenant` across threads, so interior mutability
+    /// keeps the borrow checker honest.
+    data: Mutex<Instance>,
 }
 
 /// The long-lived answering engine. See the crate docs for the design.
@@ -188,8 +258,11 @@ pub struct Engine {
 
 /// Worker-side result: everything computable without touching engine
 /// state authoritatively.
-struct Prepared {
-    parsed: Result<ParsedReq, String>,
+enum Prepared {
+    /// A query: parse outcome plus any speculative rewrite.
+    Query(Result<ParsedReq, String>),
+    /// A write: nothing to precompute — application is merge-only.
+    Write,
 }
 
 struct ParsedReq {
@@ -238,7 +311,7 @@ impl Engine {
         self.tenants.push(Tenant {
             id: id.to_owned(),
             theory,
-            data,
+            data: Mutex::new(data),
         });
         Ok(())
     }
@@ -263,19 +336,36 @@ impl Engine {
         self.cache.lock().expect("serve cache poisoned").len()
     }
 
-    /// Answers a single request inline.
+    /// Answers a single query inline.
     pub fn submit(&mut self, request: CqRequest) -> Response {
         self.run(vec![request])
             .pop()
             .expect("one request yields one response")
     }
 
-    /// Answers a batch: cold rewrites run speculatively on the pool while
-    /// the caller thread finishes responses strictly in submission order.
+    /// Applies a single fact write inline.
+    pub fn submit_write(&mut self, write: FactWrite) -> Response {
+        self.run_requests(vec![Request::Write(write)])
+            .pop()
+            .expect("one request yields one response")
+    }
+
+    /// Answers a query-only batch (see [`Engine::run_requests`]).
     pub fn run(&mut self, requests: Vec<CqRequest>) -> Vec<Response> {
+        self.run_requests(requests.into_iter().map(Request::Query).collect())
+    }
+
+    /// Runs a mixed batch of queries and fact writes: cold rewrites run
+    /// speculatively on the pool while the caller thread finishes
+    /// responses strictly in submission order. Writes mutate tenant
+    /// instances only at that merge point, so a query later in the batch
+    /// always executes against the post-write instance — and speculative
+    /// rewrites started before the write stay valid, because a rewriting
+    /// is a pure function of (theory, query), never of the data.
+    pub fn run_requests(&mut self, requests: Vec<Request>) -> Vec<Response> {
         let first_seq = self.next_seq;
         self.next_seq += requests.len() as u64;
-        let seeds: Vec<(u64, CqRequest)> = requests
+        let seeds: Vec<(u64, Request)> = requests
             .into_iter()
             .enumerate()
             .map(|(i, r)| (first_seq + i as u64, r))
@@ -291,9 +381,12 @@ impl Engine {
         } = *self;
         exec.pipeline_ordered(
             seeds,
-            |(_, req)| prepare(tenants, cache, config, req),
+            |(_, req)| match req {
+                Request::Query(q) => prepare(tenants, cache, config, q),
+                Request::Write(_) => Prepared::Write,
+            },
             |(seq, req), prep, _ctx| {
-                responses.push(finish(tenants, cache, config, stats, seq, req.theory, prep));
+                responses.push(finish(tenants, cache, config, stats, seq, req, prep));
                 ControlFlow::Continue(())
             },
         );
@@ -301,8 +394,8 @@ impl Engine {
     }
 
     /// Parses a replay file (see [`crate::replay`]) and runs it.
-    pub fn replay(&mut self, src: &str) -> Result<Vec<Response>, String> {
-        Ok(self.run(crate::replay::parse_replay(src)?))
+    pub fn replay(&mut self, src: &str) -> Result<Vec<Response>, ReplayError> {
+        Ok(self.run_requests(crate::replay::parse_replay(src)?))
     }
 
     /// Certifies the rewriting behind every answerable request of a
@@ -316,11 +409,16 @@ impl Engine {
     /// This runs entirely off the serving fast path: `&self`, a private
     /// sequential executor, no cache or counter traffic — so certified
     /// and uncertified serving stay byte-identical.
-    pub fn certify_replay(&self, src: &str) -> Result<qr_check::CheckReport, String> {
+    pub fn certify_replay(&self, src: &str) -> Result<qr_check::CheckReport, ReplayError> {
         let requests = crate::replay::parse_replay(src)?;
         let mut report = qr_check::CheckReport::new();
         let mut seen: HashSet<CacheKey> = HashSet::new();
-        for req in &requests {
+        // Fact writes never touch a rewriting (pure in (theory, query)),
+        // so only the query lines have certificates to check.
+        for req in requests.iter().filter_map(|r| match r {
+            Request::Query(q) => Some(q),
+            Request::Write(_) => None,
+        }) {
             let Some(tenant) = self.tenants.iter().position(|t| t.id == req.theory) else {
                 continue;
             };
@@ -394,7 +492,7 @@ fn prepare(
             speculative,
         })
     })();
-    Prepared { parsed }
+    Prepared::Query(parsed)
 }
 
 /// The cold path: rewrite and compile. Runs the saturation engine
@@ -425,17 +523,22 @@ fn finish(
     config: &EngineConfig,
     stats: &mut ServeStats,
     seq: u64,
-    theory_id: String,
+    req: Request,
     prep: Prepared,
 ) -> Response {
     let t0 = Instant::now();
     stats.counters.requests += 1;
-    let status = match prep.parsed {
-        Err(reason) => {
+    let theory_id = req.theory().to_owned();
+    let status = match (req, prep) {
+        (Request::Write(w), _) => finish_write(tenants, cache, stats, &w),
+        (Request::Query(_), Prepared::Write) => {
+            unreachable!("queries prepare as Prepared::Query")
+        }
+        (Request::Query(_), Prepared::Query(Err(reason))) => {
             stats.counters.rejected += 1;
             ResponseStatus::Rejected { reason }
         }
-        Ok(p) => {
+        (Request::Query(_), Prepared::Query(Ok(p))) => {
             let mut c = cache.lock().expect("serve cache poisoned");
             let (entry, tier) = match c.get(&p.key) {
                 Some(entry) => {
@@ -459,8 +562,9 @@ fn finish(
             stats.counters.cache_bytes = c.bytes() as u64;
             stats.counters.peak_cache_bytes = c.peak_bytes() as u64;
             drop(c);
-            let (answers, candidates, truncated) =
-                execute(&entry, &tenants[p.tenant].data, config.answer_limit);
+            let data = tenants[p.tenant].data.lock().expect("tenant data poisoned");
+            let (answers, candidates, truncated) = execute(&entry, &data, config.answer_limit);
+            drop(data);
             stats.counters.answered += 1;
             if !entry.complete {
                 stats.counters.incomplete += 1;
@@ -491,6 +595,78 @@ fn finish(
         status,
         wall,
     }
+}
+
+/// Write-side merge stage: apply the batch to the tenant instance and, if
+/// anything changed, drop that tenant's cache entries. Rewritings are pure
+/// in (theory, query) — the invalidation is not about their soundness but
+/// keeps residency a function of the request stream alone, so counters and
+/// traces stay pinned.
+fn finish_write(
+    tenants: &[Tenant],
+    cache: &Mutex<RewriteCache>,
+    stats: &mut ServeStats,
+    write: &FactWrite,
+) -> ResponseStatus {
+    let Some(tenant) = tenants.iter().position(|t| t.id == write.theory) else {
+        stats.counters.rejected += 1;
+        return ResponseStatus::Rejected {
+            reason: format!("unknown theory '{}'", write.theory),
+        };
+    };
+    let mut data = tenants[tenant].data.lock().expect("tenant data poisoned");
+    let (inserted, retracted) = apply_write(&mut data, &write.batch);
+    drop(data);
+    let invalidated = if inserted + retracted > 0 {
+        cache
+            .lock()
+            .expect("serve cache poisoned")
+            .invalidate_tenant(tenant as u32)
+    } else {
+        0
+    };
+    let c = cache.lock().expect("serve cache poisoned");
+    stats.counters.cache_bytes = c.bytes() as u64;
+    stats.counters.peak_cache_bytes = c.peak_bytes() as u64;
+    drop(c);
+    stats.counters.writes += 1;
+    stats.counters.facts_inserted += inserted;
+    stats.counters.facts_retracted += retracted;
+    stats.counters.cache_invalidations += invalidated;
+    ResponseStatus::Written {
+        inserted,
+        retracted,
+        invalidated,
+    }
+}
+
+/// Applies a write batch to a base instance, mirroring the incremental
+/// chase's base semantics: retractions first (by rebuilding the append-only
+/// fact log without them), then inserts appended if absent. Returns the
+/// facts actually (inserted, retracted).
+fn apply_write(data: &mut Instance, batch: &WriteBatch) -> (u64, u64) {
+    let mut retracted = 0u64;
+    if !batch.retracts.is_empty() {
+        let mut survivors = Instance::new();
+        for fr in data.iter() {
+            let fact = fr.to_fact();
+            if batch.retracts.contains(&fact) {
+                retracted += 1;
+            } else {
+                survivors.insert(fact);
+            }
+        }
+        if retracted > 0 {
+            *data = survivors;
+        }
+    }
+    let mut inserted = 0u64;
+    for fact in &batch.inserts {
+        if data.insert(fact.clone()).is_some() {
+            inserted += 1;
+        }
+    }
+    (inserted, retracted)
 }
 
 /// Executes a cached entry over an instance: every disjunct's compiled
@@ -525,6 +701,7 @@ fn execute(entry: &CacheEntry, inst: &Instance, limit: usize) -> (Vec<Vec<TermId
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ServeCounters;
 
     fn path_engine(threads: usize) -> Engine {
         let mut e = Engine::new(EngineConfig {
@@ -657,5 +834,199 @@ mod tests {
         assert!(err.contains("builtin"), "{err}");
         assert!(e.register("dup", "q(X) -> p(X).", "q(a).").is_ok());
         assert!(e.register("dup", "q(X) -> p(X).", "").is_err());
+    }
+
+    fn facts(src: &str) -> Vec<qr_syntax::Fact> {
+        qr_syntax::parse_instance(src)
+            .unwrap()
+            .iter()
+            .map(|fr| fr.to_fact())
+            .collect()
+    }
+
+    #[test]
+    fn write_then_query_sees_new_data() {
+        let mut e = path_engine(1);
+        let before = e.submit(req("path", "? :- e(q,r)."));
+        let ResponseStatus::Answered { answers, .. } = &before.status else {
+            panic!("answered expected");
+        };
+        assert!(answers.is_empty(), "q->r edge not present yet");
+
+        let w = e.submit_write(FactWrite {
+            theory: "path".into(),
+            batch: WriteBatch::insert(facts("e(q,r).")),
+        });
+        let ResponseStatus::Written {
+            inserted,
+            retracted,
+            invalidated,
+        } = w.status
+        else {
+            panic!("written expected, got {:?}", w.status);
+        };
+        assert_eq!((inserted, retracted), (1, 0));
+        assert_eq!(invalidated, 1, "the boolean query's entry was resident");
+
+        let after = e.submit(req("path", "? :- e(q,r)."));
+        let ResponseStatus::Answered { tier, answers, .. } = &after.status else {
+            panic!("answered expected");
+        };
+        assert_eq!(*tier, Tier::Miss, "write dropped the cached rewriting");
+        assert_eq!(answers.len(), 1, "the inserted edge is now certain");
+
+        let r = e.submit_write(FactWrite {
+            theory: "path".into(),
+            batch: WriteBatch::retract(facts("e(q,r).")),
+        });
+        let ResponseStatus::Written {
+            inserted,
+            retracted,
+            ..
+        } = r.status
+        else {
+            panic!("written expected");
+        };
+        assert_eq!((inserted, retracted), (0, 1));
+        let gone = e.submit(req("path", "? :- e(q,r)."));
+        let ResponseStatus::Answered { answers, .. } = &gone.status else {
+            panic!("answered expected");
+        };
+        assert!(answers.is_empty(), "retraction undoes the insert");
+    }
+
+    #[test]
+    fn writes_invalidate_only_the_written_tenant() {
+        let mut e = Engine::new(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        e.register("path", "e(X,Y) -> e(Y,Z).", "e(a,b).").unwrap();
+        e.register("family", "parent(X,Y) -> person(Y).", "parent(ann,bob).")
+            .unwrap();
+        e.submit(req("path", "?(A) :- e(A,B)."));
+        e.submit(req("family", "?(P) :- person(P)."));
+        assert_eq!(e.cached_rewritings(), 2);
+
+        let w = e.submit_write(FactWrite {
+            theory: "path".into(),
+            batch: WriteBatch::insert(facts("e(b,c).")),
+        });
+        let ResponseStatus::Written { invalidated, .. } = w.status else {
+            panic!("written expected");
+        };
+        assert_eq!(invalidated, 1, "only path's entry is dropped");
+        assert_eq!(e.cached_rewritings(), 1);
+
+        let warm = e.submit(req("family", "?(Q) :- person(Q)."));
+        assert!(warm.is_hit(), "family's cache survived path's write");
+        assert_eq!(e.stats().counters.cache_invalidations, 1);
+    }
+
+    #[test]
+    fn noop_writes_leave_the_cache_resident() {
+        let mut e = path_engine(1);
+        e.submit(req("path", "?(A) :- e(A,B)."));
+        assert_eq!(e.cached_rewritings(), 1);
+        // Insert an already-present fact, retract an absent one: the
+        // instance is unchanged, so nothing is invalidated.
+        let w = e.submit_write(FactWrite {
+            theory: "path".into(),
+            batch: WriteBatch {
+                inserts: facts("e(a,b)."),
+                retracts: facts("e(zz,ww)."),
+            },
+        });
+        let ResponseStatus::Written {
+            inserted,
+            retracted,
+            invalidated,
+        } = w.status
+        else {
+            panic!("written expected");
+        };
+        assert_eq!((inserted, retracted, invalidated), (0, 0, 0));
+        assert_eq!(e.cached_rewritings(), 1);
+        let warm = e.submit(req("path", "?(Z) :- e(Z,W)."));
+        assert!(warm.is_hit(), "no-op write keeps residency");
+    }
+
+    #[test]
+    fn unknown_theory_write_is_rejected() {
+        let mut e = path_engine(1);
+        let w = e.submit_write(FactWrite {
+            theory: "nosuch".into(),
+            batch: WriteBatch::insert(facts("e(a,b).")),
+        });
+        let ResponseStatus::Rejected { reason } = &w.status else {
+            panic!("rejected expected, got {:?}", w.status);
+        };
+        assert!(reason.contains("unknown theory"), "{reason}");
+        assert_eq!(e.stats().counters.rejected, 1);
+        assert_eq!(e.stats().counters.writes, 0, "rejected writes do not count");
+    }
+
+    #[test]
+    fn counters_balance_across_mixed_batches() {
+        let mut e = path_engine(1);
+        let batch: Vec<Request> = vec![
+            Request::Query(req("path", "?(A) :- e(A,B).")),
+            Request::Write(FactWrite {
+                theory: "path".into(),
+                batch: WriteBatch::insert(facts("e(d,e).")),
+            }),
+            Request::Query(req("path", "?(A) :- e(A,B).")),
+            Request::Query(req("nosuch", "? :- p(a).")),
+            Request::Write(FactWrite {
+                theory: "nosuch".into(),
+                batch: WriteBatch::insert(facts("p(a).")),
+            }),
+        ];
+        e.run_requests(batch);
+        let c = e.stats().counters;
+        assert_eq!(c.requests, 5);
+        assert_eq!(c.answered, 2);
+        assert_eq!(c.rejected, 2);
+        assert_eq!(c.writes, 1);
+        assert_eq!(c.requests, c.answered + c.rejected + c.writes);
+        assert_eq!(c.facts_inserted, 1);
+        assert_eq!(c.facts_retracted, 0);
+    }
+
+    #[test]
+    fn mixed_batches_pin_byte_identically_at_any_width() {
+        let batch = || -> Vec<Request> {
+            let mut v: Vec<Request> = Vec::new();
+            v.push(Request::Query(req("path", "?(A) :- e(A,B), e(B,C).")));
+            v.push(Request::Write(FactWrite {
+                theory: "path".into(),
+                batch: WriteBatch::insert(facts("e(y,z). e(z,a).")),
+            }));
+            v.push(Request::Query(req("path", "?(A) :- e(A,B), e(B,C).")));
+            v.push(Request::Write(FactWrite {
+                theory: "path".into(),
+                batch: WriteBatch::retract(facts("e(x,y).")),
+            }));
+            v.push(Request::Query(req(
+                "path",
+                "?(Src) :- e(Mid,Last), e(Src,Mid).",
+            )));
+            v.push(Request::Query(req("path", "? :- e(z,a).")));
+            v
+        };
+        let mut reference: Option<(String, ServeCounters)> = None;
+        for threads in [1, 2, 4] {
+            let mut e = path_engine(threads);
+            let responses = e.run_requests(batch());
+            let trace = crate::replay::render_trace(&responses);
+            let counters = e.stats().counters;
+            match &reference {
+                None => reference = Some((trace, counters)),
+                Some((t, c)) => {
+                    assert_eq!(&trace, t, "trace diverges at {threads} threads");
+                    assert_eq!(&counters, c, "counters diverge at {threads} threads");
+                }
+            }
+        }
     }
 }

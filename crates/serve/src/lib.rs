@@ -23,6 +23,15 @@
 //! the accounting itself is deterministic). Evicted rewritings are simply
 //! recomputed on the next miss; soundness never depends on residency.
 //!
+//! Base instances are **writable**: a [`FactWrite`] request inserts or
+//! retracts base facts for one tenant, applied at the same ordered merge
+//! point as every cache decision, so later queries in the stream see the
+//! post-write instance regardless of worker-pool width. Rewritings are
+//! pure functions of (theory, query) — never of the data — so a write
+//! cannot make a cached rewriting unsound; the engine still drops the
+//! written tenant's cache entries so residency stays a function of the
+//! request stream alone, keeping counters and traces pinned.
+//!
 //! The worker-pool width comes exclusively from [`EngineConfig::threads`]
 //! (plumbed into [`qr_exec::Executor::with_threads`]); the crate never
 //! reads the `QR_THREADS` environment variable.
@@ -33,6 +42,9 @@ pub mod replay;
 pub mod stats;
 
 pub use cache::CacheEntry;
-pub use engine::{CqRequest, Engine, EngineConfig, Response, ResponseStatus, Tier};
-pub use replay::{parse_replay, render_replay, render_trace};
+pub use engine::{
+    CqRequest, Engine, EngineConfig, FactWrite, Request, Response, ResponseStatus, Tier,
+};
+pub use qr_chase::WriteBatch;
+pub use replay::{parse_replay, render_replay, render_trace, ReplayError, ReplayErrorKind};
 pub use stats::{ServeCounters, ServeStats};

@@ -120,6 +120,7 @@ fn answered(r: &Response) -> (Tier, bool, Vec<Vec<String>>) {
             ..
         } => (*tier, *complete, answers.clone()),
         ResponseStatus::Rejected { reason } => panic!("rejected: {reason}"),
+        ResponseStatus::Written { .. } => panic!("write response to a query"),
     }
 }
 

@@ -16,6 +16,7 @@ fn answered(r: &Response) -> (Tier, Vec<Vec<String>>) {
     match &r.status {
         ResponseStatus::Answered { tier, answers, .. } => (*tier, answers.clone()),
         ResponseStatus::Rejected { reason } => panic!("rejected: {reason}"),
+        ResponseStatus::Written { .. } => panic!("write response to a query"),
     }
 }
 

@@ -75,7 +75,7 @@ fn replay_trace_pinned_byte_identical_across_thread_counts() {
     // The smoke stream exercises every serving path.
     let tiers = |r: &Response| match &r.status {
         ResponseStatus::Answered { tier, .. } => Some(*tier),
-        ResponseStatus::Rejected { .. } => None,
+        ResponseStatus::Rejected { .. } | ResponseStatus::Written { .. } => None,
     };
     let hits = responses_at_one
         .iter()
@@ -87,11 +87,16 @@ fn replay_trace_pinned_byte_identical_across_thread_counts() {
         .count();
     let rejected = responses_at_one
         .iter()
-        .filter(|r| tiers(r).is_none())
+        .filter(|r| matches!(&r.status, ResponseStatus::Rejected { .. }))
+        .count();
+    let written = responses_at_one
+        .iter()
+        .filter(|r| matches!(&r.status, ResponseStatus::Written { .. }))
         .count();
     assert!(hits >= 4, "isomorphic/hot repeats must hit, got {hits}");
     assert!(misses >= 6, "cold shapes must miss, got {misses}");
-    assert_eq!(rejected, 2, "unknown theory + parse error");
+    assert_eq!(rejected, 3, "unknown theory (query + write) + parse error");
+    assert_eq!(written, 2, "insert + retract on the path tenant");
     assert!(
         responses_at_one.iter().any(|r| matches!(
             &r.status,

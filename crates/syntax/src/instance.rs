@@ -119,6 +119,13 @@ impl InstanceSnapshot {
     pub fn facts(&self) -> usize {
         self.inner.facts()
     }
+
+    /// Number of distinct domain terms in the marked prefix. The domain is
+    /// append-only, so `domain()[..snap.terms()]` is exactly the active
+    /// domain at snapshot time.
+    pub fn terms(&self) -> usize {
+        self.inner.domain()
+    }
 }
 
 /// A finite set of facts with join indexes, backed by the columnar
@@ -630,7 +637,10 @@ mod tests {
     fn snapshot_truncated_equals_fresh_prefix() {
         let mut inst = Instance::from_facts([e("a", "b"), e("b", "c")]);
         let snap = inst.snapshot();
+        assert_eq!(snap.facts(), 2);
+        assert_eq!(snap.terms(), 3); // a, b, c
         inst.extend([e("c", "a"), e("c", "c")]);
+        assert_eq!(&inst.domain()[..snap.terms()], &[c("a"), c("b"), c("c")]);
         let trunc = inst.truncated(&snap);
         let fresh = Instance::from_facts([e("a", "b"), e("b", "c")]);
         assert_eq!(trunc.len(), 2);
