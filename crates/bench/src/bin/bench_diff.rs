@@ -2,10 +2,10 @@
 //!
 //! Usage: `bench_diff <baseline.json> <candidate.json>`
 //!
-//! Works on `BENCH_chase.json` (schema `qr-bench/chase-v4`),
+//! Works on `BENCH_chase.json` (schema `qr-bench/chase-v5`),
 //! `BENCH_rewrite.json` (schema `qr-bench/rewrite-v3`),
 //! `BENCH_serve.json` (schema `qr-bench/serve-v2`) and `BENCH_check.json`
-//! (schema `qr-bench/check-v1`) — each dump carries whichever run arrays
+//! (schema `qr-bench/check-v2`) — each dump carries whichever run arrays
 //! it has. The chase engine's trigger/candidate/sweep
 //! counters are a pure function of (theory, instance, budget), and the
 //! rewrite engine's per-window counters a pure function of (theory, query,
@@ -20,10 +20,12 @@
 //! gated whenever both sides carry it), and the serve engine's request
 //! counters, per-segment cache outcomes and response-trace hash, and the
 //! checker's certificate counts, encoded sizes, kernel-search pin and
-//! failure lists, and the incremental-maintenance runs' batch modes,
-//! replay/rederive/cone counters and candidate totals (schema chase-v4;
-//! a run array present on only one side is drift, so dropping `--incr`
-//! from the pinned invocation cannot pass silently), ignoring
+//! failure lists, the incremental-maintenance runs' batch modes,
+//! replay/rederive/cone counters and candidate totals, and the bulk
+//! sharding runs' engine/mode tags, partition shape, output counters and
+//! frontier-exchange counters (schema chase-v5; a run array present on
+//! only one side is drift, so dropping `--incr` or `--shard` from the
+//! pinned invocation cannot pass silently), ignoring
 //! everything timing- or machine-dependent (`wall_ms`, `barrier_wall_ms`,
 //! every `*_ms` split, latency percentiles, `threads`, per-experiment
 //! timings). Exit code 0 means the counters
@@ -617,10 +619,10 @@ fn diff_serve_run(name: &str, b: &Value, c: &Value, report: &mut String) {
     }
 }
 
-/// The checker's deterministic counters (schema `check-v1`): certificate
+/// The checker's deterministic counters (schema `check-v2`): certificate
 /// counts and encoded bundle sizes are pure functions of the workload, and
 /// `kernel_searches` is the checker's no-search contract pinned at zero.
-/// Only `wall_ms` is machine-dependent and exempt.
+/// `wall_ms` and `threads` (new in v2) are machine-dependent and exempt.
 const CHECK_KEYS: [&str; 3] = ["certs", "cert_bytes", "kernel_searches"];
 
 /// Diffs one check run: the `kind` tag, the counter keys, and the
@@ -648,6 +650,69 @@ fn diff_check_run(name: &str, b: &Value, c: &Value, report: &mut String) {
         let cs = ce.as_str();
         if bs != cs {
             let _ = writeln!(report, "  \"{name}\": failure {i} {bs:?} -> {cs:?}");
+        }
+    }
+}
+
+/// The bulk sharding runs' partition and merge shape (schema chase-v5):
+/// components, packing and the final merged chase are deterministic
+/// functions of the instance (sharding is byte-identical to the
+/// monolithic chase), so all of it is gated. Every `*_ms` field
+/// (`wall_ms`, `partition_ms`, `shard_ms`, `merge_ms`) and `threads` are
+/// machine-dependent and deliberately absent.
+const SHARD_KEYS: [&str; 6] = [
+    "components",
+    "shards",
+    "facts_out",
+    "rounds_run",
+    "triggers",
+    "candidates",
+];
+
+/// The frontier-exchange counters nested under `exchange`:
+/// `kernel_searches` is the replay contract pinned at zero,
+/// `certs_rejected` pinned at zero on a healthy run.
+const SHARD_EXCHANGE_KEYS: [&str; 5] = [
+    "frontier_rounds",
+    "certs_exchanged",
+    "certs_checked",
+    "certs_rejected",
+    "kernel_searches",
+];
+
+/// Diffs one bulk sharding run: the engine/mode tags, the partition and
+/// output counters, and the nested exchange object.
+fn diff_shard_run(name: &str, b: &Value, c: &Value, report: &mut String) {
+    for key in ["engine", "mode"] {
+        let bv = b.get(key).and_then(Value::as_str);
+        let cv = c.get(key).and_then(Value::as_str);
+        if bv != cv {
+            let _ = writeln!(report, "  \"{name}\": {key} {bv:?} -> {cv:?}");
+        }
+    }
+    diff_keys(&format!("\"{name}\""), &SHARD_KEYS, b, c, report);
+    match (b.get("exchange"), c.get("exchange")) {
+        (None, None) => {}
+        (Some(_), None) => {
+            let _ = writeln!(
+                report,
+                "  \"{name}\": exchange counters missing from candidate"
+            );
+        }
+        (None, Some(_)) => {
+            let _ = writeln!(
+                report,
+                "  \"{name}\": exchange counters missing from baseline"
+            );
+        }
+        (Some(be), Some(ce)) => {
+            diff_keys(
+                &format!("\"{name}\" exchange"),
+                &SHARD_EXCHANGE_KEYS,
+                be,
+                ce,
+                report,
+            );
         }
     }
 }
@@ -722,6 +787,31 @@ fn diff(base: &Value, cand: &Value) -> String {
         let name = workload(c);
         if !base_incr.iter().any(|b| workload(b) == name) {
             let _ = writeln!(report, "  incr workload \"{name}\": missing from baseline");
+        }
+    }
+    let base_sh = base
+        .get("shard_runs")
+        .map(Value::as_arr)
+        .unwrap_or_default();
+    let cand_sh = cand
+        .get("shard_runs")
+        .map(Value::as_arr)
+        .unwrap_or_default();
+    for b in base_sh {
+        let name = workload(b);
+        let Some(c) = cand_sh.iter().find(|r| workload(r) == name) else {
+            let _ = writeln!(
+                report,
+                "  shard workload \"{name}\": missing from candidate"
+            );
+            continue;
+        };
+        diff_shard_run(&name, b, c, &mut report);
+    }
+    for c in cand_sh {
+        let name = workload(c);
+        if !base_sh.iter().any(|b| workload(b) == name) {
+            let _ = writeln!(report, "  shard workload \"{name}\": missing from baseline");
         }
     }
     let base_rw = base
@@ -1023,6 +1113,105 @@ mod tests {
         );
     }
 
+    fn shard_run(workload: &str, engine: &str, mode: &str, shards: u64, checked: u64) -> String {
+        format!(
+            "{{\"workload\": \"{workload}\", \"engine\": \"{engine}\", \"threads\": 4, \"mode\": \"{mode}\", \"wall_ms\": 300.5, \"partition_ms\": 40.0, \"shard_ms\": 200.0, \"merge_ms\": 60.0, \"components\": 4000, \"shards\": {shards}, \"facts_out\": 946000, \"rounds_run\": 6, \"triggers\": 6000000, \"candidates\": 9000000, \"exchange\": {{\"frontier_rounds\": 1, \"certs_exchanged\": {checked}, \"certs_checked\": {checked}, \"certs_rejected\": 0, \"kernel_searches\": 0}}}}"
+        )
+    }
+
+    fn shard_dump(runs: &[String]) -> Value {
+        let src = format!(
+            "{{\"schema\": \"qr-bench/chase-v5\", \"experiments\": [], \"chase_runs\": [], \"incr_runs\": [], \"shard_runs\": [{}]}}",
+            runs.join(",")
+        );
+        Parser::parse(&src).unwrap()
+    }
+
+    #[test]
+    fn shard_wall_times_and_threads_are_ignored() {
+        let a = shard_dump(&[shard_run("bulk-tc/sharded", "sharded", "gaifman", 16, 0)]);
+        let b_src = shard_run("bulk-tc/sharded", "sharded", "gaifman", 16, 0)
+            .replace("\"threads\": 4", "\"threads\": 8")
+            .replace("\"wall_ms\": 300.5", "\"wall_ms\": 77.7")
+            .replace("\"partition_ms\": 40.0", "\"partition_ms\": 1.0")
+            .replace("\"shard_ms\": 200.0", "\"shard_ms\": 2.0")
+            .replace("\"merge_ms\": 60.0", "\"merge_ms\": 3.0");
+        assert!(diff(&a, &shard_dump(&[b_src])).is_empty());
+    }
+
+    #[test]
+    fn shard_mode_and_counter_drift_is_reported() {
+        let a = shard_dump(&[shard_run("bulk-tc/sharded", "sharded", "gaifman", 16, 0)]);
+        let b_src = shard_run("bulk-tc/sharded", "sharded", "pred-group", 12, 0)
+            .replace("\"triggers\": 6000000", "\"triggers\": 6000001")
+            .replace("\"facts_out\": 946000", "\"facts_out\": 946001");
+        let report = diff(&a, &shard_dump(&[b_src]));
+        assert!(
+            report.contains("\"bulk-tc/sharded\": mode Some(\"gaifman\") -> Some(\"pred-group\")"),
+            "{report}"
+        );
+        assert!(
+            report.contains("\"bulk-tc/sharded\": shards Some(16) -> Some(12)"),
+            "{report}"
+        );
+        assert!(
+            report.contains("\"bulk-tc/sharded\": triggers Some(6000000) -> Some(6000001)"),
+            "{report}"
+        );
+        assert!(
+            report.contains("\"bulk-tc/sharded\": facts_out Some(946000) -> Some(946001)"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn shard_exchange_counters_are_gated() {
+        let a = shard_dump(&[shard_run(
+            "bulk-bridge/sharded",
+            "sharded",
+            "exchange",
+            4,
+            120,
+        )]);
+        let b_src = shard_run("bulk-bridge/sharded", "sharded", "exchange", 4, 120)
+            .replace("\"certs_checked\": 120", "\"certs_checked\": 90")
+            .replace("\"kernel_searches\": 0", "\"kernel_searches\": 3");
+        let report = diff(&a, &shard_dump(&[b_src]));
+        assert!(
+            report
+                .contains("\"bulk-bridge/sharded\" exchange: certs_checked Some(120) -> Some(90)"),
+            "{report}"
+        );
+        assert!(
+            report.contains("\"bulk-bridge/sharded\" exchange: kernel_searches Some(0) -> Some(3)"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn missing_shard_workloads_are_reported_both_ways() {
+        // A chase-v4 baseline (no shard_runs) against a chase-v5 candidate
+        // with runs must flag every run as one-sided — dropping `--shard`
+        // from the pinned invocation cannot pass silently.
+        let a = dump(&[run("TC", 7, &[(1, 4)])]);
+        let b = Parser::parse(&format!(
+            "{{\"schema\": \"qr-bench/chase-v5\", \"experiments\": [], \"chase_runs\": [{}], \"incr_runs\": [], \"shard_runs\": [{}]}}",
+            run("TC", 7, &[(1, 4)]),
+            shard_run("bulk-tc/sharded", "sharded", "gaifman", 16, 0)
+        ))
+        .unwrap();
+        let report = diff(&a, &b);
+        assert!(
+            report.contains("shard workload \"bulk-tc/sharded\": missing from baseline"),
+            "{report}"
+        );
+        let report_rev = diff(&b, &a);
+        assert!(
+            report_rev.contains("shard workload \"bulk-tc/sharded\": missing from candidate"),
+            "{report_rev}"
+        );
+    }
+
     #[test]
     fn serve_write_counters_are_gated() {
         let a = serve_dump(&[serve_run("mixed", 120, "aa")]);
@@ -1279,22 +1468,24 @@ mod tests {
 
     fn check_run(workload: &str, certs: u64, searches: u64, failures: &str) -> String {
         format!(
-            "{{\"workload\": \"{workload}\", \"kind\": \"rewrite\", \"wall_ms\": 0.7, \"certs\": {certs}, \"cert_bytes\": 2048, \"kernel_searches\": {searches}, \"failures\": [{failures}]}}"
+            "{{\"workload\": \"{workload}\", \"kind\": \"rewrite\", \"threads\": 1, \"wall_ms\": 0.7, \"certs\": {certs}, \"cert_bytes\": 2048, \"kernel_searches\": {searches}, \"failures\": [{failures}]}}"
         )
     }
 
     fn check_dump(runs: &[String]) -> Value {
         let src = format!(
-            "{{\"schema\": \"qr-bench/check-v1\", \"check_runs\": [{}]}}",
+            "{{\"schema\": \"qr-bench/check-v2\", \"check_runs\": [{}]}}",
             runs.join(",")
         );
         Parser::parse(&src).unwrap()
     }
 
     #[test]
-    fn check_wall_times_are_ignored() {
+    fn check_wall_times_and_threads_are_ignored() {
         let a = check_dump(&[check_run("t_p", 9, 0, "")]);
-        let b_src = check_run("t_p", 9, 0, "").replace("\"wall_ms\": 0.7", "\"wall_ms\": 99.9");
+        let b_src = check_run("t_p", 9, 0, "")
+            .replace("\"wall_ms\": 0.7", "\"wall_ms\": 99.9")
+            .replace("\"threads\": 1", "\"threads\": 16");
         assert!(diff(&a, &check_dump(&[b_src])).is_empty());
     }
 

@@ -29,9 +29,13 @@
 //! measures the pinned incremental-maintenance workloads — write batches
 //! absorbed by `qr_chase::IncrementalChase` on the E11-scale TC
 //! instances, against a full-re-chase baseline — and, with `--json`,
-//! records them in `BENCH_chase.json`'s `incr_runs` array (schema
-//! `qr-bench/chase-v4`). `--list` prints the available
-//! experiment and serve-workload ids and exits. Unknown options and
+//! records them in `BENCH_chase.json`'s `incr_runs` array. `--shard` (or
+//! a bulk workload id: `bulk-tc`, `bulk-shallow`, `bulk-bridge`) chases
+//! the bulk-instance workloads through `qr_chase::chase_sharded` on
+//! pinned 1-thread (monolithic) and 4-thread (sharded) pools and, with
+//! `--json`, records the speedup pairs in `BENCH_chase.json`'s
+//! `shard_runs` array (schema `qr-bench/chase-v5`). `--list` prints the
+//! available experiment and workload ids and exits. Unknown options and
 //! unknown ids are rejected (a misspelled `--thread 4` used to silently
 //! run everything single-threaded as two never-matching experiment
 //! filters).
@@ -42,7 +46,7 @@ use qr_exec::Executor;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness [--json] [--threads N] [--serve] [--check] [--incr] [--list] [ID ...]\n\
+        "usage: harness [--json] [--threads N] [--serve] [--check] [--incr] [--shard] [--list] [ID ...]\n\
          \n\
          options:\n\
          \x20 --json       also write BENCH_chase.json, BENCH_rewrite.json\n\
@@ -51,12 +55,14 @@ fn usage() -> ! {
          \x20 --serve      replay the pinned serving workloads (qr-serve)\n\
          \x20 --check      certify the pinned workloads' certificates (qr-check)\n\
          \x20 --incr       measure the incremental chase-maintenance workloads\n\
-         \x20 --list       print available experiment and serve-workload ids\n\
+         \x20 --shard      chase the bulk workloads monolithic-vs-sharded (pinned 1/4-thread pools)\n\
+         \x20 --list       print available experiment and workload ids\n\
          \n\
-         IDs select experiments (e01 ...) and/or serve workloads\n\
-         (serve-mixed, serve-churn; naming one implies --serve); the\n\
-         chase-incr id implies --incr; with no IDs, all experiments run\n\
-         in order"
+         IDs select experiments (e01 ...), serve workloads (serve-mixed,\n\
+         serve-churn; naming one implies --serve) and/or bulk workloads\n\
+         (bulk-tc, bulk-shallow, bulk-bridge; naming one implies --shard);\n\
+         the chase-incr id implies --incr; with no IDs, all experiments\n\
+         run in order"
     );
     std::process::exit(2);
 }
@@ -64,12 +70,15 @@ fn usage() -> ! {
 fn main() {
     let known_ids: Vec<&str> = experiments::all().iter().map(|(id, _)| *id).collect();
     let known_serve = qr_bench::serve_workloads::workload_labels();
+    let known_bulk = qr_bench::bulk_workloads::workload_labels();
     let mut filters: Vec<String> = Vec::new();
     let mut serve_filters: Vec<String> = Vec::new();
+    let mut bulk_filters: Vec<String> = Vec::new();
     let mut json = false;
     let mut serve = false;
     let mut check = false;
     let mut incr = false;
+    let mut shard = false;
     let mut threads: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -79,6 +88,7 @@ fn main() {
             "--serve" => serve = true,
             "--check" => check = true,
             "--incr" => incr = true,
+            "--shard" => shard = true,
             "--list" => {
                 for id in &known_ids {
                     println!("{id}");
@@ -87,6 +97,9 @@ fn main() {
                     println!("{id}");
                 }
                 println!("chase-incr");
+                for id in &known_bulk {
+                    println!("{id}");
+                }
                 return;
             }
             "--threads" => {
@@ -113,6 +126,9 @@ fn main() {
                     serve_filters.push(lower);
                 } else if id == "chase-incr" {
                     incr = true;
+                } else if known_bulk.contains(&id) {
+                    shard = true;
+                    bulk_filters.push(lower);
                 } else {
                     eprintln!("harness: unknown id '{arg}' (try --list)");
                     std::process::exit(2);
@@ -127,10 +143,10 @@ fn main() {
     };
     eprintln!("worker pool: {} thread(s)", exec.threads());
 
-    // Serve-/check-only invocations (`--serve` / `--check` / serve ids
+    // Serve-/check-/incr-/shard-only invocations (their flags or ids
     // without experiment ids) skip the experiment tables and their JSON
     // dumps entirely.
-    let run_experiments = !filters.is_empty() || (!serve && !check && !incr);
+    let run_experiments = !filters.is_empty() || (!serve && !check && !incr && !shard);
 
     let mut timings: Vec<ExperimentTiming> = Vec::new();
     if run_experiments {
@@ -176,15 +192,43 @@ fn main() {
         Vec::new()
     };
 
+    let shard_runs = if shard {
+        let runs = qr_bench::bulk_workloads::stats_runs(&bulk_filters);
+        for r in &runs {
+            println!(
+                "{}: {} facts in {:.1} ms [{}] — {} components, {} shards, \
+                 partition {:.1} ms / shard {:.1} ms / merge {:.1} ms, \
+                 {} certs exchanged ({} checked, {} rejected, {} kernel searches)",
+                r.workload,
+                r.facts_out,
+                r.wall_ms,
+                r.mode,
+                r.components,
+                r.shards,
+                r.partition_ms,
+                r.shard_ms,
+                r.merge_ms,
+                r.certs_exchanged,
+                r.certs_checked,
+                r.certs_rejected,
+                r.kernel_searches,
+            );
+        }
+        runs
+    } else {
+        Vec::new()
+    };
+
     if json && run_experiments {
         let runs = experiments::e11_chase_engine::stats_runs(&exec);
-        let rendered = report::render_json(&timings, &runs, &incr_runs);
+        let rendered = report::render_json(&timings, &runs, &incr_runs, &shard_runs);
         let path = "BENCH_chase.json";
         match std::fs::write(path, rendered) {
             Ok(()) => println!(
-                "wrote {path} ({} chase runs, {} incr runs)",
+                "wrote {path} ({} chase runs, {} incr runs, {} shard runs)",
                 runs.len(),
-                incr_runs.len()
+                incr_runs.len(),
+                shard_runs.len()
             ),
             Err(e) => {
                 eprintln!("failed to write {path}: {e}");

@@ -16,8 +16,9 @@
 //!   starts searching fails the harness loudly before `bench_diff` even
 //!   runs.
 //!
-//! Only `wall_ms` is machine-dependent; certificate counts and encoded
-//! sizes are pure functions of (theory, query/instance, budget).
+//! Only `wall_ms` and `threads` are machine-dependent; certificate counts
+//! and encoded sizes are pure functions of (theory, query/instance,
+//! budget).
 
 use std::time::Instant;
 
@@ -76,6 +77,7 @@ fn rewrite_check(
     CheckRun {
         workload: label.to_owned(),
         kind: "rewrite",
+        threads: exec.threads(),
         wall_ms,
         certs,
         cert_bytes: bytes.len(),
@@ -86,7 +88,7 @@ fn rewrite_check(
 
 /// Certifies the E11 chase workload `TC on G(60,120)` (the largest pinned
 /// transitive-closure instance) end to end.
-fn chase_check() -> CheckRun {
+fn chase_check(exec: &Executor) -> CheckRun {
     let theory = parse_theory("e(X,Y), e(Y,Z) -> e(X,Z).").expect("parses");
     let db = random_graph(60, 120, 0xC0FFEE + 60);
     let budget = ChaseBudget {
@@ -122,6 +124,7 @@ fn chase_check() -> CheckRun {
     CheckRun {
         workload: "TC on G(60,120)".to_owned(),
         kind: "chase",
+        threads: exec.threads(),
         wall_ms,
         certs,
         cert_bytes: bytes.len(),
@@ -137,7 +140,7 @@ pub fn stats_runs(exec: &Executor) -> Vec<CheckRun> {
     for (label, t, q, budget) in rewrite_workloads::fixtures() {
         out.push(rewrite_check(label, t, q, budget, exec));
     }
-    out.push(chase_check());
+    out.push(chase_check(exec));
     out
 }
 

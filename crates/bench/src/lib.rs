@@ -6,6 +6,7 @@
 //! each module's doc comment states the paper anchor and the expected
 //! shape.
 
+pub mod bulk_workloads;
 pub mod check_workloads;
 pub mod experiments;
 pub mod incr_workloads;

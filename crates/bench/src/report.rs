@@ -160,6 +160,58 @@ pub struct ServeRun {
     pub p99_ms: f64,
 }
 
+/// One measured bulk-sharding run (the harness's `--shard` mode): a bulk
+/// workload chased through [`qr_chase::chase_sharded_opts`] on a pinned
+/// worker-pool width. Each workload appears twice — once on a 1-thread
+/// pool (`engine: "chase"`, the monolithic bypass) and once on a 4-thread
+/// pool (`engine: "sharded"`) — so `BENCH_chase.json` records the speedup
+/// pair. Every counter is deterministic (sharding is byte-identical to
+/// the monolithic chase; partitioning and packing are deterministic
+/// functions of the instance) and drift-gated; `*_ms` fields and
+/// `threads` are machine-dependent.
+pub struct ShardRun {
+    /// Workload label plus engine (`"bulk-tc/sharded"`, ...).
+    pub workload: String,
+    /// Which engine ran (`"chase"` for the 1-thread bypass, `"sharded"`).
+    pub engine: &'static str,
+    /// Pinned worker-pool width of this run.
+    pub threads: usize,
+    /// [`ShardMode`](qr_chase::ShardMode) the run resolved to, as a
+    /// string (`"bypass"` / `"gaifman"` / `"pred-group"` / `"fallback"` /
+    /// `"exchange"`).
+    pub mode: String,
+    /// Partition units found (Gaifman components or predicate groups).
+    pub components: usize,
+    /// Shards actually chased (0 on bypass).
+    pub shards: usize,
+    /// Frontier-exchange iterations (exchange mode only).
+    pub frontier_rounds: usize,
+    /// Certificates shipped across the merge boundary.
+    pub certs_exchanged: u64,
+    /// Certificates replayed successfully before absorption.
+    pub certs_checked: u64,
+    /// Certificates in rejected bundles.
+    pub certs_rejected: u64,
+    /// `HomKernel` searches during frontier verification — pinned 0.
+    pub kernel_searches: u64,
+    /// End-to-end wall time, ms.
+    pub wall_ms: f64,
+    /// Wall time partitioning the base, ms.
+    pub partition_ms: f64,
+    /// Wall time chasing the shards, ms.
+    pub shard_ms: f64,
+    /// Wall time merging (or verifying + catch-up), ms.
+    pub merge_ms: f64,
+    /// Facts in the final merged instance.
+    pub facts_out: usize,
+    /// Completed rounds of the merged chase.
+    pub rounds_run: usize,
+    /// Total triggers across the run.
+    pub triggers: u64,
+    /// Total matcher candidates across the run.
+    pub candidates: u64,
+}
+
 /// One certification replay (the harness's `--check` mode): a workload's
 /// certificates pushed through the codec and re-verified by `qr-check`.
 /// Everything but `wall_ms` is deterministic — certificate counts and
@@ -171,6 +223,9 @@ pub struct CheckRun {
     pub workload: String,
     /// Which certificate family replayed (`"rewrite"` / `"chase"`).
     pub kind: &'static str,
+    /// Worker-pool width the prover side ran with (the checker itself is
+    /// sequential). Machine-dependent, never gated.
+    pub threads: usize,
     /// Wall time of the decode+replay span, ms (reported, never gated).
     pub wall_ms: f64,
     /// Certificates replayed successfully.
@@ -215,16 +270,19 @@ fn ms(v: f64) -> String {
 /// Renders `BENCH_chase.json`: schema tag, per-experiment wall times, one
 /// entry per chase run with totals, memory counters (schema v3: the
 /// storage layer's deterministic byte accounting) and per-round counters,
-/// and one entry per incremental-maintenance run (schema v4: the `--incr`
+/// one entry per incremental-maintenance run (schema v4: the `--incr`
 /// workloads' batch modes, replay/rederive/cone counters and the
-/// incremental-vs-cold candidate comparison).
+/// incremental-vs-cold candidate comparison), and one entry per bulk
+/// sharding run (schema v5: the `--shard` workloads' partition, exchange
+/// and speedup-relevant counters).
 pub fn render_json(
     experiments: &[ExperimentTiming],
     runs: &[ChaseRun],
     incr: &[IncrRun],
+    shard: &[ShardRun],
 ) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"qr-bench/chase-v4\",\n  \"experiments\": [\n");
+    out.push_str("{\n  \"schema\": \"qr-bench/chase-v5\",\n  \"experiments\": [\n");
     for (i, e) in experiments.iter().enumerate() {
         let _ = writeln!(
             out,
@@ -305,6 +363,33 @@ pub fn render_json(
             r.candidates_incr,
             r.candidates_cold,
             if i + 1 < incr.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n  \"shard_runs\": [\n");
+    for (i, r) in shard.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\n      \"workload\": \"{}\",\n      \"engine\": \"{}\",\n      \"threads\": {},\n      \"mode\": \"{}\",\n      \"wall_ms\": {},\n      \"partition_ms\": {},\n      \"shard_ms\": {},\n      \"merge_ms\": {},\n      \"components\": {},\n      \"shards\": {},\n      \"facts_out\": {},\n      \"rounds_run\": {},\n      \"triggers\": {},\n      \"candidates\": {},\n      \"exchange\": {{\"frontier_rounds\": {}, \"certs_exchanged\": {}, \"certs_checked\": {}, \"certs_rejected\": {}, \"kernel_searches\": {}}}\n    }}{}\n",
+            escape(&r.workload),
+            escape(r.engine),
+            r.threads,
+            escape(&r.mode),
+            ms(r.wall_ms),
+            ms(r.partition_ms),
+            ms(r.shard_ms),
+            ms(r.merge_ms),
+            r.components,
+            r.shards,
+            r.facts_out,
+            r.rounds_run,
+            r.triggers,
+            r.candidates,
+            r.frontier_rounds,
+            r.certs_exchanged,
+            r.certs_checked,
+            r.certs_rejected,
+            r.kernel_searches,
+            if i + 1 < shard.len() { "," } else { "" }
         );
     }
     out.push_str("  ]\n}\n");
@@ -504,13 +589,14 @@ pub fn render_serve_json(runs: &[ServeRun]) -> String {
     out
 }
 
-/// Renders `BENCH_check.json` (schema `qr-bench/check-v1`): one entry per
-/// certification replay. `certs`, `cert_bytes`, `kernel_searches` and the
-/// `failures` array are deterministic and drift-gated; only `wall_ms` is
-/// machine-dependent — `bench_diff` exempts exactly that.
+/// Renders `BENCH_check.json` (schema `qr-bench/check-v2`, which adds
+/// `threads`): one entry per certification replay. `certs`, `cert_bytes`,
+/// `kernel_searches` and the `failures` array are deterministic and
+/// drift-gated; `wall_ms` and `threads` are machine-dependent —
+/// `bench_diff` exempts exactly those.
 pub fn render_check_json(runs: &[CheckRun]) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"qr-bench/check-v1\",\n  \"check_runs\": [\n");
+    out.push_str("{\n  \"schema\": \"qr-bench/check-v2\",\n  \"check_runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         let failures = r
             .failures
@@ -520,9 +606,10 @@ pub fn render_check_json(runs: &[CheckRun]) -> String {
             .join(", ");
         let _ = write!(
             out,
-            "    {{\n      \"workload\": \"{}\",\n      \"kind\": \"{}\",\n      \"wall_ms\": {},\n      \"certs\": {},\n      \"cert_bytes\": {},\n      \"kernel_searches\": {},\n      \"failures\": [{}]\n    }}{}\n",
+            "    {{\n      \"workload\": \"{}\",\n      \"kind\": \"{}\",\n      \"threads\": {},\n      \"wall_ms\": {},\n      \"certs\": {},\n      \"cert_bytes\": {},\n      \"kernel_searches\": {},\n      \"failures\": [{}]\n    }}{}\n",
             escape(&r.workload),
             escape(r.kind),
+            r.threads,
             ms(r.wall_ms),
             r.certs,
             r.cert_bytes,
@@ -573,9 +660,10 @@ mod tests {
             id: "e11".into(),
             wall_ms: 10.0,
         }];
-        let json = render_json(&timings, &runs, &[]);
-        assert!(json.contains("\"schema\": \"qr-bench/chase-v4\""));
+        let json = render_json(&timings, &runs, &[], &[]);
+        assert!(json.contains("\"schema\": \"qr-bench/chase-v5\""));
         assert!(json.contains("\"incr_runs\": [\n  ]"));
+        assert!(json.contains("\"shard_runs\": [\n  ]"));
         assert!(json.contains(
             "\"memory\": {\"peak_facts\": 4, \"bytes_facts\": 32, \"bytes_index\": 120, \"bytes_tuples\": 60}"
         ));
@@ -620,8 +708,8 @@ mod tests {
             candidates_incr: 900,
             candidates_cold: 4000,
         }];
-        let json = render_json(&[], &[], &incr);
-        assert!(json.contains("\"schema\": \"qr-bench/chase-v4\""));
+        let json = render_json(&[], &[], &incr, &[]);
+        assert!(json.contains("\"schema\": \"qr-bench/chase-v5\""));
         assert!(json.contains("TC incr on \\\"G(24,40)\\\""));
         assert!(json.contains(
             "\"modes\": {\"noops\": 0, \"seeded_inserts\": 8, \"truncated_retracts\": 0, \"rechases\": 1}"
@@ -830,11 +918,77 @@ mod tests {
     }
 
     #[test]
+    fn renders_shard_runs_well_formed() {
+        let runs = vec![
+            ShardRun {
+                workload: "bulk-\"tc\"/chase".into(),
+                engine: "chase",
+                threads: 1,
+                mode: "bypass".into(),
+                components: 0,
+                shards: 0,
+                frontier_rounds: 0,
+                certs_exchanged: 0,
+                certs_checked: 0,
+                certs_rejected: 0,
+                kernel_searches: 0,
+                wall_ms: 800.5,
+                partition_ms: 0.0,
+                shard_ms: 0.0,
+                merge_ms: 0.0,
+                facts_out: 946_000,
+                rounds_run: 6,
+                triggers: 6_000_000,
+                candidates: 9_000_000,
+            },
+            ShardRun {
+                workload: "bulk-\"tc\"/sharded".into(),
+                engine: "sharded",
+                threads: 4,
+                mode: "gaifman".into(),
+                components: 4000,
+                shards: 16,
+                frontier_rounds: 1,
+                certs_exchanged: 120,
+                certs_checked: 120,
+                certs_rejected: 0,
+                kernel_searches: 0,
+                wall_ms: 300.25,
+                partition_ms: 40.0,
+                shard_ms: 200.0,
+                merge_ms: 60.0,
+                facts_out: 946_000,
+                rounds_run: 6,
+                triggers: 6_000_000,
+                candidates: 9_000_000,
+            },
+        ];
+        let json = render_json(&[], &[], &[], &runs);
+        assert!(json.contains("\"schema\": \"qr-bench/chase-v5\""));
+        assert!(json.contains("bulk-\\\"tc\\\"/sharded"));
+        assert!(json.contains("\"engine\": \"sharded\""));
+        assert!(json.contains("\"mode\": \"gaifman\""));
+        assert!(json.contains("\"components\": 4000"));
+        assert!(json.contains("\"shards\": 16"));
+        assert!(json.contains("\"partition_ms\": 40.000"));
+        assert!(json.contains(
+            "\"exchange\": {\"frontier_rounds\": 1, \"certs_exchanged\": 120, \
+             \"certs_checked\": 120, \"certs_rejected\": 0, \"kernel_searches\": 0}"
+        ));
+        assert!(json.contains("\"triggers\": 6000000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n  ]"));
+        assert!(!json.contains(",\n      ]"));
+    }
+
+    #[test]
     fn renders_check_runs_well_formed() {
         let runs = vec![
             CheckRun {
                 workload: "tc-\"wide\"".into(),
                 kind: "rewrite",
+                threads: 1,
                 wall_ms: 0.75,
                 certs: 41,
                 cert_bytes: 2048,
@@ -844,6 +998,7 @@ mod tests {
             CheckRun {
                 workload: "TC on G(60,120)".into(),
                 kind: "chase",
+                threads: 4,
                 wall_ms: 3.5,
                 certs: 900,
                 cert_bytes: 12000,
@@ -852,9 +1007,11 @@ mod tests {
             },
         ];
         let json = render_check_json(&runs);
-        assert!(json.contains("\"schema\": \"qr-bench/check-v1\""));
+        assert!(json.contains("\"schema\": \"qr-bench/check-v2\""));
         assert!(json.contains("tc-\\\"wide\\\""));
         assert!(json.contains("\"kind\": \"rewrite\""));
+        assert!(json.contains("\"threads\": 1"));
+        assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"certs\": 41"));
         assert!(json.contains("\"cert_bytes\": 2048"));
         assert!(json.contains("\"kernel_searches\": 0"));

@@ -18,7 +18,7 @@
 //! round the cold engine would fire them in (`1 + max` over the rounds of
 //! their body elements) and interleaved with the replayed events in the
 //! cold engine's canonical enumeration order, reconstructed from the
-//! static [`JoinPlan`](qr_hom::matcher::JoinPlan) execution order.
+//! static [`JoinPlan`] execution order.
 //!
 //! **Retractions** run delete/rederive (DRed) over the match-trail
 //! provenance: the affected cone is the set of derived facts whose first
@@ -77,6 +77,102 @@ impl WriteBatch {
     /// `true` iff the batch carries no writes at all.
     pub fn is_empty(&self) -> bool {
         self.inserts.is_empty() && self.retracts.is_empty()
+    }
+
+    /// Coalesces a batch sequence into an equivalent, usually shorter one:
+    /// applying the result batches in order against a base where `in_base`
+    /// answers membership produces the **byte-identical** final base (same
+    /// surviving facts in the same log order) as applying the originals —
+    /// so the maintained chase after [`IncrementalChase::apply_all`] is
+    /// byte-identical too, with fewer dispatches.
+    ///
+    /// Rules, applied left to right over a membership overlay:
+    /// - ineffective writes are dropped (retract of an absent fact,
+    ///   insert of a present one — no-ops by the batch contract);
+    /// - consecutive effectively-pure-insert batches fuse into one, as do
+    ///   consecutive effectively-pure-retract batches;
+    /// - an insert-then-retract of a fact that was absent before the
+    ///   insert cancels outright (the fact never reaches the base, and
+    ///   removing both writes shifts no other fact's log position);
+    /// - batches that stay mixed after the above act as barriers.
+    pub fn coalesce(batches: &[WriteBatch], in_base: impl Fn(&Fact) -> bool) -> Vec<WriteBatch> {
+        let mut overlay: HashMap<Fact, bool> = HashMap::new();
+        let mut out: Vec<WriteBatch> = Vec::new();
+        // Facts in the current pure-insert top that were absent before it
+        // (only those may cancel against a following retract).
+        let mut top_new: HashSet<Fact> = HashSet::new();
+        for batch in batches {
+            let mut r_eff: Vec<Fact> = Vec::new();
+            for fx in &batch.retracts {
+                let present = overlay.get(fx).copied().unwrap_or_else(|| in_base(fx));
+                if present && !r_eff.contains(fx) {
+                    overlay.insert(fx.clone(), false);
+                    r_eff.push(fx.clone());
+                }
+            }
+            let mut i_eff: Vec<Fact> = Vec::new();
+            for fx in &batch.inserts {
+                let present = overlay.get(fx).copied().unwrap_or_else(|| in_base(fx));
+                if !present {
+                    overlay.insert(fx.clone(), true);
+                    i_eff.push(fx.clone());
+                }
+            }
+            match (r_eff.is_empty(), i_eff.is_empty()) {
+                (true, true) => {} // no effective writes
+                (true, false) => {
+                    // Pure insert: fuse with a pure-insert top.
+                    match out.last_mut() {
+                        Some(top) if top.retracts.is_empty() => {
+                            top_new.extend(i_eff.iter().cloned());
+                            top.inserts.extend(i_eff);
+                        }
+                        _ => {
+                            top_new = i_eff.iter().cloned().collect();
+                            out.push(WriteBatch::insert(i_eff));
+                        }
+                    }
+                }
+                (false, true) => {
+                    // Pure retract: cancel against the pure-insert top,
+                    // then fuse with a pure-retract top.
+                    if let Some(top) = out.last_mut() {
+                        if top.retracts.is_empty() {
+                            let cancel: HashSet<Fact> = r_eff
+                                .iter()
+                                .filter(|fx| top_new.contains(*fx))
+                                .cloned()
+                                .collect();
+                            if !cancel.is_empty() {
+                                top.inserts.retain(|fx| !cancel.contains(fx));
+                                r_eff.retain(|fx| !cancel.contains(fx));
+                                if top.inserts.is_empty() {
+                                    out.pop();
+                                }
+                            }
+                        }
+                    }
+                    if r_eff.is_empty() {
+                        continue;
+                    }
+                    top_new.clear();
+                    match out.last_mut() {
+                        Some(top) if top.inserts.is_empty() => top.retracts.extend(r_eff),
+                        _ => out.push(WriteBatch::retract(r_eff)),
+                    }
+                }
+                (false, false) => {
+                    // Mixed batch: a barrier (retracts run before inserts
+                    // within it, so it cannot fuse either way).
+                    top_new.clear();
+                    out.push(WriteBatch {
+                        inserts: i_eff,
+                        retracts: r_eff,
+                    });
+                }
+            }
+        }
+        out
     }
 }
 
@@ -206,6 +302,30 @@ impl IncrementalChase {
         self.chase = next;
         self.stats.absorb(&bs);
         bs
+    }
+
+    /// Absorbs a batch sequence, first coalescing it against the current
+    /// base with [`WriteBatch::coalesce`]. The final state is byte-identical
+    /// to [`IncrementalChase::apply`]-ing each batch in turn, usually with
+    /// fewer dispatches (one [`BatchStats`] per dispatched batch).
+    pub fn apply_all(
+        &mut self,
+        theory: &Theory,
+        batches: &[WriteBatch],
+        budget: ChaseBudget,
+        exec: &Executor,
+    ) -> Vec<BatchStats> {
+        let base_len = self.chase.round_snapshots[0].facts();
+        let coalesced = WriteBatch::coalesce(batches, |fx| {
+            self.chase
+                .instance
+                .index_of(fx)
+                .is_some_and(|i| i < base_len)
+        });
+        coalesced
+            .iter()
+            .map(|b| self.apply(theory, b, budget, exec))
+            .collect()
     }
 }
 
@@ -383,6 +503,31 @@ fn truncate_retract(
                     let c = TermId::constant(c);
                     if first_fact.contains_key(&c) && vanishes(c) {
                         return None;
+                    }
+                }
+            }
+        }
+    }
+    // (3b) A vanished term may have been the binding of a pure dom-var
+    // sweep (a `dom` variable bound by no regular body atom). Such sweeps
+    // leave no trace in the recorded trigger, so the replay cannot tell
+    // whether the event still fires — or still fires in the same round —
+    // without the term (e.g. `s, dom(Y) -> q.` after the last domain
+    // term is retracted). Bail and re-chase.
+    if retract_occ.keys().any(|&t| vanishes(t)) {
+        for rule in theory.rules() {
+            let regular_vars: HashSet<Var> = rule
+                .body()
+                .iter()
+                .filter(|a| !a.pred.is_dom())
+                .flat_map(|a| a.vars())
+                .collect();
+            for atom in rule.body() {
+                if atom.pred.is_dom() {
+                    if let QTerm::Var(v) = atom.args[0] {
+                        if !regular_vars.contains(&v) {
+                            return None;
+                        }
                     }
                 }
             }
@@ -1534,5 +1679,125 @@ mod tests {
         let mut base: Vec<Fact> = d.iter().map(|fr| fr.to_fact()).collect();
         apply_shadow(&mut base, &batch);
         assert_incr_matches_cold(&incr, &cold_of(&t, &base, ChaseBudget::default(), &exec));
+    }
+
+    #[test]
+    fn coalesce_fuses_cancels_and_drops_noops() {
+        let in_base = |fx: &Fact| *fx == f("p", &["a"]);
+        let batches = vec![
+            WriteBatch::insert([f("p", &["b"])]),
+            WriteBatch::insert([f("p", &["c"]), f("p", &["a"])]), // p(a) is a no-op
+            WriteBatch::retract([f("p", &["c"]), f("p", &["z"])]), // cancels p(c); p(z) is a no-op
+            WriteBatch::retract([f("p", &["a"])]),
+            WriteBatch {
+                inserts: vec![f("q", &["d"])],
+                retracts: vec![f("p", &["b"])],
+            },
+            WriteBatch::insert([f("q", &["d"])]), // no-op after the mixed batch
+        ];
+        let out = WriteBatch::coalesce(&batches, in_base);
+        assert_eq!(
+            out,
+            vec![
+                WriteBatch::insert([f("p", &["b"])]),
+                WriteBatch::retract([f("p", &["a"])]),
+                WriteBatch {
+                    inserts: vec![f("q", &["d"])],
+                    retracts: vec![f("p", &["b"])],
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn coalesce_cancellation_empties_top_and_fuses_through() {
+        // insert p(b); retract p(b), p(a): the insert cancels away entirely
+        // and the surviving retract fuses with the preceding retract batch.
+        let in_base = |fx: &Fact| *fx == f("p", &["a"]) || *fx == f("p", &["x"]);
+        let batches = vec![
+            WriteBatch::retract([f("p", &["x"])]),
+            WriteBatch::insert([f("p", &["b"])]),
+            WriteBatch::retract([f("p", &["b"]), f("p", &["a"])]),
+        ];
+        let out = WriteBatch::coalesce(&batches, in_base);
+        assert_eq!(
+            out,
+            vec![WriteBatch::retract([f("p", &["x"]), f("p", &["a"])])]
+        );
+    }
+
+    #[test]
+    fn apply_all_dispatches_fewer_batches_to_identical_state() {
+        let t = parse_theory("e(X,Y), e(Y,Z) -> e(X,Z).").unwrap();
+        let d = parse_instance("e(a,b). e(b,c).").unwrap();
+        let exec = Executor::sequential();
+        let budget = ChaseBudget::default();
+        let batches = vec![
+            WriteBatch::insert([f("e", &["c", "d"])]),
+            WriteBatch::insert([f("e", &["d", "x"])]),
+            WriteBatch::retract([f("e", &["d", "x"])]), // cancels the insert above
+            WriteBatch::insert([f("e", &["d", "e"])]),
+        ];
+        let mut one_by_one = IncrementalChase::new(&t, &d, budget, &exec);
+        for batch in &batches {
+            one_by_one.apply(&t, batch, budget, &exec);
+        }
+        let mut coalesced = IncrementalChase::new(&t, &d, budget, &exec);
+        let dispatched = coalesced.apply_all(&t, &batches, budget, &exec);
+        assert_eq!(dispatched.len(), 1); // four batches fused into one insert
+        assert_eq!(coalesced.stats().batches, 1);
+        assert_eq!(one_by_one.stats().batches, 4);
+        assert_incr_matches_cold(coalesced.chase(), one_by_one.chase());
+        let mut base: Vec<Fact> = d.iter().map(|fr| fr.to_fact()).collect();
+        for batch in &batches {
+            apply_shadow(&mut base, batch);
+        }
+        assert_incr_matches_cold(coalesced.chase(), &cold_of(&t, &base, budget, &exec));
+    }
+
+    #[test]
+    fn random_coalesced_sequences_match_one_by_one() {
+        // Property: `apply_all` over a random batch sequence lands on a
+        // state byte-identical to applying each batch in turn, and never
+        // dispatches more batches than it was given.
+        let t = parse_theory("e(X,Y), e(Y,Z) -> e(X,Z). p(X) -> q(X).").unwrap();
+        let exec = Executor::sequential();
+        let budget = ChaseBudget::default();
+        qr_testkit::check("coalesce_matches_one_by_one", 40, |rng: &mut Rng| {
+            let pool: Vec<Fact> = (0..6)
+                .flat_map(|i| {
+                    let a = format!("n{i}");
+                    let b = format!("n{}", (i + 1) % 6);
+                    [f("e", &[&a, &b]), f("p", &[&a])]
+                })
+                .collect();
+            let mut d = Instance::new();
+            for fx in &pool {
+                if rng.bool() {
+                    d.insert(fx.clone());
+                }
+            }
+            let mut batches = Vec::new();
+            for _ in 0..rng.range(1, 6) {
+                let mut batch = WriteBatch::default();
+                for _ in 0..rng.range(0, 4) {
+                    let fx = pool[rng.below(pool.len())].clone();
+                    if rng.bool() {
+                        batch.inserts.push(fx);
+                    } else {
+                        batch.retracts.push(fx);
+                    }
+                }
+                batches.push(batch);
+            }
+            let mut one_by_one = IncrementalChase::new(&t, &d, budget, &exec);
+            for batch in &batches {
+                one_by_one.apply(&t, batch, budget, &exec);
+            }
+            let mut coalesced = IncrementalChase::new(&t, &d, budget, &exec);
+            let dispatched = coalesced.apply_all(&t, &batches, budget, &exec);
+            assert!(dispatched.len() <= batches.len());
+            assert_incr_matches_cold(coalesced.chase(), one_by_one.chase());
+        });
     }
 }

@@ -15,6 +15,7 @@ pub mod engine;
 pub mod incremental;
 pub mod model;
 pub mod provenance;
+pub mod sharded;
 pub mod skolem;
 pub mod stats;
 
@@ -31,6 +32,10 @@ pub use incremental::{
 };
 pub use model::is_model;
 pub use provenance::{minimal_subset, minimal_support, Provenance};
+pub use sharded::{
+    chase_sharded, chase_sharded_opts, CrossShardPolicy, FrontierRejection, FrontierVerify,
+    ShardMode, ShardOpts, ShardStats,
+};
 pub use skolem::SkolemizedRule;
 pub use stats::{ChaseStats, RoundStats};
 

@@ -1,0 +1,915 @@
+//! Sharded chase: partition the base instance, chase each shard
+//! independently, merge into one [`Chase`] byte-identical to the
+//! unsharded run (~S24).
+//!
+//! The monolithic engine already parallelizes *within* a round
+//! ([`chase_with`] schedules per-round tasks on the executor), but every
+//! task still probes one global fact store whose postings interleave all
+//! components. For bulk instances — thousands of disconnected Gaifman
+//! components, millions of facts (the shallow-chase ontology shapes of
+//! Kikot et al., the frontier-guarded theories of Barceló et al.) — the
+//! chase is embarrassingly parallel *across* components, and each
+//! per-component store is small enough to stay cache-resident. This
+//! module exploits that:
+//!
+//! 1. **Partition.** Compute the connected components of the base
+//!    instance's Gaifman graph ([`gaifman::components_of`], straight off
+//!    the columnar postings) and bin-pack them deterministically into at
+//!    most `exec.threads() × shards_per_thread` shards (largest first,
+//!    least-loaded bin, all ties by index). When the theory is not
+//!    term-local (see below) but every rule is still `dom`-free, fall
+//!    back to a coarser partition by *predicate group* (union-find over
+//!    each rule's body ∪ head predicates).
+//! 2. **Chase.** Run the existing sequential engine on each shard,
+//!    scheduling whole shards on the executor's workers
+//!    ([`qr_exec::Executor::map_weighted`], largest shard first).
+//! 3. **Merge.** Splice the shard runs back into a single [`Chase`] —
+//!    facts, round snapshots, provenance, per-round counters — that is
+//!    **byte-identical** to `chase_with(theory, db, budget, exec)` on the
+//!    whole instance. No re-chasing, no re-matching: the merge is a
+//!    deterministic re-sort of the shards' per-round deltas into the
+//!    global engine's emission order, with fact indices renumbered
+//!    through per-shard monotone `local → global` maps.
+//!
+//! Byte-identity holds because the engine visits round work in a fixed
+//! order (rules in theory order; per rule, regular body atoms in body
+//! order; per atom, the delta posting list in fact-index order) and
+//! merges task outputs in submission order. Under the safety predicates
+//! below, every complete body match lives inside one shard, so the
+//! global round-`r` fresh sequence is exactly the shard round-`r` fresh
+//! sequences stably sorted by `(rule, canonical path atom, global index
+//! of the forced delta fact)` — the same key the sequential engine
+//! enumerates by. Engine counters (`triggers`, `candidates`, …) are
+//! posting-local under the same predicates and therefore sum exactly.
+//!
+//! **Term-local theories** (mode [`ShardMode::Gaifman`]): every rule has
+//! a nonempty, variable-connected body, no `dom` atoms, and every body
+//! and head atom has at least one argument, all variables — plus the
+//! base domain is all constants. Then every match stays inside one
+//! component, every derived fact embeds a frontier term of its
+//! component (directly or inside a Skolem term), and components never
+//! collide.
+//!
+//! **Pred-local theories** (mode [`ShardMode::PredGroup`]): every rule
+//! has a nonempty `dom`-free body and a `dom`-free head (constants and
+//! disconnected bodies are fine). All facts of one predicate live in
+//! one shard, so per-predicate probes — including the matcher's
+//! no-bound-position fallback scan — remain shard-local.
+//!
+//! **Cross-shard theories.** Anything else (a `dom` atom ranges over the
+//! whole active domain; an empty body fires everywhere) cannot be
+//! chased shard-locally. The default is a transparent fallback to the
+//! monolithic engine ([`ShardMode::Fallback`]). Opting into
+//! [`CrossShardPolicy::Exchange`] instead runs a *certified frontier
+//! exchange*: each shard is chased independently, ships its derived
+//! facts with [`ChaseCert`](crate::cert::ChaseCert) witnesses, and the
+//! merging side replays the certificates through an independent checker
+//! (`qr-check`, injected as a callback to keep the crate graph acyclic)
+//! before absorbing the facts into the base; a final global chase
+//! closes the cross-shard consequences. Soundness never depends on
+//! scheduling: a bundle that fails verification is simply not absorbed
+//! (the global catch-up re-derives whatever was legitimate), and by the
+//! paper's Observation 8 (`Ch(T,F) = Ch(T,D)` for `D ⊆ F ⊆ Ch(T,D)`)
+//! the absorbed run computes the same set — the exchange only changes
+//! *when* facts arrive, so the result is set-equal (not byte-identical)
+//! to the unsharded chase whenever the chase terminates within budget.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use qr_exec::Executor;
+use qr_syntax::gaifman;
+use qr_syntax::query::{QAtom, QTerm, Var};
+use qr_syntax::{Fact, FactIdx, Instance, Pred, TermId, Theory};
+
+use crate::cert::{emit_chase_certs, ChaseCertBundle};
+use crate::engine::{chase_with, Chase, ChaseBudget, ChaseOutcome, Derivation};
+use crate::stats::{ChaseStats, RoundStats};
+
+/// How the sharded entry point actually ran.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShardMode {
+    /// Sharding would not help (one thread, one component, empty base):
+    /// the run was handed to the monolithic engine unchanged.
+    #[default]
+    Bypass,
+    /// Term-local theory, partitioned by Gaifman component.
+    Gaifman,
+    /// Pred-local theory, partitioned by predicate group.
+    PredGroup,
+    /// Cross-shard theory under [`CrossShardPolicy::Fallback`]: ran the
+    /// monolithic engine.
+    Fallback,
+    /// Cross-shard theory under [`CrossShardPolicy::Exchange`]: certified
+    /// frontier exchange plus a global catch-up chase.
+    Exchange,
+}
+
+impl ShardMode {
+    /// Stable lowercase name (serialized into `BENCH_chase.json`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShardMode::Bypass => "bypass",
+            ShardMode::Gaifman => "gaifman",
+            ShardMode::PredGroup => "pred-group",
+            ShardMode::Fallback => "fallback",
+            ShardMode::Exchange => "exchange",
+        }
+    }
+}
+
+/// A located rejection of one shard's frontier bundle: which certificate
+/// failed replay, and the checker's message. Produced by the injected
+/// verifier (see [`CrossShardPolicy::Exchange`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrontierRejection {
+    /// Index of the offending certificate within the shard's bundle.
+    pub cert: usize,
+    /// The checker's rendered error.
+    pub detail: String,
+}
+
+impl fmt::Display for FrontierRejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "certificate {}: {}", self.cert, self.detail)
+    }
+}
+
+/// Independent verifier for one shard's frontier: given the theory, the
+/// shard's *base* instance, the frontier facts (the shard's derived
+/// facts in derivation order) and their certificate bundle, replay every
+/// certificate and return how many were checked — or the first located
+/// failure. `qr-check::check_frontier` has exactly this shape; it is
+/// injected as a callback because `qr-check` depends on `qr-chase`.
+pub type FrontierVerify<'a> = dyn Fn(&Theory, &Instance, &[Fact], &ChaseCertBundle) -> Result<usize, FrontierRejection>
+    + Sync
+    + 'a;
+
+/// What to do when the theory's rules span shards.
+pub enum CrossShardPolicy<'a> {
+    /// Run the monolithic engine (byte-identical by construction).
+    Fallback,
+    /// Chase shards independently anyway and absorb their frontiers at
+    /// the merge point, gated on certificate replay by `verify`; a final
+    /// global chase closes cross-shard consequences. Set-equal to the
+    /// unsharded chase on terminating runs; never absorbs an unverified
+    /// fact.
+    Exchange {
+        /// The certificate replayer (typically `qr-check`'s
+        /// `check_frontier`, adapted to [`FrontierRejection`]).
+        verify: &'a FrontierVerify<'a>,
+    },
+}
+
+/// Tuning knobs for [`chase_sharded_opts`].
+pub struct ShardOpts<'a> {
+    /// Bin-packing target: at most `exec.threads() × shards_per_thread`
+    /// shards. More shards than threads keeps workers busy when
+    /// component sizes are skewed; the default is 4.
+    pub shards_per_thread: usize,
+    /// Policy for theories whose rules span shards.
+    pub cross_shard: CrossShardPolicy<'a>,
+}
+
+impl Default for ShardOpts<'static> {
+    fn default() -> Self {
+        ShardOpts {
+            shards_per_thread: 4,
+            cross_shard: CrossShardPolicy::Fallback,
+        }
+    }
+}
+
+/// Observability for one sharded run, alongside the merged [`Chase`].
+#[derive(Clone, Debug, Default)]
+pub struct ShardStats {
+    /// How the run was actually executed.
+    pub mode: ShardMode,
+    /// Partition units found: Gaifman components ([`ShardMode::Gaifman`]
+    /// and [`ShardMode::Exchange`]) or predicate groups
+    /// ([`ShardMode::PredGroup`]). 0 when partitioning was skipped.
+    pub components: usize,
+    /// Shards actually chased (0 on bypass/fallback).
+    pub shards: usize,
+    /// Frontier-exchange iterations performed (exchange mode: 1 if any
+    /// bundle was absorbed, else 0; deeper iterated exchange is a
+    /// ROADMAP follow-on).
+    pub frontier_rounds: usize,
+    /// Certificates shipped across the merge boundary.
+    pub certs_exchanged: u64,
+    /// Certificates that replayed successfully.
+    pub certs_checked: u64,
+    /// Certificates in rejected bundles (a bundle is absorbed atomically,
+    /// so one bad certificate rejects its whole shard's frontier).
+    pub certs_rejected: u64,
+    /// `HomKernel` searches observed while verifying frontiers — pinned
+    /// at 0: certificate replay is linear-time and search-free.
+    pub kernel_searches: u64,
+    /// Located verification failures: `(shard, rejection)`.
+    pub rejections: Vec<(usize, FrontierRejection)>,
+    /// Wall time partitioning the base (component analysis + packing +
+    /// splitting).
+    pub partition_wall: Duration,
+    /// Wall time chasing the shards (the parallel region).
+    pub shard_wall: Duration,
+    /// Wall time merging shard results (or verifying + catch-up chasing
+    /// in exchange mode).
+    pub merge_wall: Duration,
+}
+
+/// Sharded chase with default options (cross-shard theories fall back to
+/// the monolithic engine). The returned [`Chase`] is byte-identical —
+/// fact stream, domain order, round snapshots, provenance, drift-gated
+/// counters — to `chase_with(theory, db, budget, exec)`.
+pub fn chase_sharded(
+    theory: &Theory,
+    db: &Instance,
+    budget: ChaseBudget,
+    exec: &Executor,
+) -> (Chase, ShardStats) {
+    chase_sharded_opts(theory, db, budget, exec, &ShardOpts::default())
+}
+
+/// Sharded chase with explicit [`ShardOpts`]. See the module docs for
+/// the partition modes and the exchange protocol.
+pub fn chase_sharded_opts(
+    theory: &Theory,
+    db: &Instance,
+    budget: ChaseBudget,
+    exec: &Executor,
+    opts: &ShardOpts<'_>,
+) -> (Chase, ShardStats) {
+    let t0 = Instant::now();
+    let mut stats = ShardStats::default();
+    if exec.threads() <= 1 || db.is_empty() {
+        stats.partition_wall = t0.elapsed();
+        return (chase_with(theory, db, budget, exec), stats);
+    }
+    let bins_max = exec.threads().saturating_mul(opts.shards_per_thread).max(1);
+
+    if term_safe(theory) && db.domain().iter().all(|t| t.is_const()) {
+        let (unit_of_fact, units) = gaifman_units(db);
+        stats.components = units.saturating_sub(1); // minus the nullary pen
+        return run_partitioned(
+            theory,
+            db,
+            budget,
+            exec,
+            ShardMode::Gaifman,
+            unit_of_fact,
+            units,
+            bins_max,
+            t0,
+            stats,
+        );
+    }
+    if pred_safe(theory) {
+        let (group_of, groups) = pred_groups(theory, db);
+        stats.components = groups;
+        let unit_of_fact: Vec<usize> = (0..db.len()).map(|i| group_of[&db.fact(i).pred]).collect();
+        return run_partitioned(
+            theory,
+            db,
+            budget,
+            exec,
+            ShardMode::PredGroup,
+            unit_of_fact,
+            groups,
+            bins_max,
+            t0,
+            stats,
+        );
+    }
+    match opts.cross_shard {
+        CrossShardPolicy::Fallback => {
+            stats.mode = ShardMode::Fallback;
+            stats.partition_wall = t0.elapsed();
+            (chase_with(theory, db, budget, exec), stats)
+        }
+        CrossShardPolicy::Exchange { verify } => {
+            chase_exchange(theory, db, budget, exec, verify, bins_max, t0, stats)
+        }
+    }
+}
+
+/// `true` iff every rule confines its matches and its derived facts to
+/// one Gaifman component of a constants-only base: nonempty
+/// variable-connected body, no `dom` atoms anywhere, every body and head
+/// atom of arity ≥ 1 with all-variable arguments, and a nonempty
+/// frontier (some variable shared body ↔ head). See the module docs for
+/// why each clause is load-bearing.
+fn term_safe(theory: &Theory) -> bool {
+    fn atom_ok(a: &QAtom) -> bool {
+        !a.pred.is_dom() && !a.args.is_empty() && a.args.iter().all(|t| matches!(t, QTerm::Var(_)))
+    }
+    theory.rules().iter().all(|r| {
+        let body = r.body();
+        if body.is_empty() || !body.iter().all(atom_ok) || !r.head().iter().all(atom_ok) {
+            return false;
+        }
+        if !gaifman::atoms_connected(body) {
+            return false;
+        }
+        let body_vars: HashSet<Var> = body.iter().flat_map(|a| a.vars()).collect();
+        r.head()
+            .iter()
+            .flat_map(|a| a.vars())
+            .any(|v| body_vars.contains(&v))
+    })
+}
+
+/// `true` iff every rule's matches stay inside one predicate group:
+/// nonempty body, no `dom` atoms in body or head. Constants, nullary
+/// atoms and disconnected bodies are all fine — every fact of a
+/// predicate lives in its group's shard, and the matcher only ever scans
+/// per-predicate postings.
+fn pred_safe(theory: &Theory) -> bool {
+    theory.rules().iter().all(|r| {
+        !r.body().is_empty()
+            && r.body()
+                .iter()
+                .chain(r.head().iter())
+                .all(|a| !a.pred.is_dom())
+    })
+}
+
+/// Partition units for term-local theories: one unit per Gaifman
+/// component (numbered in first-occurrence domain order), plus a final
+/// pen for nullary facts (inert under term-local rules — no atom of
+/// arity 0 can appear in a body or head). Returns `(unit per fact,
+/// number of units)`.
+fn gaifman_units(db: &Instance) -> (Vec<usize>, usize) {
+    let comps = gaifman::components_of(db);
+    let mut unit_of_term: HashMap<TermId, usize> = HashMap::with_capacity(db.domain().len());
+    for (c, comp) in comps.iter().enumerate() {
+        for &t in comp {
+            unit_of_term.insert(t, c);
+        }
+    }
+    let nullary = comps.len();
+    let unit_of_fact: Vec<usize> = (0..db.len())
+        .map(|i| db.fact(i).args.first().map_or(nullary, |t| unit_of_term[t]))
+        .collect();
+    (unit_of_fact, nullary + 1)
+}
+
+/// Path-halving union-find lookup.
+fn find(parent: &mut [usize], mut x: usize) -> usize {
+    while parent[x] != x {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+    }
+    x
+}
+
+/// Interns a predicate into the union-find, in first-occurrence order.
+fn intern(p: Pred, id: &mut HashMap<Pred, usize>, parent: &mut Vec<usize>) -> usize {
+    if let Some(&i) = id.get(&p) {
+        return i;
+    }
+    let i = parent.len();
+    parent.push(i);
+    id.insert(p, i);
+    i
+}
+
+/// Predicate groups for pred-local theories: union-find over each rule's
+/// body ∪ head predicates; instance predicates mentioned by no rule get
+/// singleton groups. Group numbers are assigned in predicate
+/// first-occurrence order (rules first, then the instance), so the
+/// partition is deterministic. Returns `(group per pred, group count)`.
+fn pred_groups(theory: &Theory, db: &Instance) -> (HashMap<Pred, usize>, usize) {
+    let mut id: HashMap<Pred, usize> = HashMap::new();
+    let mut parent: Vec<usize> = Vec::new();
+    for r in theory.rules() {
+        let mut root: Option<usize> = None;
+        for a in r.body().iter().chain(r.head().iter()) {
+            let i = intern(a.pred, &mut id, &mut parent);
+            let ri = find(&mut parent, i);
+            root = Some(match root {
+                None => ri,
+                Some(r0) => {
+                    let r0 = find(&mut parent, r0);
+                    if r0 == ri {
+                        r0
+                    } else {
+                        let (lo, hi) = if r0 < ri { (r0, ri) } else { (ri, r0) };
+                        parent[hi] = lo;
+                        lo
+                    }
+                }
+            });
+        }
+    }
+    for p in db.preds() {
+        intern(p, &mut id, &mut parent);
+    }
+    let mut by_intern: Vec<(usize, Pred)> = id.iter().map(|(&p, &i)| (i, p)).collect();
+    by_intern.sort_by_key(|&(i, _)| i);
+    let mut group_no: HashMap<usize, usize> = HashMap::new();
+    let mut group_of: HashMap<Pred, usize> = HashMap::new();
+    for (i, p) in by_intern {
+        let root = find(&mut parent, i);
+        let next = group_no.len();
+        let g = *group_no.entry(root).or_insert(next);
+        group_of.insert(p, g);
+    }
+    let n = group_no.len();
+    (group_of, n)
+}
+
+/// Deterministic bin-packing of partition units into at most `bins_max`
+/// shards: units sorted by (size desc, unit id asc), each assigned to
+/// the least-loaded bin (ties to the lowest bin index). Zero-size units
+/// place no facts and are ignored. Returns `(bin per unit, bin count)`.
+fn pack(size: &[usize], bins_max: usize) -> (Vec<usize>, usize) {
+    let mut order: Vec<usize> = (0..size.len()).filter(|&u| size[u] > 0).collect();
+    let bins = bins_max.min(order.len()).max(1);
+    order.sort_by_key(|&u| (std::cmp::Reverse(size[u]), u));
+    let mut load = vec![0usize; bins];
+    let mut bin_of = vec![0usize; size.len()];
+    for u in order {
+        let b = (0..bins)
+            .min_by_key(|&b| (load[b], b))
+            .expect("at least one bin");
+        bin_of[u] = b;
+        load[b] += size[u];
+    }
+    (bin_of, bins)
+}
+
+/// The shard-local path: split, chase each shard sequentially on the
+/// worker pool, splice the results back together byte-identically.
+#[allow(clippy::too_many_arguments)]
+fn run_partitioned(
+    theory: &Theory,
+    db: &Instance,
+    budget: ChaseBudget,
+    exec: &Executor,
+    mode: ShardMode,
+    unit_of_fact: Vec<usize>,
+    units: usize,
+    bins_max: usize,
+    t0: Instant,
+    mut stats: ShardStats,
+) -> (Chase, ShardStats) {
+    let mut size = vec![0usize; units];
+    for &u in &unit_of_fact {
+        size[u] += 1;
+    }
+    if size.iter().filter(|&&s| s > 0).count() <= 1 {
+        // Single-component / single-group base: sharding buys nothing.
+        stats.partition_wall = t0.elapsed();
+        return (chase_with(theory, db, budget, exec), stats);
+    }
+    let (bin_of_unit, bins) = pack(&size, bins_max);
+    stats.mode = mode;
+    stats.shards = bins;
+    let shard_of: Vec<usize> = unit_of_fact.iter().map(|&u| bin_of_unit[u]).collect();
+    let parts = db.split_by(&shard_of, bins);
+    let mut loc2glob: Vec<Vec<FactIdx>> = vec![Vec::new(); bins];
+    for (i, &s) in shard_of.iter().enumerate() {
+        loc2glob[s].push(i);
+    }
+    stats.partition_wall = t0.elapsed();
+
+    let t1 = Instant::now();
+    let shard_chases: Vec<Chase> = exec.map_weighted(
+        &parts,
+        |p| p.len() as u64,
+        |p| chase_with(theory, p, budget, &Executor::sequential()),
+    );
+    stats.shard_wall = t1.elapsed();
+
+    let t2 = Instant::now();
+    let merged = merge_shards(db, budget, exec.threads(), &shard_chases, &mut loc2glob);
+    stats.merge_wall = t2.elapsed();
+    (merged, stats)
+}
+
+/// Splices shard chases into the [`Chase`] the monolithic engine would
+/// have produced on the whole base.
+///
+/// Per round `r`, the global engine's fresh sequence is the shards'
+/// round-`r` fresh sequences stably sorted by the enumeration key
+/// `(rule, canonical path atom k*, global index of the forced delta
+/// fact)`, where `k*` is the first regular trigger slot holding a
+/// previous-delta fact — exactly the engine's canonical-path rule. The
+/// per-shard `local → global` index maps are monotone (built from the
+/// order-preserving [`Instance::split_by`] and extended here in merge
+/// order), so intra-shard relative order — which the key does not
+/// discriminate — is already global order, and a stable sort suffices.
+/// Counters sum; fact/term growth and the round/outcome bookkeeping are
+/// re-measured on the merged instance, replaying the engine's loop
+/// (fixpoint probe row, budget break after the round's snapshot).
+fn merge_shards(
+    db: &Instance,
+    budget: ChaseBudget,
+    threads: usize,
+    shard_chases: &[Chase],
+    loc2glob: &mut [Vec<FactIdx>],
+) -> Chase {
+    let mut instance = db.clone();
+    let mut round_of: Vec<usize> = vec![0; instance.len()];
+    let mut derivations: Vec<Option<Derivation>> = vec![None; instance.len()];
+    let mut outcome = ChaseOutcome::Exhausted;
+    let mut rounds = 0;
+    let mut stats = ChaseStats {
+        threads,
+        ..ChaseStats::default()
+    };
+    let mut round_snapshots = vec![instance.snapshot()];
+
+    for round in 1..=budget.max_rounds {
+        // Shard events of this round, keyed for the global emission order.
+        let mut events: Vec<((usize, usize, FactIdx), usize, FactIdx)> = Vec::new();
+        for (s, ch) in shard_chases.iter().enumerate() {
+            if let Some(range) = ch.delta_range(round) {
+                for i in range {
+                    let d = ch.derivations[i]
+                        .as_ref()
+                        .expect("derived facts carry provenance");
+                    let kstar = d
+                        .trigger
+                        .iter()
+                        .position(|&fi| ch.round_of[fi] + 1 == round)
+                        .expect("semi-naive triggers use a previous-delta fact");
+                    events.push(((d.rule, kstar, loc2glob[s][d.trigger[kstar]]), s, i));
+                }
+            }
+        }
+        // Engine counters sum across shards: every trigger, candidate
+        // scan and staging decision of the global round happened in
+        // exactly one shard (matches and probes are shard-local under
+        // the safety predicates). A shard has a row for round `r` iff
+        // its own run executed round `r`; absent rows contribute 0,
+        // mirroring the empty deltas those shards would have globally.
+        let mut row = RoundStats {
+            round,
+            ..RoundStats::default()
+        };
+        for ch in shard_chases {
+            if let Some(r) = ch.stats.rounds.get(round - 1) {
+                debug_assert_eq!(r.round, round);
+                row.triggers += r.triggers;
+                row.candidates += r.candidates;
+                row.dom_sweeps += r.dom_sweeps;
+                row.dom_pruned += r.dom_pruned;
+                row.enum_wall += r.enum_wall;
+                row.merge_wall += r.merge_wall;
+            }
+        }
+        row.wall = row.enum_wall + row.merge_wall;
+
+        if events.is_empty() {
+            // Every still-active shard ran its fixpoint probe this round;
+            // the summed row is the global probe row.
+            stats.rounds.push(row);
+            outcome = ChaseOutcome::Fixpoint;
+            break;
+        }
+
+        events.sort_by_key(|&(key, _, _)| key); // stable: intra-shard order survives
+        let facts_before = instance.len();
+        let terms_before = instance.domain_len();
+        for &(_, s, i) in &events {
+            let gi = instance
+                .insert(shard_chases[s].instance.fact(i).to_fact())
+                .expect("shards stage disjoint fresh facts");
+            debug_assert_eq!(loc2glob[s].len(), i, "shard facts merge in local order");
+            loc2glob[s].push(gi);
+            let d = shard_chases[s].derivations[i]
+                .as_ref()
+                .expect("checked above");
+            derivations.push(Some(Derivation {
+                rule: d.rule,
+                trigger: d.trigger.iter().map(|&fi| loc2glob[s][fi]).collect(),
+                frontier: d.frontier.clone(),
+                round,
+            }));
+            round_of.push(round);
+        }
+        row.facts_added = instance.len() - facts_before;
+        row.terms_added = instance.domain_len() - terms_before;
+        stats.rounds.push(row);
+        rounds = round;
+        round_snapshots.push(instance.snapshot());
+        if instance.len() > budget.max_facts {
+            break;
+        }
+    }
+
+    let len = instance.len();
+    let mem = instance.stats();
+    stats.peak_facts = mem.peak_facts;
+    stats.bytes_facts = mem.bytes_facts;
+    stats.bytes_index = mem.bytes_index;
+    stats.bytes_tuples = mem.bytes_tuples;
+    Chase {
+        instance,
+        round_of,
+        rounds,
+        outcome,
+        derivations,
+        all_derivations: vec![Vec::new(); len],
+        stats,
+        round_snapshots,
+    }
+}
+
+/// Certified frontier exchange for cross-shard theories: chase Gaifman
+/// shards independently, absorb each shard's derived facts into the base
+/// only after its [`ChaseCertBundle`] replays through the injected
+/// verifier, then run one global chase over the enriched base. Sound
+/// unconditionally (unverified bundles are dropped, verified facts are
+/// in `Ch(T, shard base) ⊆ Ch(T, base)`); complete — set-equal to the
+/// unsharded chase — whenever the chase terminates within budget, by
+/// Observation 8.
+#[allow(clippy::too_many_arguments)]
+fn chase_exchange(
+    theory: &Theory,
+    db: &Instance,
+    budget: ChaseBudget,
+    exec: &Executor,
+    verify: &FrontierVerify<'_>,
+    bins_max: usize,
+    t0: Instant,
+    mut stats: ShardStats,
+) -> (Chase, ShardStats) {
+    let (unit_of_fact, units) = gaifman_units(db);
+    stats.components = units.saturating_sub(1);
+    let mut size = vec![0usize; units];
+    for &u in &unit_of_fact {
+        size[u] += 1;
+    }
+    if size.iter().filter(|&&s| s > 0).count() <= 1 {
+        stats.partition_wall = t0.elapsed();
+        return (chase_with(theory, db, budget, exec), stats);
+    }
+    let (bin_of_unit, bins) = pack(&size, bins_max);
+    stats.mode = ShardMode::Exchange;
+    stats.shards = bins;
+    let shard_of: Vec<usize> = unit_of_fact.iter().map(|&u| bin_of_unit[u]).collect();
+    let parts = db.split_by(&shard_of, bins);
+    stats.partition_wall = t0.elapsed();
+
+    let t1 = Instant::now();
+    let shard_chases: Vec<Chase> = exec.map_weighted(
+        &parts,
+        |p| p.len() as u64,
+        |p| chase_with(theory, p, budget, &Executor::sequential()),
+    );
+    stats.shard_wall = t1.elapsed();
+
+    let t2 = Instant::now();
+    let kernel_before = qr_hom::global_kernel().stats();
+    let mut merged = db.clone();
+    let mut absorbed = false;
+    for (s, ch) in shard_chases.iter().enumerate() {
+        let base = parts[s].len();
+        if ch.instance.len() == base {
+            continue;
+        }
+        let frontier: Vec<Fact> = (base..ch.instance.len())
+            .map(|i| ch.instance.fact(i).to_fact())
+            .collect();
+        let bundle = emit_chase_certs(theory, ch);
+        stats.certs_exchanged += bundle.len() as u64;
+        match verify(theory, &parts[s], &frontier, &bundle) {
+            Ok(n) => {
+                stats.certs_checked += n as u64;
+                for f in frontier {
+                    merged.insert(f);
+                }
+                absorbed = true;
+            }
+            Err(rejection) => {
+                // Not absorbed; the catch-up chase below re-derives
+                // whatever the shard legitimately proved, so a bad
+                // bundle costs time, never soundness.
+                stats.certs_rejected += bundle.len() as u64;
+                stats.rejections.push((s, rejection));
+            }
+        }
+    }
+    let kernel_after = qr_hom::global_kernel().stats();
+    stats.kernel_searches = (kernel_after.searches - kernel_before.searches)
+        + (kernel_after.core_searches - kernel_before.core_searches);
+    stats.frontier_rounds = usize::from(absorbed);
+    let result = chase_with(theory, &merged, budget, exec);
+    stats.merge_wall = t2.elapsed();
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr_syntax::{parse_instance, parse_theory};
+
+    /// Field-by-field byte-identity of two chase runs (walls excluded:
+    /// they are measurements, not outputs).
+    fn assert_identical(a: &Chase, b: &Chase) {
+        let facts_a: Vec<_> = a.instance.iter().map(|f| f.to_fact()).collect();
+        let facts_b: Vec<_> = b.instance.iter().map(|f| f.to_fact()).collect();
+        assert_eq!(facts_a, facts_b, "fact streams");
+        assert_eq!(a.instance.domain(), b.instance.domain(), "domain order");
+        assert_eq!(a.round_of, b.round_of, "rounds of facts");
+        assert_eq!(a.rounds, b.rounds, "round count");
+        assert_eq!(a.outcome, b.outcome, "outcome");
+        assert_eq!(a.derivations, b.derivations, "provenance");
+        assert_eq!(
+            a.round_snapshots.len(),
+            b.round_snapshots.len(),
+            "snapshots"
+        );
+        for (sa, sb) in a.round_snapshots.iter().zip(&b.round_snapshots) {
+            assert_eq!(sa.facts(), sb.facts(), "snapshot facts");
+            assert_eq!(sa.terms(), sb.terms(), "snapshot terms");
+        }
+        assert_eq!(a.stats.rounds.len(), b.stats.rounds.len(), "stat rows");
+        for (ra, rb) in a.stats.rounds.iter().zip(&b.stats.rounds) {
+            assert_eq!(ra.round, rb.round);
+            assert_eq!(ra.triggers, rb.triggers, "round {} triggers", ra.round);
+            assert_eq!(
+                ra.candidates, rb.candidates,
+                "round {} candidates",
+                ra.round
+            );
+            assert_eq!(ra.dom_sweeps, rb.dom_sweeps);
+            assert_eq!(ra.dom_pruned, rb.dom_pruned);
+            assert_eq!(ra.facts_added, rb.facts_added, "round {} facts", ra.round);
+            assert_eq!(ra.terms_added, rb.terms_added, "round {} terms", ra.round);
+        }
+        assert_eq!(a.stats.peak_facts, b.stats.peak_facts);
+        assert_eq!(a.stats.bytes_facts, b.stats.bytes_facts);
+        assert_eq!(a.stats.bytes_index, b.stats.bytes_index);
+        assert_eq!(a.stats.bytes_tuples, b.stats.bytes_tuples);
+    }
+
+    #[test]
+    fn classifies_theories() {
+        let term = parse_theory("e(X,Y), e(Y,Z) -> e(X,Z). h(X) -> m(X,Y).").unwrap();
+        assert!(term_safe(&term));
+        assert!(pred_safe(&term));
+        // Constant in the head: term-unsafe, still pred-safe.
+        let with_const = parse_theory("e(X,Y) -> p(X,a).").unwrap();
+        assert!(!term_safe(&with_const));
+        assert!(pred_safe(&with_const));
+        // Disconnected body: term-unsafe, still pred-safe.
+        let cross = parse_theory("p(X), q(Y) -> r(X,Y).").unwrap();
+        assert!(!term_safe(&cross));
+        assert!(pred_safe(&cross));
+        // dom atom: neither.
+        let dom = parse_theory("e(X,Y), dom(Z) -> t(X,Z).").unwrap();
+        assert!(!term_safe(&dom));
+        assert!(!pred_safe(&dom));
+        // No frontier (head shares no variable with the body).
+        let detached = parse_theory("p(X) -> q(Y).").unwrap();
+        assert!(!term_safe(&detached));
+        assert!(pred_safe(&detached));
+    }
+
+    #[test]
+    fn packing_is_deterministic_and_balanced() {
+        let (bin_of, bins) = pack(&[10, 1, 1, 1, 1, 10, 0, 4], 2);
+        assert_eq!(bins, 2);
+        // Largest units split across bins; the zero unit places nothing.
+        assert_ne!(bin_of[0], bin_of[5]);
+        let mut load = vec![0usize; bins];
+        for (u, &b) in bin_of.iter().enumerate() {
+            load[b] += [10, 1, 1, 1, 1, 10, 0, 4][u];
+        }
+        assert_eq!(load.iter().sum::<usize>(), 28);
+        assert!(load.iter().all(|&l| l >= 14 - 2 && l <= 14 + 2), "{load:?}");
+        // Re-running gives the same assignment.
+        assert_eq!(pack(&[10, 1, 1, 1, 1, 10, 0, 4], 2), (bin_of, bins));
+    }
+
+    #[test]
+    fn gaifman_mode_is_byte_identical() {
+        let t = parse_theory("e(X,Y), e(Y,Z) -> e(X,Z). e(X,Y) -> n(X,W).").unwrap();
+        // Three components of different sizes plus a nullary fact.
+        let d = parse_instance("e(a,b). e(b,c). e(c,d). e(p,q). e(q,r). e(x,y). flag().").unwrap();
+        let budget = ChaseBudget::default();
+        let reference = chase_with(&t, &d, budget, &Executor::sequential());
+        for threads in [2, 3, 4] {
+            let exec = Executor::with_threads(threads);
+            let (sharded, stats) = chase_sharded(&t, &d, budget, &exec);
+            assert_eq!(stats.mode, ShardMode::Gaifman, "{threads} threads");
+            assert_eq!(stats.components, 3);
+            assert!(stats.shards >= 2);
+            assert_identical(&sharded, &reference);
+        }
+    }
+
+    #[test]
+    fn pred_group_mode_is_byte_identical() {
+        // Term-unsafe (constant in a head; disconnected body) but
+        // pred-safe; groups: {e,p} ∪ {q,r,s} with u a singleton.
+        let t = parse_theory("e(X,Y) -> p(X,a). q(X), r(Y) -> s(X,Y).").unwrap();
+        let d = parse_instance("e(m,n). e(n,o). q(h). r(k). u(z).").unwrap();
+        let budget = ChaseBudget::default();
+        let reference = chase_with(&t, &d, budget, &Executor::sequential());
+        let exec = Executor::with_threads(4);
+        let (sharded, stats) = chase_sharded(&t, &d, budget, &exec);
+        assert_eq!(stats.mode, ShardMode::PredGroup);
+        assert_eq!(stats.components, 3, "two rule groups plus singleton u");
+        assert_identical(&sharded, &reference);
+    }
+
+    #[test]
+    fn single_component_bypasses() {
+        let t = parse_theory("e(X,Y), e(Y,Z) -> e(X,Z).").unwrap();
+        let d = parse_instance("e(a,b). e(b,c). e(c,a).").unwrap();
+        let exec = Executor::with_threads(4);
+        let (sharded, stats) = chase_sharded(&t, &d, ChaseBudget::default(), &exec);
+        assert_eq!(stats.mode, ShardMode::Bypass);
+        assert_eq!(stats.shards, 0);
+        let reference = chase_with(&t, &d, ChaseBudget::default(), &exec);
+        assert_identical(&sharded, &reference);
+    }
+
+    #[test]
+    fn cross_shard_theory_falls_back_by_default() {
+        let t = parse_theory("e(X,Y), dom(Z) -> t(X,Z).").unwrap();
+        let d = parse_instance("e(a,b). e(c,d).").unwrap();
+        let exec = Executor::with_threads(4);
+        let (sharded, stats) = chase_sharded(&t, &d, ChaseBudget::default(), &exec);
+        assert_eq!(stats.mode, ShardMode::Fallback);
+        let reference = chase_with(&t, &d, ChaseBudget::default(), &exec);
+        assert_identical(&sharded, &reference);
+    }
+
+    #[test]
+    fn exchange_mode_absorbs_verified_frontiers() {
+        // dom forces cross-shard triggers; the exchange pre-derives the
+        // shard-local t-facts and the catch-up closes the rest.
+        let t = parse_theory("e(X,Y), dom(Z) -> t(X,Z).").unwrap();
+        let d = parse_instance("e(a,b). e(c,d).").unwrap();
+        let budget = ChaseBudget::default();
+        let exec = Executor::with_threads(4);
+        // Trusting verifier: accepts every bundle without replay (the
+        // real qr-check verifier is exercised in the integration tests).
+        let verify =
+            |_: &Theory, _: &Instance, frontier: &[Fact], _: &ChaseCertBundle| Ok(frontier.len());
+        let opts = ShardOpts {
+            cross_shard: CrossShardPolicy::Exchange { verify: &verify },
+            ..ShardOpts::default()
+        };
+        let (sharded, stats) = chase_sharded_opts(&t, &d, budget, &exec, &opts);
+        assert_eq!(stats.mode, ShardMode::Exchange);
+        assert_eq!(stats.components, 2);
+        assert!(stats.certs_exchanged > 0);
+        assert_eq!(stats.certs_checked, stats.certs_exchanged);
+        assert_eq!(stats.certs_rejected, 0);
+        assert_eq!(stats.frontier_rounds, 1);
+        assert_eq!(stats.kernel_searches, 0, "replay is search-free");
+        // Set-equal (never byte-identical: absorbed facts arrive early).
+        let reference = chase_with(&t, &d, budget, &Executor::sequential());
+        assert!(reference.terminated() && sharded.terminated());
+        assert_eq!(sharded.instance, reference.instance, "same fact set");
+    }
+
+    #[test]
+    fn exchange_mode_survives_rejected_bundles() {
+        let t = parse_theory("e(X,Y), dom(Z) -> t(X,Z).").unwrap();
+        let d = parse_instance("e(a,b). e(c,d).").unwrap();
+        let exec = Executor::with_threads(4);
+        // Paranoid verifier: rejects everything; the catch-up chase must
+        // still produce the full model.
+        let verify = |_: &Theory, _: &Instance, _: &[Fact], _: &ChaseCertBundle| {
+            Err(FrontierRejection {
+                cert: 0,
+                detail: "rejected by test verifier".into(),
+            })
+        };
+        let opts = ShardOpts {
+            cross_shard: CrossShardPolicy::Exchange { verify: &verify },
+            ..ShardOpts::default()
+        };
+        let (sharded, stats) = chase_sharded_opts(&t, &d, ChaseBudget::default(), &exec, &opts);
+        assert_eq!(stats.certs_checked, 0);
+        assert!(stats.certs_rejected > 0);
+        assert_eq!(stats.frontier_rounds, 0);
+        assert_eq!(stats.rejections.len(), stats.shards.min(2));
+        let reference = chase_with(&t, &d, ChaseBudget::default(), &Executor::sequential());
+        assert_eq!(
+            sharded.instance, reference.instance,
+            "soundness without absorption"
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_is_byte_identical() {
+        // Non-terminating theory on two components; truncate by rounds.
+        let t = parse_theory("p(X) -> e(X,Y). e(X,Y) -> p(Y).").unwrap();
+        let d = parse_instance("p(a). p(b).").unwrap();
+        let budget = ChaseBudget::rounds(5);
+        let reference = chase_with(&t, &d, budget, &Executor::sequential());
+        assert_eq!(reference.outcome, ChaseOutcome::Exhausted);
+        let (sharded, stats) = chase_sharded(&t, &d, budget, &Executor::with_threads(2));
+        assert_eq!(stats.mode, ShardMode::Gaifman);
+        assert_identical(&sharded, &reference);
+    }
+}

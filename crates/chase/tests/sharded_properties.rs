@@ -1,0 +1,222 @@
+//! Cross-crate properties of the sharded chase (`qr_chase::sharded`).
+//!
+//! The in-crate unit tests pin byte-identity on fixtures; here we drive
+//! randomized theories and instances through `chase_sharded` at 1/2/4
+//! threads, and wire the exchange protocol to the *real* certificate
+//! replayer (`qr_check::check_frontier`) — including a forged bundle
+//! that must be rejected with a located [`qr_check::CheckError`].
+
+use qr_chase::{
+    chase_sharded, chase_sharded_opts, chase_with, Chase, ChaseBudget, ChaseCertBundle,
+    CrossShardPolicy, FrontierRejection, ShardMode, ShardOpts,
+};
+use qr_exec::Executor;
+use qr_syntax::{parse_instance, parse_theory, Fact, Instance, Theory};
+use qr_testkit::Rng;
+
+/// Field-by-field byte-identity of two chase runs (walls excluded: they
+/// are measurements, not outputs).
+fn assert_identical(a: &Chase, b: &Chase) {
+    let facts_a: Vec<_> = a.instance.iter().map(|f| f.to_fact()).collect();
+    let facts_b: Vec<_> = b.instance.iter().map(|f| f.to_fact()).collect();
+    assert_eq!(facts_a, facts_b, "fact streams");
+    assert_eq!(a.instance.domain(), b.instance.domain(), "domain order");
+    assert_eq!(a.round_of, b.round_of, "rounds of facts");
+    assert_eq!(a.rounds, b.rounds, "round count");
+    assert_eq!(a.outcome, b.outcome, "outcome");
+    assert_eq!(a.derivations, b.derivations, "provenance");
+    assert_eq!(
+        a.round_snapshots.len(),
+        b.round_snapshots.len(),
+        "snapshots"
+    );
+    for (sa, sb) in a.round_snapshots.iter().zip(&b.round_snapshots) {
+        assert_eq!(sa.facts(), sb.facts(), "snapshot facts");
+        assert_eq!(sa.terms(), sb.terms(), "snapshot terms");
+    }
+    assert_eq!(a.stats.rounds.len(), b.stats.rounds.len(), "stat rows");
+    for (ra, rb) in a.stats.rounds.iter().zip(&b.stats.rounds) {
+        assert_eq!(ra.triggers, rb.triggers, "round {} triggers", ra.round);
+        assert_eq!(
+            ra.candidates, rb.candidates,
+            "round {} candidates",
+            ra.round
+        );
+        assert_eq!(ra.facts_added, rb.facts_added, "round {} facts", ra.round);
+        assert_eq!(ra.terms_added, rb.terms_added, "round {} terms", ra.round);
+    }
+}
+
+/// A random theory from a pool of shardable rules: always at least one
+/// term-safe rule, sometimes a term-unsafe (but pred-safe) one, so the
+/// property exercises both the Gaifman and the predicate-group modes.
+fn random_theory(rng: &mut Rng) -> Theory {
+    let term_safe_pool = [
+        "e(X,Y), e(Y,Z) -> e(X,Z).",
+        "e(X,Y) -> e(Y,X).",
+        "e(X,Y) -> n(X,W).",
+        "n(X,W) -> p(X).",
+    ];
+    let pred_safe_pool = ["q(X), r(Y) -> s(X,Y).", "q(X) -> r(X)."];
+    let mut src = String::new();
+    src.push_str(term_safe_pool[rng.below(term_safe_pool.len())]);
+    for rule in &term_safe_pool {
+        if rng.bool() {
+            src.push_str(rule);
+        }
+    }
+    if rng.bool() {
+        src.push_str(pred_safe_pool[rng.below(pred_safe_pool.len())]);
+    }
+    parse_theory(&src).unwrap()
+}
+
+/// A random instance of `comps` disconnected components, each a sprinkle
+/// of `e`-edges (plus the occasional `q`/`r` fact) over its own
+/// namespaced constants.
+fn random_instance(rng: &mut Rng, comps: usize) -> Instance {
+    let mut src = String::new();
+    for c in 0..comps {
+        let nodes = rng.range(2, 6);
+        for _ in 0..rng.range(1, 8) {
+            let a = rng.below(nodes);
+            let b = rng.below(nodes);
+            src.push_str(&format!("e(c{c}x{a},c{c}x{b})."));
+        }
+        if rng.bool() {
+            src.push_str(&format!("q(c{c}x0)."));
+        }
+        if rng.bool() {
+            src.push_str(&format!("r(c{c}x1)."));
+        }
+    }
+    parse_instance(&src).unwrap()
+}
+
+#[test]
+fn sharded_chase_is_byte_identical_across_thread_counts() {
+    qr_testkit::check("sharded_byte_identity", 30, |rng: &mut Rng| {
+        let theory = random_theory(rng);
+        let comps = rng.range(2, 7);
+        let db = random_instance(rng, comps);
+        let budget = if rng.bool() {
+            ChaseBudget::default()
+        } else {
+            ChaseBudget::rounds(rng.range(1, 5))
+        };
+        let reference = chase_with(&theory, &db, budget, &Executor::sequential());
+        for threads in [1, 2, 4] {
+            let exec = Executor::with_threads(threads);
+            let (sharded, stats) = chase_sharded(&theory, &db, budget, &exec);
+            assert_ne!(
+                stats.mode,
+                ShardMode::Exchange,
+                "shardable theories never need the exchange"
+            );
+            assert_identical(&sharded, &reference);
+        }
+    });
+}
+
+#[test]
+fn connected_instances_bypass_sharding() {
+    // One Gaifman component: partitioning would be pure overhead, so the
+    // run must collapse to the monolithic engine.
+    qr_testkit::check("connected_bypass", 20, |rng: &mut Rng| {
+        let theory = parse_theory("e(X,Y), e(Y,Z) -> e(X,Z).").unwrap();
+        let nodes = rng.range(3, 9);
+        let mut src = String::new();
+        for i in 1..nodes {
+            // A random tree keeps everything connected.
+            src.push_str(&format!("e(v{},v{i}).", rng.below(i)));
+        }
+        let db = parse_instance(&src).unwrap();
+        let exec = Executor::with_threads(4);
+        let (sharded, stats) = chase_sharded(&theory, &db, ChaseBudget::default(), &exec);
+        assert_eq!(stats.mode, ShardMode::Bypass);
+        let reference = chase_with(&theory, &db, ChaseBudget::default(), &exec);
+        assert_identical(&sharded, &reference);
+    });
+}
+
+/// The production verifier: replay the peer's bundle through `qr-check`.
+fn replaying_verifier(
+    theory: &Theory,
+    base: &Instance,
+    frontier: &[Fact],
+    bundle: &ChaseCertBundle,
+) -> Result<usize, FrontierRejection> {
+    qr_check::check_frontier(theory, base, frontier, bundle).map_err(|e| FrontierRejection {
+        cert: e.cert,
+        detail: e.to_string(),
+    })
+}
+
+#[test]
+fn exchange_absorbs_frontiers_through_the_real_checker() {
+    // `dom(Z)` makes every rule cross-shard; the exchange ships each
+    // shard's derived facts with certificates, replayed by qr-check.
+    let theory = parse_theory("e(X,Y), dom(Z) -> t(X,Z).").unwrap();
+    let db = parse_instance("e(a,b). e(c,d). e(g,h).").unwrap();
+    let budget = ChaseBudget::default();
+    let opts = ShardOpts {
+        cross_shard: CrossShardPolicy::Exchange {
+            verify: &replaying_verifier,
+        },
+        ..ShardOpts::default()
+    };
+    let (sharded, stats) =
+        chase_sharded_opts(&theory, &db, budget, &Executor::with_threads(4), &opts);
+    assert_eq!(stats.mode, ShardMode::Exchange);
+    assert!(stats.certs_exchanged > 0);
+    assert_eq!(stats.certs_checked, stats.certs_exchanged);
+    assert_eq!(stats.certs_rejected, 0);
+    assert_eq!(
+        stats.kernel_searches, 0,
+        "certificate replay must not touch the hom kernel"
+    );
+    let reference = chase_with(&theory, &db, budget, &Executor::sequential());
+    assert!(reference.terminated() && sharded.terminated());
+    assert_eq!(sharded.instance, reference.instance, "same fact set");
+}
+
+#[test]
+fn forged_frontier_certificates_are_rejected_at_the_merge() {
+    let theory = parse_theory("e(X,Y), dom(Z) -> t(X,Z).").unwrap();
+    let db = parse_instance("e(a,b). e(c,d).").unwrap();
+    let budget = ChaseBudget::default();
+    // A man-in-the-middle: certificate 0 of every bundle is rewired to
+    // reference the fact it certifies (circular), then replayed through
+    // the real checker — which must reject it with a located error.
+    let forge = |theory: &Theory, base: &Instance, frontier: &[Fact], bundle: &ChaseCertBundle| {
+        let mut forged = bundle.clone();
+        forged.certs[0].trigger[0] = forged.certs[0].fact;
+        replaying_verifier(theory, base, frontier, &forged)
+    };
+    let opts = ShardOpts {
+        cross_shard: CrossShardPolicy::Exchange { verify: &forge },
+        ..ShardOpts::default()
+    };
+    let (sharded, stats) =
+        chase_sharded_opts(&theory, &db, budget, &Executor::with_threads(4), &opts);
+    assert_eq!(stats.certs_checked, 0, "no forged bundle may be absorbed");
+    assert!(stats.certs_rejected > 0);
+    let (_, rejection) = &stats.rejections[0];
+    assert_eq!(
+        rejection.cert, 0,
+        "rejection locates the forged certificate"
+    );
+    assert!(
+        rejection.detail.contains("certificate 0"),
+        "located detail: {}",
+        rejection.detail
+    );
+    assert!(
+        rejection.detail.contains("not earlier"),
+        "names the violation: {}",
+        rejection.detail
+    );
+    // Soundness: nothing was absorbed, the catch-up still closes the gap.
+    let reference = chase_with(&theory, &db, budget, &Executor::sequential());
+    assert_eq!(sharded.instance, reference.instance);
+}

@@ -170,6 +170,48 @@ impl Executor {
         pairs.into_iter().map(|(_, r)| r).collect()
     }
 
+    /// [`map`](Executor::map) with weight-aware scheduling: items are
+    /// *claimed* heaviest-first (longest-processing-time order, one item
+    /// per claim), which bounds the makespan of skewed workloads — e.g.
+    /// chase shards whose sizes differ by orders of magnitude — without
+    /// affecting the result, which is still returned **in item order**.
+    /// `weight` need only be a relative estimate; ties claim in item
+    /// order, so scheduling is deterministic up to thread timing and the
+    /// output is deterministic, period.
+    pub fn map_weighted<T: Sync, R: Send>(
+        &self,
+        items: &[T],
+        weight: impl Fn(&T) -> u64,
+        f: impl Fn(&T) -> R + Sync,
+    ) -> Vec<R> {
+        let n = items.len();
+        if self.is_sequential() || n <= 1 {
+            return items.iter().map(&f).collect();
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(weight(&items[i])), i));
+        let workers = self.threads.min(n);
+        let cursor = AtomicUsize::new(0);
+        let slots = Mutex::new(Vec::with_capacity(n));
+        run_workers(workers, || {
+            let mut local: Vec<(usize, R)> = Vec::new();
+            loop {
+                let pos = cursor.fetch_add(1, Ordering::Relaxed);
+                if pos >= n {
+                    break;
+                }
+                let i = order[pos];
+                local.push((i, f(&items[i])));
+            }
+            let mut slots = slots.lock().unwrap_or_else(|e| e.into_inner());
+            slots.extend(local);
+        });
+        let mut pairs = slots.into_inner().unwrap_or_else(|e| e.into_inner());
+        debug_assert_eq!(pairs.len(), n, "every item is computed exactly once");
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        pairs.into_iter().map(|(_, r)| r).collect()
+    }
+
     /// Maps all items, then folds the results into `init` **in item
     /// order** on the caller thread.
     pub fn reduce<T: Sync, R: Send, A>(
@@ -558,6 +600,37 @@ mod tests {
         let exec = Executor::with_threads(3);
         let out = exec.map_indexed(&items, |i, s| format!("{i}{s}"));
         assert_eq!(out, vec!["0a", "1b", "2c", "3d", "4e"]);
+    }
+
+    #[test]
+    fn map_weighted_preserves_item_order() {
+        let items: Vec<u64> = (0..500).map(|i| (i * 7919) % 257).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x * 3).collect();
+        for threads in [1, 2, 4, 9] {
+            let exec = Executor::with_threads(threads);
+            let out = exec.map_weighted(&items, |&w| w, |&x| x * 3);
+            assert_eq!(out, seq, "@{threads}");
+        }
+        let exec = Executor::with_threads(4);
+        assert!(exec.map_weighted(&[] as &[u8], |_| 0, |_| 0u8).is_empty());
+        assert_eq!(exec.map_weighted(&[41u8], |_| 9, |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn map_weighted_computes_each_item_once() {
+        let items: Vec<u64> = (0..97).collect();
+        let counter = AtomicUsize::new(0);
+        let exec = Executor::with_threads(3);
+        let out = exec.map_weighted(
+            &items,
+            |&w| w,
+            |&x| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                x
+            },
+        );
+        assert_eq!(counter.into_inner(), items.len());
+        assert_eq!(out, items);
     }
 
     #[test]

@@ -150,6 +150,59 @@ pub fn of_instance(inst: &Instance) -> Graph<TermId> {
     g
 }
 
+/// Connected components of an instance's Gaifman graph, computed directly
+/// off the columnar store — union-find over the active domain driven by
+/// the per-predicate postings, no intermediate [`Graph`] (whose `HashMap`
+/// adjacency costs a clique of edge insertions per fact and returns
+/// components in nondeterministic order).
+///
+/// Deterministic output: components are ordered by the first occurrence
+/// (in [`Instance::domain`] order) of any member, and each component lists
+/// its terms in domain order. The chase sharder keys its partition on this
+/// order, so shard assignment is reproducible across runs and platforms.
+pub fn components_of(inst: &Instance) -> Vec<Vec<TermId>> {
+    let domain = inst.domain();
+    let index: HashMap<TermId, usize> = domain.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let mut parent: Vec<usize> = (0..domain.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]]; // path halving
+            x = parent[x];
+        }
+        x
+    }
+    for pred in inst.preds() {
+        for &fi in inst.with_pred(pred) {
+            let args = inst.fact(fi as usize).args;
+            let Some(&first) = args.first() else {
+                continue; // nullary facts touch no terms
+            };
+            let mut a = find(&mut parent, index[&first]);
+            for &t in &args[1..] {
+                let b = find(&mut parent, index[&t]);
+                if a != b {
+                    // Union by smaller root index keeps roots canonical
+                    // (the first-occurring term of a component is its root).
+                    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                    parent[hi] = lo;
+                    a = lo;
+                }
+            }
+        }
+    }
+    let mut comp_id: Vec<usize> = vec![usize::MAX; domain.len()];
+    let mut out: Vec<Vec<TermId>> = Vec::new();
+    for (i, &term) in domain.iter().enumerate() {
+        let root = find(&mut parent, i);
+        if comp_id[root] == usize::MAX {
+            comp_id[root] = out.len();
+            out.push(Vec::new());
+        }
+        out[comp_id[root]].push(term);
+    }
+    out
+}
+
 /// The Gaifman graph of a set of atoms (over variables).
 pub fn of_atoms(atoms: &[QAtom]) -> Graph<Var> {
     let mut g = Graph::new();
@@ -227,5 +280,43 @@ mod tests {
         let g = of_instance(&i);
         assert_eq!(g.degree(TermId::constant("a".into())), 0);
         assert_eq!(g.node_count(), 1);
+    }
+
+    /// Canonicalizes a component list for set comparison: members sorted by
+    /// arena index, components sorted by their smallest member.
+    fn canon(mut comps: Vec<Vec<TermId>>) -> Vec<Vec<TermId>> {
+        for c in &mut comps {
+            c.sort_by_key(|t| t.index());
+        }
+        comps.sort_by_key(|c| c.first().map(|t| t.index()));
+        comps
+    }
+
+    #[test]
+    fn components_of_matches_graph_path() {
+        for src in [
+            "",
+            "e(a,b). e(b,c). e(c,d).",
+            "e(a,b). e(c,d). t(x,y,z). p(q). e(d,x).",
+            "e(a,a). p(b). e(b,c). marker().",
+            "t(a,b,c). t(c,d,e). e(f,g). p(h). p(a).",
+        ] {
+            let inst = parse_instance(src).unwrap();
+            let direct = components_of(&inst);
+            let via_graph = of_instance(&inst).components();
+            assert_eq!(canon(direct.clone()), canon(via_graph), "instance {src:?}");
+            // Deterministic order: components by first occurrence in the
+            // domain, members in domain order.
+            let domain = inst.domain();
+            let pos: HashMap<TermId, usize> =
+                domain.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+            for c in &direct {
+                assert!(c.windows(2).all(|w| pos[&w[0]] < pos[&w[1]]), "{src:?}");
+            }
+            let firsts: Vec<usize> = direct.iter().map(|c| pos[&c[0]]).collect();
+            assert!(firsts.windows(2).all(|w| w[0] < w[1]), "{src:?}");
+            let total: usize = direct.iter().map(Vec::len).sum();
+            assert_eq!(total, domain.len(), "{src:?}");
+        }
     }
 }

@@ -270,6 +270,29 @@ impl Instance {
         out
     }
 
+    /// In-place set union: inserts every fact of `other` (duplicates
+    /// ignored), preserving `other`'s insertion order for the new facts.
+    /// This is the merge half of [`Instance::split_by`].
+    pub fn union_in_place(&mut self, other: &Instance) {
+        self.extend(other.iter().map(|f| f.to_fact()));
+    }
+
+    /// Partitions the facts into `shards` instances: fact `i` goes to
+    /// shard `shard_of[i]`, keeping insertion order within each shard (so
+    /// each part's fact `j` corresponds to the `j`-th index `i` with
+    /// `shard_of[i]` equal to the part — the chase sharder's local→global
+    /// renumbering relies on this). `shard_of` must cover every fact and
+    /// name shards below `shards`.
+    pub fn split_by(&self, shard_of: &[usize], shards: usize) -> Vec<Instance> {
+        assert_eq!(shard_of.len(), self.len(), "one shard per fact");
+        let mut parts = vec![Instance::new(); shards];
+        for (i, &s) in shard_of.iter().enumerate() {
+            let prev = parts[s].insert(self.fact(i).to_fact());
+            debug_assert!(prev.is_some(), "facts of one instance are distinct");
+        }
+        parts
+    }
+
     /// The substructure induced on the complement of `banned` terms: all
     /// facts that mention no banned term (the paper's `M_F`, Definition 36).
     pub fn without_terms(&self, banned: &HashSet<TermId>) -> Instance {
@@ -608,6 +631,24 @@ mod tests {
         assert_eq!(m, Instance::from_facts([e("a", "b")]));
         let kept: HashSet<_> = [c("a"), c("b")].into_iter().collect();
         assert_eq!(inst.induced(&kept), Instance::from_facts([e("a", "b")]));
+    }
+
+    #[test]
+    fn split_by_partitions_in_order_and_merges_back() {
+        let inst = Instance::from_facts([e("a", "b"), e("c", "d"), e("b", "a"), e("x", "y")]);
+        let parts = inst.split_by(&[0, 1, 0, 2], 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], Instance::from_facts([e("a", "b"), e("b", "a")]));
+        // Insertion order inside a part follows the original stream.
+        assert_eq!(parts[0].fact(0), e("a", "b"));
+        assert_eq!(parts[0].fact(1), e("b", "a"));
+        assert_eq!(parts[1], Instance::from_facts([e("c", "d")]));
+        assert_eq!(parts[2], Instance::from_facts([e("x", "y")]));
+        let mut merged = Instance::new();
+        for p in &parts {
+            merged.union_in_place(p);
+        }
+        assert_eq!(merged, inst);
     }
 
     #[test]
